@@ -1,0 +1,229 @@
+(* uniqsql — command-line front end for the uniqueness analysis and the
+   rewrite suite.
+
+     uniqsql analyze  "SELECT DISTINCT ..."   # run Algorithm 1 with trace
+     uniqsql rewrite  "SELECT ..."            # apply the full rewrite suite
+     uniqsql explain  "SELECT ..."            # enumerate costed strategies
+     uniqsql check    "SELECT ..."            # exact bounded-model check
+     uniqsql run      "SELECT ..."            # execute on a generated instance
+
+   The schema defaults to the paper's supplier database (Figure 1); pass
+   --ddl FILE (semicolon-separated CREATE TABLE statements) to use your
+   own. Host variables are bound with --set NAME=VALUE. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let add_statement cat stmt =
+  match Sql.Parser.parse_statement stmt with
+  | Sql.Ast.Create ct -> Catalog.add cat (Catalog.table_def_of_create ct)
+  | Sql.Ast.Create_view cv ->
+    Uniqueness.Views.register cat ~name:cv.Sql.Ast.cv_name cv.Sql.Ast.cv_query
+  | Sql.Ast.Query _ -> failwith "DDL expected (CREATE TABLE / CREATE VIEW)"
+
+let catalog_of_ddl ddl views =
+  let base =
+    match ddl with
+    | None -> Workload.Paper_schema.catalog ()
+    | Some path ->
+      let text = read_file path in
+      let statements =
+        String.split_on_char ';' text
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      List.fold_left add_statement Catalog.empty statements
+  in
+  List.fold_left add_statement base views
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | None -> failwith ("--set expects NAME=VALUE, got " ^ s)
+  | Some i ->
+    let name = String.uppercase_ascii (String.sub s 0 i) in
+    let v = String.sub s (i + 1) (String.length s - i - 1) in
+    let value =
+      match int_of_string_opt v with
+      | Some n -> Sqlval.Value.Int n
+      | None ->
+        (match float_of_string_opt v with
+         | Some f -> Sqlval.Value.Float f
+         | None -> Sqlval.Value.String v)
+    in
+    (name, value)
+
+(* common args *)
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+let ddl_arg =
+  Arg.(value & opt (some file) None
+       & info [ "ddl" ] ~docv:"FILE" ~doc:"DDL file (CREATE TABLE statements).")
+
+let set_arg =
+  Arg.(value & opt_all string []
+       & info [ "set" ] ~docv:"NAME=VALUE" ~doc:"Bind a host variable.")
+
+let view_arg =
+  Arg.(value & opt_all string []
+       & info [ "view" ] ~docv:"DDL"
+           ~doc:"Register a view (CREATE VIEW name AS SELECT ...); repeatable.")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "paper-strict" ]
+           ~doc:"Reproduce the printed Algorithm 1 exactly (line 10 returns \
+                 NO when no equality conditions remain).")
+
+let fd_arg =
+  Arg.(value & flag
+       & info [ "fd" ] ~doc:"Use the FD-closure analyzer instead of Algorithm 1.")
+
+let wrap f =
+  try f (); 0 with
+  | Sql.Parser.Parse_error msg -> Printf.eprintf "parse error: %s\n" msg; 1
+  | Sql.Lexer.Lex_error (msg, off) ->
+    Printf.eprintf "lex error at byte %d: %s\n" off msg; 1
+  | Failure msg -> Printf.eprintf "error: %s\n" msg; 1
+  | Fd.Derive.Unknown_table t -> Printf.eprintf "unknown table: %s\n" t; 1
+  | Fd.Derive.Unknown_column a ->
+    Printf.eprintf "unknown column: %s\n" (Schema.Attr.to_string a); 1
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run sql ddl views strict fd =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let spec = Sql.Parser.parse_query_spec sql in
+        if fd then begin
+          let r = Uniqueness.Fd_analysis.analyze cat spec in
+          Format.printf "analyzer: FD closure@.unique: %b@." r.Uniqueness.Fd_analysis.unique;
+          Format.printf "closure: %a@." Schema.Attr.pp_set r.Uniqueness.Fd_analysis.closure;
+          List.iter
+            (fun k -> Format.printf "derived key: %a@." Schema.Attr.pp_set k)
+            r.Uniqueness.Fd_analysis.derived_keys
+        end
+        else
+          Format.printf "%a@."
+            Uniqueness.Algorithm1.pp_report
+            (Uniqueness.Algorithm1.analyze ~paper_strict:strict cat spec))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Decide whether DISTINCT is redundant (Algorithm 1).")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ strict_arg $ fd_arg)
+
+(* ---- rewrite ---- *)
+
+let rewrite_cmd =
+  let run sql ddl views fd =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let q = Sql.Parser.parse_query sql in
+        let analyzer =
+          if fd then Uniqueness.Rewrite.Fd_closure else Uniqueness.Rewrite.Algorithm1
+        in
+        let q', outcomes = Uniqueness.Rewrite.apply_all ~analyzer cat q in
+        if outcomes = [] then Format.printf "no rewrite applies@."
+        else
+          List.iter
+            (fun o -> Format.printf "%a@.@." Uniqueness.Rewrite.pp_outcome o)
+            outcomes;
+        Format.printf "final: %s@." (Sql.Pretty.query q'))
+  in
+  Cmd.v (Cmd.info "rewrite" ~doc:"Apply the uniqueness-based rewrite suite.")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ fd_arg)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let rows_arg =
+    Arg.(value & opt int 1000
+         & info [ "rows" ] ~docv:"N" ~doc:"Assumed cardinality per table.")
+  in
+  let run sql ddl views rows =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let q = Sql.Parser.parse_query sql in
+        let stats _ = rows in
+        let strategies = Optimizer.Planner.enumerate cat stats q in
+        List.iter
+          (fun s -> Format.printf "%a@." Optimizer.Planner.pp_strategy s)
+          strategies;
+        let best = Optimizer.Planner.choose cat stats q in
+        Format.printf "@.chosen: %s@." best.Optimizer.Planner.name)
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Enumerate and cost the strategy space.")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ rows_arg)
+
+(* ---- check (exact) ---- *)
+
+let check_cmd =
+  let budget_arg =
+    Arg.(value & opt int 2_000_000
+         & info [ "budget" ] ~docv:"N" ~doc:"Search budget (combinations).")
+  in
+  let run sql ddl views budget =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let spec = Sql.Parser.parse_query_spec sql in
+        (match Uniqueness.Exact.search_space cat spec with
+         | n -> Format.printf "raw search space (upper bound): %d@." n
+         | exception _ -> ());
+        match Uniqueness.Exact.check ~max_cells:budget cat spec with
+        | r -> Format.printf "%a@." Uniqueness.Exact.pp_result r
+        | exception Uniqueness.Exact.Too_large n ->
+          Format.printf "search space too large (%d combinations tried)@." n)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exact bounded-model test of the Theorem 1 uniqueness condition.")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ budget_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let size_arg =
+    Arg.(value & opt int 50
+         & info [ "suppliers" ] ~docv:"N"
+             ~doc:"Suppliers in the generated instance (paper schema only).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 20
+         & info [ "limit" ] ~docv:"N" ~doc:"Rows to display.")
+  in
+  let run sql ddl views sets suppliers limit =
+    wrap (fun () ->
+        (match ddl with
+         | Some _ -> failwith "run only supports the built-in paper schema"
+         | None -> ());
+        let db = Workload.Generator.supplier_db ~suppliers ~parts_per_supplier:5 () in
+        let cat =
+          List.fold_left add_statement (Engine.Database.catalog db) views
+        in
+        let hosts = List.map parse_binding sets in
+        (* views are merged away before execution, so the loaded database
+           (whose catalog holds only base tables) can run the result *)
+        let q =
+          Uniqueness.Views.expand_query cat (Sql.Parser.parse_query sql)
+        in
+        let r = Engine.Exec.run_query db ~hosts q in
+        let truncated =
+          { r with Engine.Relation.rows =
+              List.filteri (fun i _ -> i < limit) r.Engine.Relation.rows }
+        in
+        print_endline (Engine.Relation.to_text truncated);
+        Format.printf "(%d rows total)@." (Engine.Relation.cardinality r))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg $ limit_arg)
+
+let () =
+  let doc = "uniqueness-based semantic query optimization (Paulley & Larson, ICDE 1994)" in
+  let info = Cmd.info "uniqsql" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd ]))

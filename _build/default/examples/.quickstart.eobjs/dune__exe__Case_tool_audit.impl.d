@@ -1,0 +1,1 @@
+examples/case_tool_audit.ml: Engine Format List Sql Sqlval String Uniqueness Workload

@@ -1,0 +1,1 @@
+examples/ims_gateway.ml: Engine Format Ims List Sql Sqlval Uniqueness Workload

@@ -1,0 +1,1 @@
+examples/ims_gateway.mli:

@@ -1,0 +1,1 @@
+examples/oodb_navigation.ml: Format List Oodb Sqlval String Workload

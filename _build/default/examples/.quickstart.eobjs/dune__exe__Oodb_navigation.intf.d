@@ -1,0 +1,1 @@
+examples/oodb_navigation.mli:

@@ -1,0 +1,1 @@
+examples/unnesting.ml: Engine Format List Optimizer Sql Sqlval Sys Uniqueness Workload

@@ -1,0 +1,1 @@
+examples/view_analysis.ml: Catalog Engine Format Sql Uniqueness Workload

@@ -1,0 +1,47 @@
+(* The object-database scenario of paper section 6.2 (Example 11): with
+   child-to-parent physical pointers, a join whose parent predicate is
+   selective should run as a nested query driven from the parent class.
+   This example sweeps the range selectivity and prints the crossover.
+
+   Run with: dune exec examples/oodb_navigation.exe *)
+
+module Value = Sqlval.Value
+
+let () =
+  let suppliers = 500 and parts_per = 4 in
+  let db = Workload.Generator.supplier_db ~suppliers ~parts_per_supplier:parts_per () in
+  let store = Oodb.Store.of_supplier_db db in
+  let pno = Value.Int 2 in
+
+  Format.printf
+    "Query: SELECT ALL S.* FROM SUPPLIER S, PARTS P@. WHERE S.SNO BETWEEN \
+     :lo AND :hi AND S.SNO = P.SNO AND P.PNO = :partno@.@.";
+  Format.printf
+    "%d suppliers, %d parts each; pointers run child -> parent (Figure 3).@.@."
+    suppliers parts_per;
+  Format.printf "%-12s %-6s | %-28s | %-28s | %s@." "range" "rows"
+    "parts-driven (lines 36-42)" "supplier-driven (lines 43-49)" "winner";
+  Format.printf "%s@." (String.make 110 '-');
+
+  let sweep = [ 1; 5; 10; 25; 50; 100; 250; 500 ] in
+  List.iter
+    (fun width ->
+      let lo = Value.Int 1 and hi = Value.Int width in
+      let a = Oodb.Navigate.parts_driven store ~lo ~hi ~pno in
+      let b = Oodb.Navigate.supplier_driven store ~lo ~hi ~pno in
+      let ca = a.Oodb.Navigate.counters and cb = b.Oodb.Navigate.counters in
+      let cost_a = Oodb.Store.cost ca and cost_b = Oodb.Store.cost cb in
+      Format.printf
+        "[1,%4d]     %-6d | %4d fetches %6d entries | %4d fetches %6d \
+         entries | %s@."
+        width
+        (List.length a.Oodb.Navigate.output)
+        ca.Oodb.Store.fetches ca.Oodb.Store.entries_examined
+        cb.Oodb.Store.fetches cb.Oodb.Store.entries_examined
+        (if cost_b < cost_a then "supplier-driven" else "parts-driven"))
+    sweep;
+
+  Format.printf
+    "@.The rewrite from join to nested query (Theorem 2) is what licenses \
+     the@.supplier-driven plan; the optimizer picks by selectivity, as the \
+     paper@.anticipates (\"depending on the objects' selectivity\").@."

@@ -1,0 +1,159 @@
+type key = {
+  key_cols : string list;
+  key_primary : bool;
+}
+
+type foreign_key = {
+  fk_cols : string list;
+  fk_table : string;
+  fk_ref_cols : string list;
+}
+
+type view_info = {
+  vw_spec : Sql.Ast.query_spec;
+  vw_columns : (string * Sql.Ast.scalar) list;
+}
+
+type table_def = {
+  tbl_name : string;
+  tbl_schema : Schema.Relschema.t;
+  tbl_keys : key list;
+  tbl_checks : Sql.Ast.pred list;
+  tbl_foreign_keys : foreign_key list;
+  tbl_view : view_info option;
+}
+
+module Smap = Map.Make (String)
+
+type t = table_def Smap.t
+
+let empty = Smap.empty
+let canon = String.uppercase_ascii
+let add t def = Smap.add (canon def.tbl_name) def t
+let find t name = Smap.find_opt (canon name) t
+
+let find_exn t name =
+  match find t name with
+  | Some d -> d
+  | None -> failwith ("Catalog: unknown table " ^ name)
+
+let mem t name = Smap.mem (canon name) t
+let tables t = List.map snd (Smap.bindings t)
+
+let table_def_of_create (ct : Sql.Ast.create_table) =
+  let name = canon ct.ct_name in
+  let pk_cols =
+    List.concat_map
+      (function Sql.Ast.C_primary_key cs -> List.map canon cs | _ -> [])
+      ct.ct_constraints
+  in
+  let columns =
+    List.map
+      (fun (c : Sql.Ast.col_def) ->
+        let cname = canon c.cd_name in
+        let in_pk = List.mem cname pk_cols in
+        {
+          Schema.Relschema.attr = Schema.Attr.make ~rel:name ~name:cname;
+          ctype = c.cd_type;
+          nullable = (not c.cd_not_null) && not in_pk;
+        })
+      ct.ct_cols
+  in
+  let schema = Schema.Relschema.make columns in
+  let check_cols cols =
+    List.iter
+      (fun c ->
+        if not (Schema.Relschema.mem schema (Schema.Attr.make ~rel:name ~name:c))
+        then failwith (Printf.sprintf "Catalog: key column %s not in table %s" c name))
+      cols
+  in
+  let keys =
+    List.filter_map
+      (function
+        | Sql.Ast.C_primary_key cs ->
+          let cs = List.map canon cs in
+          check_cols cs;
+          Some { key_cols = cs; key_primary = true }
+        | Sql.Ast.C_unique cs ->
+          let cs = List.map canon cs in
+          check_cols cs;
+          Some { key_cols = cs; key_primary = false }
+        | Sql.Ast.C_check _ | Sql.Ast.C_foreign_key _ -> None)
+      ct.ct_constraints
+  in
+  let primaries = List.filter (fun k -> k.key_primary) keys in
+  if List.length primaries > 1 then
+    failwith ("Catalog: multiple primary keys on " ^ name);
+  (* primary key first, as the preferred key for reporting *)
+  let keys = primaries @ List.filter (fun k -> not k.key_primary) keys in
+  let checks =
+    List.filter_map
+      (function Sql.Ast.C_check p -> Some p | _ -> None)
+      ct.ct_constraints
+  in
+  let foreign_keys =
+    List.filter_map
+      (function
+        | Sql.Ast.C_foreign_key (cols, tbl, ref_cols) ->
+          let cols = List.map canon cols in
+          check_cols cols;
+          Some
+            {
+              fk_cols = cols;
+              fk_table = canon tbl;
+              fk_ref_cols = List.map canon ref_cols;
+            }
+        | Sql.Ast.C_primary_key _ | Sql.Ast.C_unique _ | Sql.Ast.C_check _ ->
+          None)
+      ct.ct_constraints
+  in
+  {
+    tbl_name = name;
+    tbl_schema = schema;
+    tbl_keys = keys;
+    tbl_checks = checks;
+    tbl_foreign_keys = foreign_keys;
+    tbl_view = None;
+  }
+
+let add_ddl t ddl = add t (table_def_of_create (Sql.Parser.parse_create_table ddl))
+
+let key_attrs ~corr key =
+  List.map (fun c -> Schema.Attr.make ~rel:corr ~name:c) key.key_cols
+
+let is_view def = def.tbl_view <> None
+
+let primary_key def = List.find_opt (fun k -> k.key_primary) def.tbl_keys
+let candidate_keys def = def.tbl_keys
+
+let resolve_fk t fk =
+  let ref_def = find_exn t fk.fk_table in
+  let ref_cols =
+    match fk.fk_ref_cols with
+    | [] ->
+      (match primary_key ref_def with
+       | Some k -> k.key_cols
+       | None ->
+         failwith
+           (Printf.sprintf "Catalog: FOREIGN KEY references %s, which has no \
+                            primary key"
+              fk.fk_table))
+    | cols -> cols
+  in
+  if List.length ref_cols <> List.length fk.fk_cols then
+    failwith "Catalog: FOREIGN KEY column-count mismatch";
+  ref_cols
+
+let pp_table_def ppf def =
+  Format.fprintf ppf "@[<v 2>TABLE %s %a" def.tbl_name Schema.Relschema.pp
+    def.tbl_schema;
+  List.iter
+    (fun k ->
+      Format.fprintf ppf "@,%s (%s)"
+        (if k.key_primary then "PRIMARY KEY" else "UNIQUE")
+        (String.concat ", " k.key_cols))
+    def.tbl_keys;
+  List.iter
+    (fun c -> Format.fprintf ppf "@,CHECK (%s)" (Sql.Pretty.pred c))
+    def.tbl_checks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,74 @@
+(** The database catalog: table definitions with the semantic information the
+    paper's analysis consumes — uniqueness constraints [U_i(R)] (primary and
+    candidate keys, section 2.1) and table check constraints [T_R]. *)
+
+type key = {
+  key_cols : string list;  (** column names, in declaration order *)
+  key_primary : bool;
+    (** primary keys forbid [NULL]; other candidate keys ([UNIQUE]) admit
+        [NULL], which SQL2 treats as a single special value *)
+}
+
+type foreign_key = {
+  fk_cols : string list;      (** referencing columns, in order *)
+  fk_table : string;          (** referenced table *)
+  fk_ref_cols : string list;
+      (** referenced columns; resolved to the referenced table's primary
+          key when the DDL omits them *)
+}
+
+type view_info = {
+  vw_spec : Sql.Ast.query_spec;  (** the defining query *)
+  vw_columns : (string * Sql.Ast.scalar) list;
+      (** view column name -> defining scalar (with the view's internal
+          correlation names) *)
+}
+
+type table_def = {
+  tbl_name : string;
+  tbl_schema : Schema.Relschema.t;  (** columns qualified by [tbl_name] *)
+  tbl_keys : key list;              (** [U_i(R)]; primary key first if any *)
+  tbl_checks : Sql.Ast.pred list;   (** [T_R], conjuncts *)
+  tbl_foreign_keys : foreign_key list;
+      (** inclusion dependencies — referential constraints used by the
+          join-elimination rewrite *)
+  tbl_view : view_info option;
+      (** [Some _] when this is a derived table (paper section 3): its keys
+          are {e derived} key dependencies and it holds no stored rows *)
+}
+
+type t
+
+val empty : t
+val add : t -> table_def -> t
+val find : t -> string -> table_def option
+val find_exn : t -> string -> table_def
+val mem : t -> string -> bool
+val tables : t -> table_def list
+
+(** Build a definition from parsed DDL.
+    @raise Failure on unknown key columns or a nullable primary key that
+    cannot be repaired (primary-key columns are forced non-nullable, as SQL2
+    requires). *)
+val table_def_of_create : Sql.Ast.create_table -> table_def
+
+(** Convenience: parse a [CREATE TABLE] statement and add it. *)
+val add_ddl : t -> string -> t
+
+(** Key attributes of table [def] under correlation name [corr]
+    (qualified). *)
+val key_attrs : corr:string -> key -> Schema.Attr.t list
+
+val primary_key : table_def -> key option
+
+(** All candidate keys including the primary key. *)
+val candidate_keys : table_def -> key list
+
+(** Referenced columns of a foreign key, defaulting to the referenced
+    table's primary key when the DDL omitted them.
+    @raise Failure when neither is available or lengths mismatch. *)
+val resolve_fk : t -> foreign_key -> string list
+
+val is_view : table_def -> bool
+
+val pp_table_def : Format.formatter -> table_def -> unit

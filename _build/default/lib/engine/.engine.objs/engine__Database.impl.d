@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Catalog Format Hashtbl List Logic Printf Relation Schema Sql Sqlval String

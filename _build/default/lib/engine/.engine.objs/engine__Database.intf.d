@@ -1,0 +1,1 @@
+lib/engine/database.mli: Catalog Format Relation Sql

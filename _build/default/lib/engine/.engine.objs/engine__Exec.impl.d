@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Catalog Database Hashtbl List Logic Option Relalg Relation Schema Sql Sqlval Stats String

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Database Relalg Relation Schema Sql Sqlval Stats

@@ -1,0 +1,1 @@
+lib/engine/relation.ml: Array Format List Printf Schema Sqlval String

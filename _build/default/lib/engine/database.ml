@@ -1,0 +1,159 @@
+module Value = Sqlval.Value
+module Truth = Sqlval.Truth
+
+type t = {
+  cat : Catalog.t;
+  tables : (string, Relation.row list ref) Hashtbl.t;
+}
+
+let canon = String.uppercase_ascii
+
+let create cat =
+  let tables = Hashtbl.create 8 in
+  List.iter
+    (fun def -> Hashtbl.replace tables def.Catalog.tbl_name (ref []))
+    (Catalog.tables cat);
+  { cat; tables }
+
+let catalog t = t.cat
+
+let cell t name =
+  match Hashtbl.find_opt t.tables (canon name) with
+  | Some c -> c
+  | None -> failwith ("Database: unknown table " ^ name)
+
+let load t name rows =
+  let def = Catalog.find_exn t.cat name in
+  let arity = Schema.Relschema.arity def.Catalog.tbl_schema in
+  List.iter
+    (fun r ->
+      if Array.length r <> arity then
+        failwith (Printf.sprintf "Database.load %s: bad arity" name))
+    rows;
+  cell t name := rows
+
+let insert t name row = cell t name := row :: !(cell t name)
+
+let table t name =
+  let def = Catalog.find_exn t.cat name in
+  if Catalog.is_view def then
+    failwith
+      (Printf.sprintf
+         "Database: %s is a view and holds no rows; expand it first \
+          (Uniqueness.Views.expand)"
+         name);
+  Relation.make def.Catalog.tbl_schema !(cell t name)
+
+let row_count t name = List.length !(cell t name)
+
+type violation =
+  | Null_in_primary_key of string * Relation.row
+  | Duplicate_key of string * string list * Relation.row
+  | Check_failed of string * Sql.Ast.pred * Relation.row
+  | Dangling_reference of string * string list * Relation.row
+
+let validate t =
+  let violations = ref [] in
+  List.iter
+    (fun def ->
+      let name = def.Catalog.tbl_name in
+      let schema = def.Catalog.tbl_schema in
+      let rows = !(cell t name) in
+      let col_index cname =
+        Schema.Relschema.index_of schema (Schema.Attr.make ~rel:name ~name:cname)
+      in
+      (* key constraints: uniqueness under the null-comparison operator;
+         primary keys additionally reject NULL *)
+      List.iter
+        (fun (k : Catalog.key) ->
+          let idxs = List.map col_index k.key_cols in
+          let seen = Hashtbl.create 64 in
+          List.iter
+            (fun row ->
+              let key_vals = List.map (fun i -> row.(i)) idxs in
+              if k.key_primary && List.exists Value.is_null key_vals then
+                violations := Null_in_primary_key (name, row) :: !violations;
+              let tag = String.concat "\x00" (List.map Value.to_string key_vals) in
+              if Hashtbl.mem seen tag then
+                violations := Duplicate_key (name, k.key_cols, row) :: !violations
+              else Hashtbl.add seen tag ())
+            rows)
+        def.Catalog.tbl_keys;
+      (* referential constraints: every fully non-null FK value must have
+         a parent (simple-match semantics) *)
+      List.iter
+        (fun (fk : Catalog.foreign_key) ->
+          match Catalog.find t.cat fk.Catalog.fk_table with
+          | None -> ()
+          | Some ref_def ->
+            let ref_cols = Catalog.resolve_fk t.cat fk in
+            let ref_schema = ref_def.Catalog.tbl_schema in
+            let ref_idx =
+              List.map
+                (fun c ->
+                  Schema.Relschema.index_of ref_schema
+                    (Schema.Attr.make ~rel:ref_def.Catalog.tbl_name ~name:c))
+                ref_cols
+            in
+            let parents = Hashtbl.create 64 in
+            List.iter
+              (fun prow ->
+                let tag =
+                  String.concat "\x00"
+                    (List.map (fun i -> Value.to_string prow.(i)) ref_idx)
+                in
+                Hashtbl.replace parents tag ())
+              !(cell t fk.Catalog.fk_table);
+            let fk_idx = List.map col_index fk.Catalog.fk_cols in
+            List.iter
+              (fun row ->
+                let vals = List.map (fun i -> row.(i)) fk_idx in
+                if not (List.exists Value.is_null vals) then begin
+                  let tag =
+                    String.concat "\x00" (List.map Value.to_string vals)
+                  in
+                  if not (Hashtbl.mem parents tag) then
+                    violations :=
+                      Dangling_reference (name, fk.Catalog.fk_cols, row)
+                      :: !violations
+                end)
+              rows)
+        def.Catalog.tbl_foreign_keys;
+      (* check constraints: violated only when definitely false *)
+      List.iter
+        (fun check ->
+          List.iter
+            (fun row ->
+              let lookup_col a =
+                match Schema.Relschema.find_index schema a with
+                | Some i -> row.(i)
+                | None -> raise (Logic.Eval.Unbound_column a)
+              in
+              let truth =
+                Logic.Eval.eval_pred_simple ~lookup_col
+                  ~lookup_host:(fun h -> raise (Logic.Eval.Unbound_host h))
+                  check
+              in
+              if not (Truth.is_not_false truth) then
+                violations := Check_failed (name, check, row) :: !violations)
+            rows)
+        def.Catalog.tbl_checks)
+    (Catalog.tables t.cat);
+  List.rev !violations
+
+let pp_row ppf row =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string row)))
+
+let pp_violation ppf = function
+  | Null_in_primary_key (tbl, row) ->
+    Format.fprintf ppf "%s: NULL in primary key %a" tbl pp_row row
+  | Duplicate_key (tbl, cols, row) ->
+    Format.fprintf ppf "%s: duplicate key (%s) %a" tbl
+      (String.concat ", " cols) pp_row row
+  | Check_failed (tbl, check, row) ->
+    Format.fprintf ppf "%s: CHECK (%s) failed for %a" tbl
+      (Sql.Pretty.pred check) pp_row row
+  | Dangling_reference (tbl, cols, row) ->
+    Format.fprintf ppf "%s: dangling reference (%s) %a" tbl
+      (String.concat ", " cols) pp_row row

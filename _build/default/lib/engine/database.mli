@@ -1,0 +1,33 @@
+(** A database instance: catalog + one stored relation per table. *)
+
+type t
+
+val create : Catalog.t -> t
+val catalog : t -> Catalog.t
+
+(** Replace the contents of a table.
+    @raise Failure if the table is not in the catalog or arity mismatches. *)
+val load : t -> string -> Relation.row list -> unit
+
+(** Insert a single row (no constraint checking — use {!validate}). *)
+val insert : t -> string -> Relation.row -> unit
+
+val table : t -> string -> Relation.t
+val row_count : t -> string -> int
+
+(** Constraint-violation report. *)
+type violation =
+  | Null_in_primary_key of string * Relation.row
+  | Duplicate_key of string * string list * Relation.row
+      (** table, key columns, offending row — uniqueness is judged with the
+          null-comparison operator, so SQL2-style at most one all-null key *)
+  | Check_failed of string * Sql.Ast.pred * Relation.row
+  | Dangling_reference of string * string list * Relation.row
+      (** table, FK columns, row whose (fully non-null) FK value has no
+          parent in the referenced table *)
+
+(** Validate every table against its primary/candidate keys and CHECK
+    constraints (checks pass when not definitely false, per SQL). *)
+val validate : t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

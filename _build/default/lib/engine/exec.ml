@@ -1,0 +1,604 @@
+module Value = Sqlval.Value
+module Truth = Sqlval.Truth
+
+type distinct_impl = Sort_distinct | Hash_distinct
+
+type exists_impl = Naive_exists | Indexed_exists
+
+type config = {
+  distinct_impl : distinct_impl;
+  enable_hash_join : bool;
+  exists_impl : exists_impl;
+  stats : Stats.t;
+}
+
+let default_config () =
+  {
+    distinct_impl = Sort_distinct;
+    enable_hash_join = true;
+    exists_impl = Naive_exists;
+    stats = Stats.create ();
+  }
+
+exception Unbound_column of Schema.Attr.t
+exception Unbound_host of string
+
+(* A frame is one enclosing query block's current tuple. Lookup walks frames
+   innermost-first, so a correlated subquery sees its own tables before the
+   outer query's. *)
+type frame = {
+  fr_schema : Schema.Relschema.t;
+  fr_row : Relation.row;
+}
+
+let lookup_in_frames frames a =
+  let rec go = function
+    | [] -> raise (Unbound_column a)
+    | fr :: rest ->
+      (match Schema.Relschema.find_index fr.fr_schema a with
+       | Some i -> fr.fr_row.(i)
+       | None -> go rest
+       | exception Failure msg -> failwith msg)
+  in
+  go frames
+
+let dedup_sorted ~compare rows =
+  match rows with
+  | [] -> []
+  | first :: rest ->
+    let out, _ =
+      List.fold_left
+        (fun (acc, prev) r -> if compare prev r = 0 then (acc, r) else (r :: acc, r))
+        ([ first ], first)
+        rest
+    in
+    List.rev out
+
+let run ?config db ~hosts plan =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  let stats = cfg.stats in
+  let cat = Database.catalog db in
+  let lookup_host h =
+    match List.assoc_opt (String.uppercase_ascii h) hosts with
+    | Some v -> v
+    | None -> raise (Unbound_host h)
+  in
+  (* (table, correlation) -> renamed schema + rows, built once per run:
+     correlated subqueries re-scan their tables once per outer row and must
+     not pay schema construction each time *)
+  let scan_cache : (string * string, Schema.Relschema.t * Relation.row list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let scan_table table corr =
+    let key = (String.uppercase_ascii table, corr) in
+    match Hashtbl.find_opt scan_cache key with
+    | Some v -> v
+    | None ->
+      let def = Catalog.find_exn cat table in
+      let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
+      let rows = (Database.table db table).Relation.rows in
+      let v = (schema, rows) in
+      Hashtbl.add scan_cache key v;
+      v
+  in
+  (* memoized per-subquery hash indexes for Indexed_exists *)
+  let exists_index_cache : (string, (string, Relation.row list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let tick_compare () = stats.Stats.comparisons <- stats.Stats.comparisons + 1 in
+  let sort_counting rows =
+    stats.Stats.sorts <- stats.Stats.sorts + 1;
+    stats.Stats.sorted_rows <- stats.Stats.sorted_rows + List.length rows;
+    Relation.sort_rows ~tick:tick_compare rows
+  in
+  let distinct rows =
+    match cfg.distinct_impl with
+    | Sort_distinct ->
+      dedup_sorted ~compare:Relation.compare_rows (sort_counting rows)
+    | Hash_distinct ->
+      let seen = Hashtbl.create (List.length rows) in
+      List.filter
+        (fun row ->
+          stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+          let key =
+            String.concat "\x00" (Array.to_list (Array.map Value.to_string row))
+          in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        rows
+  in
+  (* Evaluate a predicate for the row in [frames] (innermost first). *)
+  let rec eval_pred frames pred =
+    stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
+    Logic.Eval.eval_pred
+      ~lookup_col:(lookup_in_frames frames)
+      ~lookup_host
+      ~eval_exists:(fun sub -> Truth.of_bool (exists_spec frames sub))
+      pred
+  (* EXISTS: correlated nested loop with early exit; in [Indexed_exists]
+     mode, single-table subqueries with equi-correlation build a hash index
+     on the correlated inner columns once and probe it per outer row (what
+     an engine with an index on the correlation key would do). *)
+  and exists_spec outer_frames (sub : Sql.Ast.query_spec) =
+    stats.Stats.subquery_evals <- stats.Stats.subquery_evals + 1;
+    match cfg.exists_impl, sub.from with
+    | Indexed_exists, [ _ ] -> exists_indexed outer_frames sub
+    | (Naive_exists | Indexed_exists), _ -> exists_naive outer_frames sub
+
+  and exists_naive outer_frames (sub : Sql.Ast.query_spec) =
+    let tables =
+      List.map
+        (fun (f : Sql.Ast.from_item) -> scan_table f.table (Sql.Ast.from_name f))
+        sub.from
+    in
+    let rec loop acc_frames = function
+      | [] -> Truth.is_true (eval_pred (acc_frames @ outer_frames) sub.where)
+      | (schema, rows) :: rest ->
+        List.exists
+          (fun row ->
+            stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1;
+            loop ({ fr_schema = schema; fr_row = row } :: acc_frames) rest)
+          rows
+    in
+    loop [] tables
+
+  and exists_indexed outer_frames (sub : Sql.Ast.query_spec) =
+    let f = List.hd sub.from in
+    let schema, rows = scan_table f.Sql.Ast.table (Sql.Ast.from_name f) in
+    let inner a =
+      match Schema.Relschema.find_index schema a with
+      | Some i -> Some i
+      | None -> None
+      | exception Failure _ -> None
+    in
+    (* correlation conjuncts: inner column = outer-varying scalar *)
+    let key_conjs =
+      List.filter_map
+        (fun c ->
+          match c with
+          | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, rhs)
+            when inner a <> None
+                 && (match rhs with
+                     | Sql.Ast.Col b -> inner b = None
+                     | Sql.Ast.Const _ | Sql.Ast.Host _ -> true
+                     | Sql.Ast.Agg _ -> false) ->
+            Some (Option.get (inner a), rhs)
+          | Sql.Ast.Cmp (Sql.Ast.Eq, rhs, Sql.Ast.Col a)
+            when inner a <> None
+                 && (match rhs with
+                     | Sql.Ast.Col b -> inner b = None
+                     | Sql.Ast.Const _ | Sql.Ast.Host _ -> true
+                     | Sql.Ast.Agg _ -> false) ->
+            Some (Option.get (inner a), rhs)
+          | _ -> None)
+        (Sql.Ast.conjuncts sub.where)
+    in
+    if key_conjs = [] then exists_naive outer_frames sub
+    else begin
+      let cache_key =
+        f.Sql.Ast.table ^ "/" ^ Sql.Ast.from_name f ^ "/"
+        ^ Sql.Pretty.query_spec sub
+      in
+      let index =
+        match Hashtbl.find_opt exists_index_cache cache_key with
+        | Some ix -> ix
+        | None ->
+          let ix = Hashtbl.create (List.length rows) in
+          List.iter
+            (fun row ->
+              stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1;
+              let vals = List.map (fun (i, _) -> row.(i)) key_conjs in
+              if not (List.exists Value.is_null vals) then begin
+                let k = String.concat "\x00" (List.map Value.to_string vals) in
+                Hashtbl.replace ix k
+                  (row :: Option.value ~default:[] (Hashtbl.find_opt ix k))
+              end)
+            rows;
+          Hashtbl.add exists_index_cache cache_key ix;
+          ix
+      in
+      stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+      let probe_vals =
+        List.map
+          (fun (_, rhs) ->
+            Logic.Eval.eval_scalar
+              ~lookup_col:(lookup_in_frames outer_frames)
+              ~lookup_host rhs)
+          key_conjs
+      in
+      (not (List.exists Value.is_null probe_vals))
+      &&
+      let k = String.concat "\x00" (List.map Value.to_string probe_vals) in
+      let candidates = Option.value ~default:[] (Hashtbl.find_opt index k) in
+      List.exists
+        (fun row ->
+          Truth.is_true
+            (eval_pred
+               ({ fr_schema = schema; fr_row = row } :: outer_frames)
+               sub.where))
+        candidates
+    end
+  in
+  let rec exec plan : Relation.t =
+    match plan with
+    | Relalg.Plan.Scan { table; corr } ->
+      let schema, rows = scan_table table corr in
+      stats.Stats.rows_scanned <- stats.Stats.rows_scanned + List.length rows;
+      Relation.make schema rows
+    | Relalg.Plan.Select (pred, Relalg.Plan.Product (a, b))
+      when cfg.enable_hash_join ->
+      (* physical optimization: evaluate equi-join conjuncts with a hash
+         join instead of filtering the materialized product (the "alternate
+         join methods" that motivate unnesting in the paper's section 5.2) *)
+      hash_join pred a b
+    | Relalg.Plan.Select (pred, sub) ->
+      let r = exec sub in
+      let rows =
+        List.filter
+          (fun row ->
+            Truth.is_true
+              (eval_pred [ { fr_schema = r.Relation.schema; fr_row = row } ] pred))
+          r.Relation.rows
+      in
+      stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+      Relation.make r.Relation.schema rows
+    | Relalg.Plan.Project (d, items, sub) ->
+      let r = exec sub in
+      let cells =
+        List.map
+          (function
+            | Relalg.Plan.Pcol a ->
+              let i = Schema.Relschema.index_of r.Relation.schema a in
+              fun (row : Relation.row) -> row.(i)
+            | Relalg.Plan.Pconst v -> fun _ -> v
+            | Relalg.Plan.Phost h ->
+              let v = lookup_host h in
+              fun _ -> v)
+          items
+      in
+      let out_schema = Relalg.Plan.project_schema r.Relation.schema items in
+      let rows =
+        List.map
+          (fun row -> Array.of_list (List.map (fun f -> f row) cells))
+          r.Relation.rows
+      in
+      let rows =
+        match d with Sql.Ast.All -> rows | Sql.Ast.Distinct -> distinct rows
+      in
+      stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+      Relation.make out_schema rows
+    | Relalg.Plan.Product (a, b) ->
+      let ra = exec a and rb = exec b in
+      let schema = Schema.Relschema.product ra.Relation.schema rb.Relation.schema in
+      let rows =
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun y ->
+                stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
+                Array.append x y)
+              rb.Relation.rows)
+          ra.Relation.rows
+      in
+      Relation.make schema rows
+    | Relalg.Plan.Intersect (d, a, b) -> setop `Intersect d a b
+    | Relalg.Plan.Except (d, a, b) -> setop `Except d a b
+    | Relalg.Plan.Aggregate { group_by; output; input } ->
+      aggregate group_by output input
+  and aggregate group_by output input =
+    let r = exec input in
+    let in_schema = r.Relation.schema in
+    let key_idx =
+      List.map (fun a -> Schema.Relschema.index_of in_schema a) group_by
+    in
+    (* sort-based grouping: group keys use the null-comparison total order,
+       so NULL keys fall into one group (SQL GROUP BY semantics) *)
+    let compare_keys a b =
+      let rec go = function
+        | [] -> 0
+        | i :: rest ->
+          (match Value.compare_total a.(i) b.(i) with
+           | 0 -> go rest
+           | c -> c)
+      in
+      tick_compare ();
+      go key_idx
+    in
+    let groups =
+      match group_by with
+      | [] -> [ r.Relation.rows ]  (* one global group, even when empty *)
+      | _ ->
+        stats.Stats.sorts <- stats.Stats.sorts + 1;
+        stats.Stats.sorted_rows <-
+          stats.Stats.sorted_rows + List.length r.Relation.rows;
+        let sorted = List.sort compare_keys r.Relation.rows in
+        let rec split = function
+          | [] -> []
+          | row :: rest ->
+            let rec take acc = function
+              | row' :: rest' when compare_keys row row' = 0 ->
+                take (row' :: acc) rest'
+              | remaining -> (List.rev acc, remaining)
+            in
+            let group, remaining = take [ row ] rest in
+            group :: split remaining
+        in
+        split sorted
+    in
+    let compute_agg fn operand rows =
+      let operands =
+        match operand with
+        | None -> List.map (fun _ -> Value.Int 1) rows  (* star count *)
+        | Some i ->
+          List.filter
+            (fun v -> not (Value.is_null v))
+            (List.map (fun row -> row.(i)) rows)
+      in
+      match fn, operands with
+      | Sql.Ast.Count, vs -> Value.Int (List.length vs)
+      | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max | Sql.Ast.Avg), [] -> Value.Null
+      | Sql.Ast.Sum, vs ->
+        let all_int =
+          List.for_all (function Value.Int _ -> true | _ -> false) vs
+        in
+        if all_int then
+          Value.Int
+            (List.fold_left
+               (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+               0 vs)
+        else
+          Value.Float
+            (List.fold_left
+               (fun acc v ->
+                 match v with
+                 | Value.Int i -> acc +. float_of_int i
+                 | Value.Float f -> acc +. f
+                 | _ -> acc)
+               0.0 vs)
+      | Sql.Ast.Min, v :: vs ->
+        List.fold_left (fun m w -> if Value.compare_total w m < 0 then w else m) v vs
+      | Sql.Ast.Max, v :: vs ->
+        List.fold_left (fun m w -> if Value.compare_total w m > 0 then w else m) v vs
+      | Sql.Ast.Avg, vs ->
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match v with
+              | Value.Int i -> acc +. float_of_int i
+              | Value.Float f -> acc +. f
+              | _ -> acc)
+            0.0 vs
+        in
+        Value.Float (total /. float_of_int (List.length vs))
+    in
+    (* precompute operand/key positions per output column *)
+    let cells =
+      List.map
+        (fun out ->
+          match out with
+          | Relalg.Plan.Out_key a ->
+            let i = Schema.Relschema.index_of in_schema a in
+            fun rows ->
+              (match rows with
+               | row :: _ -> row.(i)
+               | [] -> Value.Null)
+          | Relalg.Plan.Out_agg (fn, operand) ->
+            let idx =
+              Option.map (fun a -> Schema.Relschema.index_of in_schema a) operand
+            in
+            fun rows -> compute_agg fn idx rows)
+        output
+    in
+    let rows =
+      List.map (fun group -> Array.of_list (List.map (fun f -> f group) cells)) groups
+    in
+    stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+    Relation.make (Relalg.Plan.aggregate_schema in_schema output) rows
+  and hash_join pred a b =
+    (* flatten a left-deep product into its leaves and re-join them with
+       predicate pushdown, hash equi-joins, and residual filters *)
+    let rec flatten = function
+      | Relalg.Plan.Product (x, y) -> flatten x @ flatten y
+      | p -> [ p ]
+    in
+    let inputs = List.map exec (flatten (Relalg.Plan.Product (a, b))) in
+    let rec contains_exists = function
+      | Sql.Ast.Exists _ -> true
+      | Sql.Ast.And (x, y) | Sql.Ast.Or (x, y) ->
+        contains_exists x || contains_exists y
+      | Sql.Ast.Not x -> contains_exists x
+      | Sql.Ast.Ptrue | Sql.Ast.Pfalse | Sql.Ast.Cmp _ | Sql.Ast.Between _
+      | Sql.Ast.In_list _ | Sql.Ast.Is_null _ | Sql.Ast.Is_not_null _ -> false
+    in
+    let rec cols_of p =
+      let of_scalar = function Sql.Ast.Col c -> [ c ] | _ -> [] in
+      match p with
+      | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> []
+      | Sql.Ast.Cmp (_, x, y) -> of_scalar x @ of_scalar y
+      | Sql.Ast.Between (x, y, z) -> of_scalar x @ of_scalar y @ of_scalar z
+      | Sql.Ast.In_list (x, _) | Sql.Ast.Is_null x | Sql.Ast.Is_not_null x ->
+        of_scalar x
+      | Sql.Ast.And (x, y) | Sql.Ast.Or (x, y) -> cols_of x @ cols_of y
+      | Sql.Ast.Not x -> cols_of x
+      | Sql.Ast.Exists _ -> []
+    in
+    let safe_mem schema attr =
+      match Schema.Relschema.find_index schema attr with
+      | Some _ -> true
+      | None -> false
+      | exception Failure _ -> false
+    in
+    let evaluable schema c =
+      (not (contains_exists c))
+      && List.for_all (safe_mem schema) (cols_of c)
+    in
+    let remaining = ref (Sql.Ast.conjuncts pred) in
+    let take f =
+      let yes, no = List.partition f !remaining in
+      remaining := no;
+      yes
+    in
+    let filter_rel rel preds =
+      match preds with
+      | [] -> rel
+      | _ ->
+        let p = Sql.Ast.conj preds in
+        let rows =
+          List.filter
+            (fun row ->
+              Truth.is_true
+                (eval_pred [ { fr_schema = rel.Relation.schema; fr_row = row } ] p))
+            rel.Relation.rows
+        in
+        Relation.make rel.Relation.schema rows
+    in
+    let join accr next =
+      let combined =
+        Schema.Relschema.product accr.Relation.schema next.Relation.schema
+      in
+      let as_equi c =
+        match c with
+        | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col x, Sql.Ast.Col y) ->
+          if safe_mem accr.Relation.schema x && safe_mem next.Relation.schema y
+          then Some (x, y)
+          else if
+            safe_mem accr.Relation.schema y && safe_mem next.Relation.schema x
+          then Some (y, x)
+          else None
+        | _ -> None
+      in
+      let equis =
+        List.filter_map as_equi (take (fun c -> as_equi c <> None))
+      in
+      let rows =
+        match equis with
+        | [] ->
+          (* no usable equi-join condition: nested-loop product *)
+          List.concat_map
+            (fun x ->
+              List.map
+                (fun y ->
+                  stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
+                  Array.append x y)
+                next.Relation.rows)
+            accr.Relation.rows
+        | _ ->
+          let acc_idx =
+            List.map (fun (x, _) -> Schema.Relschema.index_of accr.Relation.schema x) equis
+          in
+          let next_idx =
+            List.map (fun (_, y) -> Schema.Relschema.index_of next.Relation.schema y) equis
+          in
+          let key_of row idxs =
+            let vals = List.map (fun i -> row.(i)) idxs in
+            if List.exists Value.is_null vals then None
+            else Some (String.concat "\x00" (List.map Value.to_string vals))
+          in
+          let table = Hashtbl.create (List.length next.Relation.rows) in
+          List.iter
+            (fun row ->
+              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+              match key_of row next_idx with
+              | Some k ->
+                Hashtbl.replace table k
+                  (row :: Option.value ~default:[] (Hashtbl.find_opt table k))
+              | None -> ())
+            next.Relation.rows;
+          List.concat_map
+            (fun x ->
+              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+              match key_of x acc_idx with
+              | Some k ->
+                List.rev_map
+                  (fun y ->
+                    stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
+                    Array.append x y)
+                  (Option.value ~default:[] (Hashtbl.find_opt table k))
+              | None -> [])
+            accr.Relation.rows
+      in
+      let joined = Relation.make combined rows in
+      filter_rel joined (take (evaluable combined))
+    in
+    let result =
+      List.fold_left
+        (fun acc next ->
+          let next = filter_rel next (take (evaluable next.Relation.schema)) in
+          match acc with None -> Some next | Some accr -> Some (join accr next))
+        None inputs
+    in
+    let result =
+      match result with
+      | Some r -> filter_rel r !remaining
+      | None -> failwith "Exec.hash_join: empty product"
+    in
+    stats.Stats.rows_output <-
+      stats.Stats.rows_output + List.length result.Relation.rows;
+    result
+  and setop kind d a b =
+    let ra = exec a and rb = exec b in
+    if not (Schema.Relschema.union_compatible ra.Relation.schema rb.Relation.schema)
+    then failwith "Exec: set operation on non-union-compatible inputs";
+    let sa = sort_counting ra.Relation.rows
+    and sb = sort_counting rb.Relation.rows in
+    (* group both sorted inputs by row value and merge multiplicities:
+       INTERSECT ALL -> min(j, k); EXCEPT ALL -> max(j - k, 0) *)
+    let rec groups = function
+      | [] -> []
+      | r :: rest ->
+        let rec take n = function
+          | r' :: rest' when (tick_compare (); Relation.compare_rows r r' = 0) ->
+            take (n + 1) rest'
+          | remaining -> (n, remaining)
+        in
+        let n, remaining = take 1 rest in
+        (r, n) :: groups remaining
+    in
+    let ga = groups sa and gb = groups sb in
+    let rec merge ga gb =
+      match ga, gb with
+      | [], _ -> if kind = `Intersect then [] else []
+      | rest, [] -> if kind = `Intersect then [] else rest
+      | (ra', ja) :: ta, (rb', jb) :: tb ->
+        tick_compare ();
+        let c = Relation.compare_rows ra' rb' in
+        if c < 0 then
+          if kind = `Intersect then merge ta gb else (ra', ja) :: merge ta gb
+        else if c > 0 then merge ga tb
+        else
+          (* INTERSECT: min(j, k); INTERSECT DISTINCT: 1 if both present.
+             EXCEPT ALL: max(j − k, 0); EXCEPT DISTINCT: present in the left
+             and absent from the right — a single right match removes the
+             row entirely. *)
+          let m =
+            match kind, d with
+            | `Intersect, Sql.Ast.All -> min ja jb
+            | `Intersect, Sql.Ast.Distinct -> if ja > 0 && jb > 0 then 1 else 0
+            | `Except, Sql.Ast.All -> max (ja - jb) 0
+            | `Except, Sql.Ast.Distinct -> if jb = 0 then 1 else 0
+          in
+          let rest = merge ta tb in
+          if m > 0 then (ra', m) :: rest else rest
+    in
+    let merged = merge ga gb in
+    let rows =
+      List.concat_map
+        (fun (r, n) ->
+          match d with
+          | Sql.Ast.Distinct -> [ r ]
+          | Sql.Ast.All -> List.init n (fun _ -> r))
+        merged
+    in
+    stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+    Relation.make ra.Relation.schema rows
+  in
+  exec plan
+
+let run_query ?config db ~hosts q =
+  let plan = Relalg.Plan.of_query (Database.catalog db) q in
+  run ?config db ~hosts plan
+
+let run_sql ?config db ~hosts s = run_query ?config db ~hosts (Sql.Parser.parse_query s)

@@ -1,0 +1,34 @@
+(** In-memory relations: a schema plus a bag (multiset) of rows.
+
+    Rows are value arrays positionally aligned with the schema. All
+    duplicate-related operations use the null-comparison total order
+    ([Value.compare_total]), matching [DISTINCT] / set-operation
+    semantics where two nulls are equivalent. *)
+
+type row = Sqlval.Value.t array
+
+type t = {
+  schema : Schema.Relschema.t;
+  rows : row list;
+}
+
+val make : Schema.Relschema.t -> row list -> t
+val cardinality : t -> int
+
+(** Lexicographic total order on rows (null-comparison per column). *)
+val compare_rows : row -> row -> int
+
+(** Multiset equality: same rows with the same multiplicities. *)
+val equal_bags : t -> t -> bool
+
+(** Rows sorted; counts the comparisons through [tick] (one call per
+    row-to-row comparison). *)
+val sort_rows : ?tick:(unit -> unit) -> row list -> row list
+
+(** Distinct count of rows (for duplicate statistics). *)
+val distinct_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Render as an aligned text table (column headers + rows). *)
+val to_text : t -> string

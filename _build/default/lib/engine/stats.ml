@@ -1,0 +1,55 @@
+type t = {
+  mutable rows_scanned : int;
+  mutable rows_output : int;
+  mutable predicate_evals : int;
+  mutable product_pairs : int;
+  mutable sorts : int;
+  mutable sorted_rows : int;
+  mutable comparisons : int;
+  mutable hash_probes : int;
+  mutable subquery_evals : int;
+}
+
+let create () =
+  {
+    rows_scanned = 0;
+    rows_output = 0;
+    predicate_evals = 0;
+    product_pairs = 0;
+    sorts = 0;
+    sorted_rows = 0;
+    comparisons = 0;
+    hash_probes = 0;
+    subquery_evals = 0;
+  }
+
+let reset t =
+  t.rows_scanned <- 0;
+  t.rows_output <- 0;
+  t.predicate_evals <- 0;
+  t.product_pairs <- 0;
+  t.sorts <- 0;
+  t.sorted_rows <- 0;
+  t.comparisons <- 0;
+  t.hash_probes <- 0;
+  t.subquery_evals <- 0
+
+let add t u =
+  t.rows_scanned <- t.rows_scanned + u.rows_scanned;
+  t.rows_output <- t.rows_output + u.rows_output;
+  t.predicate_evals <- t.predicate_evals + u.predicate_evals;
+  t.product_pairs <- t.product_pairs + u.product_pairs;
+  t.sorts <- t.sorts + u.sorts;
+  t.sorted_rows <- t.sorted_rows + u.sorted_rows;
+  t.comparisons <- t.comparisons + u.comparisons;
+  t.hash_probes <- t.hash_probes + u.hash_probes;
+  t.subquery_evals <- t.subquery_evals + u.subquery_evals
+
+let pp ppf t =
+  Format.fprintf ppf
+    "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \
+     comparisons=%d hash_probes=%d subqueries=%d"
+    t.rows_scanned t.rows_output t.predicate_evals t.product_pairs t.sorts
+    t.sorted_rows t.comparisons t.hash_probes t.subquery_evals
+
+let to_string t = Format.asprintf "%a" pp t

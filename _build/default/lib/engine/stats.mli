@@ -1,0 +1,22 @@
+(** Execution counters. The benchmark harness reads these to report the
+    cost structure the paper argues about (e.g. the sort performed by
+    duplicate elimination, or the inner-loop rows saved by an early-exit
+    [EXISTS] strategy). *)
+
+type t = {
+  mutable rows_scanned : int;       (** rows read from base tables *)
+  mutable rows_output : int;        (** rows in operator results *)
+  mutable predicate_evals : int;    (** selection predicate evaluations *)
+  mutable product_pairs : int;      (** tuples materialized by products *)
+  mutable sorts : int;              (** sort operations performed *)
+  mutable sorted_rows : int;        (** total rows fed into sorts *)
+  mutable comparisons : int;        (** row comparisons in sorts/merges *)
+  mutable hash_probes : int;        (** hash-table probes (hash distinct) *)
+  mutable subquery_evals : int;     (** EXISTS subquery evaluations *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/fd/derive.ml: Catalog Fdset List Logic Schema Sql String

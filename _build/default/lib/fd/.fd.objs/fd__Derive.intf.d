@@ -1,0 +1,1 @@
+lib/fd/derive.mli: Catalog Fdset Schema Sql

@@ -1,0 +1,1 @@
+lib/fd/fdset.ml: Array Format Fun Int List Schema

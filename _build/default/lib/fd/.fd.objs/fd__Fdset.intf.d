@@ -1,0 +1,1 @@
+lib/fd/fdset.mli: Format Schema

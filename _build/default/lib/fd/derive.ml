@@ -1,0 +1,119 @@
+module Attr = Schema.Attr
+
+type source = {
+  src_fds : Fdset.t;
+  src_attrs : Attr.Set.t;
+  src_keys : (string * Attr.Set.t list) list;
+}
+
+exception Unknown_table of string
+exception Unknown_column of Attr.t
+
+(* Schema of the extended Cartesian product of the FROM list, columns
+   qualified by correlation names. *)
+let product_schema cat (from : Sql.Ast.from_item list) =
+  let schemas =
+    List.map
+      (fun (f : Sql.Ast.from_item) ->
+        match Catalog.find cat f.table with
+        | None -> raise (Unknown_table f.table)
+        | Some def ->
+          Schema.Relschema.rename_rel (Sql.Ast.from_name f) def.Catalog.tbl_schema)
+      from
+  in
+  match schemas with
+  | [] -> Schema.Relschema.make []
+  | s :: rest -> List.fold_left Schema.Relschema.product s rest
+
+let resolver cat from =
+  let schema = product_schema cat from in
+  fun a ->
+    match Schema.Relschema.find_index schema a with
+    | Some i -> (Schema.Relschema.column_at schema i).Schema.Relschema.attr
+    | None -> raise (Unknown_column a)
+    | exception Failure _ -> raise (Unknown_column a)
+
+(* Equality conditions usable for FD derivation: only singleton CNF clauses
+   (conjuncts that are single literals) pin values for every qualifying row.
+   A disjunction like [x = 5 OR x = 10] does not. *)
+let conjunct_equalities resolve (where : Sql.Ast.pred) =
+  let clauses = Logic.Norm.cnf_of_pred where in
+  List.filter_map
+    (function
+      | [ lit ] ->
+        (match Logic.Equalities.of_literal lit with
+         | Some (Logic.Equalities.Type1 (a, v)) ->
+           Some (Logic.Equalities.Type1 (resolve a, v))
+         | Some (Logic.Equalities.Type2 (a, b)) ->
+           Some (Logic.Equalities.Type2 (resolve a, resolve b))
+         | None -> None)
+      | _ -> None)
+    clauses
+
+let of_query_spec cat (q : Sql.Ast.query_spec) =
+  let resolve = resolver cat q.from in
+  let per_table =
+    List.map
+      (fun (f : Sql.Ast.from_item) ->
+        let def = Catalog.find_exn cat f.table in
+        let corr = Sql.Ast.from_name f in
+        let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
+        let all = Schema.Relschema.attr_set schema in
+        let keys =
+          List.map
+            (fun k -> Attr.set_of_list (Catalog.key_attrs ~corr k))
+            (Catalog.candidate_keys def)
+        in
+        let key_fds =
+          List.map (fun k -> { Fdset.lhs = k; rhs = all }) keys
+        in
+        (corr, all, keys, key_fds))
+      q.from
+  in
+  let src_attrs =
+    List.fold_left
+      (fun acc (_, all, _, _) -> Attr.Set.union acc all)
+      Attr.Set.empty per_table
+  in
+  let key_fds = List.concat_map (fun (_, _, _, fds) -> fds) per_table in
+  let eq_fds =
+    List.concat_map
+      (function
+        | Logic.Equalities.Type1 (a, _) ->
+          [ { Fdset.lhs = Attr.Set.empty; rhs = Attr.Set.singleton a } ]
+        | Logic.Equalities.Type2 (a, b) ->
+          [ { Fdset.lhs = Attr.Set.singleton a; rhs = Attr.Set.singleton b };
+            { Fdset.lhs = Attr.Set.singleton b; rhs = Attr.Set.singleton a } ])
+      (conjunct_equalities resolve q.where)
+  in
+  {
+    src_fds = Fdset.of_list (key_fds @ eq_fds);
+    src_attrs;
+    src_keys = List.map (fun (corr, _, keys, _) -> (corr, keys)) per_table;
+  }
+
+let projection_attrs cat (q : Sql.Ast.query_spec) =
+  match q.select with
+  | Sql.Ast.Star -> Schema.Relschema.attrs (product_schema cat q.from)
+  | Sql.Ast.Cols cs ->
+    let resolve = resolver cat q.from in
+    let schema = product_schema cat q.from in
+    List.concat_map
+      (function
+        | Sql.Ast.Col a when String.equal a.Attr.name "*" ->
+          (* qualified star: all columns of that occurrence *)
+          List.filter
+            (fun c -> String.equal c.Attr.rel a.Attr.rel)
+            (Schema.Relschema.attrs schema)
+        | Sql.Ast.Col a -> [ resolve a ]
+        | Sql.Ast.Const _ | Sql.Ast.Host _ | Sql.Ast.Agg _ -> [])
+      cs
+
+let projection_determines_key cat (q : Sql.Ast.query_spec) =
+  let src = of_query_spec cat q in
+  let a = Attr.set_of_list (projection_attrs cat q) in
+  let cl = Fdset.closure src.src_fds a in
+  List.for_all
+    (fun (_, keys) ->
+      keys <> [] && List.exists (fun k -> Attr.Set.subset k cl) keys)
+    src.src_keys

@@ -1,0 +1,42 @@
+(** Derived functional dependencies for a query specification (paper
+    section 3, Example 3).
+
+    From a catalog and a [SELECT ... FROM R, S WHERE ...] we collect:
+
+    - the {e key dependencies} of every table occurrence — each candidate key
+      [U_i(R)] functionally determines all of the occurrence's attributes;
+    - {e equality-derived} dependencies from the selection predicate's
+      singleton CNF conjuncts: [v = c] gives [{} -> v] (the column is bound
+      to a constant for the whole execution, host variables included) and
+      [v1 = v2] gives both [v1 -> v2] and [v2 -> v1].
+
+    The result supports the FD-based uniqueness test (a strict superset of
+    Algorithm 1's detection power) and reporting of derived keys. *)
+
+type source = {
+  src_fds : Fdset.t;
+  src_attrs : Schema.Attr.Set.t;
+      (** all attributes of the extended Cartesian product *)
+  src_keys : (string * Schema.Attr.Set.t list) list;
+      (** per occurrence (correlation name): attribute sets of its candidate
+          keys *)
+}
+
+exception Unknown_table of string
+exception Unknown_column of Schema.Attr.t
+
+(** Resolve a possibly-unqualified column against the FROM list.
+    @raise Unknown_column when absent or ambiguous. *)
+val resolver :
+  Catalog.t -> Sql.Ast.from_item list -> Schema.Attr.t -> Schema.Attr.t
+
+val of_query_spec : Catalog.t -> Sql.Ast.query_spec -> source
+
+(** The resolved projection attributes of the query ([Star] expands to all
+    product columns in order). *)
+val projection_attrs : Catalog.t -> Sql.Ast.query_spec -> Schema.Attr.t list
+
+(** FD-based uniqueness test: does the projection functionally determine a
+    candidate key of {e every} table occurrence (and hence the key of the
+    product)? Sound for deciding that [DISTINCT] is redundant. *)
+val projection_determines_key : Catalog.t -> Sql.Ast.query_spec -> bool

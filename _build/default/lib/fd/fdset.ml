@@ -1,0 +1,86 @@
+module Attr = Schema.Attr
+
+type fd = {
+  lhs : Attr.Set.t;
+  rhs : Attr.Set.t;
+}
+
+type t = fd list
+
+let empty = []
+let of_list l = l
+let to_list t = t
+let add t f = f :: t
+let union a b = a @ b
+
+let make_fd lhs rhs = { lhs = Attr.set_of_list lhs; rhs = Attr.set_of_list rhs }
+
+let closure t xs =
+  let cur = ref xs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        if Attr.Set.subset f.lhs !cur && not (Attr.Set.subset f.rhs !cur) then begin
+          cur := Attr.Set.union f.rhs !cur;
+          changed := true
+        end)
+      t
+  done;
+  !cur
+
+let implies t f = Attr.Set.subset f.rhs (closure t f.lhs)
+
+let is_superkey t ~all xs = Attr.Set.subset all (closure t xs)
+
+(* Enumerate subsets of [within] in order of increasing size and keep the
+   minimal superkeys. Exhaustive only for small attribute counts. *)
+let candidate_keys ?(exhaustive_limit = 14) t ~all ~within =
+  let elems = Array.of_list (Attr.Set.elements within) in
+  let n = Array.length elems in
+  let superkey s = is_superkey t ~all s in
+  if not (superkey within) then []
+  else if n <= exhaustive_limit then begin
+    let minimal = ref [] in
+    (* subsets by increasing popcount so the first superkeys found that have
+       no smaller subset-superkey are minimal *)
+    let subsets = Array.make (1 lsl n) Attr.Set.empty in
+    for mask = 0 to (1 lsl n) - 1 do
+      let s = ref Attr.Set.empty in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then s := Attr.Set.add elems.(i) !s
+      done;
+      subsets.(mask) <- !s
+    done;
+    let masks = Array.init (1 lsl n) Fun.id in
+    let popcount m =
+      let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+      go m 0
+    in
+    Array.sort (fun a b -> Int.compare (popcount a) (popcount b)) masks;
+    Array.iter
+      (fun mask ->
+        let s = subsets.(mask) in
+        if superkey s
+           && not (List.exists (fun k -> Attr.Set.subset k s) !minimal)
+        then minimal := s :: !minimal)
+      masks;
+    List.rev !minimal
+  end
+  else begin
+    (* greedy minimization of [within] *)
+    let s = ref within in
+    Array.iter
+      (fun a ->
+        let without = Attr.Set.remove a !s in
+        if superkey without then s := without)
+      elems;
+    [ !s ]
+  end
+
+let pp_fd ppf f =
+  Format.fprintf ppf "%a -> %a" Attr.pp_set f.lhs Attr.pp_set f.rhs
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fd ppf t

@@ -1,0 +1,43 @@
+(** Functional dependencies over qualified attributes.
+
+    The paper (Definition 1) defines [A -> b] with the null-comparison
+    operator [≐] on both sides: tuples that agree on [A] (nulls equal) agree
+    on [b] (nulls equal). All derivations here are with respect to that
+    semantics, which is exactly the equality used by [DISTINCT]. *)
+
+type fd = {
+  lhs : Schema.Attr.Set.t;
+  rhs : Schema.Attr.Set.t;
+}
+
+type t
+
+val empty : t
+val of_list : fd list -> t
+val to_list : t -> fd list
+val add : t -> fd -> t
+val union : t -> t -> t
+
+val make_fd : Schema.Attr.t list -> Schema.Attr.t list -> fd
+
+(** [closure t xs] — the attribute closure X⁺ under [t]. *)
+val closure : t -> Schema.Attr.Set.t -> Schema.Attr.Set.t
+
+(** Does [t] imply [lhs -> rhs]? (Armstrong-complete via closure.) *)
+val implies : t -> fd -> bool
+
+(** Is [xs] a superkey of a relation with attribute set [all]? *)
+val is_superkey : t -> all:Schema.Attr.Set.t -> Schema.Attr.Set.t -> bool
+
+(** Minimal keys contained in [within] (for a relation with attributes
+    [all]). Exhaustive for [|within| <= exhaustive_limit] (default 14);
+    otherwise a single greedily-minimized key is returned (if any). *)
+val candidate_keys :
+  ?exhaustive_limit:int ->
+  t ->
+  all:Schema.Attr.Set.t ->
+  within:Schema.Attr.Set.t ->
+  Schema.Attr.Set.t list
+
+val pp_fd : Format.formatter -> fd -> unit
+val pp : Format.formatter -> t -> unit

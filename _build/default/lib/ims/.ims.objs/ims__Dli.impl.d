@@ -1,0 +1,1 @@
+lib/ims/dli.ml: Array Engine Format Hashtbl List Option Sqlval String

@@ -1,0 +1,1 @@
+lib/ims/dli.mli: Engine Format Sqlval

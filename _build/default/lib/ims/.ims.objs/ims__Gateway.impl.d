@@ -1,0 +1,1 @@
+lib/ims/gateway.ml: Dli List Schema Sql String

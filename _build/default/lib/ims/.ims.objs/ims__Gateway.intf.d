@@ -1,0 +1,1 @@
+lib/ims/gateway.mli: Catalog Dli Sql Sqlval

@@ -1,0 +1,1 @@
+lib/ims/program.ml: Buffer Dli Gateway List Printf Sqlval String

@@ -1,0 +1,1 @@
+lib/ims/program.mli: Dli Gateway

@@ -1,0 +1,254 @@
+module Value = Sqlval.Value
+
+type segment = {
+  seg_key : Value.t;
+  seg_fields : (string * Value.t) list;
+}
+
+type status = Ok | GE | GB
+
+type ssa = string * Value.t
+
+type child_chain = {
+  chain_key_field : string;
+  chain_segs : segment array;
+}
+
+type root_entry = {
+  root_seg : segment;
+  root_children : (string * child_chain) list;
+}
+
+type t = {
+  root_type : string;
+  root_key_field : string;
+  roots : root_entry array;
+  mutable cur_root : int;  (* -1 before first GU *)
+  mutable child_pos : (string * int) list;  (* per child type, next index *)
+  mutable gu_count : int;
+  mutable gn_count : int;
+  gnp_count : (string, int) Hashtbl.t;
+  scanned : (string, int) Hashtbl.t;
+}
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let field seg name =
+  match List.assoc_opt name seg.seg_fields with
+  | Some v -> v
+  | None -> failwith ("Dli: unknown field " ^ name)
+
+let matches seg (f, v) = Value.equal_null (field seg f) v
+
+let sort_segments segs =
+  List.sort (fun a b -> Value.compare_total a.seg_key b.seg_key) segs
+
+let create ~root_type ?(root_key_field = "KEY") ~roots () =
+  let entries =
+    List.map
+      (fun (root_seg, children) ->
+        {
+          root_seg;
+          root_children =
+            List.map
+              (fun (ctype, key_field, segs) ->
+                ( ctype,
+                  {
+                    chain_key_field = key_field;
+                    chain_segs = Array.of_list (sort_segments segs);
+                  } ))
+              children;
+        })
+      roots
+  in
+  let entries =
+    List.sort
+      (fun a b -> Value.compare_total a.root_seg.seg_key b.root_seg.seg_key)
+      entries
+  in
+  {
+    root_type;
+    root_key_field;
+    roots = Array.of_list entries;
+    cur_root = -1;
+    child_pos = [];
+    gu_count = 0;
+    gn_count = 0;
+    gnp_count = Hashtbl.create 4;
+    scanned = Hashtbl.create 4;
+  }
+
+let reset_child_positions t = t.child_pos <- []
+
+(* scan roots from [start]; SSA on the root key stops early (sequenced). *)
+let scan_roots t ~start ssa =
+  let n = Array.length t.roots in
+  let rec go i =
+    if i >= n then None
+    else begin
+      bump t.scanned t.root_type 1;
+      let seg = t.roots.(i).root_seg in
+      match ssa with
+      | None -> Some i
+      | Some (f, v) ->
+        if matches seg (f, v) then Some i
+        else if
+          (* key-sequenced roots: an SSA on the key field cannot match once
+             the sequence passes the target *)
+          String.equal f t.root_key_field
+          && Value.compare_total seg.seg_key v > 0
+        then None
+        else go (i + 1)
+    end
+  in
+  go start
+
+let position t i =
+  t.cur_root <- i;
+  reset_child_positions t;
+  (Ok, Some t.roots.(i).root_seg)
+
+let gu t ?ssa () =
+  t.gu_count <- t.gu_count + 1;
+  match scan_roots t ~start:0 ssa with
+  | Some i -> position t i
+  | None -> (GE, None)
+
+let gn t ?ssa () =
+  t.gn_count <- t.gn_count + 1;
+  let start = t.cur_root + 1 in
+  if start >= Array.length t.roots then (GB, None)
+  else
+    match scan_roots t ~start ssa with
+    | Some i -> position t i
+    | None -> (GB, None)
+
+let gnp t ~child ?ssa () =
+  bump t.gnp_count child 1;
+  if t.cur_root < 0 then (GE, None)
+  else begin
+    let entry = t.roots.(t.cur_root) in
+    match List.assoc_opt child entry.root_children with
+    | None -> (GE, None)
+    | Some chain ->
+      let pos = Option.value ~default:0 (List.assoc_opt child t.child_pos) in
+      let set_pos i =
+        t.child_pos <- (child, i) :: List.remove_assoc child t.child_pos
+      in
+      let n = Array.length chain.chain_segs in
+      let rec go i =
+        if i >= n then begin
+          set_pos n;
+          (GE, None)
+        end
+        else begin
+          bump t.scanned child 1;
+          let seg = chain.chain_segs.(i) in
+          match ssa with
+          | None ->
+            set_pos (i + 1);
+            (Ok, Some seg)
+          | Some (f, v) ->
+            if matches seg (f, v) then begin
+              set_pos (i + 1);
+              (Ok, Some seg)
+            end
+            else if
+              (* twins are key-sequenced: an SSA on the key field cannot
+                 match once the sequence passes the target *)
+              String.equal f chain.chain_key_field
+              && Value.compare_total seg.seg_key v > 0
+            then begin
+              set_pos i;
+              (GE, None)
+            end
+            else go (i + 1)
+        end
+      in
+      go pos
+  end
+
+(* ---- construction from the relational supplier database ---- *)
+
+let of_supplier_db db =
+  let rel name = Engine.Database.table db name in
+  let suppliers = (rel "SUPPLIER").Engine.Relation.rows in
+  let parts = (rel "PARTS").Engine.Relation.rows in
+  let agents = (rel "AGENTS").Engine.Relation.rows in
+  (* column positions per the paper schema *)
+  let supplier_fields r =
+    [ ("SNO", r.(0)); ("SNAME", r.(1)); ("SCITY", r.(2)); ("BUDGET", r.(3));
+      ("STATUS", r.(4)) ]
+  in
+  let part_fields r =
+    [ ("SNO", r.(0)); ("PNO", r.(1)); ("PNAME", r.(2)); ("OEM_PNO", r.(3));
+      ("COLOR", r.(4)) ]
+  in
+  let agent_fields r =
+    [ ("SNO", r.(0)); ("ANO", r.(1)); ("ANAME", r.(2)); ("ACITY", r.(3)) ]
+  in
+  let by_sno rows =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        let sno = r.(0) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt tbl sno) in
+        Hashtbl.replace tbl sno (r :: cur))
+      rows;
+    tbl
+  in
+  let parts_by = by_sno parts and agents_by = by_sno agents in
+  let roots =
+    List.map
+      (fun r ->
+        let sno = r.(0) in
+        let part_segs =
+          List.map
+            (fun p -> { seg_key = p.(1); seg_fields = part_fields p })
+            (Option.value ~default:[] (Hashtbl.find_opt parts_by sno))
+        in
+        let agent_segs =
+          List.map
+            (fun a -> { seg_key = a.(1); seg_fields = agent_fields a })
+            (Option.value ~default:[] (Hashtbl.find_opt agents_by sno))
+        in
+        ( { seg_key = sno; seg_fields = supplier_fields r },
+          [ ("PARTS", "PNO", part_segs); ("AGENTS", "ANO", agent_segs) ] ))
+      suppliers
+  in
+  create ~root_type:"SUPPLIER" ~root_key_field:"SNO" ~roots ()
+
+(* ---- counters ---- *)
+
+type counters = {
+  gu_calls : int;
+  gn_calls : int;
+  gnp_calls : (string * int) list;
+  segments_scanned : (string * int) list;
+}
+
+let counters t =
+  let assoc tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    gu_calls = t.gu_count;
+    gn_calls = t.gn_count;
+    gnp_calls = assoc t.gnp_count;
+    segments_scanned = assoc t.scanned;
+  }
+
+let reset_counters t =
+  t.gu_count <- 0;
+  t.gn_count <- 0;
+  Hashtbl.reset t.gnp_count;
+  Hashtbl.reset t.scanned
+
+let total_calls c =
+  c.gu_calls + c.gn_calls + List.fold_left (fun acc (_, n) -> acc + n) 0 c.gnp_calls
+
+let pp_counters ppf c =
+  Format.fprintf ppf "GU=%d GN=%d" c.gu_calls c.gn_calls;
+  List.iter (fun (t, n) -> Format.fprintf ppf " GNP(%s)=%d" t n) c.gnp_calls;
+  List.iter (fun (t, n) -> Format.fprintf ppf " scanned(%s)=%d" t n) c.segments_scanned

@@ -1,0 +1,78 @@
+(** An IMS-style hierarchical database with a DL/I call interface
+    (paper section 6.1, Figure 2).
+
+    The database is HIDAM-like: key-sequenced root segments with
+    parent-child/twin pointers to key-sequenced child segments. The calls
+    modeled are the ones the paper's iterative programs use:
+
+    - [GU] (Get Unique): establish position at the first root segment
+      satisfying the SSA, searching from the start;
+    - [GN] (Get Next): advance to the next root segment in hierarchic
+      sequence;
+    - [GNP] (Get Next within Parent): advance to the next child segment of
+      the given type under the current root, optionally qualified by a
+      segment search argument (SSA).
+
+    Status codes follow IMS: ["  "] success, ["GE"] not found (within
+    parent), ["GB"] end of database.
+
+    Every call increments a per-(call, segment-type) counter, and every
+    segment examined during a search increments a scan counter — the two
+    cost measures the paper's section 6 argument is about. For an SSA on
+    the child's {e key} field, the search stops as soon as the sequence
+    passes the target (key-sequenced twins); for a non-key field it must
+    run to the end of the twin chain. *)
+
+type segment = {
+  seg_key : Sqlval.Value.t;
+  seg_fields : (string * Sqlval.Value.t) list;  (** field name -> value *)
+}
+
+type status = Ok | GE | GB
+
+(** Segment search argument: [field = value]. *)
+type ssa = string * Sqlval.Value.t
+
+type t
+
+(** [create ~root_type ~root_key_field ~roots ()] — [roots] are
+    [(root_segment, children)] where each child entry is
+    [(segment type, key field, segments)]. Roots and twin chains are
+    key-sequenced (sorted by key). [root_key_field] names the root's key so
+    key-qualified searches can stop early. *)
+val create :
+  root_type:string ->
+  ?root_key_field:string ->
+  roots:(segment * (string * string * segment list) list) list ->
+  unit ->
+  t
+
+(** Build the paper's Figure 2 database from a relational supplier
+    database: SUPPLIER roots with PARTS (key PNO) and AGENTS (key ANO)
+    children. *)
+val of_supplier_db : Engine.Database.t -> t
+
+(** {1 DL/I calls} *)
+
+val gu : t -> ?ssa:ssa -> unit -> status * segment option
+(** position at the first root matching the SSA (or the first root) *)
+
+val gn : t -> ?ssa:ssa -> unit -> status * segment option
+(** next root in sequence (matching the SSA if given); [GB] at the end *)
+
+val gnp : t -> child:string -> ?ssa:ssa -> unit -> status * segment option
+(** next qualifying child of the current root; [GE] when exhausted *)
+
+(** {1 Counters} *)
+
+type counters = {
+  gu_calls : int;
+  gn_calls : int;
+  gnp_calls : (string * int) list;  (** per child segment type *)
+  segments_scanned : (string * int) list;  (** per segment type *)
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val total_calls : counters -> int
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,149 @@
+type result = {
+  output : Dli.segment list;
+  counters : Dli.counters;
+}
+
+(* Paper lines 21-29:
+     GU SUPPLIER;
+     while status = ' ' do
+       GNP PARTS (PNO = :PARTNO);
+       while status = ' ' do
+         output SUPPLIER tuple;
+         GNP PARTS (PNO = :PARTNO)
+       od;
+       GN SUPPLIER
+     od *)
+let join_strategy db ~child ~ssa =
+  Dli.reset_counters db;
+  let output = ref [] in
+  let rec roots status root =
+    match status, root with
+    | Dli.Ok, Some root_seg ->
+      let rec inner () =
+        match Dli.gnp db ~child ~ssa () with
+        | Dli.Ok, Some _ ->
+          output := root_seg :: !output;
+          inner ()
+        | (Dli.GE | Dli.GB | Dli.Ok), _ -> ()
+      in
+      inner ();
+      let status, root = Dli.gn db () in
+      roots status root
+    | (Dli.GE | Dli.GB | Dli.Ok), _ -> ()
+  in
+  let status, root = Dli.gu db () in
+  roots status root;
+  { output = List.rev !output; counters = Dli.counters db }
+
+(* Paper lines 30-35:
+     GU SUPPLIER;
+     while status = ' ' do
+       GNP PARTS (PNO = :PARTNO);
+       if status = ' ' then output SUPPLIER tuple;
+       GN SUPPLIER
+     od *)
+let exists_strategy db ~child ~ssa =
+  Dli.reset_counters db;
+  let output = ref [] in
+  let rec roots status root =
+    match status, root with
+    | Dli.Ok, Some root_seg ->
+      (match Dli.gnp db ~child ~ssa () with
+       | Dli.Ok, Some _ -> output := root_seg :: !output
+       | (Dli.GE | Dli.GB | Dli.Ok), _ -> ());
+      let status, root = Dli.gn db () in
+      roots status root
+    | (Dli.GE | Dli.GB | Dli.Ok), _ -> ()
+  in
+  let status, root = Dli.gu db () in
+  roots status root;
+  { output = List.rev !output; counters = Dli.counters db }
+
+(* ---- SQL translation for the supported shapes ---- *)
+
+let child_tables = [ "PARTS"; "AGENTS" ]
+
+let scalar_value hosts = function
+  | Sql.Ast.Const v -> Some v
+  | Sql.Ast.Host h -> List.assoc_opt h hosts
+  | Sql.Ast.Col _ | Sql.Ast.Agg _ -> None
+
+(* Recognize [S.SNO = P.SNO]-style parent/child join conjuncts and
+   [P.<field> = <const-or-host>] qualifications. *)
+let classify_conjunct hosts ~parent_rel ~child_rel c =
+  match c with
+  | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, Sql.Ast.Col b) ->
+    let rels =
+      List.sort String.compare [ a.Schema.Attr.rel; b.Schema.Attr.rel ]
+    in
+    if
+      rels = List.sort String.compare [ parent_rel; child_rel ]
+      && String.equal a.Schema.Attr.name "SNO"
+      && String.equal b.Schema.Attr.name "SNO"
+    then `Join
+    else `Unsupported
+  | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, rhs)
+  | Sql.Ast.Cmp (Sql.Ast.Eq, rhs, Sql.Ast.Col a) ->
+    (match scalar_value hosts rhs with
+     | Some v when String.equal a.Schema.Attr.rel child_rel ->
+       `Ssa (a.Schema.Attr.name, v)
+     | Some _ | None -> `Unsupported)
+  | _ -> `Unsupported
+
+let translate _cat db (q : Sql.Ast.query_spec) ~hosts =
+  let fail msg = failwith ("Ims.Gateway: unsupported query: " ^ msg) in
+  let table_of f = String.uppercase_ascii f.Sql.Ast.table in
+  match q.from with
+  | [ parent; child_item ]
+    when table_of parent = "SUPPLIER" && List.mem (table_of child_item) child_tables
+    ->
+    (* join form: decide the strategy with the uniqueness machinery *)
+    let parent_rel = Sql.Ast.from_name parent in
+    let child_rel = Sql.Ast.from_name child_item in
+    let child = table_of child_item in
+    let conjs = Sql.Ast.conjuncts q.where in
+    let ssas = ref [] in
+    let joins = ref 0 in
+    List.iter
+      (fun c ->
+        match classify_conjunct hosts ~parent_rel ~child_rel c with
+        | `Join -> incr joins
+        | `Ssa (f, v) -> ssas := (f, v) :: !ssas
+        | `Unsupported -> fail (Sql.Pretty.pred c))
+      conjs;
+    if !joins <> 1 then fail "expected exactly one parent/child join predicate";
+    let ssa = match !ssas with [ s ] -> s | _ -> fail "expected one child qualification" in
+    (* the data access layer may use the exists program when the child block
+       matches at most one segment per root (Theorem 2): the SSA pins the
+       child's full key (SNO comes from the join, the SSA field must be the
+       child's key) *)
+    let child_key = match child with "PARTS" -> "PNO" | _ -> "ANO" in
+    let unique_per_root = String.equal (fst ssa) child_key in
+    if unique_per_root then (`Exists_strategy, exists_strategy db ~child ~ssa)
+    else (`Join_strategy, join_strategy db ~child ~ssa)
+  | [ parent ] when table_of parent = "SUPPLIER" -> begin
+    (* EXISTS form: SELECT ... FROM SUPPLIER S WHERE EXISTS (...) *)
+    match Sql.Ast.conjuncts q.where with
+    | [ Sql.Ast.Exists sub ] -> begin
+      match sub.Sql.Ast.from with
+      | [ child_item ] when List.mem (table_of child_item) child_tables ->
+        let child = table_of child_item in
+        let parent_rel = Sql.Ast.from_name parent in
+        let child_rel = Sql.Ast.from_name child_item in
+        let ssas = ref [] in
+        List.iter
+          (fun c ->
+            match classify_conjunct hosts ~parent_rel ~child_rel c with
+            | `Join -> ()
+            | `Ssa (f, v) -> ssas := (f, v) :: !ssas
+            | `Unsupported -> fail (Sql.Pretty.pred c))
+          (Sql.Ast.conjuncts sub.Sql.Ast.where);
+        let ssa =
+          match !ssas with [ s ] -> s | _ -> fail "expected one qualification"
+        in
+        (`Exists_strategy, exists_strategy db ~child ~ssa)
+      | _ -> fail "EXISTS block must reference one child table"
+    end
+    | _ -> fail "expected a single EXISTS condition"
+  end
+  | _ -> fail "FROM list must be SUPPLIER with an optional child table"

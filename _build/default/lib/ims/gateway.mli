@@ -1,0 +1,37 @@
+(** The multidatabase gateway of paper section 6.1: iterative DL/I programs
+    for SQL queries against the relational view of the hierarchical
+    database, in the two strategies the paper compares.
+
+    For the query
+    [SELECT ALL S.* FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND
+     P.<field> = :value], the {e join strategy} (paper lines 21–29) issues a
+    [GNP] per match {e plus one} that fails with GE, while the {e exists
+    strategy} (lines 30–35, valid after the join-to-subquery rewrite of
+    Theorem 2) stops at the first match — halving the DL/I calls against
+    the child segment when the qualification is on the child's key. *)
+
+type result = {
+  output : Dli.segment list;  (** root segments emitted *)
+  counters : Dli.counters;
+}
+
+(** Paper lines 21–29: full nested-loop join; every qualifying child
+    produces one output root occurrence, and the inner loop runs until GE. *)
+val join_strategy : Dli.t -> child:string -> ssa:Dli.ssa -> result
+
+(** Paper lines 30–35: one [GNP] per root; output the root if it succeeds. *)
+val exists_strategy : Dli.t -> child:string -> ssa:Dli.ssa -> result
+
+(** Which strategy a gateway would pick for a supported query shape, using
+    the uniqueness machinery: a query whose child block matches at most one
+    child per root (or an [EXISTS] form) runs the cheap strategy.
+
+    Supported shapes (after parsing): the parent/child join and its
+    rewritten [EXISTS] form over SUPPLIER with a PARTS or AGENTS child.
+    @raise Failure on unsupported shapes. *)
+val translate :
+  Catalog.t ->
+  Dli.t ->
+  Sql.Ast.query_spec ->
+  hosts:(string * Sqlval.Value.t) list ->
+  [ `Join_strategy | `Exists_strategy ] * result

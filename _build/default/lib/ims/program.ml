@@ -1,0 +1,88 @@
+type stmt =
+  | Gu of Dli.ssa option
+  | Gn of Dli.ssa option
+  | Gnp of string * Dli.ssa option
+  | Output
+  | While_ok of stmt list
+  | If_ok of stmt list
+
+type t = stmt list
+
+let join_program ~child ~ssa =
+  [
+    Gu None;
+    While_ok
+      [
+        Gnp (child, Some ssa);
+        While_ok [ Output; Gnp (child, Some ssa) ];
+        Gn None;
+      ];
+  ]
+
+let exists_program ~child ~ssa =
+  [ Gu None; While_ok [ Gnp (child, Some ssa); If_ok [ Output ]; Gn None ] ]
+
+type state = {
+  mutable status : Dli.status;
+  mutable root : Dli.segment option;
+  mutable out : Dli.segment list;
+}
+
+let run db program =
+  Dli.reset_counters db;
+  let st = { status = Dli.GB; root = None; out = [] } in
+  let rec exec = function
+    | Gu ssa ->
+      let s, seg = Dli.gu db ?ssa () in
+      st.status <- s;
+      st.root <- seg
+    | Gn ssa ->
+      let s, seg = Dli.gn db ?ssa () in
+      st.status <- s;
+      st.root <- seg
+    | Gnp (child, ssa) ->
+      (* GNP does not reposition the root; only the status changes *)
+      let s, _ = Dli.gnp db ~child ?ssa () in
+      st.status <- s
+    | Output ->
+      (match st.root with
+       | Some seg -> st.out <- seg :: st.out
+       | None -> ())
+    | While_ok body ->
+      while st.status = Dli.Ok do
+        List.iter exec body
+      done
+    | If_ok body -> if st.status = Dli.Ok then List.iter exec body
+  in
+  List.iter exec program;
+  { Gateway.output = List.rev st.out; counters = Dli.counters db }
+
+let to_string ?(first_line = 1) program =
+  let buf = Buffer.create 256 in
+  let line = ref first_line in
+  let emit indent text =
+    Buffer.add_string buf
+      (Printf.sprintf "%2d  %s%s\n" !line (String.make (indent * 2) ' ') text);
+    incr line
+  in
+  let ssa_str = function
+    | None -> ""
+    | Some (f, v) -> Printf.sprintf " (%s = %s)" f (Sqlval.Value.to_string v)
+  in
+  let rec go indent = function
+    | Gu ssa -> emit indent (Printf.sprintf "GU root%s;" (ssa_str ssa))
+    | Gn ssa -> emit indent (Printf.sprintf "GN root%s;" (ssa_str ssa))
+    | Gnp (child, ssa) ->
+      emit indent (Printf.sprintf "GNP %s%s;" child (ssa_str ssa))
+    | Output -> emit indent "output root segment;"
+    | While_ok body ->
+      emit indent "while status = ' ' do";
+      List.iter (go (indent + 1)) body;
+      emit indent "od;"
+    | If_ok body ->
+      emit indent "if status = ' ' then";
+      List.iter (go (indent + 1)) body;
+      emit indent "fi;"
+  in
+  List.iter (go 0) program;
+  Buffer.contents buf

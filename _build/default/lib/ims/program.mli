@@ -1,0 +1,31 @@
+(** Iterative DL/I programs, as the paper presents them (the numbered
+    listings of section 6.1, lines 21–35). The gateway's strategies are
+    values of this IR: they can be pretty-printed in the paper's style and
+    interpreted against a {!Dli.t} database.
+
+    The interpreter models DL/I's single status register: every call
+    ([GU]/[GN]/[GNP]) sets it, [while-ok] re-checks it at the top of each
+    iteration, and [if-ok] guards on it — exactly the control structure of
+    the paper's programs. [Output] emits the current root segment. *)
+
+type stmt =
+  | Gu of Dli.ssa option           (** position at the first qualifying root *)
+  | Gn of Dli.ssa option           (** advance to the next root *)
+  | Gnp of string * Dli.ssa option (** next child of the given segment type *)
+  | Output                         (** emit the current root segment *)
+  | While_ok of stmt list          (** paper: [while status = ' ' do ... od] *)
+  | If_ok of stmt list             (** paper: [if status = ' ' then ...] *)
+
+type t = stmt list
+
+(** The select-project-parent/child join program (paper lines 21–29). *)
+val join_program : child:string -> ssa:Dli.ssa -> t
+
+(** The nested (EXISTS) program licensed by Theorem 2 (paper lines 30–35). *)
+val exists_program : child:string -> ssa:Dli.ssa -> t
+
+(** Interpret a program; counters are reset first. *)
+val run : Dli.t -> t -> Gateway.result
+
+(** Paper-style listing with line numbers. *)
+val to_string : ?first_line:int -> t -> string

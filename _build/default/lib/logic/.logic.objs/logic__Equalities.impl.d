@@ -1,0 +1,1 @@
+lib/logic/equalities.ml: Format Hashtbl List Option Schema Sql Sqlval

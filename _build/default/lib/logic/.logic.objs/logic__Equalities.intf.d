@@ -1,0 +1,1 @@
+lib/logic/equalities.mli: Format Schema Sql Sqlval

@@ -1,0 +1,1 @@
+lib/logic/eval.ml: List Schema Sql Sqlval

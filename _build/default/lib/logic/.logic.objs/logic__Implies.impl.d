@@ -1,0 +1,1 @@
+lib/logic/implies.ml: Eval List Schema Sql Sqlval String

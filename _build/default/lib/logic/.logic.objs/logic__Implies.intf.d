@@ -1,0 +1,1 @@
+lib/logic/implies.mli: Sql Sqlval

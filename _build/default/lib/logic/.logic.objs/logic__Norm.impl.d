@@ -1,0 +1,1 @@
+lib/logic/norm.ml: List Sql

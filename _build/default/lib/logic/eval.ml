@@ -1,0 +1,47 @@
+open Sql.Ast
+module Value = Sqlval.Value
+module Truth = Sqlval.Truth
+
+exception Unbound_column of Schema.Attr.t
+exception Unbound_host of string
+
+let eval_scalar ~lookup_col ~lookup_host = function
+  | Col a -> lookup_col a
+  | Const v -> v
+  | Host h -> lookup_host h
+  | Agg _ -> invalid_arg "Eval.eval_scalar: aggregate outside a select list"
+
+let eval_comparison op a b =
+  match op with
+  | Eq -> Value.eq3 a b
+  | Ne -> Value.ne3 a b
+  | Lt -> Value.lt3 a b
+  | Le -> Value.le3 a b
+  | Gt -> Value.gt3 a b
+  | Ge -> Value.ge3 a b
+
+let eval_pred ~lookup_col ~lookup_host ~eval_exists pred =
+  let scalar s = eval_scalar ~lookup_col ~lookup_host s in
+  let rec go = function
+    | Ptrue -> Truth.True
+    | Pfalse -> Truth.False
+    | Cmp (op, a, b) -> eval_comparison op (scalar a) (scalar b)
+    | Between (a, lo, hi) ->
+      let v = scalar a in
+      Truth.and_ (Value.ge3 v (scalar lo)) (Value.le3 v (scalar hi))
+    | In_list (a, vs) ->
+      let v = scalar a in
+      Truth.disj (List.map (fun w -> Value.eq3 v w) vs)
+    | Is_null a -> Truth.of_bool (Value.is_null (scalar a))
+    | Is_not_null a -> Truth.of_bool (not (Value.is_null (scalar a)))
+    | And (p, q) -> Truth.and_ (go p) (go q)
+    | Or (p, q) -> Truth.or_ (go p) (go q)
+    | Not p -> Truth.not_ (go p)
+    | Exists q -> eval_exists q
+  in
+  go pred
+
+let eval_pred_simple ~lookup_col ~lookup_host pred =
+  eval_pred ~lookup_col ~lookup_host
+    ~eval_exists:(fun _ -> invalid_arg "eval_pred_simple: EXISTS subquery")
+    pred

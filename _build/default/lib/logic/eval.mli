@@ -1,0 +1,35 @@
+(** Three-valued evaluation of predicates (SQL [WHERE]-clause semantics).
+
+    Evaluation is parameterized over the binding environment so that the same
+    evaluator serves base-table selection, product tuples, check-constraint
+    validation, and correlated subqueries:
+
+    - [lookup_col] resolves a column reference against the current tuple
+      (outer tuples included, for correlation);
+    - [lookup_host] resolves a host variable ([:NAME]);
+    - [eval_exists] is the hook the execution engine supplies to evaluate an
+      [EXISTS] subquery under the current bindings. *)
+
+exception Unbound_column of Schema.Attr.t
+exception Unbound_host of string
+
+val eval_scalar :
+  lookup_col:(Schema.Attr.t -> Sqlval.Value.t) ->
+  lookup_host:(string -> Sqlval.Value.t) ->
+  Sql.Ast.scalar ->
+  Sqlval.Value.t
+
+val eval_pred :
+  lookup_col:(Schema.Attr.t -> Sqlval.Value.t) ->
+  lookup_host:(string -> Sqlval.Value.t) ->
+  eval_exists:(Sql.Ast.query_spec -> Sqlval.Truth.t) ->
+  Sql.Ast.pred ->
+  Sqlval.Truth.t
+
+(** Evaluate a predicate with no subqueries.
+    @raise Invalid_argument on [EXISTS]. *)
+val eval_pred_simple :
+  lookup_col:(Schema.Attr.t -> Sqlval.Value.t) ->
+  lookup_host:(string -> Sqlval.Value.t) ->
+  Sql.Ast.pred ->
+  Sqlval.Truth.t

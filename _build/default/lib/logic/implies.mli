@@ -1,0 +1,36 @@
+(** Constraint implication: does a table's CHECK constraint set imply a
+    query conjunct, making it redundant?
+
+    Section 2.1 of the paper observes that adding any table constraint to a
+    query leaves its result unchanged; this module decides the profitable
+    converse — a WHERE conjunct already guaranteed by the constraints can
+    be deleted. (Three-valued-logic caveat, handled by the caller: a CHECK
+    passes when {e not false}, so on a NULLable column a check can hold
+    where the WHERE conjunct would be unknown; the rewrite therefore
+    requires the column to be NOT NULL.)
+
+    The decision procedure is value-enumeration where the constraint
+    confines the column to a small finite set (an [IN] list, or an integer
+    range of at most {!enumeration_limit} values) — complete for arbitrary
+    single-column conjuncts — with structural comparison rules as the
+    fallback for large or unbounded ranges. *)
+
+type column_constraint = {
+  lo : Sqlval.Value.t option;        (** inclusive lower bound *)
+  hi : Sqlval.Value.t option;        (** inclusive upper bound *)
+  in_set : Sqlval.Value.t list option;  (** finite admissible set *)
+}
+
+val unconstrained : column_constraint
+
+val enumeration_limit : int
+
+(** Derive the constraint on column [col] (matched by name) from the
+    conjuncts of the given CHECK predicates. Disjunctive or multi-column
+    checks contribute nothing (sound: the result is a weaker constraint). *)
+val constraint_for : col:string -> Sql.Ast.pred list -> column_constraint
+
+(** [implied cstr ~col conjunct] — true when every non-null value satisfying
+    [cstr] makes [conjunct] (a single-column predicate over [col]) true.
+    Conservative: [false] when undecided. *)
+val implied : column_constraint -> col:string -> Sql.Ast.pred -> bool

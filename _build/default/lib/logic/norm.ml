@@ -1,0 +1,86 @@
+open Sql.Ast
+
+type literal = Sql.Ast.pred
+type cnf = literal list list
+type dnf = literal list list
+
+(* Expand BETWEEN/IN and push NOT down to literals. De Morgan's laws and
+   double negation are valid in Kleene 3VL, and NOT of a comparison is the
+   complementary comparison (unknown maps to unknown either way). *)
+let rec nnf_pos = function
+  | Ptrue -> Ptrue
+  | Pfalse -> Pfalse
+  | Cmp _ as p -> p
+  | Between (a, lo, hi) -> And (Cmp (Ge, a, lo), Cmp (Le, a, hi))
+  | In_list (a, vs) -> disj (List.map (fun v -> Cmp (Eq, a, Const v)) vs)
+  | Is_null _ as p -> p
+  | Is_not_null _ as p -> p
+  | And (p, q) -> And (nnf_pos p, nnf_pos q)
+  | Or (p, q) -> Or (nnf_pos p, nnf_pos q)
+  | Not p -> nnf_neg p
+  | Exists _ as p -> p
+
+and nnf_neg = function
+  | Ptrue -> Pfalse
+  | Pfalse -> Ptrue
+  | Cmp (op, a, b) -> Cmp (comparison_negate op, a, b)
+  | Between (a, lo, hi) -> Or (Cmp (Lt, a, lo), Cmp (Gt, a, hi))
+  | In_list (a, vs) -> conj (List.map (fun v -> Cmp (Ne, a, Const v)) vs)
+  | Is_null a -> Is_not_null a
+  | Is_not_null a -> Is_null a
+  | And (p, q) -> Or (nnf_neg p, nnf_neg q)
+  | Or (p, q) -> And (nnf_neg p, nnf_neg q)
+  | Not p -> nnf_pos p
+  | Exists _ as p -> Not p
+
+let expand p = nnf_pos p
+
+(* CNF/DNF by structural recursion on the NNF. The two are dual:
+   distribute OR over AND for CNF, AND over OR for DNF. *)
+
+let cross (a : 'a list list) (b : 'a list list) : 'a list list =
+  List.concat_map (fun xa -> List.map (fun xb -> xa @ xb) b) a
+
+let rec cnf_of_nnf = function
+  | Ptrue -> []
+  | Pfalse -> [ [] ]
+  | And (p, q) -> cnf_of_nnf p @ cnf_of_nnf q
+  | Or (p, q) -> cross (cnf_of_nnf p) (cnf_of_nnf q)
+  | lit -> [ [ lit ] ]
+
+let rec dnf_of_nnf = function
+  | Ptrue -> [ [] ]
+  | Pfalse -> []
+  | Or (p, q) -> dnf_of_nnf p @ dnf_of_nnf q
+  | And (p, q) -> cross (dnf_of_nnf p) (dnf_of_nnf q)
+  | lit -> [ [ lit ] ]
+
+let cnf_of_pred p = cnf_of_nnf (expand p)
+let dnf_of_pred p = dnf_of_nnf (expand p)
+
+let pred_of_cnf clauses = conj (List.map disj clauses)
+let pred_of_dnf conjs = disj (List.map conj conjs)
+
+let dnf_of_cnf clauses = dnf_of_nnf (pred_of_cnf clauses)
+
+(* Light constant folding on the original predicate language. *)
+let rec simplify = function
+  | And (p, q) ->
+    (match simplify p, simplify q with
+     | Ptrue, r | r, Ptrue -> r
+     | Pfalse, _ | _, Pfalse -> Pfalse
+     | p', q' when p' = q' -> p'
+     | p', q' -> And (p', q'))
+  | Or (p, q) ->
+    (match simplify p, simplify q with
+     | Pfalse, r | r, Pfalse -> r
+     | Ptrue, _ | _, Ptrue -> Ptrue
+     | p', q' when p' = q' -> p'
+     | p', q' -> Or (p', q'))
+  | Not p ->
+    (match simplify p with
+     | Ptrue -> Pfalse
+     | Pfalse -> Ptrue
+     | Not q -> q
+     | p' -> Not p')
+  | p -> p

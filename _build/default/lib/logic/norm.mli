@@ -1,0 +1,39 @@
+(** Predicate normal forms.
+
+    Algorithm 1 (paper section 4) works on the selection predicate in
+    conjunctive normal form, deletes unusable clauses, and then converts the
+    remainder to disjunctive normal form. The normal forms here operate on
+    {e literals} — predicates that are not [AND]/[OR] — after:
+
+    - expanding [BETWEEN] into two comparisons and [IN] into a disjunction
+      of equalities;
+    - pushing [NOT] down to literals (negating comparison operators, which is
+      sound in 3VL, and flipping [IS NULL]); a negated [EXISTS] stays as a
+      [Not (Exists _)] literal.
+
+    All transformations preserve the three-valued truth value of the
+    predicate (property-tested). *)
+
+type literal = Sql.Ast.pred
+(** Invariant: no [And]/[Or]; [Not] only immediately around [Exists]. *)
+
+type cnf = literal list list
+(** Conjunction of disjunctions ([clauses]). [[]] is true; [[[]]] is false. *)
+
+type dnf = literal list list
+(** Disjunction of conjunctions. [[]] is false; [[[]]] is true. *)
+
+val expand : Sql.Ast.pred -> Sql.Ast.pred
+(** Expand [BETWEEN]/[IN] and push [NOT] to literals (NNF). *)
+
+val cnf_of_pred : Sql.Ast.pred -> cnf
+val dnf_of_pred : Sql.Ast.pred -> dnf
+
+val pred_of_cnf : cnf -> Sql.Ast.pred
+val pred_of_dnf : dnf -> Sql.Ast.pred
+
+(** DNF of a CNF remainder (used on Algorithm 1 line 11). *)
+val dnf_of_cnf : cnf -> dnf
+
+(** Remove obvious constants and duplicate conjuncts. *)
+val simplify : Sql.Ast.pred -> Sql.Ast.pred

@@ -1,0 +1,1 @@
+lib/oodb/navigate.ml: List Sqlval Store

@@ -1,0 +1,1 @@
+lib/oodb/navigate.mli: Sqlval Store

@@ -1,0 +1,1 @@
+lib/oodb/store.ml: Array Engine Format Hashtbl List Option Printf Sqlval String

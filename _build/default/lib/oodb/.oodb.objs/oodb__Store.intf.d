@@ -1,0 +1,1 @@
+lib/oodb/store.mli: Engine Format Sqlval

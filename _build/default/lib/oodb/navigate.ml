@@ -1,0 +1,61 @@
+module Value = Sqlval.Value
+
+type result = {
+  output : Store.obj list;
+  counters : Store.counters;
+}
+
+let in_range v ~lo ~hi =
+  (not (Value.is_null v))
+  && Value.compare_total v lo >= 0
+  && Value.compare_total v hi <= 0
+
+let by_sno objs =
+  List.sort
+    (fun a b -> Value.compare_total (Store.field a "SNO") (Store.field b "SNO"))
+    objs
+
+(* Paper lines 36-42: retrieve PARTS (PNO = :PARTNO); for each, fetch its
+   SUPPLIER through the parent pointer and test the range. *)
+let parts_driven store ~lo ~hi ~pno =
+  Store.reset_counters store;
+  let parts = Store.index_lookup store ~class_name:"Parts" ~field:"PNO" pno in
+  let output =
+    List.filter_map
+      (fun part_oid ->
+        let part = Store.fetch store part_oid in
+        match part.Store.parent with
+        | None -> None
+        | Some sup_oid ->
+          let sup = Store.fetch store sup_oid in
+          if in_range (Store.field sup "SNO") ~lo ~hi then Some sup else None)
+      parts
+  in
+  { output = by_sno output; counters = Store.counters store }
+
+(* Paper lines 43-49: retrieve SUPPLIER (SNO between lo and hi) through the
+   index; per supplier, retrieve PARTS (PNO = :partno AND
+   PARTS.SUPPLIER.OID = SUPPLIER.OID). The OID qualification is evaluated
+   on the index entries (which carry the physical parent pointer), so only
+   qualifying PARTS objects are fetched; the per-supplier probe still pays
+   for every entry it examines. *)
+let supplier_driven store ~lo ~hi ~pno =
+  Store.reset_counters store;
+  let sups = Store.index_range store ~class_name:"Supplier" ~field:"SNO" ~lo ~hi in
+  let output =
+    List.filter_map
+      (fun sup_oid ->
+        let sup = Store.fetch store sup_oid in
+        let candidates =
+          Store.index_lookup_entries store ~class_name:"Parts" ~field:"PNO" pno
+        in
+        match
+          List.find_opt (fun e -> e.Store.e_parent = Some sup_oid) candidates
+        with
+        | Some e ->
+          let _part = Store.fetch store e.Store.e_oid in
+          Some sup
+        | None -> None)
+      sups
+  in
+  { output = by_sno output; counters = Store.counters store }

@@ -1,0 +1,28 @@
+(** The two navigation strategies of paper Example 11 for
+
+    {v
+    SELECT ALL S.* FROM SUPPLIER S, PARTS P
+    WHERE S.SNO BETWEEN :lo AND :hi AND S.SNO = P.SNO AND P.PNO = :partno
+    v}
+
+    - {!parts_driven} (paper lines 36–42): probe the PARTS index on PNO,
+      dereference each part's parent pointer, and filter suppliers by the
+      range — many parent fetches are wasted when the range is selective;
+    - {!supplier_driven} (paper lines 43–49): after the Theorem 2 rewrite to
+      a nested query, range-scan the SUPPLIER index and, per supplier, look
+      for a PARTS object with the given PNO whose parent OID matches,
+      stopping at the first hit.
+
+    Which wins depends on the range's selectivity — the crossover is the
+    subject of experiment E11. *)
+
+type result = {
+  output : Store.obj list;  (** supplier objects, in SNO order *)
+  counters : Store.counters;
+}
+
+val parts_driven :
+  Store.t -> lo:Sqlval.Value.t -> hi:Sqlval.Value.t -> pno:Sqlval.Value.t -> result
+
+val supplier_driven :
+  Store.t -> lo:Sqlval.Value.t -> hi:Sqlval.Value.t -> pno:Sqlval.Value.t -> result

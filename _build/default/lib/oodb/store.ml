@@ -1,0 +1,176 @@
+module Value = Sqlval.Value
+
+type oid = int
+
+type obj = {
+  oid : oid;
+  class_name : string;
+  fields : (string * Value.t) list;
+  parent : oid option;
+}
+
+type entry = {
+  e_key : Value.t;
+  e_oid : oid;
+  e_parent : oid option;
+}
+
+type t = {
+  objects : (oid, obj) Hashtbl.t;
+  extents : (string, oid list) Hashtbl.t;
+  (* (class, field) -> entries sorted by key *)
+  indexes : (string * string, entry array) Hashtbl.t;
+  mutable fetches : int;
+  mutable index_probes : int;
+  mutable entries_examined : int;
+  mutable extent_scans : int;
+}
+
+let classes t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.extents [])
+
+let extent t cls =
+  t.extent_scans <- t.extent_scans + 1;
+  Option.value ~default:[] (Hashtbl.find_opt t.extents cls)
+
+let fetch t oid =
+  t.fetches <- t.fetches + 1;
+  match Hashtbl.find_opt t.objects oid with
+  | Some o -> o
+  | None -> failwith (Printf.sprintf "Oodb.Store: dangling oid %d" oid)
+
+let field o name =
+  match List.assoc_opt name o.fields with
+  | Some v -> v
+  | None -> failwith ("Oodb.Store: unknown field " ^ name)
+
+let find_index t cls fld =
+  match Hashtbl.find_opt t.indexes (cls, fld) with
+  | Some ix -> ix
+  | None -> failwith (Printf.sprintf "Oodb.Store: no index on %s.%s" cls fld)
+
+let index_lookup_entries t ~class_name ~field v =
+  t.index_probes <- t.index_probes + 1;
+  let ix = find_index t class_name field in
+  let hits =
+    Array.to_list ix
+    |> List.filter (fun e -> Value.equal_null e.e_key v)
+  in
+  t.entries_examined <- t.entries_examined + List.length hits;
+  hits
+
+let index_lookup t ~class_name ~field v =
+  List.map (fun e -> e.e_oid) (index_lookup_entries t ~class_name ~field v)
+
+let index_range t ~class_name ~field ~lo ~hi =
+  t.index_probes <- t.index_probes + 1;
+  let ix = find_index t class_name field in
+  let hits =
+    Array.to_list ix
+    |> List.filter (fun e ->
+           (not (Value.is_null e.e_key))
+           && Value.compare_total e.e_key lo >= 0
+           && Value.compare_total e.e_key hi <= 0)
+  in
+  t.entries_examined <- t.entries_examined + List.length hits;
+  List.map (fun e -> e.e_oid) hits
+
+type counters = {
+  fetches : int;
+  index_probes : int;
+  entries_examined : int;
+  extent_scans : int;
+}
+
+let counters (t : t) =
+  {
+    fetches = t.fetches;
+    index_probes = t.index_probes;
+    entries_examined = t.entries_examined;
+    extent_scans = t.extent_scans;
+  }
+
+let reset_counters (t : t) =
+  t.fetches <- 0;
+  t.index_probes <- 0;
+  t.entries_examined <- 0;
+  t.extent_scans <- 0
+
+let cost ?(entry_weight = 0.05) c =
+  float_of_int c.fetches
+  +. (entry_weight *. float_of_int c.entries_examined)
+  +. (0.2 *. float_of_int c.index_probes)
+
+let pp_counters ppf c =
+  Format.fprintf ppf "fetches=%d probes=%d entries=%d extent_scans=%d"
+    c.fetches c.index_probes c.entries_examined c.extent_scans
+
+(* ---- construction ---- *)
+
+let of_supplier_db db =
+  let t =
+    {
+      objects = Hashtbl.create 1024;
+      extents = Hashtbl.create 8;
+      indexes = Hashtbl.create 8;
+      fetches = 0;
+      index_probes = 0;
+      entries_examined = 0;
+      extent_scans = 0;
+    }
+  in
+  let next = ref 0 in
+  let add cls fields parent =
+    incr next;
+    let o = { oid = !next; class_name = cls; fields; parent } in
+    Hashtbl.replace t.objects o.oid o;
+    Hashtbl.replace t.extents cls
+      (o.oid :: Option.value ~default:[] (Hashtbl.find_opt t.extents cls));
+    o.oid
+  in
+  let rows name = (Engine.Database.table db name).Engine.Relation.rows in
+  (* suppliers first; remember SNO -> oid for parent pointers *)
+  let supplier_oid = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let oid =
+        add "Supplier"
+          [ ("SNO", r.(0)); ("SNAME", r.(1)); ("SCITY", r.(2));
+            ("BUDGET", r.(3)); ("STATUS", r.(4)) ]
+          None
+      in
+      Hashtbl.replace supplier_oid r.(0) oid)
+    (rows "SUPPLIER");
+  let parent_of sno = Hashtbl.find_opt supplier_oid sno in
+  List.iter
+    (fun r ->
+      ignore
+        (add "Parts"
+           [ ("SNO", r.(0)); ("PNO", r.(1)); ("PNAME", r.(2));
+             ("OEM_PNO", r.(3)); ("COLOR", r.(4)) ]
+           (parent_of r.(0))))
+    (rows "PARTS");
+  List.iter
+    (fun r ->
+      ignore
+        (add "Agent"
+           [ ("SNO", r.(0)); ("ANO", r.(1)); ("ANAME", r.(2)); ("ACITY", r.(3)) ]
+           (parent_of r.(0))))
+    (rows "AGENTS");
+  (* indexes assumed by Example 11 *)
+  let build_index cls fld =
+    let entries =
+      List.map
+        (fun oid ->
+          let o = Hashtbl.find t.objects oid in
+          { e_key = field o fld; e_oid = oid; e_parent = o.parent })
+        (Option.value ~default:[] (Hashtbl.find_opt t.extents cls))
+    in
+    let arr = Array.of_list entries in
+    Array.sort (fun a b -> Value.compare_total a.e_key b.e_key) arr;
+    Hashtbl.replace t.indexes (cls, fld) arr
+  in
+  build_index "Supplier" "SNO";
+  build_index "Parts" "PNO";
+  build_index "Parts" "OEM_PNO";
+  t

@@ -1,0 +1,73 @@
+(** Object store following paper Figure 3: classes with physical object
+    identifiers (OIDs) in place of foreign keys, each child object pointing
+    to its {e parent} (a PARTS or AGENT object references its SUPPLIER), as
+    in EXODUS and O2. This pointer direction is exactly what makes
+    parent-restrictive joins expensive (paper section 6.2).
+
+    Every object dereference — by OID, by index, or by extent scan —
+    increments a fetch counter; index lookups increment a probe counter.
+    These are the cost measures of Example 11. *)
+
+type oid = int
+
+type obj = {
+  oid : oid;
+  class_name : string;
+  fields : (string * Sqlval.Value.t) list;
+  parent : oid option;  (** pointer to the owning SUPPLIER object *)
+}
+
+type t
+
+val classes : t -> string list
+val extent : t -> string -> oid list
+
+(** Dereference an OID (counts one fetch). *)
+val fetch : t -> oid -> obj
+
+(** Read a field of an already-fetched object. *)
+val field : obj -> string -> Sqlval.Value.t
+
+(** An index leaf entry. Physical-OID systems such as EXODUS keep the
+    relationship pointer in the entry, so a qualification like
+    [PARTS.SUPPLIER.OID = <oid>] can be evaluated during the index scan
+    without fetching the object (paper lines 45–46). Every entry returned
+    by a lookup counts as examined. *)
+type entry = {
+  e_key : Sqlval.Value.t;
+  e_oid : oid;
+  e_parent : oid option;
+}
+
+(** Equality index lookup (counts one probe and one examined entry per
+    hit; returned OIDs are not yet fetched). *)
+val index_lookup : t -> class_name:string -> field:string -> Sqlval.Value.t -> oid list
+
+(** Same, returning full entries (parent pointer included). *)
+val index_lookup_entries :
+  t -> class_name:string -> field:string -> Sqlval.Value.t -> entry list
+
+(** Range lookup over an ordered index (counts one probe and the hits). *)
+val index_range :
+  t -> class_name:string -> field:string ->
+  lo:Sqlval.Value.t -> hi:Sqlval.Value.t -> oid list
+
+type counters = {
+  fetches : int;           (** object dereferences (random I/O) *)
+  index_probes : int;
+  entries_examined : int;  (** index leaf entries touched *)
+  extent_scans : int;
+}
+
+(** Weighted work: an object fetch costs 1.0, an examined index entry
+    [entry_weight] (default 0.05 — an in-page comparison vs. a random
+    object access), a probe [0.2]. Used to rank Example 11's strategies. *)
+val cost : ?entry_weight:float -> counters -> float
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val pp_counters : Format.formatter -> counters -> unit
+
+(** Build the Figure 3 database from the relational supplier database, with
+    indexes on SUPPLIER.SNO and PARTS.PNO (the ones Example 11 assumes). *)
+val of_supplier_db : Engine.Database.t -> t

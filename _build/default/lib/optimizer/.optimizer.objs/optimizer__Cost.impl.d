@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Catalog Fd List Logic Schema Sql String

@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Cost Format Hashtbl List Sql Uniqueness

@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Catalog Cost Format Sql

@@ -1,0 +1,152 @@
+type table_stats = string -> int
+
+type estimate = {
+  cost : float;
+  card : float;
+}
+
+let log2 x = if x < 2.0 then 1.0 else log x /. log 2.0
+
+(* Does [pred] contain an equality pinning the full candidate key of the
+   table occurrence [corr]? Then its selectivity is 1/|T|. *)
+let key_pinned cat (f : Sql.Ast.from_item) pred =
+  let def = Catalog.find_exn cat f.Sql.Ast.table in
+  let corr = Sql.Ast.from_name f in
+  let clauses = Logic.Norm.cnf_of_pred pred in
+  let eqs =
+    List.filter_map
+      (function [ lit ] -> Logic.Equalities.of_literal lit | _ -> None)
+      clauses
+  in
+  let bound =
+    List.fold_left
+      (fun acc -> function
+        | Logic.Equalities.Type1 (a, _) -> Schema.Attr.Set.add a acc
+        | Logic.Equalities.Type2 (a, b) ->
+          (* a column equated with another table's column is bound per
+             outer/other row: count both for key-pinning purposes *)
+          Schema.Attr.Set.add a (Schema.Attr.Set.add b acc))
+      Schema.Attr.Set.empty eqs
+  in
+  List.exists
+    (fun k ->
+      List.for_all
+        (fun a -> Schema.Attr.Set.mem a bound)
+        (Catalog.key_attrs ~corr k))
+    (Catalog.candidate_keys def)
+
+(* Selectivity of the whole predicate, coarse. *)
+let rec selectivity (p : Sql.Ast.pred) =
+  match p with
+  | Sql.Ast.Ptrue -> 1.0
+  | Sql.Ast.Pfalse -> 0.0
+  | Sql.Ast.Cmp (Sql.Ast.Eq, _, _) -> 0.1
+  | Sql.Ast.Cmp (Sql.Ast.Ne, _, _) -> 0.9
+  | Sql.Ast.Cmp ((Sql.Ast.Lt | Sql.Ast.Le | Sql.Ast.Gt | Sql.Ast.Ge), _, _) -> 0.3
+  | Sql.Ast.Between _ -> 0.3
+  | Sql.Ast.In_list (_, vs) -> min 1.0 (0.1 *. float_of_int (List.length vs))
+  | Sql.Ast.Is_null _ -> 0.1
+  | Sql.Ast.Is_not_null _ -> 0.9
+  | Sql.Ast.And (a, b) -> selectivity a *. selectivity b
+  | Sql.Ast.Or (a, b) ->
+    let sa = selectivity a and sb = selectivity b in
+    sa +. sb -. (sa *. sb)
+  | Sql.Ast.Not a -> 1.0 -. selectivity a
+  | Sql.Ast.Exists _ -> 0.5
+
+let rec query_spec cat stats (q : Sql.Ast.query_spec) =
+  (* separate EXISTS conjuncts (correlated probes) from the flat predicate *)
+  let conjs = Sql.Ast.conjuncts q.Sql.Ast.where in
+  let exists_blocks =
+    List.filter_map
+      (function
+        | Sql.Ast.Exists sub -> Some (sub, false)
+        | Sql.Ast.Not (Sql.Ast.Exists sub) -> Some (sub, true)
+        | _ -> None)
+      conjs
+  in
+  let flat =
+    List.filter
+      (function
+        | Sql.Ast.Exists _ | Sql.Ast.Not (Sql.Ast.Exists _) -> false
+        | _ -> true)
+      conjs
+  in
+  let flat_pred = Sql.Ast.conj flat in
+  let cards =
+    List.map (fun (f : Sql.Ast.from_item) -> float_of_int (stats f.Sql.Ast.table)) q.Sql.Ast.from
+  in
+  (* Join cost mirrors the engine: when every table past the first is
+     connected by at least one cross-table equality (hash-joinable), the
+     cost is linear in the inputs plus the output; otherwise the product is
+     materialized. *)
+  let resolve =
+    try Some (Fd.Derive.resolver cat q.Sql.Ast.from) with _ -> None
+  in
+  let cross_table_equalities =
+    match resolve with
+    | None -> 0
+    | Some resolve ->
+      List.length
+        (List.filter
+           (function
+             | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, Sql.Ast.Col b) ->
+               (try
+                  let a = resolve a and b = resolve b in
+                  not (String.equal a.Schema.Attr.rel b.Schema.Attr.rel)
+                with _ -> false)
+             | _ -> false)
+           flat)
+  in
+  let n_tables = List.length q.Sql.Ast.from in
+  let hash_joinable = n_tables > 1 && cross_table_equalities >= n_tables - 1 in
+  let product_size = List.fold_left ( *. ) 1.0 cards in
+  (* per-table selectivity: key-pinned occurrences contribute 1/|T| *)
+  let sel =
+    List.fold_left2
+      (fun acc f card ->
+        if key_pinned cat f flat_pred then acc *. (1.0 /. max 1.0 card)
+        else acc)
+      (selectivity flat_pred) q.Sql.Ast.from cards
+  in
+  (* avoid double counting: the generic selectivity already includes the
+     equality factors; keep the smaller of the two views *)
+  let sel = max (min sel (selectivity flat_pred)) 1e-9 in
+  let filtered = product_size *. sel in
+  let access_cost =
+    if hash_joinable then List.fold_left ( +. ) filtered cards
+    else product_size
+  in
+  (* correlated EXISTS probes: per candidate row, scan half the inner
+     product (early exit nested loop, the paper's baseline) *)
+  let candidate_rows = if hash_joinable then filtered else product_size in
+  let exists_cost =
+    List.fold_left
+      (fun acc ((sub : Sql.Ast.query_spec), _negated) ->
+        let inner =
+          List.fold_left
+            (fun a (f : Sql.Ast.from_item) -> a *. float_of_int (stats f.Sql.Ast.table))
+            1.0 sub.Sql.Ast.from
+        in
+        acc +. (candidate_rows *. max 1.0 (inner /. 2.0)))
+      0.0 exists_blocks
+  in
+  let exists_sel = 0.5 ** float_of_int (List.length exists_blocks) in
+  let out_card = filtered *. exists_sel in
+  let distinct_cost =
+    match q.Sql.Ast.distinct with
+    | Sql.Ast.All -> 0.0
+    | Sql.Ast.Distinct -> out_card *. log2 out_card
+  in
+  { cost = access_cost +. exists_cost +. distinct_cost; card = max out_card 0.0 }
+
+and query cat stats = function
+  | Sql.Ast.Spec q -> query_spec cat stats q
+  | Sql.Ast.Setop (_, _, a, b) ->
+    let ea = query cat stats a and eb = query cat stats b in
+    (* evaluate both operands, sort both, merge *)
+    let sort n = n *. log2 n in
+    {
+      cost = ea.cost +. eb.cost +. sort ea.card +. sort eb.card +. ea.card +. eb.card;
+      card = min ea.card eb.card;
+    }

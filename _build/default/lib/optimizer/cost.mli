@@ -1,0 +1,21 @@
+(** A deliberately simple System-R-flavoured cost model, sufficient to rank
+    the execution strategies that the uniqueness rewrites expose against the
+    naive plans. Costs are abstract work units (rows touched / compared);
+    cardinalities come from a table-statistics callback.
+
+    Selectivity heuristics: equality on a full candidate key -> 1/|T|;
+    other equality -> 0.1; range/IN -> 0.3; disjunction -> complement
+    product; EXISTS -> per-outer-row probe of half the inner table
+    (early-exit nested loop). Duplicate elimination costs
+    [n log2 n] comparisons on its input. *)
+
+type table_stats = string -> int
+(** cardinality of a base table (by name) *)
+
+type estimate = {
+  cost : float;      (** total work units *)
+  card : float;      (** estimated output cardinality *)
+}
+
+val query : Catalog.t -> table_stats -> Sql.Ast.query -> estimate
+val query_spec : Catalog.t -> table_stats -> Sql.Ast.query_spec -> estimate

@@ -1,0 +1,64 @@
+module R = Uniqueness.Rewrite
+
+type strategy = {
+  name : string;
+  query : Sql.Ast.query;
+  estimate : Cost.estimate;
+}
+
+let strategy cat stats name query =
+  { name; query; estimate = Cost.query cat stats query }
+
+let enumerate ?(with_rewrites = true) cat stats q =
+  let original = strategy cat stats "as-written" q in
+  if not with_rewrites then [ original ]
+  else begin
+    let candidates = ref [] in
+    let note name (o : R.outcome) =
+      if o.R.applied then candidates := strategy cat stats name o.R.result :: !candidates
+    in
+    note "distinct-removed (Alg. 1)" (R.remove_redundant_distinct ~analyzer:R.Algorithm1 cat q);
+    note "distinct-removed (FD)" (R.remove_redundant_distinct ~analyzer:R.Fd_closure cat q);
+    note "intersect-to-exists" (R.intersect_to_exists cat q);
+    note "except-to-not-exists" (R.except_to_not_exists cat q);
+    note "group-by-removed" (R.remove_redundant_group_by cat q);
+    (match q with
+     | Sql.Ast.Spec spec ->
+       note "subquery-to-join" (R.subquery_to_join cat spec);
+       note "join-to-subquery" (R.join_to_subquery cat spec);
+       note "join-eliminated" (R.eliminate_joins cat spec);
+       note "predicates-pruned" (R.remove_implied_predicates cat spec)
+     | Sql.Ast.Setop _ -> ());
+    (* compose: unnest + drop distinct, etc. *)
+    let composed, outcomes = R.apply_all cat q in
+    if outcomes <> [] && composed <> q then
+      candidates := strategy cat stats "rewrites-composed" composed :: !candidates;
+    (* dedupe by resulting query *)
+    let seen = Hashtbl.create 8 in
+    let uniq =
+      List.filter
+        (fun s ->
+          let key = Sql.Pretty.query s.query in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (original :: List.rev !candidates)
+    in
+    uniq
+  end
+
+let choose ?with_rewrites cat stats q =
+  let all = enumerate ?with_rewrites cat stats q in
+  match all with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun best s -> if s.estimate.Cost.cost < best.estimate.Cost.cost then s else best)
+      first rest
+
+let pp_strategy ppf s =
+  Format.fprintf ppf "%-28s cost=%12.1f card=%10.1f  %s" s.name
+    s.estimate.Cost.cost s.estimate.Cost.card
+    (Sql.Pretty.query s.query)

@@ -1,0 +1,30 @@
+(** Strategy-space enumeration: the point of paper section 5 is that the
+    uniqueness condition {e expands} the set of execution strategies an
+    optimizer may choose from; the cost model then picks among them.
+
+    [enumerate] returns the original query plus every semantically
+    equivalent alternative produced by the rewrite suite, each with its cost
+    estimate; [choose] picks the cheapest. With [~with_rewrites:false] only
+    the original is considered — the ablation baseline of experiment O1. *)
+
+type strategy = {
+  name : string;
+  query : Sql.Ast.query;
+  estimate : Cost.estimate;
+}
+
+val enumerate :
+  ?with_rewrites:bool ->
+  Catalog.t ->
+  Cost.table_stats ->
+  Sql.Ast.query ->
+  strategy list
+
+val choose :
+  ?with_rewrites:bool ->
+  Catalog.t ->
+  Cost.table_stats ->
+  Sql.Ast.query ->
+  strategy
+
+val pp_strategy : Format.formatter -> strategy -> unit

@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Catalog Fd Format Hashtbl List Printf Schema Sql Sqlval String

@@ -1,0 +1,1 @@
+lib/relalg/plan.mli: Catalog Format Schema Sql Sqlval

@@ -1,0 +1,258 @@
+type out_col =
+  | Out_key of Schema.Attr.t
+  | Out_agg of Sql.Ast.agg_fn * Schema.Attr.t option
+
+let agg_label fn i =
+  Printf.sprintf "%s_%d"
+    (match fn with
+     | Sql.Ast.Count -> "COUNT"
+     | Sql.Ast.Sum -> "SUM"
+     | Sql.Ast.Min -> "MIN"
+     | Sql.Ast.Max -> "MAX"
+     | Sql.Ast.Avg -> "AVG")
+    (i + 1)
+
+type proj_item =
+  | Pcol of Schema.Attr.t
+  | Pconst of Sqlval.Value.t
+  | Phost of string
+
+type t =
+  | Scan of { table : string; corr : string }
+  | Select of Sql.Ast.pred * t
+  | Project of Sql.Ast.distinctness * proj_item list * t
+  | Product of t * t
+  | Intersect of Sql.Ast.distinctness * t * t
+  | Except of Sql.Ast.distinctness * t * t
+  | Aggregate of {
+      group_by : Schema.Attr.t list;
+      output : out_col list;
+      input : t;
+    }
+
+let aggregate_schema input_schema output =
+  Schema.Relschema.make
+    (List.mapi
+       (fun i out ->
+         match out with
+         | Out_key a ->
+           Schema.Relschema.column_at input_schema
+             (Schema.Relschema.index_of input_schema a)
+         | Out_agg (fn, operand) ->
+           let ctype =
+             match fn, operand with
+             | Sql.Ast.Count, _ -> Schema.Relschema.Tint
+             | Sql.Ast.Avg, _ -> Schema.Relschema.Tfloat
+             | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max), Some a ->
+               (Schema.Relschema.column_at input_schema
+                  (Schema.Relschema.index_of input_schema a))
+                 .Schema.Relschema.ctype
+             | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max), None ->
+               Schema.Relschema.Tint
+           in
+           {
+             Schema.Relschema.attr = Schema.Attr.make ~rel:"" ~name:(agg_label fn i);
+             ctype;
+             nullable = true;
+           })
+       output)
+
+let project_schema input_schema items =
+  (* SQL permits repeating a column in the select list; later duplicates
+     get synthesized names so the output schema stays well-formed *)
+  let seen = Hashtbl.create 8 in
+  let dedup (c : Schema.Relschema.column) i =
+    let key = Schema.Attr.to_string c.Schema.Relschema.attr in
+    if Hashtbl.mem seen key then
+      {
+        c with
+        Schema.Relschema.attr =
+          Schema.Attr.make ~rel:""
+            ~name:
+              (Printf.sprintf "%s_%d"
+                 c.Schema.Relschema.attr.Schema.Attr.name (i + 1));
+      }
+    else begin
+      Hashtbl.add seen key ();
+      c
+    end
+  in
+  Schema.Relschema.make
+    (List.mapi
+       (fun i item ->
+         match item with
+         | Pcol a ->
+           dedup
+             (Schema.Relschema.column_at input_schema
+                (Schema.Relschema.index_of input_schema a))
+             i
+         | Pconst v ->
+           {
+             Schema.Relschema.attr =
+               Schema.Attr.make ~rel:"" ~name:(Printf.sprintf "CONST_%d" (i + 1));
+             ctype =
+               (match v with
+                | Sqlval.Value.Int _ -> Schema.Relschema.Tint
+                | Sqlval.Value.Float _ -> Schema.Relschema.Tfloat
+                | Sqlval.Value.Bool _ -> Schema.Relschema.Tbool
+                | Sqlval.Value.String _ | Sqlval.Value.Null ->
+                  Schema.Relschema.Tstring);
+             nullable = Sqlval.Value.is_null v;
+           }
+         | Phost h ->
+           {
+             Schema.Relschema.attr = Schema.Attr.make ~rel:"" ~name:("HOST_" ^ h);
+             ctype = Schema.Relschema.Tstring;
+             nullable = true;
+           })
+       items)
+
+let rec schema cat = function
+  | Scan { table; corr } ->
+    let def = Catalog.find_exn cat table in
+    Schema.Relschema.rename_rel corr def.Catalog.tbl_schema
+  | Select (_, p) -> schema cat p
+  | Project (_, items, p) -> project_schema (schema cat p) items
+  | Product (a, b) -> Schema.Relschema.product (schema cat a) (schema cat b)
+  | Intersect (_, a, _) | Except (_, a, _) -> schema cat a
+  | Aggregate { output; input; _ } -> aggregate_schema (schema cat input) output
+
+let of_query_spec cat (q : Sql.Ast.query_spec) =
+  let scans =
+    List.map
+      (fun (f : Sql.Ast.from_item) ->
+        Scan { table = f.table; corr = Sql.Ast.from_name f })
+      q.from
+  in
+  let source =
+    match scans with
+    | [] -> invalid_arg "Plan.of_query_spec: empty FROM list"
+    | s :: rest -> List.fold_left (fun acc p -> Product (acc, p)) s rest
+  in
+  let selected =
+    match q.where with Sql.Ast.Ptrue -> source | w -> Select (w, source)
+  in
+  let has_agg =
+    match q.select with
+    | Sql.Ast.Star -> false
+    | Sql.Ast.Cols cs ->
+      List.exists (function Sql.Ast.Agg _ -> true | _ -> false) cs
+  in
+  if q.group_by = [] && not has_agg then begin
+    let items =
+      match q.select with
+      | Sql.Ast.Star ->
+        let s = schema cat source in
+        List.map (fun a -> Pcol a) (Schema.Relschema.attrs s)
+      | Sql.Ast.Cols cs ->
+        let resolve = Fd.Derive.resolver cat q.from in
+        let s = schema cat source in
+        List.concat_map
+          (function
+            | Sql.Ast.Col a when String.equal a.Schema.Attr.name "*" ->
+              List.filter_map
+                (fun c ->
+                  if String.equal c.Schema.Attr.rel a.Schema.Attr.rel then
+                    Some (Pcol c)
+                  else None)
+                (Schema.Relschema.attrs s)
+            | Sql.Ast.Col a -> [ Pcol (resolve a) ]
+            | Sql.Ast.Const v -> [ Pconst v ]
+            | Sql.Ast.Host h -> [ Phost h ]
+            | Sql.Ast.Agg _ -> [])
+          cs
+    in
+    Project (q.distinct, items, selected)
+  end
+  else begin
+    (* grouped / aggregated query *)
+    let resolve = Fd.Derive.resolver cat q.from in
+    let group_attrs =
+      List.map
+        (function
+          | Sql.Ast.Col a -> resolve a
+          | Sql.Ast.Const _ | Sql.Ast.Host _ | Sql.Ast.Agg _ ->
+            invalid_arg "Plan: GROUP BY expects column references")
+        q.group_by
+    in
+    let output =
+      match q.select with
+      | Sql.Ast.Star -> invalid_arg "Plan: SELECT * with GROUP BY is not supported"
+      | Sql.Ast.Cols cs ->
+        List.map
+          (function
+            | Sql.Ast.Col a ->
+              let a = resolve a in
+              if not (List.exists (Schema.Attr.equal a) group_attrs) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Plan: selected column %s must appear in GROUP BY"
+                     (Schema.Attr.to_string a));
+              Out_key a
+            | Sql.Ast.Agg (Sql.Ast.Count, None) -> Out_agg (Sql.Ast.Count, None)
+            | Sql.Ast.Agg (_, None) ->
+              invalid_arg "Plan: only COUNT accepts a star operand"
+            | Sql.Ast.Agg (fn, Some (Sql.Ast.Col a)) -> Out_agg (fn, Some (resolve a))
+            | Sql.Ast.Agg (_, Some _) ->
+              invalid_arg "Plan: aggregate operands must be column references"
+            | Sql.Ast.Const _ | Sql.Ast.Host _ ->
+              invalid_arg "Plan: literals in a grouped select list are not supported")
+          cs
+    in
+    let agg = Aggregate { group_by = group_attrs; output; input = selected } in
+    match q.distinct with
+    | Sql.Ast.All -> agg
+    | Sql.Ast.Distinct ->
+      let out_schema = aggregate_schema (schema cat selected) output in
+      Project
+        (Sql.Ast.Distinct,
+         List.map (fun a -> Pcol a) (Schema.Relschema.attrs out_schema),
+         agg)
+  end
+
+let rec of_query cat = function
+  | Sql.Ast.Spec q -> of_query_spec cat q
+  | Sql.Ast.Setop (Sql.Ast.Intersect, d, a, b) ->
+    Intersect (d, of_query cat a, of_query cat b)
+  | Sql.Ast.Setop (Sql.Ast.Except, d, a, b) ->
+    Except (d, of_query cat a, of_query cat b)
+
+let rec pp ppf = function
+  | Scan { table; corr } ->
+    if String.equal table corr then Format.fprintf ppf "%s" table
+    else Format.fprintf ppf "%s[%s]" table corr
+  | Select (p, x) ->
+    Format.fprintf ppf "@[<hv 2>select[%s](@,%a)@]" (Sql.Pretty.pred p) pp x
+  | Project (d, items, x) ->
+    Format.fprintf ppf "@[<hv 2>project_%s[%s](@,%a)@]"
+      (match d with Sql.Ast.All -> "all" | Sql.Ast.Distinct -> "dist")
+      (String.concat ", "
+         (List.map
+            (function
+              | Pcol a -> Schema.Attr.to_string a
+              | Pconst v -> Sqlval.Value.to_string v
+              | Phost h -> ":" ^ h)
+            items))
+      pp x
+  | Product (a, b) -> Format.fprintf ppf "@[<hv 2>(%a@ x %a)@]" pp a pp b
+  | Intersect (d, a, b) ->
+    Format.fprintf ppf "@[<hv 2>(%a@ intersect_%s %a)@]" pp a
+      (match d with Sql.Ast.All -> "all" | Sql.Ast.Distinct -> "dist")
+      pp b
+  | Except (d, a, b) ->
+    Format.fprintf ppf "@[<hv 2>(%a@ except_%s %a)@]" pp a
+      (match d with Sql.Ast.All -> "all" | Sql.Ast.Distinct -> "dist")
+      pp b
+  | Aggregate { group_by; output; input } ->
+    Format.fprintf ppf "@[<hv 2>aggregate[%s | %s](@,%a)@]"
+      (String.concat ", " (List.map Schema.Attr.to_string group_by))
+      (String.concat ", "
+         (List.mapi
+            (fun i out ->
+              match out with
+              | Out_key a -> Schema.Attr.to_string a
+              | Out_agg (fn, _) -> agg_label fn i)
+            output))
+      pp input
+
+let to_string t = Format.asprintf "%a" pp t

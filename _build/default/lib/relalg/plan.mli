@@ -1,0 +1,65 @@
+(** The paper's multiset algebra (section 2.2), as an executable plan IR:
+
+    - [R × S] — extended Cartesian product ([SELECT * FROM R, S]);
+    - [σ\[C\](R)] — selection, no duplicate elimination, [C] false-interpreted;
+    - [π_d\[A\](R)] — projection with [d ∈ {All, Dist}];
+    - [R ∩_d S] — [INTERSECT \[ALL\]] (ALL: min of multiplicities);
+    - [R −_d S] — [EXCEPT \[ALL\]] (ALL: max(j−k, 0)).
+
+    Predicates keep their SQL form ([EXISTS] subqueries included); the
+    engine evaluates them under the current (possibly correlated) bindings. *)
+
+(** One output column of an {!Aggregate}: a grouping key or an aggregate
+    over a resolved column ([None] = the star operand of a star count). *)
+type out_col =
+  | Out_key of Schema.Attr.t
+  | Out_agg of Sql.Ast.agg_fn * Schema.Attr.t option
+
+(** One projected column: a resolved attribute, a literal, or a host
+    variable (literals arise from de-aggregation rewrites, e.g. a star
+    count over singleton groups becoming the literal [1]). *)
+type proj_item =
+  | Pcol of Schema.Attr.t
+  | Pconst of Sqlval.Value.t
+  | Phost of string
+
+type t =
+  | Scan of { table : string; corr : string }
+      (** base-table access; columns are qualified by [corr] *)
+  | Select of Sql.Ast.pred * t
+  | Project of Sql.Ast.distinctness * proj_item list * t
+  | Product of t * t
+  | Intersect of Sql.Ast.distinctness * t * t
+  | Except of Sql.Ast.distinctness * t * t
+  | Aggregate of {
+      group_by : Schema.Attr.t list;
+          (** [] forms a single global group (even over empty input) *)
+      output : out_col list;  (** in select-list order *)
+      input : t;
+    }
+      (** GROUP BY / aggregation — the extension of paper section 8;
+          grouping equates NULL keys (null-comparison semantics), and
+          aggregates other than the star count ignore NULL operands *)
+
+(** Translate a query to a plan: left-deep product of the FROM list, then
+    selection, then projection. Column references are resolved (qualified)
+    against the catalog.
+    @raise Fd.Derive.Unknown_table / [Unknown_column] on resolution errors. *)
+val of_query : Catalog.t -> Sql.Ast.query -> t
+
+val of_query_spec : Catalog.t -> Sql.Ast.query_spec -> t
+
+(** The output schema of a plan. *)
+val schema : Catalog.t -> t -> Schema.Relschema.t
+
+(** Output schema of an {!Aggregate} over an input with the given schema;
+    aggregate columns get synthesized unqualified names ([COUNT_2], ...,
+    numbered by select-list position). *)
+val aggregate_schema : Schema.Relschema.t -> out_col list -> Schema.Relschema.t
+
+(** Output schema of a {!Project} over an input with the given schema;
+    literal and host items get synthesized unqualified names. *)
+val project_schema : Schema.Relschema.t -> proj_item list -> Schema.Relschema.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/schema/attr.ml: Format Map Set String

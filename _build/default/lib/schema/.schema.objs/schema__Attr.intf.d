@@ -1,0 +1,1 @@
+lib/schema/attr.mli: Format Map Set

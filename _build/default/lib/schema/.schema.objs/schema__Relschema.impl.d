@@ -1,0 +1,1 @@
+lib/schema/relschema.ml: Array Attr Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/schema/relschema.mli: Attr Format

@@ -1,0 +1,35 @@
+type t = { rel : string; name : string }
+
+let canon s = String.uppercase_ascii s
+let make ~rel ~name = { rel = canon rel; name = canon name }
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string a = if a.rel = "" then a.name else a.rel ^ "." ^ a.name
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> make ~rel:"" ~name:s
+  | Some i ->
+    make ~rel:(String.sub s 0 i) ~name:(String.sub s (i + 1) (String.length s - i - 1))
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let set_of_list l = Set.of_list l
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+    (Set.elements s)

@@ -1,0 +1,23 @@
+(** Qualified attribute references.
+
+    An attribute is identified by the (correlation) name of the table it
+    belongs to and its column name, e.g. [S.SNO]. All comparisons are
+    case-insensitive on both components, matching SQL identifier rules. *)
+
+type t = { rel : string; name : string }
+
+val make : rel:string -> name:string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Parse ["S.SNO"]; a bare column name gets an empty [rel]. *)
+val of_string : string -> t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,95 @@
+type col_type = Tint | Tfloat | Tstring | Tbool
+
+type column = {
+  attr : Attr.t;
+  ctype : col_type;
+  nullable : bool;
+}
+
+type t = {
+  cols : column array;
+  (* column name -> (qualifier, position) candidates, for O(1) reference
+     resolution on the executor's hot path *)
+  by_name : (string, (string * int) list) Hashtbl.t;
+}
+
+let make cols =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let key = Attr.to_string c.attr in
+      if Hashtbl.mem seen key then failwith ("Relschema.make: duplicate column " ^ key);
+      Hashtbl.add seen key ())
+    cols;
+  let arr = Array.of_list cols in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i c ->
+      let name = c.attr.Attr.name in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_name name) in
+      Hashtbl.replace by_name name (cur @ [ (c.attr.Attr.rel, i) ]))
+    arr;
+  { cols = arr; by_name }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+let attrs t = List.map (fun c -> c.attr) (columns t)
+let attr_set t = Attr.set_of_list (attrs t)
+
+let find_index t (a : Attr.t) =
+  match Hashtbl.find_opt t.by_name a.Attr.name with
+  | None -> None
+  | Some candidates ->
+    let hits =
+      if a.Attr.rel = "" then candidates
+      else List.filter (fun (rel, _) -> String.equal rel a.Attr.rel) candidates
+    in
+    (match hits with
+     | [] -> None
+     | [ (_, i) ] -> Some i
+     | _ :: _ :: _ ->
+       failwith ("Relschema: ambiguous column reference " ^ Attr.to_string a))
+
+let index_of t a =
+  match find_index t a with
+  | Some i -> i
+  | None -> raise Not_found
+
+let column_at t i = t.cols.(i)
+
+let mem t a = match find_index t a with Some _ -> true | None -> false
+
+let product a b = make (columns a @ columns b)
+
+let select_positions t positions = make (List.map (fun i -> t.cols.(i)) positions)
+
+let rename_rel rel t =
+  make
+    (List.map
+       (fun c -> { c with attr = Attr.make ~rel ~name:c.attr.Attr.name })
+       (columns t))
+
+let compatible_types a b =
+  match a, b with
+  | Tint, Tint | Tfloat, Tfloat | Tstring, Tstring | Tbool, Tbool -> true
+  | Tint, Tfloat | Tfloat, Tint -> true
+  | (Tint | Tfloat | Tstring | Tbool), _ -> false
+
+let union_compatible a b =
+  arity a = arity b
+  && List.for_all2 (fun x y -> compatible_types x.ctype y.ctype) (columns a) (columns b)
+
+let col_type_name = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Tstring -> "VARCHAR"
+  | Tbool -> "BOOLEAN"
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c ->
+         Format.fprintf ppf "%a %s%s" Attr.pp c.attr (col_type_name c.ctype)
+           (if c.nullable then "" else " NOT NULL")))
+    (columns t)

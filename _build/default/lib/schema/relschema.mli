@@ -1,0 +1,49 @@
+(** Relation schemas: an ordered list of typed, qualified columns.
+
+    A schema describes both base tables (all columns share one relation
+    qualifier) and derived tables such as Cartesian products (columns keep
+    the qualifier of the table occurrence they came from). *)
+
+type col_type = Tint | Tfloat | Tstring | Tbool
+
+type column = {
+  attr : Attr.t;
+  ctype : col_type;
+  nullable : bool;
+}
+
+type t
+
+val make : column list -> t
+val columns : t -> column list
+val arity : t -> int
+
+(** All attributes, in column order. *)
+val attrs : t -> Attr.t list
+
+val attr_set : t -> Attr.Set.t
+
+(** Position of an attribute. A reference with an empty [rel] matches any
+    qualifier, provided it is unambiguous.
+    @raise Not_found if absent; @raise Failure if ambiguous. *)
+val index_of : t -> Attr.t -> int
+
+val find_index : t -> Attr.t -> int option
+val column_at : t -> int -> column
+val mem : t -> Attr.t -> bool
+
+(** Concatenation, for extended Cartesian products.
+    @raise Failure on duplicate qualified names. *)
+val product : t -> t -> t
+
+(** Keep only the columns at the given positions, in the given order. *)
+val select_positions : t -> int list -> t
+
+(** Re-qualify every column with a new relation name (SQL correlation). *)
+val rename_rel : string -> t -> t
+
+(** Union compatibility: same arity and pairwise-compatible column types. *)
+val union_compatible : t -> t -> bool
+
+val col_type_name : col_type -> string
+val pp : Format.formatter -> t -> unit

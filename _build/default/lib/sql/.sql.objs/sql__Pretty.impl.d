@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Buffer Format List Printf Schema Sqlval String

@@ -1,0 +1,29 @@
+(** Hand-written lexer for the SQL subset. Identifiers and keywords are
+    case-insensitive and canonicalized to uppercase; string literals keep
+    their case and use doubled quotes for escaping ([O''Brien]). *)
+
+type token =
+  | IDENT of string  (** uppercased identifier or keyword *)
+  | HOST of string   (** [:NAME], uppercased, without the colon *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | SEMI
+  | OP_EQ
+  | OP_NE
+  | OP_LT
+  | OP_LE
+  | OP_GT
+  | OP_GE
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+val pp_token : Format.formatter -> token -> unit
+val token_to_string : token -> string

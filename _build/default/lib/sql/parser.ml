@@ -1,0 +1,373 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> t | [ _ ] | [] -> Lexer.EOF
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st))
+
+(* Keywords are ordinary identifiers from the lexer. *)
+let accept_kw st kw =
+  match peek st with
+  | Lexer.IDENT s when String.equal s kw -> advance st; true
+  | _ -> false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    fail "expected %s but found %s" kw (Lexer.token_to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> fail "expected identifier but found %s" (Lexer.token_to_string t)
+
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EXISTS"; "BETWEEN"; "IN";
+    "IS"; "NULL"; "DISTINCT"; "ALL"; "INTERSECT"; "EXCEPT"; "TRUE"; "FALSE";
+    "CREATE"; "TABLE"; "VIEW"; "PRIMARY"; "UNIQUE"; "CHECK"; "KEY"; "AS";
+    "GROUP"; "BY"; "FOREIGN"; "REFERENCES" ]
+
+let is_reserved s = List.mem s reserved
+
+(* ---- scalars ---- *)
+
+let parse_literal st : Sqlval.Value.t =
+  match peek st with
+  | Lexer.INT i -> advance st; Sqlval.Value.Int i
+  | Lexer.FLOAT f -> advance st; Sqlval.Value.Float f
+  | Lexer.STRING s -> advance st; Sqlval.Value.String s
+  | Lexer.IDENT "NULL" -> advance st; Sqlval.Value.Null
+  | Lexer.IDENT "TRUE" -> advance st; Sqlval.Value.Bool true
+  | Lexer.IDENT "FALSE" -> advance st; Sqlval.Value.Bool false
+  | t -> fail "expected literal but found %s" (Lexer.token_to_string t)
+
+let parse_scalar st : scalar =
+  match peek st with
+  | Lexer.HOST h -> advance st; Host h
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ -> Const (parse_literal st)
+  | Lexer.IDENT "NULL" | Lexer.IDENT "TRUE" | Lexer.IDENT "FALSE" ->
+    Const (parse_literal st)
+  | Lexer.IDENT name when not (is_reserved name) ->
+    advance st;
+    if peek st = Lexer.DOT then begin
+      advance st;
+      match peek st with
+      | Lexer.STAR ->
+        (* qualified star: S.* *)
+        advance st;
+        Col (Schema.Attr.make ~rel:name ~name:"*")
+      | _ ->
+        let col = expect_ident st in
+        Col (Schema.Attr.make ~rel:name ~name:col)
+    end
+    else Col (Schema.Attr.make ~rel:"" ~name)
+  | t -> fail "expected scalar expression but found %s" (Lexer.token_to_string t)
+
+let agg_fn_of_name = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | _ -> None
+
+(* a select-list scalar additionally admits aggregate calls *)
+let parse_select_scalar st : scalar =
+  match peek st, peek2 st with
+  | Lexer.IDENT name, Lexer.LPAREN when agg_fn_of_name name <> None ->
+    let fn = Option.get (agg_fn_of_name name) in
+    advance st;
+    expect st Lexer.LPAREN;
+    let operand =
+      if peek st = Lexer.STAR then begin
+        advance st;
+        if fn <> Count then fail "only COUNT accepts a star operand";
+        None
+      end
+      else Some (parse_scalar st)
+    in
+    expect st Lexer.RPAREN;
+    Agg (fn, operand)
+  | _ -> parse_scalar st
+
+(* ---- predicates ---- *)
+
+let rec parse_pred_st st : pred = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "AND" then And (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "NOT" then Not (parse_not st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.IDENT "EXISTS" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let sub = parse_query_spec_st st in
+    expect st Lexer.RPAREN;
+    Exists sub
+  | Lexer.IDENT "TRUE" when not (starts_scalar_comparison st) -> advance st; Ptrue
+  | Lexer.IDENT "FALSE" when not (starts_scalar_comparison st) -> advance st; Pfalse
+  | Lexer.LPAREN ->
+    advance st;
+    let p = parse_pred_st st in
+    expect st Lexer.RPAREN;
+    p
+  | _ ->
+    let lhs = parse_scalar st in
+    parse_predicate_tail st lhs
+
+(* TRUE/FALSE can also appear as boolean literals in comparisons
+   (e.g. FLAG = TRUE); treat the bare keyword as a predicate only when not
+   followed by a comparison operator. *)
+and starts_scalar_comparison st =
+  match peek2 st with
+  | Lexer.OP_EQ | Lexer.OP_NE | Lexer.OP_LT | Lexer.OP_LE | Lexer.OP_GT
+  | Lexer.OP_GE -> true
+  | _ -> false
+
+and parse_predicate_tail st lhs =
+  match peek st with
+  | Lexer.OP_EQ -> advance st; Cmp (Eq, lhs, parse_scalar st)
+  | Lexer.OP_NE -> advance st; Cmp (Ne, lhs, parse_scalar st)
+  | Lexer.OP_LT -> advance st; Cmp (Lt, lhs, parse_scalar st)
+  | Lexer.OP_LE -> advance st; Cmp (Le, lhs, parse_scalar st)
+  | Lexer.OP_GT -> advance st; Cmp (Gt, lhs, parse_scalar st)
+  | Lexer.OP_GE -> advance st; Cmp (Ge, lhs, parse_scalar st)
+  | Lexer.IDENT "BETWEEN" ->
+    advance st;
+    let lo = parse_scalar st in
+    expect_kw st "AND";
+    let hi = parse_scalar st in
+    Between (lhs, lo, hi)
+  | Lexer.IDENT "IN" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let rec values acc =
+      let v = parse_literal st in
+      if peek st = Lexer.COMMA then begin advance st; values (v :: acc) end
+      else List.rev (v :: acc)
+    in
+    let vs = values [] in
+    expect st Lexer.RPAREN;
+    In_list (lhs, vs)
+  | Lexer.IDENT "IS" ->
+    advance st;
+    if accept_kw st "NOT" then begin expect_kw st "NULL"; Is_not_null lhs end
+    else begin expect_kw st "NULL"; Is_null lhs end
+  | Lexer.IDENT "NOT" ->
+    (* x NOT BETWEEN ... / x NOT IN (...) *)
+    advance st;
+    (match peek st with
+     | Lexer.IDENT "BETWEEN" | Lexer.IDENT "IN" ->
+       Not (parse_predicate_tail st lhs)
+     | t -> fail "expected BETWEEN or IN after NOT, found %s" (Lexer.token_to_string t))
+  | t -> fail "expected comparison operator but found %s" (Lexer.token_to_string t)
+
+(* ---- query specifications ---- *)
+
+and parse_query_spec_st st : query_spec =
+  expect_kw st "SELECT";
+  let distinct =
+    if accept_kw st "DISTINCT" then Distinct
+    else begin ignore (accept_kw st "ALL"); All end
+  in
+  let select =
+    if peek st = Lexer.STAR then begin advance st; Star end
+    else begin
+      let rec items acc =
+        let s = parse_select_scalar st in
+        (* optional [AS alias]; aliases are accepted and ignored since the
+           paper's subset projects base columns only *)
+        if accept_kw st "AS" then ignore (expect_ident st);
+        if peek st = Lexer.COMMA then begin advance st; items (s :: acc) end
+        else List.rev (s :: acc)
+      in
+      Cols (items [])
+    end
+  in
+  expect_kw st "FROM";
+  let rec from_items acc =
+    let table = expect_ident st in
+    let corr =
+      match peek st with
+      | Lexer.IDENT c when not (is_reserved c) -> advance st; Some c
+      | _ -> None
+    in
+    let item = { table; corr } in
+    if peek st = Lexer.COMMA then begin advance st; from_items (item :: acc) end
+    else List.rev (item :: acc)
+  in
+  let from = from_items [] in
+  let where = if accept_kw st "WHERE" then parse_pred_st st else Ptrue in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec cols acc =
+        let s = parse_scalar st in
+        if peek st = Lexer.COMMA then begin advance st; cols (s :: acc) end
+        else List.rev (s :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  { distinct; select; from; where; group_by }
+
+let rec parse_query_st st : query =
+  let left = Spec (parse_query_spec_st st) in
+  match peek st with
+  | Lexer.IDENT "INTERSECT" ->
+    advance st;
+    let d = if accept_kw st "ALL" then All else Distinct in
+    Setop (Intersect, d, left, parse_query_st st)
+  | Lexer.IDENT "EXCEPT" ->
+    advance st;
+    let d = if accept_kw st "ALL" then All else Distinct in
+    Setop (Except, d, left, parse_query_st st)
+  | _ -> left
+
+(* ---- DDL ---- *)
+
+let parse_col_type st : Schema.Relschema.col_type =
+  let t = expect_ident st in
+  let skip_length () =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      (match peek st with Lexer.INT _ -> advance st | _ -> fail "expected length");
+      expect st Lexer.RPAREN
+    end
+  in
+  match t with
+  | "INT" | "INTEGER" | "SMALLINT" -> Schema.Relschema.Tint
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" ->
+    skip_length ();
+    Schema.Relschema.Tfloat
+  | "CHAR" | "VARCHAR" | "CHARACTER" ->
+    skip_length ();
+    Schema.Relschema.Tstring
+  | "BOOLEAN" | "BOOL" -> Schema.Relschema.Tbool
+  | other -> fail "unknown column type %s" other
+
+let parse_create_view_st st : create_view =
+  expect_kw st "CREATE";
+  expect_kw st "VIEW";
+  let cv_name = expect_ident st in
+  expect_kw st "AS";
+  let cv_query = parse_query_spec_st st in
+  { cv_name; cv_query }
+
+let parse_create_table_st st : create_table =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let ct_name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let cols = ref [] in
+  let constraints = ref [] in
+  let parse_key_cols () =
+    expect st Lexer.LPAREN;
+    let rec go acc =
+      let c = expect_ident st in
+      if peek st = Lexer.COMMA then begin advance st; go (c :: acc) end
+      else List.rev (c :: acc)
+    in
+    let cs = go [] in
+    expect st Lexer.RPAREN;
+    cs
+  in
+  let parse_element () =
+    match peek st with
+    | Lexer.IDENT "PRIMARY" ->
+      advance st;
+      expect_kw st "KEY";
+      constraints := C_primary_key (parse_key_cols ()) :: !constraints
+    | Lexer.IDENT "UNIQUE" ->
+      advance st;
+      constraints := C_unique (parse_key_cols ()) :: !constraints
+    | Lexer.IDENT "CHECK" ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let p = parse_pred_st st in
+      expect st Lexer.RPAREN;
+      constraints := C_check p :: !constraints
+    | Lexer.IDENT "FOREIGN" ->
+      advance st;
+      expect_kw st "KEY";
+      let cols = parse_key_cols () in
+      expect_kw st "REFERENCES";
+      let tbl = expect_ident st in
+      let ref_cols = if peek st = Lexer.LPAREN then parse_key_cols () else [] in
+      constraints := C_foreign_key (cols, tbl, ref_cols) :: !constraints
+    | _ ->
+      let cd_name = expect_ident st in
+      let cd_type = parse_col_type st in
+      let cd_not_null =
+        if accept_kw st "NOT" then begin expect_kw st "NULL"; true end
+        else begin
+          if accept_kw st "NULL" then ();
+          false
+        end
+      in
+      (* inline PRIMARY KEY / UNIQUE on a single column *)
+      if accept_kw st "PRIMARY" then begin
+        expect_kw st "KEY";
+        constraints := C_primary_key [ cd_name ] :: !constraints
+      end
+      else if accept_kw st "UNIQUE" then
+        constraints := C_unique [ cd_name ] :: !constraints;
+      cols := { cd_name; cd_type; cd_not_null } :: !cols
+  in
+  let rec elements () =
+    parse_element ();
+    if peek st = Lexer.COMMA then begin advance st; elements () end
+  in
+  elements ();
+  expect st Lexer.RPAREN;
+  { ct_name; ct_cols = List.rev !cols; ct_constraints = List.rev !constraints }
+
+(* ---- entry points ---- *)
+
+let finish st v =
+  ignore (accept_kw st ";");
+  if peek st = Lexer.SEMI then advance st;
+  match peek st with
+  | Lexer.EOF -> v
+  | t -> fail "trailing input starting at %s" (Lexer.token_to_string t)
+
+let with_input f input =
+  let st = { toks = Lexer.tokenize input } in
+  finish st (f st)
+
+let parse_query input = with_input parse_query_st input
+let parse_query_spec input = with_input parse_query_spec_st input
+let parse_pred input = with_input parse_pred_st input
+let parse_create_table input = with_input parse_create_table_st input
+
+let parse_create_view input = with_input parse_create_view_st input
+
+let parse_statement input =
+  let st = { toks = Lexer.tokenize input } in
+  match peek st, peek2 st with
+  | Lexer.IDENT "CREATE", Lexer.IDENT "VIEW" ->
+    finish st (Create_view (parse_create_view_st st))
+  | Lexer.IDENT "CREATE", _ -> finish st (Create (parse_create_table_st st))
+  | _, _ -> finish st (Query (parse_query_st st))

@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the paper's SQL subset.
+
+    Grammar (section 2 of the paper):
+    {v
+    statement   := query | create_table
+    query       := query_spec [ (INTERSECT|EXCEPT) [ALL] query ]
+    query_spec  := SELECT [ALL|DISTINCT] select_list FROM from_list [WHERE pred]
+    select_list := '*' | scalar (',' scalar)*
+    from_list   := table [corr] (',' table [corr])*
+    pred        := or-precedence boolean expression over comparisons,
+                   BETWEEN, IN (value list), IS [NOT] NULL,
+                   EXISTS (query_spec), NOT/AND/OR, parentheses
+    scalar      := [table '.'] column | literal | :host
+    create_table:= CREATE TABLE name '(' coldef-or-constraint, ... ')'
+    v} *)
+
+exception Parse_error of string
+
+val parse_statement : string -> Ast.statement
+val parse_query : string -> Ast.query
+val parse_query_spec : string -> Ast.query_spec
+val parse_pred : string -> Ast.pred
+val parse_create_table : string -> Ast.create_table
+val parse_create_view : string -> Ast.create_view

@@ -1,0 +1,110 @@
+open Ast
+
+let comparison = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+let rec scalar = function
+  | Col a -> Schema.Attr.to_string a
+  | Const v -> Sqlval.Value.to_string v
+  | Host h -> ":" ^ h
+  | Agg (fn, None) -> agg_name fn ^ "(*)"
+  | Agg (fn, Some s) -> agg_name fn ^ "(" ^ scalar s ^ ")"
+
+(* Precedence: OR(1) < AND(2) < NOT(3) < atoms. Parenthesize a child whose
+   precedence is lower than the context requires. *)
+let rec pred_prec ~prec p =
+  let wrap need body = if need > prec then body else "(" ^ body ^ ")" in
+  match p with
+  | Ptrue -> "TRUE"
+  | Pfalse -> "FALSE"
+  | Cmp (op, a, b) -> scalar a ^ " " ^ comparison op ^ " " ^ scalar b
+  | Between (a, lo, hi) -> scalar a ^ " BETWEEN " ^ scalar lo ^ " AND " ^ scalar hi
+  | In_list (a, vs) ->
+    scalar a ^ " IN (" ^ String.concat ", " (List.map Sqlval.Value.to_string vs) ^ ")"
+  | Is_null a -> scalar a ^ " IS NULL"
+  | Is_not_null a -> scalar a ^ " IS NOT NULL"
+  | Not p -> wrap 3 ("NOT " ^ pred_prec ~prec:3 p)
+  | And (a, b) -> wrap 2 (pred_prec ~prec:2 a ^ " AND " ^ pred_prec ~prec:2 b)
+  | Or (a, b) -> wrap 1 (pred_prec ~prec:1 a ^ " OR " ^ pred_prec ~prec:1 b)
+  | Exists q -> "EXISTS (" ^ query_spec q ^ ")"
+
+and pred p = pred_prec ~prec:0 p
+
+and query_spec q =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  (match q.distinct with
+   | Distinct -> Buffer.add_string buf "DISTINCT "
+   | All -> Buffer.add_string buf "ALL ");
+  (match q.select with
+   | Star -> Buffer.add_string buf "*"
+   | Cols cs -> Buffer.add_string buf (String.concat ", " (List.map scalar cs)));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun f ->
+            match f.corr with None -> f.table | Some c -> f.table ^ " " ^ c)
+          q.from));
+  (match q.where with
+   | Ptrue -> ()
+   | w ->
+     Buffer.add_string buf " WHERE ";
+     Buffer.add_string buf (pred w));
+  (match q.group_by with
+   | [] -> ()
+   | cols ->
+     Buffer.add_string buf " GROUP BY ";
+     Buffer.add_string buf (String.concat ", " (List.map scalar cols)));
+  Buffer.contents buf
+
+let rec query = function
+  | Spec q -> query_spec q
+  | Setop (op, d, a, b) ->
+    let opname = match op with Intersect -> "INTERSECT" | Except -> "EXCEPT" in
+    let dname = match d with All -> " ALL" | Distinct -> "" in
+    query a ^ " " ^ opname ^ dname ^ " " ^ query b
+
+let col_def (c : col_def) =
+  Printf.sprintf "%s %s%s" c.cd_name
+    (Schema.Relschema.col_type_name c.cd_type)
+    (if c.cd_not_null then " NOT NULL" else "")
+
+let table_constraint = function
+  | C_primary_key cols -> "PRIMARY KEY (" ^ String.concat ", " cols ^ ")"
+  | C_unique cols -> "UNIQUE (" ^ String.concat ", " cols ^ ")"
+  | C_check p -> "CHECK (" ^ pred p ^ ")"
+  | C_foreign_key (cols, tbl, ref_cols) ->
+    "FOREIGN KEY (" ^ String.concat ", " cols ^ ") REFERENCES " ^ tbl
+    ^ (match ref_cols with
+       | [] -> ""
+       | _ -> " (" ^ String.concat ", " ref_cols ^ ")")
+
+let create_table (ct : create_table) =
+  Printf.sprintf "CREATE TABLE %s (%s)" ct.ct_name
+    (String.concat ", "
+       (List.map col_def ct.ct_cols
+        @ List.map table_constraint ct.ct_constraints))
+
+let create_view (cv : create_view) =
+  Printf.sprintf "CREATE VIEW %s AS %s" cv.cv_name (query_spec cv.cv_query)
+
+let statement = function
+  | Query q -> query q
+  | Create ct -> create_table ct
+  | Create_view cv -> create_view cv
+
+let pp_query ppf q = Format.pp_print_string ppf (query q)
+let pp_pred ppf p = Format.pp_print_string ppf (pred p)

@@ -1,0 +1,14 @@
+(** Rendering ASTs back to SQL text. The output reparses to an equal AST
+    (round-trip property, tested in [test/test_sql.ml]). *)
+
+val comparison : Ast.comparison -> string
+val scalar : Ast.scalar -> string
+val pred : Ast.pred -> string
+val query_spec : Ast.query_spec -> string
+val query : Ast.query -> string
+val create_table : Ast.create_table -> string
+val create_view : Ast.create_view -> string
+val statement : Ast.statement -> string
+
+val pp_query : Format.formatter -> Ast.query -> unit
+val pp_pred : Format.formatter -> Ast.pred -> unit

@@ -1,0 +1,1 @@
+lib/sqlval/truth.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/sqlval/truth.mli: Format

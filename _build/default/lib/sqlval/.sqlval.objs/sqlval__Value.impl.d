@@ -1,0 +1,1 @@
+lib/sqlval/value.ml: Bool Float Format Int Printf String Truth

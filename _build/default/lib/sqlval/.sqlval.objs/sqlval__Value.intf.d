@@ -1,0 +1,1 @@
+lib/sqlval/value.mli: Format Truth

@@ -1,0 +1,38 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let rank = function False -> 0 | Unknown -> 1 | True -> 2
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | (True | Unknown), (True | Unknown) -> Unknown
+
+let or_ a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | (False | Unknown), (False | Unknown) -> Unknown
+
+let conj ts = List.fold_left and_ True ts
+let disj ts = List.fold_left or_ False ts
+
+let is_true = function True -> true | False | Unknown -> false
+let is_not_false = function False -> false | True | Unknown -> true

@@ -1,0 +1,43 @@
+(** Three-valued logic (3VL) truth values, as used by SQL's [WHERE] clause.
+
+    The paper (Table 2) distinguishes three ways a predicate [P] may be
+    interpreted in the presence of [NULL]:
+
+    - {e undefined}: [P(x)] evaluates to {!Unknown} when an operand is null;
+    - {e true-interpreted} [⌈P⌉]: unknown collapses to true
+      ([x IS NULL OR P(x)]);
+    - {e false-interpreted} [⌊P⌋]: unknown collapses to false
+      ([x IS NOT NULL AND P(x)]).
+
+    SQL's [WHERE] clause applies the false interpretation to the whole
+    selection predicate: a row qualifies only when the predicate is
+    {!True}. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Kleene connectives} *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+
+(** [conj ts] folds {!and_} over [ts]; empty list is {!True}. *)
+val conj : t list -> t
+
+(** [disj ts] folds {!or_} over [ts]; empty list is {!False}. *)
+val disj : t list -> t
+
+(** {1 Interpretation operators (paper Table 2)} *)
+
+(** [⌊P⌋]: false-interpreted — holds only when definitely true. *)
+val is_true : t -> bool
+
+(** [⌈P⌉]: true-interpreted — holds unless definitely false. *)
+val is_not_false : t -> bool

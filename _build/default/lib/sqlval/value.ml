@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+let is_null = function Null -> true | Int _ | Float _ | String _ | Bool _ -> false
+
+let type_name = function
+  | Null -> "null"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | Bool _ -> "bool"
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+
+(* Numeric comparison crosses Int/Float, as SQL does. *)
+let numeric_pair a b =
+  match a, b with
+  | Int x, Int y -> Some (Float.of_int x, Float.of_int y)
+  | Int x, Float y -> Some (Float.of_int x, y)
+  | Float x, Int y -> Some (x, Float.of_int y)
+  | Float x, Float y -> Some (x, y)
+  | (Null | Int _ | Float _ | String _ | Bool _), _ -> None
+
+let compare_total a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Int _ | Float _), (Int _ | Float _) ->
+    (match numeric_pair a b with
+     | Some (x, y) -> Float.compare x y
+     | None -> assert false)
+  | (Null | Int _ | Float _ | String _ | Bool _), _ ->
+    Int.compare (type_rank a) (type_rank b)
+
+let equal_null a b = compare_total a b = 0
+let equal = equal_null
+
+(* 3VL comparison: Unknown if either side is null; values of incompatible
+   types are simply unequal (and not ordered). *)
+let cmp3 a b : int option =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | _ -> Some (compare_total a b)
+
+let eq3 a b =
+  match cmp3 a b with
+  | None -> Truth.Unknown
+  | Some c -> Truth.of_bool (c = 0)
+
+let ne3 a b = Truth.not_ (eq3 a b)
+
+let rel3 f a b =
+  match cmp3 a b with
+  | None -> Truth.Unknown
+  | Some c -> Truth.of_bool (f c)
+
+let lt3 = rel3 (fun c -> c < 0)
+let le3 = rel3 (fun c -> c <= 0)
+let gt3 = rel3 (fun c -> c > 0)
+let ge3 = rel3 (fun c -> c >= 0)
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> Printf.sprintf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

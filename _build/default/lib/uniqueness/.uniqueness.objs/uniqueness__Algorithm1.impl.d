@@ -1,0 +1,1 @@
+lib/uniqueness/algorithm1.ml: Catalog Fd Format List Logic Printf Schema Sql String

@@ -1,0 +1,1 @@
+lib/uniqueness/algorithm1.mli: Catalog Format Schema Sql

@@ -1,0 +1,1 @@
+lib/uniqueness/exact.ml: Array Catalog Fd Format List Logic Schema Sql Sqlval String

@@ -1,0 +1,1 @@
+lib/uniqueness/exact.mli: Catalog Format Sql Sqlval

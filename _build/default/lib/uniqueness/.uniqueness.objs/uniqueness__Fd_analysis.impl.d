@@ -1,0 +1,1 @@
+lib/uniqueness/fd_analysis.ml: Fd List Schema Sql

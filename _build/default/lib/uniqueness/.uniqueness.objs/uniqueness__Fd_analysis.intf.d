@@ -1,0 +1,1 @@
+lib/uniqueness/fd_analysis.mli: Catalog Schema Sql

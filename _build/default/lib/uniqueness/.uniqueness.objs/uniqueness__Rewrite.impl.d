@@ -1,0 +1,1 @@
+lib/uniqueness/rewrite.ml: Algorithm1 Catalog Fd Fd_analysis Format Fun List Logic Printf Schema Sql Sqlval String

@@ -1,0 +1,1 @@
+lib/uniqueness/rewrite.mli: Catalog Format Sql

@@ -1,0 +1,1 @@
+lib/uniqueness/views.ml: Catalog Fd Fd_analysis Format Hashtbl List Option Printf Schema Sql String

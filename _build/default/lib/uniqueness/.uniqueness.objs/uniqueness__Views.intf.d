@@ -1,0 +1,1 @@
+lib/uniqueness/views.mli: Catalog Sql

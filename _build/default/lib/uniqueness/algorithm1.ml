@@ -1,0 +1,168 @@
+module Attr = Schema.Attr
+
+type answer = Yes | No
+
+type trace_step = {
+  line : string;
+  detail : string;
+}
+
+type report = {
+  answer : answer;
+  reason : string;
+  trace : trace_step list;
+  closure : Attr.Set.t;
+}
+
+(* Classify a literal with resolved (qualified) column references; [None]
+   marks a condition that is neither Type 1 nor Type 2. *)
+let classify resolve lit =
+  match Logic.Equalities.of_literal lit with
+  | Some (Logic.Equalities.Type1 (a, v)) ->
+    Some (Logic.Equalities.Type1 (resolve a, v))
+  | Some (Logic.Equalities.Type2 (a, b)) ->
+    Some (Logic.Equalities.Type2 (resolve a, resolve b))
+  | None -> None
+
+let pp_clause clause =
+  match clause with
+  | [] -> "FALSE"
+  | lits -> String.concat " OR " (List.map Sql.Pretty.pred lits)
+
+let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
+  let trace = ref [] in
+  let step line detail = trace := { line; detail } :: !trace in
+  let finish answer reason closure =
+    { answer; reason; trace = List.rev !trace; closure }
+  in
+  let resolve = Fd.Derive.resolver cat q.from in
+  (* line 5: C := CR ∧ CS ∧ CR,S ∧ T in CNF *)
+  let cnf = Logic.Norm.cnf_of_pred q.where in
+  step "5"
+    (Printf.sprintf "C <=> %s"
+       (match cnf with
+        | [] -> "T"
+        | _ -> String.concat " AND " (List.map pp_clause cnf) ^ " AND T"));
+  (* lines 6-9: delete clauses with non-equality atoms and disjunctive
+     clauses *)
+  let kept, deleted =
+    List.partition
+      (fun clause ->
+        match clause with
+        | [ lit ] -> classify resolve lit <> None
+        | [] | _ :: _ :: _ -> false)
+      cnf
+  in
+  step "6-9"
+    (if deleted = [] then "C is unchanged"
+     else
+       Printf.sprintf "deleted %d clause(s): %s" (List.length deleted)
+         (String.concat "; " (List.map pp_clause deleted)));
+  (* line 10 *)
+  if kept = [] && paper_strict then begin
+    step "10" "C = T; return NO (printed algorithm)";
+    finish No "no usable equality conditions (paper-strict mode)" Attr.Set.empty
+  end
+  else begin
+    if kept = [] then step "10" "C = T; key-subset test proceeds on the projection alone"
+    else step "10" "C is not simply true; we proceed";
+    (* line 11: convert C to DNF. After the deletions every clause is a
+       singleton, so the DNF has exactly one conjunct; the loop below still
+       follows the paper's structure. *)
+    let dnf = Logic.Norm.dnf_of_cnf kept in
+    step "11"
+      (Printf.sprintf "E1 <=> %s"
+         (match dnf with
+          | [] -> "F"
+          | e :: _ ->
+            (match e with [] -> "T" | _ -> String.concat " AND " (List.map Sql.Pretty.pred e))));
+    let projection =
+      Attr.set_of_list (Fd.Derive.projection_attrs cat q)
+    in
+    (* candidate keys per table occurrence, qualified by correlation name *)
+    let table_keys =
+      List.map
+        (fun (f : Sql.Ast.from_item) ->
+          let def = Catalog.find_exn cat f.table in
+          let corr = Sql.Ast.from_name f in
+          ( corr,
+            List.map
+              (fun k -> Attr.set_of_list (Catalog.key_attrs ~corr k))
+              (Catalog.candidate_keys def) ))
+        q.from
+    in
+    let analyze_conjunct ei =
+      let eqs = List.filter_map (classify resolve) ei in
+      (* line 13: V starts as the projection attributes *)
+      let v0 = projection in
+      step "13"
+        (Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v0));
+      (* line 14: add Type-1 columns *)
+      let v1 =
+        List.fold_left
+          (fun acc -> function
+            | Logic.Equalities.Type1 (a, _) -> Attr.Set.add a acc
+            | Logic.Equalities.Type2 _ -> acc)
+          v0 eqs
+      in
+      step "14"
+        (if Attr.Set.equal v0 v1 then "V is unchanged"
+         else Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v1));
+      (* lines 15-16: transitive closure under Type-2 conditions *)
+      let v2 = Logic.Equalities.closure v1 eqs in
+      step "15-16"
+        (if Attr.Set.equal v1 v2 then "V is unchanged"
+         else Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v2));
+      (* line 17: Key(R) · Key(S) ⊆ V, any candidate key per table *)
+      let missing =
+        List.filter
+          (fun (_, keys) ->
+            not (keys <> [] && List.exists (fun k -> Attr.Set.subset k v2) keys))
+          table_keys
+      in
+      (v2, missing)
+    in
+    let rec loop = function
+      | [] ->
+        step "20" "Return YES and stop";
+        finish Yes "a candidate key of every table is functionally bound"
+          projection
+      | ei :: rest ->
+        let v, missing = analyze_conjunct ei in
+        if missing = [] then begin
+          step "17" "V contains a candidate key of every table; proceed";
+          match rest with
+          | [] ->
+            step "20" "Return YES and stop";
+            finish Yes "a candidate key of every table is functionally bound" v
+          | _ -> loop rest
+        end
+        else begin
+          let who = String.concat ", " (List.map fst missing) in
+          step "18" (Printf.sprintf "no candidate key of %s is in V; return NO" who);
+          finish No
+            (Printf.sprintf "no candidate key of table(s) %s is bound by the \
+                             projection and equality conditions" who)
+            v
+        end
+    in
+    match dnf with
+    | [] ->
+      (* predicate is unsatisfiable: the result is empty, duplicates are
+         impossible *)
+      step "11" "C is unsatisfiable; the result is empty";
+      finish Yes "the selection predicate is unsatisfiable" projection
+    | conjuncts -> loop conjuncts
+  end
+
+let distinct_is_redundant ?paper_strict cat q =
+  (analyze ?paper_strict cat q).answer = Yes
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>answer: %s@,reason: %s@,@[<v 2>trace:@,%a@]@]"
+    (match r.answer with Yes -> "YES" | No -> "NO")
+    r.reason
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf s -> Format.fprintf ppf "Line %s: %s" s.line s.detail))
+    r.trace

@@ -1,0 +1,50 @@
+(** Algorithm 1 of the paper: a practical, sufficient test deciding whether
+    duplicate elimination is unnecessary for a query specification.
+
+    The algorithm:
+    + converts the selection predicate to CNF;
+    + deletes every clause containing a non-equality atomic condition, and
+      every disjunctive (more-than-one-literal) clause;
+    + converts the remainder to DNF;
+    + for each DNF conjunct, seeds a set [V] with the projection attributes,
+      adds every Type-1 column ([v = constant-or-host]), and computes the
+      transitive closure of [V] under Type-2 conditions ([v1 = v2]);
+    + answers YES iff, for every conjunct, [V] contains some candidate key
+      of {e every} table in the FROM list (the key of the extended Cartesian
+      product).
+
+    The printed algorithm (line 10) returns NO when every clause was deleted
+    ([C = T]); read literally, that rejects predicate-free queries that
+    project a full key. By default we run the evidently intended behaviour —
+    an empty predicate still performs the key-subset test on the projection
+    alone; pass [~paper_strict:true] to reproduce the printed text. *)
+
+type answer = Yes | No
+
+type trace_step = {
+  line : string;   (** the algorithm line(s) this step corresponds to *)
+  detail : string;
+}
+
+type report = {
+  answer : answer;
+  reason : string;
+  trace : trace_step list;
+  closure : Schema.Attr.Set.t;
+      (** final [V] (of the last conjunct inspected) *)
+}
+
+(** Analyze a query specification. Queries with subqueries are supported:
+    [EXISTS] conditions are simply not usable as equality clauses (they are
+    deleted with the other non-equality conditions), which keeps the test
+    sufficient.
+
+    @raise Fd.Derive.Unknown_table or [Unknown_column] on bad references. *)
+val analyze :
+  ?paper_strict:bool -> Catalog.t -> Sql.Ast.query_spec -> report
+
+(** [true] iff {!analyze} answers {!Yes}: [SELECT DISTINCT] and [SELECT ALL]
+    coincide, so an optimizer may drop the duplicate-elimination step. *)
+val distinct_is_redundant : ?paper_strict:bool -> Catalog.t -> Sql.Ast.query_spec -> bool
+
+val pp_report : Format.formatter -> report -> unit

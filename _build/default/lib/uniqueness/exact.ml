@@ -1,0 +1,441 @@
+module Attr = Schema.Attr
+module Value = Sqlval.Value
+module Truth = Sqlval.Truth
+
+type row = Value.t array
+
+type counterexample = {
+  instance : (string * row list) list;
+  hosts : (string * Value.t) list;
+  row1 : row;
+  row2 : row;
+}
+
+type result =
+  | Unique
+  | Duplicable of counterexample
+
+exception Too_large of int
+
+(* ---- domain construction ---- *)
+
+(* Fresh values are shared per type so that cross-column equalities
+   (S.SNO = P.SNO) can be realized with fresh values. *)
+let fresh_of_type = function
+  | Schema.Relschema.Tint -> [ Value.Int 900001; Value.Int 900002 ]
+  | Schema.Relschema.Tfloat -> [ Value.Float 900001.5; Value.Float 900002.5 ]
+  | Schema.Relschema.Tstring -> [ Value.String "#V1"; Value.String "#V2" ]
+  | Schema.Relschema.Tbool -> [ Value.Bool true; Value.Bool false ]
+
+(* Constants a scalar is compared against, per column, with neighbours for
+   range comparisons so that strict/boundary cases are representable. *)
+let rec collect_constants acc (p : Sql.Ast.pred) =
+  let scalar_pairs op a b acc =
+    match a, b with
+    | Sql.Ast.Col c, Sql.Ast.Const v | Sql.Ast.Const v, Sql.Ast.Col c ->
+      let vs =
+        match op, v with
+        | Sql.Ast.Eq, _ | Sql.Ast.Ne, _ -> [ v ]
+        | (Sql.Ast.Lt | Sql.Ast.Le | Sql.Ast.Gt | Sql.Ast.Ge), Value.Int i ->
+          [ Value.Int (i - 1); v; Value.Int (i + 1) ]
+        | _, _ -> [ v ]
+      in
+      (c, vs) :: acc
+    | _ -> acc
+  in
+  match p with
+  | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> acc
+  | Sql.Ast.Cmp (op, a, b) -> scalar_pairs op a b acc
+  | Sql.Ast.Between (a, lo, hi) ->
+    let acc = scalar_pairs Sql.Ast.Ge a lo acc in
+    scalar_pairs Sql.Ast.Le a hi acc
+  | Sql.Ast.In_list (a, vs) ->
+    (match a with
+     | Sql.Ast.Col c -> (c, vs) :: acc
+     | _ -> acc)
+  | Sql.Ast.Is_null _ | Sql.Ast.Is_not_null _ -> acc
+  | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) ->
+    collect_constants (collect_constants acc a) b
+  | Sql.Ast.Not a -> collect_constants acc a
+  | Sql.Ast.Exists _ -> invalid_arg "Exact: EXISTS subqueries are not supported"
+
+(* Role of a column decides its domain: columns appearing in keys,
+   predicates, or CHECK constraints need rich domains; pure-projection (or
+   entirely unused) columns can be pinned to one value without losing
+   counterexamples (values can always be relabeled). *)
+type role = Rich | Pinned
+
+let max_domain = 9
+
+let build_domains cat (q : Sql.Ast.query_spec) =
+  let resolve = Fd.Derive.resolver cat q.from in
+  let pred_consts =
+    List.map (fun (c, vs) -> (resolve c, vs)) (collect_constants [] q.where)
+  in
+  let rec pred_cols acc (p : Sql.Ast.pred) =
+    let of_scalar acc = function
+      | Sql.Ast.Col c -> Attr.Set.add (resolve c) acc
+      | Sql.Ast.Const _ | Sql.Ast.Host _ -> acc
+      | Sql.Ast.Agg _ -> invalid_arg "Exact: aggregate in a predicate"
+    in
+    match p with
+    | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> acc
+    | Sql.Ast.Cmp (_, a, b) -> of_scalar (of_scalar acc a) b
+    | Sql.Ast.Between (a, lo, hi) -> of_scalar (of_scalar (of_scalar acc a) lo) hi
+    | Sql.Ast.In_list (a, _) | Sql.Ast.Is_null a | Sql.Ast.Is_not_null a ->
+      of_scalar acc a
+    | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) -> pred_cols (pred_cols acc a) b
+    | Sql.Ast.Not a -> pred_cols acc a
+    | Sql.Ast.Exists _ -> invalid_arg "Exact: EXISTS subqueries are not supported"
+  in
+  let used_in_pred = pred_cols Attr.Set.empty q.where in
+  (* per table occurrence: schema, check constants and check columns *)
+  List.map
+    (fun (f : Sql.Ast.from_item) ->
+      let def = Catalog.find_exn cat f.table in
+      let corr = Sql.Ast.from_name f in
+      let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
+      let requalify (a : Attr.t) = Attr.make ~rel:corr ~name:a.Attr.name in
+      let check_consts =
+        List.concat_map
+          (fun check ->
+            List.map
+              (fun (c, vs) ->
+                (* check predicates reference bare or table-qualified
+                   columns; requalify by correlation name *)
+                (requalify c, vs))
+              (collect_constants [] check))
+          def.Catalog.tbl_checks
+      in
+      let check_cols =
+        List.fold_left
+          (fun acc check ->
+            List.fold_left
+              (fun acc (c, _) -> Attr.Set.add (requalify c) acc)
+              (* also columns used without constants: approximate by
+                 collecting all column refs *)
+              acc
+              (collect_constants [] check))
+          Attr.Set.empty def.Catalog.tbl_checks
+      in
+      let key_cols =
+        List.fold_left
+          (fun acc k ->
+            List.fold_left
+              (fun acc a -> Attr.Set.add a acc)
+              acc
+              (Catalog.key_attrs ~corr k))
+          Attr.Set.empty def.Catalog.tbl_keys
+      in
+      let role a =
+        if Attr.Set.mem a key_cols || Attr.Set.mem a used_in_pred
+           || Attr.Set.mem a check_cols
+        then Rich
+        else Pinned
+      in
+      let domain (col : Schema.Relschema.column) =
+        let a = col.Schema.Relschema.attr in
+        match role a with
+        | Pinned -> [ List.hd (fresh_of_type col.Schema.Relschema.ctype) ]
+        | Rich ->
+          let consts =
+            List.concat_map
+              (fun (c, vs) -> if Attr.equal c a then vs else [])
+              (pred_consts @ check_consts)
+          in
+          let base = consts @ fresh_of_type col.Schema.Relschema.ctype in
+          let base = if col.Schema.Relschema.nullable then Value.Null :: base else base in
+          let dedup =
+            List.sort_uniq Value.compare_total base
+          in
+          if List.length dedup > max_domain then begin
+            let rec take n = function
+              | [] -> []
+              | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+            in
+            take max_domain dedup
+          end
+          else dedup
+      in
+      (corr, schema, def, List.map domain (Schema.Relschema.columns schema)))
+    q.from
+
+(* All tuples over the column domains. *)
+let enumerate_tuples domains =
+  let rec go = function
+    | [] -> [ [] ]
+    | d :: rest ->
+      let tails = go rest in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) tails) d
+  in
+  List.map Array.of_list (go domains)
+
+let rows_equal (a : row) (b : row) =
+  let n = Array.length a in
+  let rec go i = i >= n || (Value.equal_null a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(* validity of a single tuple w.r.t. its table: CHECK constraints not false,
+   primary-key columns non-null *)
+let tuple_valid (schema : Schema.Relschema.t) (def : Catalog.table_def) corr row =
+  let lookup_col (a : Attr.t) =
+    (* checks may use bare or base-table-qualified names *)
+    let a' = Attr.make ~rel:corr ~name:a.Attr.name in
+    match Schema.Relschema.find_index schema a' with
+    | Some i -> row.(i)
+    | None -> raise (Logic.Eval.Unbound_column a)
+  in
+  let checks_ok =
+    List.for_all
+      (fun check ->
+        Truth.is_not_false
+          (Logic.Eval.eval_pred_simple ~lookup_col
+             ~lookup_host:(fun h -> raise (Logic.Eval.Unbound_host h))
+             check))
+      def.Catalog.tbl_checks
+  in
+  checks_ok
+  && List.for_all
+       (fun (k : Catalog.key) ->
+         (not k.Catalog.key_primary)
+         || List.for_all
+              (fun a ->
+                let i = Schema.Relschema.index_of schema a in
+                not (Value.is_null row.(i)))
+              (Catalog.key_attrs ~corr k))
+       def.Catalog.tbl_keys
+
+(* A two-tuple instance {t, t'} is valid iff both tuples are valid and, when
+   distinct, they disagree on every candidate key (uniqueness with nulls
+   equal, SQL2-style). *)
+let pair_valid schema def corr t t' =
+  rows_equal t t'
+  || List.for_all
+       (fun (k : Catalog.key) ->
+         List.exists
+           (fun a ->
+             let i = Schema.Relschema.index_of schema a in
+             not (Value.equal_null t.(i) t'.(i)))
+           (Catalog.key_attrs ~corr k))
+       def.Catalog.tbl_keys
+
+let host_domains cat (q : Sql.Ast.query_spec) =
+  let hosts = Sql.Ast.hosts_of_query_spec q in
+  let resolve = Fd.Derive.resolver cat q.from in
+  (* a host's domain: values of the columns it is compared against *)
+  let rec host_cols acc (p : Sql.Ast.pred) =
+    match p with
+    | Sql.Ast.Cmp (_, Sql.Ast.Col c, Sql.Ast.Host h)
+    | Sql.Ast.Cmp (_, Sql.Ast.Host h, Sql.Ast.Col c) -> (h, resolve c) :: acc
+    | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) -> host_cols (host_cols acc a) b
+    | Sql.Ast.Not a -> host_cols acc a
+    | Sql.Ast.Between (a, lo, hi) ->
+      let pairs x y acc =
+        match x, y with
+        | Sql.Ast.Col c, Sql.Ast.Host h | Sql.Ast.Host h, Sql.Ast.Col c ->
+          (h, resolve c) :: acc
+        | _ -> acc
+      in
+      pairs a lo (pairs a hi acc)
+    | _ -> acc
+  in
+  let pairs = host_cols [] q.where in
+  (hosts, pairs)
+
+(* Upper bound on raw tuple enumeration per table (before validity and
+   projection-agreement pruning); the real combination guard runs after
+   pruning, against [max_cells]. *)
+let max_tuples_per_table = 200_000
+
+let search_space_of domains_per_table host_dom_sizes =
+  let tuple_space =
+    List.fold_left
+      (fun acc (_, _, _, doms) ->
+        let per_table =
+          List.fold_left (fun acc d -> acc * List.length d) 1 doms
+        in
+        (* pairs of tuples *)
+        acc * per_table * per_table)
+      1 domains_per_table
+  in
+  List.fold_left ( * ) tuple_space host_dom_sizes
+
+let check ?(max_cells = 2_000_000) cat (q : Sql.Ast.query_spec) =
+  let per_table = build_domains cat q in
+  let hosts, host_col_pairs = host_domains cat q in
+  (* host domain: union of domains of the columns it is compared with *)
+  let domain_of_attr a =
+    List.concat_map
+      (fun (_, schema, _, doms) ->
+        match Schema.Relschema.find_index schema a with
+        | Some i -> List.nth doms i
+        | None -> [])
+      per_table
+  in
+  let host_doms =
+    List.map
+      (fun h ->
+        let cols = List.filter_map (fun (h', c) -> if h = h' then Some c else None) host_col_pairs in
+        let dom =
+          List.sort_uniq Value.compare_total
+            (List.concat_map domain_of_attr cols)
+        in
+        let dom = List.filter (fun v -> not (Value.is_null v)) dom in
+        (h, if dom = [] then [ Value.Int 0 ] else dom))
+      hosts
+  in
+  (* guard the raw per-table enumeration ... *)
+  List.iter
+    (fun (_, _, _, doms) ->
+      let space = List.fold_left (fun acc d -> acc * List.length d) 1 doms in
+      if space > max_tuples_per_table then raise (Too_large space))
+    per_table;
+  (* candidate pairs per table, pruned by: validity, pair validity, and
+     agreement on the table's share of the projection attributes *)
+  let projection = Fd.Derive.projection_attrs cat q in
+  let pairs_per_table =
+    List.map
+      (fun (corr, schema, def, doms) ->
+        let proj_idx =
+          List.filter_map (Schema.Relschema.find_index schema) projection
+        in
+        let tuples =
+          List.filter (tuple_valid schema def corr) (enumerate_tuples doms)
+        in
+        let pairs = ref [] in
+        List.iter
+          (fun t ->
+            List.iter
+              (fun t' ->
+                if
+                  pair_valid schema def corr t t'
+                  && List.for_all
+                       (fun i -> Value.equal_null t.(i) t'.(i))
+                       proj_idx
+                then pairs := (t, t') :: !pairs)
+              tuples)
+          tuples;
+        (* try genuinely distinct pairs first: a counterexample needs at
+           least one table where the two tuples differ, so this ordering
+           finds witnesses early in large spaces *)
+        let diff, same =
+          List.partition (fun (t, t') -> not (rows_equal t t')) (List.rev !pairs)
+        in
+        (corr, schema, diff @ same))
+      per_table
+  in
+  (* The combination budget is charged as the search runs, so a counter-
+     example found early escapes the guard even when the full space is
+     large; only a completed (exhaustive) search can conclude Unique. *)
+  let leaves = ref 0 in
+  let charge () =
+    incr leaves;
+    if !leaves > max_cells then raise (Too_large !leaves)
+  in
+  (* full product schema, for predicate evaluation over concatenated rows *)
+  let schemas = List.map (fun (_, s, _) -> s) pairs_per_table in
+  let product_schema =
+    match schemas with
+    | [] -> Schema.Relschema.make []
+    | s :: rest -> List.fold_left Schema.Relschema.product s rest
+  in
+  let proj_idx_full =
+    List.map (Schema.Relschema.index_of product_schema) projection
+  in
+  let eval_where hrow bindings =
+    let lookup_col a =
+      match Schema.Relschema.find_index product_schema a with
+      | Some i -> bindings.(i)
+      | None -> raise (Logic.Eval.Unbound_column a)
+    in
+    let lookup_host h =
+      match List.assoc_opt h hrow with
+      | Some v -> v
+      | None -> raise (Logic.Eval.Unbound_host h)
+    in
+    Truth.is_true (Logic.Eval.eval_pred_simple ~lookup_col ~lookup_host q.where)
+  in
+  (* enumerate host assignments *)
+  let rec host_assignments = function
+    | [] -> [ [] ]
+    | (h, dom) :: rest ->
+      let tails = host_assignments rest in
+      List.concat_map (fun v -> List.map (fun t -> (h, v) :: t) tails) dom
+  in
+  let found = ref None in
+  (try
+     List.iter
+       (fun hrow ->
+         (* choose one (t, t') pair per table *)
+         let rec choose acc = function
+           | [] ->
+             charge ();
+             let chosen = List.rev acc in
+             let some_diff =
+               List.exists (fun (_, (t, t')) -> not (rows_equal t t')) chosen
+             in
+             if some_diff then begin
+               let r1 =
+                 Array.concat (List.map (fun (_, (t, _)) -> t) chosen)
+               in
+               let r2 =
+                 Array.concat (List.map (fun (_, (_, t')) -> t') chosen)
+               in
+               if eval_where hrow r1 && eval_where hrow r2 then begin
+                 let project (r : row) =
+                   Array.of_list (List.map (fun i -> r.(i)) proj_idx_full)
+                 in
+                 let instance =
+                   List.map
+                     (fun (corr, (t, t')) ->
+                       ( corr,
+                         if rows_equal t t' then [ t ] else [ t; t' ] ))
+                     chosen
+                 in
+                 found :=
+                   Some
+                     {
+                       instance;
+                       hosts = hrow;
+                       row1 = project r1;
+                       row2 = project r2;
+                     };
+                 raise Exit
+               end
+             end
+           | (corr, _, pairs) :: rest ->
+             List.iter (fun pr -> choose ((corr, pr) :: acc) rest) pairs
+         in
+         choose [] pairs_per_table)
+       (host_assignments host_doms)
+   with Exit -> ());
+  match !found with Some ce -> Duplicable ce | None -> Unique
+
+let search_space cat q =
+  let per_table = build_domains cat q in
+  let hosts, _ = host_domains cat q in
+  search_space_of per_table (List.map (fun _ -> 2) hosts)
+
+let pp_result ppf = function
+  | Unique -> Format.fprintf ppf "unique (no duplicate-producing instance)"
+  | Duplicable ce ->
+    Format.fprintf ppf "@[<v>duplicable; witness:@,";
+    List.iter
+      (fun (corr, rows) ->
+        Format.fprintf ppf "  %s:@," corr;
+        List.iter
+          (fun r ->
+            Format.fprintf ppf "    (%s)@,"
+              (String.concat ", "
+                 (Array.to_list (Array.map Value.to_string r))))
+          rows)
+      ce.instance;
+    if ce.hosts <> [] then
+      Format.fprintf ppf "  hosts: %s@,"
+        (String.concat ", "
+           (List.map
+              (fun (h, v) -> ":" ^ h ^ "=" ^ Value.to_string v)
+              ce.hosts));
+    Format.fprintf ppf "  duplicate row: (%s)@]"
+      (String.concat ", "
+         (Array.to_list (Array.map Value.to_string ce.row1)))

@@ -1,0 +1,49 @@
+(** Exact (bounded-model) test of the Theorem 1 uniqueness condition.
+
+    Theorem 1 quantifies over all valid instances; testing it is equivalent
+    to a satisfiability problem (NP-complete, paper section 4). Both of the
+    paper's proofs construct {e two-tuple} witnesses, so searching all valid
+    instances with at most two tuples per table is complete — provided the
+    per-column value domains are rich enough to realize a counterexample.
+
+    The default domain of a column contains [NULL] (when nullable), two
+    fresh values, and every constant the column is compared against in the
+    query predicate or the table's CHECK constraints. This makes the checker
+    exact on equality/range predicates over those constants, which covers
+    the paper's query class; pathological predicates needing three or more
+    fresh values per column can in principle evade it (documented in
+    DESIGN.md).
+
+    Cost is exponential in the number of columns — this is the reference
+    oracle that Algorithm 1 is benchmarked against (experiments A1/A2), not
+    an optimizer component. *)
+
+type row = Sqlval.Value.t array
+
+type counterexample = {
+  instance : (string * row list) list;
+      (** per table occurrence (correlation name), the witness tuples *)
+  hosts : (string * Sqlval.Value.t) list;
+  row1 : row;  (** first product tuple, projected onto [A] *)
+  row2 : row;
+}
+
+type result =
+  | Unique
+      (** no valid bounded instance yields duplicate projected rows *)
+  | Duplicable of counterexample
+
+(** [check cat q] decides whether [SELECT ALL] = [SELECT DISTINCT] for [q]
+    over all valid two-tuple-per-table instances.
+
+    @param max_cells safety bound on the enumeration size (product of domain
+    sizes over all cells); raises [Too_large] beyond it. Default [2_000_000]. *)
+val check : ?max_cells:int -> Catalog.t -> Sql.Ast.query_spec -> result
+
+exception Too_large of int
+  (** the enumeration would exceed [max_cells] assignments *)
+
+(** Estimated number of assignments {!check} would enumerate. *)
+val search_space : Catalog.t -> Sql.Ast.query_spec -> int
+
+val pp_result : Format.formatter -> result -> unit

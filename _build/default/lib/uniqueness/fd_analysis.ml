@@ -1,0 +1,46 @@
+module Attr = Schema.Attr
+
+type report = {
+  unique : bool;
+  derived_keys : Attr.Set.t list;
+  closure : Attr.Set.t;
+}
+
+let analyze cat (q : Sql.Ast.query_spec) =
+  let src = Fd.Derive.of_query_spec cat q in
+  let projection = Attr.set_of_list (Fd.Derive.projection_attrs cat q) in
+  let closure = Fd.Fdset.closure src.Fd.Derive.src_fds projection in
+  if q.Sql.Ast.group_by <> [] then begin
+    (* grouped query: the output is keyed by the grouping columns, so the
+       projection is duplicate-free iff it functionally determines them *)
+    let resolve = Fd.Derive.resolver cat q.Sql.Ast.from in
+    let group_attrs =
+      List.filter_map
+        (function Sql.Ast.Col a -> Some (resolve a) | _ -> None)
+        q.Sql.Ast.group_by
+    in
+    let unique =
+      List.for_all (fun a -> Attr.Set.mem a closure) group_attrs
+    in
+    {
+      unique;
+      derived_keys = (if unique then [ Attr.set_of_list group_attrs ] else []);
+      closure;
+    }
+  end
+  else
+  let unique =
+    List.for_all
+      (fun (_, keys) ->
+        keys <> [] && List.exists (fun k -> Attr.Set.subset k closure) keys)
+      src.Fd.Derive.src_keys
+  in
+  let derived_keys =
+    if not unique then []
+    else
+      Fd.Fdset.candidate_keys src.Fd.Derive.src_fds ~all:src.Fd.Derive.src_attrs
+        ~within:projection
+  in
+  { unique; derived_keys; closure }
+
+let distinct_is_redundant cat q = (analyze cat q).unique

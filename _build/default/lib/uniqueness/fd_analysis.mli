@@ -1,0 +1,21 @@
+(** FD-based uniqueness analysis: a second sufficient test, strictly more
+    powerful than Algorithm 1 on some inputs because the attribute closure
+    runs over {e all} derived dependencies (candidate-key dependencies
+    included as implications), not just the equality graph.
+
+    Example where this detects redundancy and Algorithm 1 does not:
+    projecting [OEM_PNO] (a candidate key of PARTS) together with [S.SNO]
+    under the join [S.SNO = P.SNO]: Algorithm 1's [V] never acquires
+    [P.SNO, P.PNO] through [OEM_PNO] because [OEM_PNO -> (SNO, PNO)] is a
+    key dependency, not an equality. *)
+
+type report = {
+  unique : bool;
+  derived_keys : Schema.Attr.Set.t list;
+      (** minimal keys of the derived table contained in the projection
+          (empty when not unique) *)
+  closure : Schema.Attr.Set.t;  (** closure of the projection attributes *)
+}
+
+val analyze : Catalog.t -> Sql.Ast.query_spec -> report
+val distinct_is_redundant : Catalog.t -> Sql.Ast.query_spec -> bool

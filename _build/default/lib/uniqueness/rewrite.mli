@@ -1,0 +1,96 @@
+(** Semantic query rewrites built on the uniqueness condition
+    (paper section 5, plus the section 6 join-to-subquery direction and the
+    EXCEPT transformations the paper mentions but omits for space).
+
+    Every rewrite returns a {!outcome} describing whether it applied and on
+    what grounds; rewritten queries are bag-equivalent to the originals
+    (property-tested against the execution engine in
+    [test/test_rewrite.ml]). *)
+
+type analyzer =
+  | Algorithm1  (** the paper's Algorithm 1 *)
+  | Fd_closure  (** FD-based closure test (detects strictly more cases) *)
+
+type outcome = {
+  applied : bool;
+  rule : string;
+  justification : string;
+  result : Sql.Ast.query;  (** the input when [applied = false] *)
+}
+
+(** {1 Section 5.1: unnecessary duplicate elimination} *)
+
+(** Turn [SELECT DISTINCT] into [SELECT ALL] when the uniqueness condition
+    (Theorem 1) holds; recurses into set-operation operands only to analyze,
+    never to change their semantics. *)
+val remove_redundant_distinct :
+  ?analyzer:analyzer -> Catalog.t -> Sql.Ast.query -> outcome
+
+(** {1 Section 8 extension: unnecessary grouping} *)
+
+(** Drop a [GROUP BY] whose grouping columns functionally determine a
+    candidate key of every table (each group then holds exactly one row):
+    a star count becomes the literal [1] and [SUM]/[MIN]/[MAX]/[AVG] collapse
+    to their operands. The dual of Theorem 1, using the same derived-FD
+    machinery — the direction the paper's section 8 leaves as future work. *)
+val remove_redundant_group_by : Catalog.t -> Sql.Ast.query -> outcome
+
+(** {1 Section 5.2: subquery to join (Theorem 2, Corollary 1)} *)
+
+(** Rewrite [R WHERE ... AND EXISTS (S WHERE Cs AND Crs)] as a join.
+    Applies when:
+    - the subquery block can match at most one [S] tuple per outer row
+      (Theorem 2: some candidate key of every inner table is pinned by
+      constants, host variables, or correlated outer columns) — the
+      projection keeps its [ALL]; or
+    - the outer block alone is duplicate-free (Corollary 1) or the query is
+      already [DISTINCT] — the join is made [DISTINCT]. *)
+val subquery_to_join : Catalog.t -> Sql.Ast.query_spec -> outcome
+
+(** {1 Section 6: join to subquery (for navigational systems)} *)
+
+(** Inverse direction: tables contributing no projection columns move into
+    an [EXISTS] block. Applies under the same uniqueness condition
+    (Theorem 2, [ALL] queries) or unconditionally for [DISTINCT] queries. *)
+val join_to_subquery : Catalog.t -> Sql.Ast.query_spec -> outcome
+
+(** {1 Section 8 extension: predicate pruning} *)
+
+(** Remove WHERE conjuncts that the referenced table's CHECK constraints
+    already guarantee (the converse of section 2.1's observation that table
+    constraints can be conjoined freely). Restricted to single-column
+    conjuncts over NOT NULL columns — on a nullable column a CHECK can pass
+    (not-false) where the WHERE conjunct is unknown. *)
+val remove_implied_predicates : Catalog.t -> Sql.Ast.query_spec -> outcome
+
+(** {1 Section 8 extension: join elimination} *)
+
+(** King's join elimination via inclusion dependencies (the paper's
+    future-work item): drop a table occurrence reached only through
+    equi-join conjuncts that realize a declared [FOREIGN KEY] onto one of
+    its candidate keys, with [NOT NULL] referencing columns — the join then
+    matches exactly one row and neither filters nor multiplies. Applies
+    repeatedly until a fixpoint. *)
+val eliminate_joins : Catalog.t -> Sql.Ast.query_spec -> outcome
+
+(** {1 Section 5.3: intersection to subquery (Theorem 3, Corollary 2)} *)
+
+(** Rewrite [Q1 INTERSECT [ALL] Q2] as [Q1' WHERE EXISTS (...)] with a
+    null-safe correlation predicate ([(x IS NULL AND y IS NULL) OR x = y],
+    simplified to [x = y] for non-nullable columns, cf. the paper's
+    footnote 1). Applies when either operand is duplicate-free; prefers the
+    left operand, else swaps (Corollary 2's symmetric case). *)
+val intersect_to_exists : Catalog.t -> Sql.Ast.query -> outcome
+
+(** [Q1 EXCEPT [ALL] Q2] to [NOT EXISTS] under the same conditions on the
+    left operand (the extension the paper mentions in section 5.3). *)
+val except_to_not_exists : Catalog.t -> Sql.Ast.query -> outcome
+
+(** {1 Convenience} *)
+
+(** Apply every enabled rewrite once, outermost first. Returns all outcomes
+    that applied, with the final query. *)
+val apply_all :
+  ?analyzer:analyzer -> Catalog.t -> Sql.Ast.query -> Sql.Ast.query * outcome list
+
+val pp_outcome : Format.formatter -> outcome -> unit

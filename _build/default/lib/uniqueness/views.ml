@@ -1,0 +1,284 @@
+module Attr = Schema.Attr
+open Sql.Ast
+
+exception Unsupported_view of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unsupported_view s)) fmt
+
+(* product schema of a FROM list, columns qualified by correlation names *)
+let product_schema cat (from : from_item list) =
+  let schemas =
+    List.map
+      (fun (f : from_item) ->
+        let def = Catalog.find_exn cat f.table in
+        Schema.Relschema.rename_rel (from_name f) def.Catalog.tbl_schema)
+      from
+  in
+  match schemas with
+  | [] -> Schema.Relschema.make []
+  | s :: rest -> List.fold_left Schema.Relschema.product s rest
+
+(* ---- registration ---- *)
+
+let register cat ~name (spec : query_spec) =
+  let name = String.uppercase_ascii name in
+  if Catalog.mem cat name then fail "%s is already defined" name;
+  if spec.group_by <> [] then fail "views may not use GROUP BY";
+  if hosts_of_query_spec spec <> [] then fail "views may not use host variables";
+  let product = product_schema cat spec.from in
+  let underlying_column (a : Attr.t) =
+    Schema.Relschema.column_at product (Schema.Relschema.index_of product a)
+  in
+  let resolve = Fd.Derive.resolver cat spec.from in
+  (* view column name -> underlying qualified attribute *)
+  let columns =
+    match spec.select with
+    | Star ->
+      List.map (fun (a : Attr.t) -> (a.Attr.name, a)) (Schema.Relschema.attrs product)
+    | Cols cs ->
+      List.concat_map
+        (function
+          | Col a when String.equal a.Attr.name "*" ->
+            List.filter_map
+              (fun (c : Attr.t) ->
+                if String.equal c.Attr.rel a.Attr.rel then Some (c.Attr.name, c)
+                else None)
+              (Schema.Relschema.attrs product)
+          | Col a ->
+            let a = resolve a in
+            [ (a.Attr.name, a) ]
+          | Const _ | Host _ | Agg _ ->
+            fail "view projections must be plain columns")
+        cs
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem seen n then fail "duplicate view column %s" n;
+      Hashtbl.add seen n ())
+    columns;
+  let view_schema =
+    Schema.Relschema.make
+      (List.map
+         (fun (n, a) ->
+           let c = underlying_column a in
+           {
+             Schema.Relschema.attr = Attr.make ~rel:name ~name:n;
+             ctype = c.Schema.Relschema.ctype;
+             nullable = c.Schema.Relschema.nullable;
+           })
+         columns)
+  in
+  (* derived key dependencies (paper section 3): candidate keys of the
+     derived table, mapped onto the view's column names *)
+  let analysis = Fd_analysis.analyze cat spec in
+  let mapped_keys =
+    List.filter_map
+      (fun key ->
+        let cols =
+          List.filter_map
+            (fun a ->
+              List.find_map
+                (fun (n, ua) -> if Attr.equal ua a then Some n else None)
+                columns)
+            (Attr.Set.elements key)
+        in
+        if List.length cols = Attr.Set.cardinal key then
+          Some { Catalog.key_cols = cols; key_primary = false }
+        else None)
+      analysis.Fd_analysis.derived_keys
+  in
+  (* a DISTINCT view without a finer derived key is still a set: the full
+     column list is a (derived) candidate key *)
+  let keys =
+    if spec.distinct = Distinct && mapped_keys = [] then
+      [ { Catalog.key_cols = List.map fst columns; key_primary = false } ]
+    else mapped_keys
+  in
+  Catalog.add cat
+    {
+      Catalog.tbl_name = name;
+      tbl_schema = view_schema;
+      tbl_keys = keys;
+      tbl_checks = [];
+      tbl_foreign_keys = [];
+      tbl_view =
+        Some
+          {
+            Catalog.vw_spec = spec;
+            vw_columns = List.map (fun (n, a) -> (n, Col a)) columns;
+          };
+    }
+
+let register_ddl cat ddl =
+  let cv = Sql.Parser.parse_create_view ddl in
+  register cat ~name:cv.cv_name cv.cv_query
+
+(* ---- expansion (view merging) ---- *)
+
+let rec map_scalar f = function
+  | Col a -> Col (f a)
+  | (Const _ | Host _) as s -> s
+  | Agg (fn, Some s) -> Agg (fn, Some (map_scalar f s))
+  | Agg (_, None) as s -> s
+
+(* expand one view occurrence [v] inside [q]; [used] holds every correlation
+   name that must not be captured (outer scopes included) *)
+let rec expand_spec cat ~used (q : query_spec) : query_spec =
+  let scope = used @ List.map from_name q.from in
+  (* expand views inside EXISTS blocks first (their own FROM lists) *)
+  let rec expand_exists p =
+    match p with
+    | Exists sub -> Exists (expand_spec cat ~used:scope sub)
+    | And (a, b) -> And (expand_exists a, expand_exists b)
+    | Or (a, b) -> Or (expand_exists a, expand_exists b)
+    | Not a -> Not (expand_exists a)
+    | Ptrue | Pfalse | Cmp _ | Between _ | In_list _ | Is_null _ | Is_not_null _
+      -> p
+  in
+  let q = { q with where = expand_exists q.where } in
+  let view_item =
+    List.find_opt
+      (fun (f : from_item) ->
+        match Catalog.find cat f.table with
+        | Some def -> Catalog.is_view def
+        | None -> false)
+      q.from
+  in
+  match view_item with
+  | None -> q
+  | Some v ->
+    let def = Catalog.find_exn cat v.table in
+    let info = Option.get def.Catalog.tbl_view in
+    (* Recursively expand the definition with the column mapping as its
+       select list: after expansion, the select scalars ARE the new mapping
+       (this is what makes views-over-views compose). *)
+    let vspec =
+      expand_spec cat ~used:scope
+        {
+          info.Catalog.vw_spec with
+          select = Cols (List.map snd info.Catalog.vw_columns);
+        }
+    in
+    let expanded_mapping_scalars =
+      match vspec.select with
+      | Cols cs -> cs
+      | Star -> assert false (* we just set Cols *)
+    in
+    (* dropping the view's DISTINCT is sound when it is provably redundant
+       or when the consumer deduplicates anyway *)
+    if
+      vspec.distinct = Distinct
+      && q.distinct <> Distinct
+      && not (Fd_analysis.distinct_is_redundant cat { vspec with distinct = All })
+    then
+      fail
+        "cannot merge DISTINCT view %s into a bag context (its duplicate \
+         elimination is not provably redundant)"
+        v.table;
+    (* rename the view's internal correlation names away from the scope *)
+    let clash = scope in
+    let renames =
+      List.filter_map
+        (fun f ->
+          let n = from_name f in
+          if List.mem n clash then begin
+            let rec pick i =
+              let cand = Printf.sprintf "%s_%d" n i in
+              if List.mem cand clash then pick (i + 1) else cand
+            in
+            Some (n, pick 1)
+          end
+          else None)
+        vspec.from
+    in
+    let ren (a : Attr.t) =
+      match List.assoc_opt a.Attr.rel renames with
+      | Some fresh -> Attr.make ~rel:fresh ~name:a.Attr.name
+      | None -> a
+    in
+    let vfrom =
+      List.map
+        (fun f ->
+          match List.assoc_opt (from_name f) renames with
+          | Some fresh -> { f with corr = Some fresh }
+          | None -> f)
+        vspec.from
+    in
+    let vwhere = map_cols ren vspec.where in
+    let mapping =
+      List.map2
+        (fun (n, _) s -> (n, map_scalar ren s))
+        info.Catalog.vw_columns expanded_mapping_scalars
+    in
+    (* qualify the outer query's references so view references are explicit,
+       then substitute them by the mapped underlying columns. Resolution is
+       lenient: references that do not resolve in this scope belong to inner
+       EXISTS blocks (already expanded) and are left alone. *)
+    let corr_v = from_name v in
+    let resolve = Fd.Derive.resolver cat q.from in
+    let subst (a : Attr.t) =
+      let a =
+        if String.equal a.Attr.name "*" then a
+        else
+          match resolve a with
+          | resolved -> resolved
+          | exception (Fd.Derive.Unknown_column _ | Failure _) -> a
+      in
+      if String.equal a.Attr.rel corr_v && not (String.equal a.Attr.name "*")
+      then
+        match List.assoc_opt a.Attr.name mapping with
+        | Some (Col u) -> u
+        | Some _ | None -> fail "unknown column %s of view %s" a.Attr.name v.table
+      else a
+    in
+    let subst_scalar s =
+      (* expand a qualified star over the view into its column list *)
+      match s with
+      | Col a when String.equal a.Attr.name "*" && String.equal a.Attr.rel corr_v
+        ->
+        `Many (List.map snd mapping)
+      | s -> `One (map_scalar subst s)
+    in
+    let select =
+      match q.select with
+      | Star ->
+        (* make the projection explicit before the view disappears *)
+        let all = Schema.Relschema.attrs (product_schema cat q.from) in
+        Cols
+          (List.map
+             (fun (a : Attr.t) ->
+               if String.equal a.Attr.rel corr_v then
+                 match List.assoc_opt a.Attr.name mapping with
+                 | Some s -> s
+                 | None -> fail "unknown column %s of view %s" a.Attr.name v.table
+               else Col a)
+             all)
+      | Cols cs ->
+        Cols
+          (List.concat_map
+             (fun s -> match subst_scalar s with `Many l -> l | `One s -> [ s ])
+             cs)
+    in
+    let where = map_cols subst q.where in
+    let group_by =
+      List.concat_map
+        (fun s -> match subst_scalar s with `Many l -> l | `One s -> [ s ])
+        q.group_by
+    in
+    let merged =
+      {
+        distinct = q.distinct;
+        select;
+        from = List.filter (fun f -> f != v) q.from @ vfrom;
+        where = conj (conjuncts where @ conjuncts vwhere);
+        group_by;
+      }
+    in
+    expand_spec cat ~used merged
+
+let expand cat q = expand_spec cat ~used:[] q
+
+let rec expand_query cat = function
+  | Spec q -> Spec (expand cat q)
+  | Setop (op, d, a, b) -> Setop (op, d, expand_query cat a, expand_query cat b)

@@ -1,0 +1,36 @@
+(** Views as derived tables (paper section 3): registration computes the
+    view's {e derived key dependencies} and records them in the catalog, so
+    the uniqueness analyses treat a view exactly like a base table whose
+    candidate keys are the derived keys — Darwen's application of derived
+    functional dependencies, cited in the paper's related work.
+
+    Views hold no rows; {!expand} merges view references into their
+    defining select-project-join blocks for execution (classic view
+    merging). Merging drops a view's own [DISTINCT], which is sound when
+    the uniqueness condition proves it redundant, or when the consuming
+    query is itself [DISTINCT]; otherwise {!expand} refuses.
+
+    Restrictions (documented, enforced at registration): a view is a
+    select-project-join query specification over base tables or other
+    views — no aggregates, no [GROUP BY], no host variables, and plain
+    column projections (qualified stars allowed). *)
+
+exception Unsupported_view of string
+
+(** Register a view; its derived candidate keys are computed with the FD
+    machinery and stored as the view's [tbl_keys].
+    @raise Unsupported_view on the restrictions above or duplicate column
+    names. *)
+val register : Catalog.t -> name:string -> Sql.Ast.query_spec -> Catalog.t
+
+(** Parse and register a [CREATE VIEW name AS SELECT ...] statement. *)
+val register_ddl : Catalog.t -> string -> Catalog.t
+
+(** Replace every view reference in the FROM list (and inside EXISTS
+    blocks) by its merged definition, recursively, renaming the views'
+    internal correlation names to avoid capture.
+    @raise Unsupported_view when a DISTINCT view's duplicate elimination
+    cannot be proven redundant and the consuming context is not DISTINCT. *)
+val expand : Catalog.t -> Sql.Ast.query_spec -> Sql.Ast.query_spec
+
+val expand_query : Catalog.t -> Sql.Ast.query -> Sql.Ast.query

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Catalog Engine List Paper_schema Printf Random Sqlval

@@ -1,0 +1,1 @@
+lib/workload/randquery.ml: Catalog List Printf Random Schema Sql Sqlval String

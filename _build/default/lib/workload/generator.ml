@@ -1,0 +1,114 @@
+module Value = Sqlval.Value
+
+type config = {
+  seed : int;
+  suppliers : int;
+  parts_per_supplier : int;
+  agents_per_supplier : int;
+  distinct_supplier_names : int;
+  red_fraction : float;
+  null_oem_part : bool;
+}
+
+let default =
+  {
+    seed = 42;
+    suppliers = 100;
+    parts_per_supplier = 10;
+    agents_per_supplier = 2;
+    distinct_supplier_names = 25;
+    red_fraction = 0.25;
+    null_oem_part = false;
+  }
+
+(* The paper's schema caps SNO at 499; widen the CHECK range when more
+   suppliers are requested so instances stay valid. *)
+let catalog_for cfg =
+  let sno_max = max 499 cfg.suppliers in
+  let supplier_ddl =
+    Printf.sprintf
+      "CREATE TABLE SUPPLIER (SNO INT NOT NULL, SNAME VARCHAR(20), SCITY \
+       VARCHAR(20), BUDGET FLOAT, STATUS VARCHAR(10), PRIMARY KEY (SNO), \
+       CHECK (SNO BETWEEN 1 AND %d), CHECK (SCITY IN ('Chicago', 'New \
+       York', 'Toronto')), CHECK (BUDGET <> 0 OR STATUS = 'Inactive'))"
+      sno_max
+  in
+  let parts_ddl =
+    Printf.sprintf
+      "CREATE TABLE PARTS (SNO INT NOT NULL, PNO INT NOT NULL, PNAME \
+       VARCHAR(20), OEM_PNO INT, COLOR VARCHAR(10), PRIMARY KEY (SNO, PNO), \
+       UNIQUE (OEM_PNO), FOREIGN KEY (SNO) REFERENCES SUPPLIER, CHECK (SNO \
+       BETWEEN 1 AND %d))"
+      sno_max
+  in
+  List.fold_left Catalog.add_ddl Catalog.empty
+    [ supplier_ddl; parts_ddl; Paper_schema.agents_ddl ]
+
+let agent_cities = [ "Ottawa"; "Hull"; "Toronto"; "Montreal" ]
+
+let generate cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let db = Engine.Database.create (catalog_for cfg) in
+  let suppliers =
+    List.init cfg.suppliers (fun i ->
+        let sno = i + 1 in
+        let sname =
+          Printf.sprintf "SUPPLIER-%d"
+            (Random.State.int rng (max 1 cfg.distinct_supplier_names))
+        in
+        let scity = pick Paper_schema.cities in
+        let inactive = Random.State.int rng 10 = 0 in
+        let budget = if inactive then 0.0 else float_of_int (1 + Random.State.int rng 10_000) in
+        let status = if inactive then "Inactive" else "Active" in
+        [| Value.Int sno; Value.String sname; Value.String scity;
+           Value.Float budget; Value.String status |])
+  in
+  Engine.Database.load db "SUPPLIER" suppliers;
+  let oem_counter = ref 0 in
+  let parts =
+    List.concat
+      (List.init cfg.suppliers (fun i ->
+           let sno = i + 1 in
+           List.init cfg.parts_per_supplier (fun j ->
+               let pno = j + 1 in
+               incr oem_counter;
+               let oem =
+                 if cfg.null_oem_part && !oem_counter = 1 then Value.Null
+                 else Value.Int !oem_counter
+               in
+               let color =
+                 if Random.State.float rng 1.0 < cfg.red_fraction then "RED"
+                 else pick (List.filter (fun c -> c <> "RED") Paper_schema.colors)
+               in
+               (* part names are shared across suppliers (several suppliers
+                  carry "PART-2"), which is what makes Example 2's
+                  projection genuinely duplicate-prone *)
+               [| Value.Int sno; Value.Int pno;
+                  Value.String (Printf.sprintf "PART-%d" pno);
+                  oem; Value.String color |])))
+  in
+  Engine.Database.load db "PARTS" parts;
+  let agents =
+    List.concat
+      (List.init cfg.suppliers (fun i ->
+           let sno = i + 1 in
+           List.init cfg.agents_per_supplier (fun j ->
+               let ano = j + 1 in
+               [| Value.Int sno; Value.Int ano;
+                  Value.String (Printf.sprintf "AGENT-%d-%d" sno ano);
+                  Value.String (pick agent_cities) |])))
+  in
+  Engine.Database.load db "AGENTS" agents;
+  db
+
+let supplier_db ?(seed = 42) ~suppliers ~parts_per_supplier
+    ?(agents_per_supplier = 2) () =
+  generate
+    {
+      default with
+      seed;
+      suppliers;
+      parts_per_supplier;
+      agents_per_supplier;
+    }

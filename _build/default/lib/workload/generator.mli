@@ -1,0 +1,34 @@
+(** Deterministic, scalable instance generator for the supplier database
+    (paper Figure 1). Generated instances satisfy every declared constraint
+    (validated in the test suite via [Engine.Database.validate]).
+
+    The paper's CHECK pins [SNO BETWEEN 1 AND 499]; to scale beyond 499
+    suppliers the generated catalog widens that range to the requested
+    supplier count (documented substitution — the constraint's {e shape} is
+    preserved). *)
+
+type config = {
+  seed : int;
+  suppliers : int;
+  parts_per_supplier : int;
+  agents_per_supplier : int;
+  distinct_supplier_names : int;
+      (** small pools create duplicate SNAMEs, the paper's Example 2
+          scenario *)
+  red_fraction : float;  (** fraction of parts with COLOR = 'RED' *)
+  null_oem_part : bool;  (** give one part a NULL OEM_PNO candidate key *)
+}
+
+val default : config
+
+(** Build a database (catalog + loaded rows). *)
+val generate : config -> Engine.Database.t
+
+(** Convenience: default config with the given sizes. *)
+val supplier_db :
+  ?seed:int ->
+  suppliers:int ->
+  parts_per_supplier:int ->
+  ?agents_per_supplier:int ->
+  unit ->
+  Engine.Database.t

@@ -1,0 +1,39 @@
+let cities = [ "Chicago"; "New York"; "Toronto" ]
+let colors = [ "RED"; "GREEN"; "BLUE"; "YELLOW" ]
+
+let supplier_ddl =
+  "CREATE TABLE SUPPLIER (\n\
+  \  SNO INT NOT NULL,\n\
+  \  SNAME VARCHAR(20),\n\
+  \  SCITY VARCHAR(20),\n\
+  \  BUDGET FLOAT,\n\
+  \  STATUS VARCHAR(10),\n\
+  \  PRIMARY KEY (SNO),\n\
+  \  CHECK (SNO BETWEEN 1 AND 499),\n\
+  \  CHECK (SCITY IN ('Chicago', 'New York', 'Toronto')),\n\
+  \  CHECK (BUDGET <> 0 OR STATUS = 'Inactive'))"
+
+let parts_ddl =
+  "CREATE TABLE PARTS (\n\
+  \  SNO INT NOT NULL,\n\
+  \  PNO INT NOT NULL,\n\
+  \  PNAME VARCHAR(20),\n\
+  \  OEM_PNO INT,\n\
+  \  COLOR VARCHAR(10),\n\
+  \  PRIMARY KEY (SNO, PNO),\n\
+  \  UNIQUE (OEM_PNO),\n\
+  \  FOREIGN KEY (SNO) REFERENCES SUPPLIER,\n\
+  \  CHECK (SNO BETWEEN 1 AND 499))"
+
+let agents_ddl =
+  "CREATE TABLE AGENTS (\n\
+  \  SNO INT NOT NULL,\n\
+  \  ANO INT NOT NULL,\n\
+  \  ANAME VARCHAR(20),\n\
+  \  ACITY VARCHAR(20),\n\
+  \  PRIMARY KEY (SNO, ANO),\n\
+  \  FOREIGN KEY (SNO) REFERENCES SUPPLIER)"
+
+let catalog () =
+  List.fold_left Catalog.add_ddl Catalog.empty
+    [ supplier_ddl; parts_ddl; agents_ddl ]

@@ -1,0 +1,21 @@
+(** The hypothetical supplier database of paper Figure 1:
+
+    {v
+    SUPPLIER (SNO, SNAME, SCITY, BUDGET, STATUS)
+    PARTS    (SNO, PNO, PNAME, OEM_PNO, COLOR)
+    AGENTS   (SNO, ANO, ANAME, ACITY)
+    v}
+
+    with the constraint definitions of section 2.1: [SNO BETWEEN 1 AND 499],
+    the city and budget/status checks on SUPPLIER, the composite primary key
+    and the [OEM_PNO] candidate key on PARTS. *)
+
+val supplier_ddl : string
+val parts_ddl : string
+val agents_ddl : string
+
+(** Catalog holding all three tables. *)
+val catalog : unit -> Catalog.t
+
+val cities : string list
+val colors : string list

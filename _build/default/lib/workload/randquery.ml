@@ -1,0 +1,103 @@
+module Value = Sqlval.Value
+
+(* R.B is a candidate key (UNIQUE): projecting B lets the FD analyzer reach
+   R's other columns through the key dependency B -> (A, C), which
+   Algorithm 1's equality-only closure cannot do — the population therefore
+   separates the two sufficient tests (experiment A2). *)
+let small_catalog =
+  List.fold_left Catalog.add_ddl Catalog.empty
+    [ "CREATE TABLE R (A INT NOT NULL, B INT, C INT, PRIMARY KEY (A), UNIQUE (B))";
+      "CREATE TABLE S (D INT NOT NULL, E INT, PRIMARY KEY (D))" ]
+
+type config = {
+  seed : int;
+  count : int;
+  max_predicates : int;
+}
+
+let default = { seed = 7; count = 200; max_predicates = 3 }
+
+let cols_r = [ "R.A"; "R.B"; "R.C" ]
+let cols_s = [ "S.D"; "S.E" ]
+
+let generate cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let gen_one () =
+    let two_tables = Random.State.bool rng in
+    let cols = if two_tables then cols_r @ cols_s else cols_r in
+    let proj =
+      let chosen = List.filter (fun _ -> Random.State.bool rng) cols in
+      if chosen = [] then [ pick cols ] else chosen
+    in
+    let gen_pred () =
+      let lhs = pick cols in
+      let rhs =
+        if Random.State.bool rng then
+          Sql.Ast.Const (Value.Int (Random.State.int rng 3))
+        else Sql.Ast.Col (Schema.Attr.of_string (pick cols))
+      in
+      Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col (Schema.Attr.of_string lhs), rhs)
+    in
+    let preds =
+      List.init (Random.State.int rng (cfg.max_predicates + 1)) (fun _ -> gen_pred ())
+    in
+    Sql.Ast.plain_spec ~distinct:Sql.Ast.Distinct
+      ~select:
+        (Sql.Ast.Cols
+           (List.map (fun c -> Sql.Ast.Col (Schema.Attr.of_string c)) proj))
+      ~from:
+        (if two_tables then
+           [ { Sql.Ast.table = "R"; corr = None };
+             { Sql.Ast.table = "S"; corr = None } ]
+         else [ { Sql.Ast.table = "R"; corr = None } ])
+      ~where:(Sql.Ast.conj preds) ()
+  in
+  List.init cfg.count (fun _ -> gen_one ())
+
+let column_names cols = "A" :: List.init (cols - 1) (fun i -> Printf.sprintf "B%d" (i + 1))
+
+let scaling_catalog ~cols =
+  let names = column_names cols in
+  let defs =
+    List.map
+      (fun c -> if c = "A" then "A INT NOT NULL" else c ^ " INT")
+      names
+  in
+  Catalog.add_ddl Catalog.empty
+    (Printf.sprintf "CREATE TABLE R (%s, PRIMARY KEY (A))"
+       (String.concat ", " defs))
+
+let generate_single_table cfg ~cols =
+  let rng = Random.State.make [| cfg.seed |] in
+  let names = List.map (fun c -> "R." ^ c) (column_names cols) in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let gen_one () =
+    let proj =
+      let chosen = List.filter (fun _ -> Random.State.bool rng) names in
+      if chosen = [] then [ pick names ] else chosen
+    in
+    (* predicates over every column so the exact checker cannot pin any of
+       them to a singleton domain *)
+    let preds =
+      List.map
+        (fun c ->
+          let rhs =
+            if Random.State.bool rng then
+              Sql.Ast.Const (Value.Int (Random.State.int rng 2))
+            else Sql.Ast.Col (Schema.Attr.of_string (pick names))
+          in
+          if Random.State.int rng 3 = 0 then
+            Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col (Schema.Attr.of_string c), rhs)
+          else
+            Sql.Ast.Cmp (Sql.Ast.Le, Sql.Ast.Col (Schema.Attr.of_string c), rhs))
+        names
+    in
+    Sql.Ast.plain_spec ~distinct:Sql.Ast.Distinct
+      ~select:
+        (Sql.Ast.Cols
+           (List.map (fun c -> Sql.Ast.Col (Schema.Attr.of_string c)) proj))
+      ~from:[ { Sql.Ast.table = "R"; corr = None } ]
+      ~where:(Sql.Ast.conj preds) ()
+  in
+  List.init cfg.count (fun _ -> gen_one ())

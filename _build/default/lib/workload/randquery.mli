@@ -1,0 +1,28 @@
+(** Deterministic random query generator for the coverage and cost
+    experiments (A1/A2): projection-and-equality query specifications over
+    a small two-table schema on which the exact checker is feasible. *)
+
+(** The schema the generated queries range over:
+    [R (A, B, C, PRIMARY KEY (A))] and [S (D, E, PRIMARY KEY (D))]. *)
+val small_catalog : Catalog.t
+
+type config = {
+  seed : int;
+  count : int;
+  max_predicates : int;  (** equality conjuncts per query *)
+}
+
+val default : config
+
+(** Generate [count] random [SELECT DISTINCT] query specifications. *)
+val generate : config -> Sql.Ast.query_spec list
+
+(** A single-table catalog [R (A, B1 .. B{cols-1}, PRIMARY KEY (A))] for the
+    exact-checker scaling experiment (A1): its search space grows
+    exponentially with [cols]. *)
+val scaling_catalog : cols:int -> Catalog.t
+
+(** Random queries over {!scaling_catalog}: projection and equality
+    predicates drawn over all [cols] columns (so that every column gets a
+    rich domain in the exact checker). *)
+val generate_single_table : config -> cols:int -> Sql.Ast.query_spec list

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Catalog Engine List Sqlval Workload

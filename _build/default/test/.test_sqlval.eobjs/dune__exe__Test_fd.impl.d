@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Fd List QCheck2 QCheck_alcotest Schema Sql Testsupport Workload

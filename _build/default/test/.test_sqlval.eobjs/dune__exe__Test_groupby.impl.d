@@ -1,0 +1,1 @@
+test/test_groupby.ml: Alcotest Array Catalog Engine List Schema Sql Sqlval Uniqueness Workload

@@ -1,0 +1,1 @@
+test/test_implied.ml: Alcotest Catalog Engine List Logic Sql Sqlval Uniqueness Workload

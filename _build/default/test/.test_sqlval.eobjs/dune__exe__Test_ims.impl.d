@@ -1,0 +1,1 @@
+test/test_ims.ml: Alcotest Engine Ims List Sql Sqlval String Workload

@@ -1,0 +1,1 @@
+test/test_joinelim.ml: Alcotest Catalog Engine List Sql Sqlval Uniqueness Workload

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest List Logic QCheck2 QCheck_alcotest Schema Sql Sqlval Testsupport

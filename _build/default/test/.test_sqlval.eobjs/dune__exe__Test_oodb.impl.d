@@ -1,0 +1,1 @@
+test/test_oodb.ml: Alcotest Engine List Oodb Sqlval Workload

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest List Relalg Schema Sql Sqlval String Workload

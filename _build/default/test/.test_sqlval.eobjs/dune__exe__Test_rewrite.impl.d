@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Catalog Engine List QCheck2 QCheck_alcotest Sql Sqlval String Uniqueness Workload

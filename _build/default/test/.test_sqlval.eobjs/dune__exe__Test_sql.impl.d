@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List QCheck2 QCheck_alcotest Schema Sql Sqlval Testsupport

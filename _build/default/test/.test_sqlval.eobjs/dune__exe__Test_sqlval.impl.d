@@ -1,0 +1,1 @@
+test/test_sqlval.ml: Alcotest List Printf QCheck2 QCheck_alcotest Sqlval Testsupport

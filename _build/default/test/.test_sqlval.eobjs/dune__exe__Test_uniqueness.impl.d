@@ -1,0 +1,1 @@
+test/test_uniqueness.ml: Alcotest Array Catalog Engine Lazy List Printf QCheck2 QCheck_alcotest Schema Sql Sqlval String Uniqueness Workload

@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Catalog Engine List Option Schema Sql Sqlval Uniqueness Workload

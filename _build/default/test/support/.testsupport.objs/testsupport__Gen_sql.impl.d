@@ -1,0 +1,1 @@
+test/support/gen_sql.ml: List Logic QCheck2 Schema Sql Sqlval String

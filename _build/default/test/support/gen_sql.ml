@@ -1,0 +1,107 @@
+(* QCheck generators for values, scalars and predicates over a fixed small
+   vocabulary of columns, plus random binding environments. Shared by the
+   logic, fd and uniqueness property suites. *)
+
+module Value = Sqlval.Value
+module Attr = Schema.Attr
+open Sql.Ast
+
+let columns =
+  [ Attr.make ~rel:"R" ~name:"A";
+    Attr.make ~rel:"R" ~name:"B";
+    Attr.make ~rel:"S" ~name:"C";
+    Attr.make ~rel:"S" ~name:"D" ]
+
+let hosts = [ "H1"; "H2" ]
+
+(* Small value domain so collisions (and hence interesting truth values)
+   are frequent. *)
+let value_gen : Value.t QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [ QCheck2.Gen.return Value.Null;
+      QCheck2.Gen.map (fun i -> Value.Int i) (QCheck2.Gen.int_range 0 3);
+      QCheck2.Gen.oneofl [ Value.String "x"; Value.String "y" ] ]
+
+let scalar_gen : scalar QCheck2.Gen.t =
+  QCheck2.Gen.oneof
+    [ QCheck2.Gen.map (fun a -> Col a) (QCheck2.Gen.oneofl columns);
+      QCheck2.Gen.map (fun v -> Const v) value_gen;
+      QCheck2.Gen.map (fun h -> Host h) (QCheck2.Gen.oneofl hosts) ]
+
+let comparison_gen = QCheck2.Gen.oneofl [ Eq; Ne; Lt; Le; Gt; Ge ]
+
+(* Predicates without EXISTS (for evaluation-equivalence properties). *)
+(* Depth is capped: CNF/DNF conversion is exponential in the worst case, so
+   unbounded trees would hang the normal-form properties. *)
+let pred_gen : pred QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 10)
+  @@ fix (fun self n ->
+      let atom =
+        oneof
+          [ return Ptrue;
+            return Pfalse;
+            map3 (fun op a b -> Cmp (op, a, b)) comparison_gen scalar_gen scalar_gen;
+            map3 (fun a lo hi -> Between (a, lo, hi)) scalar_gen scalar_gen scalar_gen;
+            map2
+              (fun a vs -> In_list (a, vs))
+              scalar_gen
+              (list_size (int_range 1 3) value_gen);
+            map (fun a -> Is_null a) scalar_gen;
+            map (fun a -> Is_not_null a) scalar_gen ]
+      in
+      if n <= 1 then atom
+      else
+        oneof
+          [ atom;
+            map2 (fun p q -> And (p, q)) (self (n / 2)) (self (n / 2));
+            map2 (fun p q -> Or (p, q)) (self (n / 2)) (self (n / 2));
+            map (fun p -> Not p) (self (n - 1)) ])
+
+(* A random binding for every column and host variable. *)
+type env = {
+  cols : Value.t Attr.Map.t;
+  host_vals : (string * Value.t) list;
+}
+
+let env_gen : env QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* col_vals = list_repeat (List.length columns) value_gen in
+  let* hvals = list_repeat (List.length hosts) value_gen in
+  return
+    {
+      cols =
+        List.fold_left2
+          (fun m a v -> Attr.Map.add a v m)
+          Attr.Map.empty columns col_vals;
+      host_vals = List.combine hosts hvals;
+    }
+
+let lookup_col env a =
+  match Attr.Map.find_opt a env.cols with
+  | Some v -> v
+  | None -> failwith ("gen_sql: unbound column " ^ Attr.to_string a)
+
+let lookup_host env h =
+  match List.assoc_opt h env.host_vals with
+  | Some v -> v
+  | None -> failwith ("gen_sql: unbound host :" ^ h)
+
+let eval env p =
+  Logic.Eval.eval_pred_simple ~lookup_col:(lookup_col env)
+    ~lookup_host:(lookup_host env) p
+
+let pred_and_env_gen = QCheck2.Gen.pair pred_gen env_gen
+
+let pred_print p = Sql.Pretty.pred p
+
+let pred_env_print (p, env) =
+  let bindings =
+    List.map
+      (fun (a, v) -> Attr.to_string a ^ "=" ^ Value.to_string v)
+      (Attr.Map.bindings env.cols)
+    @ List.map
+        (fun (h, v) -> ":" ^ h ^ "=" ^ Value.to_string v)
+        env.host_vals
+  in
+  pred_print p ^ " [" ^ String.concat ", " bindings ^ "]"

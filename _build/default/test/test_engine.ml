@@ -1,0 +1,351 @@
+(* Execution engine tests: multiset semantics, 3VL selection, DISTINCT,
+   set operations, correlated EXISTS, and constraint validation. *)
+
+module Value = Sqlval.Value
+module DB = Engine.Database
+module Exec = Engine.Exec
+module Relation = Engine.Relation
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+
+(* A tiny two-table database used by most cases. *)
+let small_db () =
+  let cat =
+    List.fold_left Catalog.add_ddl Catalog.empty
+      [ "CREATE TABLE R (A INT NOT NULL, B VARCHAR(10), PRIMARY KEY (A))";
+        "CREATE TABLE S (C INT NOT NULL, D INT, PRIMARY KEY (C))" ]
+  in
+  let db = DB.create cat in
+  DB.load db "R"
+    [ [| v_int 1; v_str "x" |]; [| v_int 2; v_str "y" |];
+      [| v_int 3; v_str "x" |] ];
+  DB.load db "S"
+    [ [| v_int 1; v_int 10 |]; [| v_int 2; Value.Null |];
+      [| v_int 4; v_int 10 |] ];
+  db
+
+let run ?config db s = Exec.run_sql ?config db ~hosts:[] s
+let run_h db hosts s = Exec.run_sql db ~hosts s
+
+let rows r = List.map Array.to_list r.Relation.rows
+
+let sorted_rows r =
+  List.sort compare (rows r)
+
+let check_rows msg expected r =
+  Alcotest.(check (list (list (Alcotest.testable Value.pp Value.equal_null))))
+    msg
+    (List.sort compare expected)
+    (sorted_rows r)
+
+let test_scan_project () =
+  let db = small_db () in
+  let r = run db "SELECT R.A FROM R" in
+  check_rows "all A values" [ [ v_int 1 ]; [ v_int 2 ]; [ v_int 3 ] ] r
+
+let test_select_3vl () =
+  let db = small_db () in
+  (* S.D = 10 is unknown for the NULL row: it must NOT qualify *)
+  let r = run db "SELECT S.C FROM S WHERE S.D = 10" in
+  check_rows "nulls do not qualify" [ [ v_int 1 ]; [ v_int 4 ] ] r;
+  (* ... and NOT (D = 10) does not return it either *)
+  let r = run db "SELECT S.C FROM S WHERE NOT S.D = 10" in
+  check_rows "negation keeps unknown out" [] r;
+  let r = run db "SELECT S.C FROM S WHERE S.D IS NULL" in
+  check_rows "is null" [ [ v_int 2 ] ] r
+
+let test_product_join () =
+  let db = small_db () in
+  let r = run db "SELECT R.A, S.D FROM R, S WHERE R.A = S.C" in
+  check_rows "join" [ [ v_int 1; v_int 10 ]; [ v_int 2; Value.Null ] ] r
+
+let test_projection_keeps_duplicates () =
+  let db = small_db () in
+  let r = run db "SELECT ALL R.B FROM R" in
+  Alcotest.(check int) "bag projection" 3 (Relation.cardinality r);
+  Alcotest.(check int) "two distinct" 2 (Relation.distinct_count r)
+
+let test_distinct () =
+  let db = small_db () in
+  let r = run db "SELECT DISTINCT R.B FROM R" in
+  check_rows "distinct" [ [ v_str "x" ]; [ v_str "y" ] ] r
+
+let test_distinct_null_equivalence () =
+  (* DISTINCT treats two nulls as equal (null-comparison semantics) *)
+  let cat = Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (K INT NOT NULL, V INT, PRIMARY KEY (K))" in
+  let db = DB.create cat in
+  DB.load db "T" [ [| v_int 1; Value.Null |]; [| v_int 2; Value.Null |] ];
+  let r = run db "SELECT DISTINCT T.V FROM T" in
+  Alcotest.(check int) "one null row" 1 (Relation.cardinality r)
+
+let test_hash_distinct_agrees () =
+  let db = small_db () in
+  let q = "SELECT DISTINCT R.B FROM R" in
+  let cfg_hash = { (Exec.default_config ()) with Exec.distinct_impl = Exec.Hash_distinct } in
+  let a = run db q in
+  let b = run ~config:cfg_hash db q in
+  Alcotest.(check bool) "same bag" true (Relation.equal_bags a b)
+
+let test_host_variables () =
+  let db = small_db () in
+  let r = run_h db [ ("X", v_int 2) ] "SELECT R.B FROM R WHERE R.A = :X" in
+  check_rows "host bound" [ [ v_str "y" ] ] r
+
+let test_exists_correlated () =
+  let db = small_db () in
+  let r =
+    run db
+      "SELECT R.A FROM R WHERE EXISTS (SELECT * FROM S WHERE S.C = R.A)"
+  in
+  check_rows "correlated exists" [ [ v_int 1 ]; [ v_int 2 ] ] r
+
+let test_not_exists () =
+  let db = small_db () in
+  let r =
+    run db
+      "SELECT R.A FROM R WHERE NOT EXISTS (SELECT * FROM S WHERE S.C = R.A)"
+  in
+  check_rows "not exists" [ [ v_int 3 ] ] r
+
+let test_intersect_distinct_and_all () =
+  let cat = List.fold_left Catalog.add_ddl Catalog.empty
+      [ "CREATE TABLE X (K INT NOT NULL, A INT, PRIMARY KEY (K))";
+        "CREATE TABLE Y (K INT NOT NULL, A INT, PRIMARY KEY (K))" ] in
+  let db = DB.create cat in
+  (* X projects A = [1;1;1;2]; Y projects A = [1;1;3] *)
+  DB.load db "X"
+    [ [| v_int 1; v_int 1 |]; [| v_int 2; v_int 1 |]; [| v_int 3; v_int 1 |];
+      [| v_int 4; v_int 2 |] ];
+  DB.load db "Y"
+    [ [| v_int 1; v_int 1 |]; [| v_int 2; v_int 1 |]; [| v_int 3; v_int 3 |] ];
+  let r = run db "SELECT X.A FROM X INTERSECT SELECT Y.A FROM Y" in
+  check_rows "intersect distinct" [ [ v_int 1 ] ] r;
+  (* INTERSECT ALL: min(3, 2) occurrences of 1 *)
+  let r = run db "SELECT X.A FROM X INTERSECT ALL SELECT Y.A FROM Y" in
+  check_rows "intersect all" [ [ v_int 1 ]; [ v_int 1 ] ] r
+
+let test_except_distinct_and_all () =
+  let cat = List.fold_left Catalog.add_ddl Catalog.empty
+      [ "CREATE TABLE X (K INT NOT NULL, A INT, PRIMARY KEY (K))";
+        "CREATE TABLE Y (K INT NOT NULL, A INT, PRIMARY KEY (K))" ] in
+  let db = DB.create cat in
+  (* X.A = [1;1;1;2]; Y.A = [1;3] *)
+  DB.load db "X"
+    [ [| v_int 1; v_int 1 |]; [| v_int 2; v_int 1 |]; [| v_int 3; v_int 1 |];
+      [| v_int 4; v_int 2 |] ];
+  DB.load db "Y" [ [| v_int 1; v_int 1 |]; [| v_int 2; v_int 3 |] ];
+  let r = run db "SELECT X.A FROM X EXCEPT SELECT Y.A FROM Y" in
+  check_rows "except distinct" [ [ v_int 2 ] ] r;
+  (* EXCEPT ALL: max(3 - 1, 0) ones and one 2 *)
+  let r = run db "SELECT X.A FROM X EXCEPT ALL SELECT Y.A FROM Y" in
+  check_rows "except all" [ [ v_int 1 ]; [ v_int 1 ]; [ v_int 2 ] ] r
+
+let test_setop_null_handling () =
+  (* INTERSECT equates NULLs (unlike WHERE-clause '=') *)
+  let cat = List.fold_left Catalog.add_ddl Catalog.empty
+      [ "CREATE TABLE X (K INT NOT NULL, A INT, PRIMARY KEY (K))";
+        "CREATE TABLE Y (K INT NOT NULL, A INT, PRIMARY KEY (K))" ] in
+  let db = DB.create cat in
+  DB.load db "X" [ [| v_int 1; Value.Null |] ];
+  DB.load db "Y" [ [| v_int 1; Value.Null |] ];
+  let r = run db "SELECT X.A FROM X INTERSECT SELECT Y.A FROM Y" in
+  Alcotest.(check int) "null matches null" 1 (Relation.cardinality r)
+
+let test_hash_join_agrees_with_naive () =
+  let db = Workload.Generator.supplier_db ~suppliers:30 ~parts_per_supplier:4 () in
+  let queries =
+    [ "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO";
+      "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND \
+       P.COLOR = 'RED'";
+      "SELECT DISTINCT S.SNO, P.PNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS \
+       A WHERE S.SNO = P.SNO AND A.SNO = S.SNO";
+      (* no equi-join at all: pure product with a range filter *)
+      "SELECT S.SNO, A.ANO FROM SUPPLIER S, AGENTS A WHERE S.SNO < A.SNO";
+      (* join + correlated EXISTS residual *)
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND EXISTS \
+       (SELECT * FROM AGENTS A WHERE A.SNO = S.SNO)" ]
+  in
+  List.iter
+    (fun q ->
+      let naive =
+        { (Exec.default_config ()) with Exec.enable_hash_join = false }
+      in
+      let a = run db q in
+      let b = run ~config:naive db q in
+      Alcotest.(check bool) ("hash = naive: " ^ q) true (Relation.equal_bags a b))
+    queries
+
+let test_indexed_exists_agrees () =
+  let db = Workload.Generator.supplier_db ~suppliers:30 ~parts_per_supplier:4 () in
+  let queries =
+    [ "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS (SELECT * FROM PARTS P \
+       WHERE P.SNO = S.SNO AND P.COLOR = 'RED')";
+      "SELECT S.SNO FROM SUPPLIER S WHERE NOT EXISTS (SELECT * FROM AGENTS \
+       A WHERE A.SNO = S.SNO AND A.ACITY = 'Hull')";
+      (* no equi-correlation: must fall back to the nested loop *)
+      "SELECT S.SNO FROM SUPPLIER S WHERE EXISTS (SELECT * FROM PARTS P \
+       WHERE P.SNO < S.SNO)";
+      (* correlation on a nullable column *)
+      "SELECT P.SNO, P.PNO FROM PARTS P WHERE EXISTS (SELECT * FROM PARTS \
+       P2 WHERE P2.OEM_PNO = P.OEM_PNO AND P2.COLOR = 'RED')" ]
+  in
+  List.iter
+    (fun q ->
+      let indexed =
+        { (Exec.default_config ()) with Exec.exists_impl = Exec.Indexed_exists }
+      in
+      let a = run db q in
+      let b = run ~config:indexed db q in
+      Alcotest.(check bool) ("indexed = naive: " ^ q) true
+        (Relation.equal_bags a b))
+    queries
+
+let test_hash_join_null_keys () =
+  (* equi-join keys that are NULL must not match (WHERE-clause equality) *)
+  let cat =
+    List.fold_left Catalog.add_ddl Catalog.empty
+      [ "CREATE TABLE X (K INT NOT NULL, J INT, PRIMARY KEY (K))";
+        "CREATE TABLE Y (K INT NOT NULL, J INT, PRIMARY KEY (K))" ]
+  in
+  let db = DB.create cat in
+  DB.load db "X" [ [| v_int 1; Value.Null |]; [| v_int 2; v_int 5 |] ];
+  DB.load db "Y" [ [| v_int 1; Value.Null |]; [| v_int 2; v_int 5 |] ];
+  let r = run db "SELECT X.K, Y.K FROM X, Y WHERE X.J = Y.J" in
+  check_rows "only the non-null pair" [ [ v_int 2; v_int 2 ] ] r
+
+let test_stats_sort_counted () =
+  let db = small_db () in
+  let cfg = Exec.default_config () in
+  ignore (Exec.run_sql ~config:cfg db ~hosts:[] "SELECT DISTINCT R.B FROM R");
+  Alcotest.(check bool) "sort performed" true (cfg.Exec.stats.Engine.Stats.sorts >= 1);
+  let cfg2 = Exec.default_config () in
+  ignore (Exec.run_sql ~config:cfg2 db ~hosts:[] "SELECT ALL R.B FROM R");
+  Alcotest.(check int) "no sort for ALL" 0 cfg2.Exec.stats.Engine.Stats.sorts
+
+let test_unbound_errors () =
+  let db = small_db () in
+  (match run db "SELECT R.A FROM R WHERE R.A = :MISSING" with
+   | exception Exec.Unbound_host _ -> ()
+   | _ -> Alcotest.fail "expected unbound host");
+  match run db "SELECT R.A FROM R WHERE R.NOPE = 1" with
+  | exception Exec.Unbound_column _ -> ()
+  | _ -> Alcotest.fail "expected unbound column"
+
+(* ---- constraint validation ---- *)
+
+let test_validate_ok () =
+  let db = small_db () in
+  Alcotest.(check int) "no violations" 0 (List.length (DB.validate db))
+
+let test_validate_duplicate_pk () =
+  let db = small_db () in
+  DB.insert db "R" [| v_int 1; v_str "dup" |];
+  let vs = DB.validate db in
+  Alcotest.(check bool) "duplicate key reported" true
+    (List.exists (function DB.Duplicate_key _ -> true | _ -> false) vs)
+
+let test_validate_null_pk () =
+  let db = small_db () in
+  DB.insert db "R" [| Value.Null; v_str "n" |];
+  let vs = DB.validate db in
+  Alcotest.(check bool) "null pk reported" true
+    (List.exists (function DB.Null_in_primary_key _ -> true | _ -> false) vs)
+
+let test_validate_check () =
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (A INT NOT NULL, PRIMARY KEY (A), CHECK (A BETWEEN 1 AND 9))"
+  in
+  let db = DB.create cat in
+  DB.load db "T" [ [| v_int 5 |]; [| v_int 11 |] ];
+  let vs = DB.validate db in
+  Alcotest.(check int) "one check violation" 1 (List.length vs)
+
+let test_validate_unique_nulls () =
+  (* SQL2 / paper semantics: at most one NULL in a UNIQUE candidate key *)
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (A INT NOT NULL, U INT, PRIMARY KEY (A), UNIQUE (U))"
+  in
+  let db = DB.create cat in
+  DB.load db "T" [ [| v_int 1; Value.Null |]; [| v_int 2; Value.Null |] ];
+  let vs = DB.validate db in
+  Alcotest.(check bool) "two nulls violate UNIQUE" true
+    (List.exists (function DB.Duplicate_key _ -> true | _ -> false) vs)
+
+(* ---- generated workload sanity ---- *)
+
+let test_generator_valid () =
+  let db =
+    Workload.Generator.supplier_db ~suppliers:50 ~parts_per_supplier:5 ()
+  in
+  Alcotest.(check int) "suppliers" 50 (DB.row_count db "SUPPLIER");
+  Alcotest.(check int) "parts" 250 (DB.row_count db "PARTS");
+  Alcotest.(check int) "valid instance" 0 (List.length (DB.validate db))
+
+let test_generator_scales_past_499 () =
+  let db =
+    Workload.Generator.supplier_db ~suppliers:1000 ~parts_per_supplier:2 ()
+  in
+  Alcotest.(check int) "valid at 1000 suppliers" 0 (List.length (DB.validate db))
+
+let test_generator_deterministic () =
+  let a = Workload.Generator.supplier_db ~suppliers:20 ~parts_per_supplier:3 () in
+  let b = Workload.Generator.supplier_db ~suppliers:20 ~parts_per_supplier:3 () in
+  Alcotest.(check bool) "same rows" true
+    (Relation.equal_bags (DB.table a "SUPPLIER") (DB.table b "SUPPLIER"))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "scan+project" `Quick test_scan_project;
+          Alcotest.test_case "3VL selection" `Quick test_select_3vl;
+          Alcotest.test_case "product join" `Quick test_product_join;
+          Alcotest.test_case "bag projection keeps duplicates" `Quick
+            test_projection_keeps_duplicates;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "distinct equates nulls" `Quick
+            test_distinct_null_equivalence;
+          Alcotest.test_case "hash distinct agrees with sort" `Quick
+            test_hash_distinct_agrees;
+          Alcotest.test_case "host variables" `Quick test_host_variables;
+          Alcotest.test_case "correlated EXISTS" `Quick test_exists_correlated;
+          Alcotest.test_case "NOT EXISTS" `Quick test_not_exists;
+          Alcotest.test_case "INTERSECT / INTERSECT ALL" `Quick
+            test_intersect_distinct_and_all;
+          Alcotest.test_case "EXCEPT / EXCEPT ALL" `Quick
+            test_except_distinct_and_all;
+          Alcotest.test_case "set ops equate nulls" `Quick
+            test_setop_null_handling;
+          Alcotest.test_case "hash join agrees with naive" `Quick
+            test_hash_join_agrees_with_naive;
+          Alcotest.test_case "hash join ignores NULL keys" `Quick
+            test_hash_join_null_keys;
+          Alcotest.test_case "indexed EXISTS agrees with naive" `Quick
+            test_indexed_exists_agrees;
+          Alcotest.test_case "stats count sorts" `Quick test_stats_sort_counted;
+          Alcotest.test_case "unbound references" `Quick test_unbound_errors;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "valid instance" `Quick test_validate_ok;
+          Alcotest.test_case "duplicate pk" `Quick test_validate_duplicate_pk;
+          Alcotest.test_case "null pk" `Quick test_validate_null_pk;
+          Alcotest.test_case "check constraint" `Quick test_validate_check;
+          Alcotest.test_case "unique with nulls" `Quick
+            test_validate_unique_nulls;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "generator produces valid instances" `Quick
+            test_generator_valid;
+          Alcotest.test_case "scales past 499 suppliers" `Quick
+            test_generator_scales_past_499;
+          Alcotest.test_case "deterministic by seed" `Quick
+            test_generator_deterministic;
+        ] );
+    ]

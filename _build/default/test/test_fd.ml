@@ -1,0 +1,218 @@
+(* Tests for functional dependencies: Armstrong-style closure properties and
+   the derived-dependency machinery of paper section 3 (Example 3). *)
+
+module Attr = Schema.Attr
+module Fdset = Fd.Fdset
+module G = Testsupport.Gen_sql
+
+let attr s = Attr.of_string s
+let attrs l = Attr.set_of_list (List.map attr l)
+
+let fd lhs rhs = Fdset.make_fd (List.map attr lhs) (List.map attr rhs)
+
+let set = Alcotest.testable Attr.pp_set Attr.Set.equal
+
+(* ---- closure basics ---- *)
+
+let test_closure_basic () =
+  let fds = Fdset.of_list [ fd [ "R.A" ] [ "R.B" ]; fd [ "R.B" ] [ "R.C" ] ] in
+  Alcotest.check set "transitive closure"
+    (attrs [ "R.A"; "R.B"; "R.C" ])
+    (Fdset.closure fds (attrs [ "R.A" ]))
+
+let test_closure_composite () =
+  let fds = Fdset.of_list [ fd [ "R.A"; "R.B" ] [ "R.C" ] ] in
+  Alcotest.check set "needs both"
+    (attrs [ "R.A" ])
+    (Fdset.closure fds (attrs [ "R.A" ]));
+  Alcotest.check set "fires with both"
+    (attrs [ "R.A"; "R.B"; "R.C" ])
+    (Fdset.closure fds (attrs [ "R.A"; "R.B" ]))
+
+let test_empty_lhs () =
+  (* constants: {} -> A makes A part of every closure *)
+  let fds = Fdset.of_list [ fd [] [ "R.A" ] ] in
+  Alcotest.check set "constant joins every closure"
+    (attrs [ "R.A"; "R.B" ])
+    (Fdset.closure fds (attrs [ "R.B" ]))
+
+let test_implies () =
+  let fds = Fdset.of_list [ fd [ "R.A" ] [ "R.B" ]; fd [ "R.B" ] [ "R.C" ] ] in
+  Alcotest.(check bool) "implied" true (Fdset.implies fds (fd [ "R.A" ] [ "R.C" ]));
+  Alcotest.(check bool) "not implied" false
+    (Fdset.implies fds (fd [ "R.C" ] [ "R.A" ]))
+
+let test_superkey () =
+  let all = attrs [ "R.A"; "R.B"; "R.C" ] in
+  let fds = Fdset.of_list [ fd [ "R.A" ] [ "R.B"; "R.C" ] ] in
+  Alcotest.(check bool) "A is key" true (Fdset.is_superkey fds ~all (attrs [ "R.A" ]));
+  Alcotest.(check bool) "B is not" false (Fdset.is_superkey fds ~all (attrs [ "R.B" ]))
+
+let test_candidate_keys () =
+  let all = attrs [ "R.A"; "R.B"; "R.C" ] in
+  let fds =
+    Fdset.of_list [ fd [ "R.A" ] [ "R.B"; "R.C" ]; fd [ "R.B" ] [ "R.A" ] ]
+  in
+  let keys = Fdset.candidate_keys fds ~all ~within:all in
+  (* A and B are both minimal keys; C is not *)
+  Alcotest.(check int) "two minimal keys" 2 (List.length keys);
+  Alcotest.(check bool) "A key" true
+    (List.exists (Attr.Set.equal (attrs [ "R.A" ])) keys);
+  Alcotest.(check bool) "B key" true
+    (List.exists (Attr.Set.equal (attrs [ "R.B" ])) keys)
+
+(* ---- Armstrong axioms as properties ---- *)
+
+let attr_subset_gen : Attr.Set.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map
+    (fun picks ->
+      Attr.set_of_list
+        (List.filteri (fun i _ -> List.nth picks i) G.columns))
+    (list_repeat (List.length G.columns) bool)
+
+let small_fds_gen : Fdset.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map
+    (fun pairs ->
+      Fdset.of_list (List.map (fun (l, r) -> { Fdset.lhs = l; rhs = r }) pairs))
+    (list_size (int_range 0 5) (pair attr_subset_gen attr_subset_gen))
+
+let prop_reflexive =
+  QCheck2.Test.make ~name:"closure is reflexive (X ⊆ X⁺)" ~count:300
+    QCheck2.Gen.(pair small_fds_gen attr_subset_gen)
+    (fun (fds, xs) -> Attr.Set.subset xs (Fdset.closure fds xs))
+
+let prop_monotone =
+  QCheck2.Test.make ~name:"closure is monotone" ~count:300
+    QCheck2.Gen.(triple small_fds_gen attr_subset_gen attr_subset_gen)
+    (fun (fds, xs, ys) ->
+      let union = Attr.Set.union xs ys in
+      Attr.Set.subset (Fdset.closure fds xs) (Fdset.closure fds union))
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"closure is idempotent" ~count:300
+    QCheck2.Gen.(pair small_fds_gen attr_subset_gen)
+    (fun (fds, xs) ->
+      let c = Fdset.closure fds xs in
+      Attr.Set.equal c (Fdset.closure fds c))
+
+let prop_keys_are_superkeys_and_minimal =
+  QCheck2.Test.make ~name:"candidate_keys returns minimal superkeys" ~count:200
+    small_fds_gen
+    (fun fds ->
+      let all = Attr.set_of_list G.columns in
+      let keys = Fdset.candidate_keys fds ~all ~within:all in
+      List.for_all
+        (fun k ->
+          Fdset.is_superkey fds ~all k
+          && Attr.Set.for_all
+               (fun a ->
+                 not (Fdset.is_superkey fds ~all (Attr.Set.remove a k)))
+               k)
+        keys)
+
+(* ---- derived dependencies (paper Example 3) ---- *)
+
+let catalog = Workload.Paper_schema.catalog ()
+
+let example3 =
+  "SELECT ALL S.SNO, SNAME, P.PNO, PNAME FROM SUPPLIER S, PARTS P WHERE \
+   P.SNO = :SUPPLIER_NO AND S.SNO = P.SNO"
+
+let test_example3_pno_is_key () =
+  let q = Sql.Parser.parse_query_spec example3 in
+  let src = Fd.Derive.of_query_spec catalog q in
+  (* PNO alone determines the whole product: P.SNO is constant (host var),
+     S.SNO = P.SNO, and (SNO, PNO) is the key of PARTS. *)
+  Alcotest.(check bool) "P.PNO is a key of the derived table" true
+    (Fdset.is_superkey src.Fd.Derive.src_fds ~all:src.Fd.Derive.src_attrs
+       (attrs [ "P.PNO" ]))
+
+let test_example3_sno_determines_sname () =
+  let q = Sql.Parser.parse_query_spec example3 in
+  let src = Fd.Derive.of_query_spec catalog q in
+  (* the key dependency SNO -> SNAME of SUPPLIER survives into the derived
+     table as a non-key dependency *)
+  Alcotest.(check bool) "S.SNO -> S.SNAME" true
+    (Fdset.implies src.Fd.Derive.src_fds (fd [ "S.SNO" ] [ "S.SNAME" ]))
+
+let test_example3_projection_determines_key () =
+  let q = Sql.Parser.parse_query_spec example3 in
+  Alcotest.(check bool) "projection determines key" true
+    (Fd.Derive.projection_determines_key catalog q)
+
+let test_example2_projection_does_not () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT S.SNAME, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
+       WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
+  in
+  Alcotest.(check bool) "SNAME does not determine the key" false
+    (Fd.Derive.projection_determines_key catalog q)
+
+let test_disjunction_not_used () =
+  (* x = 5 OR x = 10 must not pin x (Algorithm 1 deletes disjunctive
+     clauses); only singleton conjuncts count *)
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT S.SNAME FROM SUPPLIER S WHERE S.SNO = 5 OR S.SNO = 10"
+  in
+  Alcotest.(check bool) "disjunction does not bind SNO" false
+    (Fd.Derive.projection_determines_key catalog q)
+
+let test_oem_pno_candidate_key () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT P.OEM_PNO FROM PARTS P WHERE P.COLOR = 'RED'"
+  in
+  (* OEM_PNO is declared UNIQUE, hence a candidate key of PARTS *)
+  Alcotest.(check bool) "candidate key detected" true
+    (Fd.Derive.projection_determines_key catalog q)
+
+let test_unknown_table () =
+  let q = Sql.Parser.parse_query_spec "SELECT X.A FROM NOSUCH X" in
+  match Fd.Derive.of_query_spec catalog q with
+  | exception Fd.Derive.Unknown_table _ -> ()
+  | _ -> Alcotest.fail "expected Unknown_table"
+
+let test_unknown_column () =
+  let q = Sql.Parser.parse_query_spec "SELECT S.NOPE FROM SUPPLIER S" in
+  match Fd.Derive.projection_attrs catalog q with
+  | exception Fd.Derive.Unknown_column _ -> ()
+  | _ -> Alcotest.fail "expected Unknown_column"
+
+let () =
+  Alcotest.run "fd"
+    [
+      ( "closure",
+        [
+          Alcotest.test_case "basic transitivity" `Quick test_closure_basic;
+          Alcotest.test_case "composite lhs" `Quick test_closure_composite;
+          Alcotest.test_case "empty lhs (constants)" `Quick test_empty_lhs;
+          Alcotest.test_case "implies" `Quick test_implies;
+          Alcotest.test_case "superkey" `Quick test_superkey;
+          Alcotest.test_case "candidate keys" `Quick test_candidate_keys;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_reflexive; prop_monotone; prop_idempotent;
+            prop_keys_are_superkeys_and_minimal ] );
+      ( "derived",
+        [
+          Alcotest.test_case "example 3: PNO key of derived table" `Quick
+            test_example3_pno_is_key;
+          Alcotest.test_case "example 3: SNO -> SNAME survives" `Quick
+            test_example3_sno_determines_sname;
+          Alcotest.test_case "example 3: projection determines key" `Quick
+            test_example3_projection_determines_key;
+          Alcotest.test_case "example 2: projection does not" `Quick
+            test_example2_projection_does_not;
+          Alcotest.test_case "disjunctions are not equalities" `Quick
+            test_disjunction_not_used;
+          Alcotest.test_case "OEM_PNO candidate key" `Quick
+            test_oem_pno_candidate_key;
+          Alcotest.test_case "unknown table" `Quick test_unknown_table;
+          Alcotest.test_case "unknown column" `Quick test_unknown_column;
+        ] );
+    ]

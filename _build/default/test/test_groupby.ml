@@ -1,0 +1,309 @@
+(* GROUP BY / aggregation extension (paper section 8 future work):
+   parsing, execution semantics (3VL aggregates, NULL group keys), the
+   grouped uniqueness rule, and the redundant-grouping rewrite. *)
+
+module Value = Sqlval.Value
+module DB = Engine.Database
+module Exec = Engine.Exec
+module Relation = Engine.Relation
+module R = Uniqueness.Rewrite
+open Sql.Ast
+
+let catalog = Workload.Paper_schema.catalog ()
+let v_int i = Value.Int i
+let v_str s = Value.String s
+
+let run db s = Exec.run_sql db ~hosts:[] s
+
+let rows r = List.sort compare (List.map Array.to_list r.Relation.rows)
+
+let check_rows msg expected r =
+  Alcotest.(check (list (list (Alcotest.testable Value.pp Value.equal_null))))
+    msg (List.sort compare expected) (rows r)
+
+(* a small table with nulls and duplicate groups *)
+let small_db () =
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (K INT NOT NULL, G VARCHAR(5), V INT, PRIMARY KEY (K))"
+  in
+  let db = DB.create cat in
+  DB.load db "T"
+    [ [| v_int 1; v_str "a"; v_int 10 |];
+      [| v_int 2; v_str "a"; v_int 20 |];
+      [| v_int 3; v_str "b"; Value.Null |];
+      [| v_int 4; v_str "b"; v_int 5 |];
+      [| v_int 5; Value.Null; v_int 7 |];
+      [| v_int 6; Value.Null; Value.Null |] ];
+  db
+
+(* ---- parsing ---- *)
+
+let test_parse_group_by () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT T.G, COUNT(*), SUM(T.V) FROM T GROUP BY T.G"
+  in
+  (match q.select with
+   | Cols [ Col _; Agg (Count, None); Agg (Sum, Some (Col _)) ] -> ()
+   | _ -> Alcotest.fail "select shape");
+  Alcotest.(check int) "one group col" 1 (List.length q.group_by)
+
+let test_parse_round_trip () =
+  let s = "SELECT T.G, COUNT(*), MIN(T.V) FROM T GROUP BY T.G" in
+  let q1 = Sql.Parser.parse_query s in
+  let q2 = Sql.Parser.parse_query (Sql.Pretty.query q1) in
+  Alcotest.(check bool) "round trip" true (q1 = q2)
+
+let test_parse_qualified_star () =
+  let q = Sql.Parser.parse_query_spec "SELECT S.* FROM SUPPLIER S, PARTS P" in
+  match q.select with
+  | Cols [ Col a ] ->
+    Alcotest.(check string) "qualified star" "S.*" (Schema.Attr.to_string a)
+  | _ -> Alcotest.fail "select shape"
+
+let test_count_not_reserved () =
+  (* COUNT is usable as a column name when not followed by a parenthesis *)
+  let q = Sql.Parser.parse_query_spec "SELECT T.COUNT FROM T" in
+  match q.select with
+  | Cols [ Col a ] -> Alcotest.(check string) "col" "T.COUNT" (Schema.Attr.to_string a)
+  | _ -> Alcotest.fail "select shape"
+
+(* ---- execution ---- *)
+
+let test_count_groups () =
+  let db = small_db () in
+  let r = run db "SELECT T.G, COUNT(*) FROM T GROUP BY T.G" in
+  check_rows "counts per group"
+    [ [ v_str "a"; v_int 2 ]; [ v_str "b"; v_int 2 ]; [ Value.Null; v_int 2 ] ]
+    r
+
+let test_count_column_skips_nulls () =
+  let db = small_db () in
+  let r = run db "SELECT T.G, COUNT(T.V) FROM T GROUP BY T.G" in
+  check_rows "non-null counts"
+    [ [ v_str "a"; v_int 2 ]; [ v_str "b"; v_int 1 ]; [ Value.Null; v_int 1 ] ]
+    r
+
+let test_sum_min_max_avg () =
+  let db = small_db () in
+  let r = run db "SELECT T.G, SUM(T.V), MIN(T.V), MAX(T.V) FROM T GROUP BY T.G" in
+  check_rows "sum/min/max ignore nulls"
+    [ [ v_str "a"; v_int 30; v_int 10; v_int 20 ];
+      [ v_str "b"; v_int 5; v_int 5; v_int 5 ];
+      [ Value.Null; v_int 7; v_int 7; v_int 7 ] ]
+    r;
+  let r = run db "SELECT T.G, AVG(T.V) FROM T GROUP BY T.G" in
+  check_rows "avg"
+    [ [ v_str "a"; Value.Float 15.0 ]; [ v_str "b"; Value.Float 5.0 ];
+      [ Value.Null; Value.Float 7.0 ] ]
+    r
+
+let test_null_group_keys_collapse () =
+  (* two NULL-keyed rows form ONE group (null-comparison semantics) *)
+  let db = small_db () in
+  let r = run db "SELECT T.G FROM T GROUP BY T.G" in
+  Alcotest.(check int) "three groups" 3 (Relation.cardinality r)
+
+let test_global_aggregate () =
+  let db = small_db () in
+  let r = run db "SELECT COUNT(*), SUM(T.V) FROM T" in
+  check_rows "global" [ [ v_int 6; v_int 42 ] ] r
+
+let test_global_aggregate_empty_input () =
+  let cat =
+    Catalog.add_ddl Catalog.empty "CREATE TABLE E (K INT NOT NULL, PRIMARY KEY (K))"
+  in
+  let db = DB.create cat in
+  let r = run db "SELECT COUNT(*) FROM E" in
+  check_rows "count over empty" [ [ v_int 0 ] ] r;
+  (* but grouping an empty input yields no groups *)
+  let r = run db "SELECT E.K, COUNT(*) FROM E GROUP BY E.K" in
+  Alcotest.(check int) "no groups" 0 (Relation.cardinality r)
+
+let test_sum_all_nulls_is_null () =
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE N (K INT NOT NULL, V INT, PRIMARY KEY (K))"
+  in
+  let db = DB.create cat in
+  DB.load db "N" [ [| v_int 1; Value.Null |]; [| v_int 2; Value.Null |] ];
+  let r = run db "SELECT SUM(N.V), MIN(N.V), AVG(N.V), COUNT(N.V) FROM N" in
+  check_rows "aggregates of all-null column"
+    [ [ Value.Null; Value.Null; Value.Null; v_int 0 ] ]
+    r
+
+let test_group_by_with_where () =
+  let db = small_db () in
+  let r =
+    run db "SELECT T.G, COUNT(*) FROM T WHERE T.V IS NOT NULL GROUP BY T.G"
+  in
+  check_rows "where before grouping"
+    [ [ v_str "a"; v_int 2 ]; [ v_str "b"; v_int 1 ]; [ Value.Null; v_int 1 ] ]
+    r
+
+let test_group_by_join () =
+  let db = Workload.Generator.supplier_db ~suppliers:20 ~parts_per_supplier:5 () in
+  let r =
+    run db
+      "SELECT S.SNO, COUNT(*) FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO \
+       GROUP BY S.SNO"
+  in
+  Alcotest.(check int) "one group per supplier" 20 (Relation.cardinality r);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "five parts each" true
+        (Value.equal_null row.(1) (v_int 5)))
+    r.Relation.rows
+
+let test_select_not_in_group_by_rejected () =
+  let db = small_db () in
+  match run db "SELECT T.V, COUNT(*) FROM T GROUP BY T.G" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* ---- analysis and rewrite ---- *)
+
+let test_grouped_distinct_analysis () =
+  (* grouped output is keyed by the grouping columns *)
+  let yes =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY"
+  in
+  Alcotest.(check bool) "DISTINCT redundant over grouped output" true
+    (Uniqueness.Fd_analysis.distinct_is_redundant catalog yes);
+  (* selecting a strict subset of the grouping columns is not covered *)
+  let no =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY, \
+       S.SNAME"
+  in
+  Alcotest.(check bool) "subset of group keys may duplicate" false
+    (Uniqueness.Fd_analysis.distinct_is_redundant catalog no)
+
+let test_redundant_group_by_removed () =
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.SNO, P.PNO, COUNT(*), MAX(P.OEM_PNO) FROM PARTS P GROUP BY \
+       P.SNO, P.PNO"
+  in
+  let o = R.remove_redundant_group_by catalog q in
+  Alcotest.(check bool) "applied" true o.R.applied;
+  (match o.R.result with
+   | Spec s ->
+     Alcotest.(check bool) "no grouping left" true (s.group_by = []);
+     (match s.select with
+      | Cols [ Col _; Col _; Const (Value.Int 1); Col _ ] -> ()
+      | _ -> Alcotest.fail "de-aggregated select shape")
+   | Setop _ -> Alcotest.fail "shape");
+  (* engine equivalence *)
+  let db = Workload.Generator.supplier_db ~suppliers:25 ~parts_per_supplier:4 () in
+  let a = Engine.Exec.run_query db ~hosts:[] q in
+  let b = Engine.Exec.run_query db ~hosts:[] o.R.result in
+  Alcotest.(check bool) "equivalent" true (Relation.equal_bags a b)
+
+let test_group_by_key_through_equality () =
+  (* grouping on P.PNO with P.SNO pinned: groups are singletons *)
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.PNO, SUM(P.OEM_PNO) FROM PARTS P WHERE P.SNO = 7 GROUP BY P.PNO"
+  in
+  let o = R.remove_redundant_group_by catalog q in
+  Alcotest.(check bool) "applied via Type-1 equality" true o.R.applied;
+  let db = Workload.Generator.supplier_db ~suppliers:25 ~parts_per_supplier:4 () in
+  let a = Engine.Exec.run_query db ~hosts:[] q in
+  let b = Engine.Exec.run_query db ~hosts:[] o.R.result in
+  Alcotest.(check bool) "equivalent" true (Relation.equal_bags a b)
+
+let test_group_by_not_removed_when_coarse () =
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.COLOR, COUNT(*) FROM PARTS P GROUP BY P.COLOR"
+  in
+  let o = R.remove_redundant_group_by catalog q in
+  Alcotest.(check bool) "not applied" false o.R.applied
+
+let test_group_by_count_column_blocks () =
+  (* COUNT(col) over singleton groups needs a CASE: rewrite must refuse *)
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.SNO, P.PNO, COUNT(P.OEM_PNO) FROM PARTS P GROUP BY P.SNO, P.PNO"
+  in
+  let o = R.remove_redundant_group_by catalog q in
+  Alcotest.(check bool) "not applied" false o.R.applied
+
+let test_avg_collapse_numeric_equality () =
+  (* AVG over a singleton group collapses to the operand; Float 3.0 and
+     Int 3 are numerically equal under the engine's total order *)
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.SNO, P.PNO, AVG(P.PNO) FROM PARTS P GROUP BY P.SNO, P.PNO"
+  in
+  let o = R.remove_redundant_group_by catalog q in
+  Alcotest.(check bool) "applied" true o.R.applied;
+  let db = Workload.Generator.supplier_db ~suppliers:10 ~parts_per_supplier:3 () in
+  let a = Engine.Exec.run_query db ~hosts:[] q in
+  let b = Engine.Exec.run_query db ~hosts:[] o.R.result in
+  Alcotest.(check bool) "equivalent" true (Relation.equal_bags a b)
+
+let test_apply_all_includes_group_by () =
+  let q =
+    Sql.Parser.parse_query
+      "SELECT P.SNO, P.PNO, COUNT(*) FROM PARTS P GROUP BY P.SNO, P.PNO"
+  in
+  let q', outcomes = R.apply_all catalog q in
+  Alcotest.(check bool) "applied in pipeline" true
+    (List.exists
+       (fun o -> o.R.applied && o.R.rule = "group-by removal (section 8 extension)")
+       outcomes);
+  match q' with
+  | Spec s -> Alcotest.(check bool) "no grouping" true (s.group_by = [])
+  | Setop _ -> Alcotest.fail "shape"
+
+let () =
+  Alcotest.run "groupby"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "GROUP BY + aggregates" `Quick test_parse_group_by;
+          Alcotest.test_case "round trip" `Quick test_parse_round_trip;
+          Alcotest.test_case "qualified star" `Quick test_parse_qualified_star;
+          Alcotest.test_case "COUNT as column name" `Quick test_count_not_reserved;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "COUNT(*) per group" `Quick test_count_groups;
+          Alcotest.test_case "COUNT(col) skips nulls" `Quick
+            test_count_column_skips_nulls;
+          Alcotest.test_case "SUM/MIN/MAX/AVG" `Quick test_sum_min_max_avg;
+          Alcotest.test_case "NULL keys form one group" `Quick
+            test_null_group_keys_collapse;
+          Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+          Alcotest.test_case "global over empty input" `Quick
+            test_global_aggregate_empty_input;
+          Alcotest.test_case "aggregates of all-null column" `Quick
+            test_sum_all_nulls_is_null;
+          Alcotest.test_case "WHERE before grouping" `Quick
+            test_group_by_with_where;
+          Alcotest.test_case "grouped join" `Quick test_group_by_join;
+          Alcotest.test_case "non-grouped column rejected" `Quick
+            test_select_not_in_group_by_rejected;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "grouped DISTINCT analysis" `Quick
+            test_grouped_distinct_analysis;
+          Alcotest.test_case "redundant GROUP BY removed" `Quick
+            test_redundant_group_by_removed;
+          Alcotest.test_case "key through Type-1 equality" `Quick
+            test_group_by_key_through_equality;
+          Alcotest.test_case "coarse grouping kept" `Quick
+            test_group_by_not_removed_when_coarse;
+          Alcotest.test_case "COUNT(col) blocks removal" `Quick
+            test_group_by_count_column_blocks;
+          Alcotest.test_case "AVG collapse numeric equality" `Quick
+            test_avg_collapse_numeric_equality;
+          Alcotest.test_case "apply_all pipeline" `Quick
+            test_apply_all_includes_group_by;
+        ] );
+    ]

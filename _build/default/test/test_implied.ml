@@ -1,0 +1,211 @@
+(* Predicate pruning via table constraints (paper section 2.1's observation
+   run in reverse) and the Logic.Implies implication engine. *)
+
+module Value = Sqlval.Value
+module R = Uniqueness.Rewrite
+module Implies = Logic.Implies
+open Sql.Ast
+
+let catalog = Workload.Paper_schema.catalog ()
+
+(* ---- implication engine ---- *)
+
+let supplier_checks =
+  (Catalog.find_exn catalog "SUPPLIER").Catalog.tbl_checks
+
+let test_constraint_from_between () =
+  let c = Implies.constraint_for ~col:"SNO" supplier_checks in
+  Alcotest.(check bool) "lo" true (c.Implies.lo = Some (Value.Int 1));
+  Alcotest.(check bool) "hi" true (c.Implies.hi = Some (Value.Int 499))
+
+let test_constraint_from_in () =
+  let c = Implies.constraint_for ~col:"SCITY" supplier_checks in
+  match c.Implies.in_set with
+  | Some vs -> Alcotest.(check int) "three cities" 3 (List.length vs)
+  | None -> Alcotest.fail "expected an IN-set"
+
+let test_implied_ranges () =
+  let c = Implies.constraint_for ~col:"SNO" supplier_checks in
+  let p s = Sql.Parser.parse_pred s in
+  Alcotest.(check bool) "wider range" true
+    (Implies.implied c ~col:"SNO" (p "SNO BETWEEN 0 AND 1000"));
+  Alcotest.(check bool) "identical range" true
+    (Implies.implied c ~col:"SNO" (p "SNO BETWEEN 1 AND 499"));
+  Alcotest.(check bool) "lower bound" true
+    (Implies.implied c ~col:"SNO" (p "SNO >= 1"));
+  Alcotest.(check bool) "strict bound" true
+    (Implies.implied c ~col:"SNO" (p "SNO > 0"));
+  Alcotest.(check bool) "narrower range not implied" false
+    (Implies.implied c ~col:"SNO" (p "SNO BETWEEN 10 AND 20"));
+  Alcotest.(check bool) "equality not implied" false
+    (Implies.implied c ~col:"SNO" (p "SNO = 7"))
+
+let test_implied_in_sets () =
+  let c = Implies.constraint_for ~col:"SCITY" supplier_checks in
+  let p s = Sql.Parser.parse_pred s in
+  Alcotest.(check bool) "superset IN" true
+    (Implies.implied c ~col:"SCITY"
+       (p "SCITY IN ('Chicago', 'New York', 'Toronto', 'Boston')"));
+  Alcotest.(check bool) "exact IN" true
+    (Implies.implied c ~col:"SCITY"
+       (p "SCITY IN ('Chicago', 'New York', 'Toronto')"));
+  Alcotest.(check bool) "subset IN not implied" false
+    (Implies.implied c ~col:"SCITY" (p "SCITY IN ('Chicago')"));
+  (* enumeration handles arbitrary single-column predicates, disjunctions
+     included *)
+  Alcotest.(check bool) "disjunction" true
+    (Implies.implied c ~col:"SCITY"
+       (p "SCITY = 'Chicago' OR SCITY = 'New York' OR SCITY = 'Toronto'"));
+  Alcotest.(check bool) "inequality over the set" true
+    (Implies.implied c ~col:"SCITY" (p "SCITY <> 'Boston'"))
+
+let test_enumerated_int_range () =
+  (* range small enough to enumerate: complete even for odd predicates *)
+  let c =
+    Implies.constraint_for ~col:"X"
+      [ Sql.Parser.parse_pred "X BETWEEN 1 AND 3" ]
+  in
+  let p s = Sql.Parser.parse_pred s in
+  Alcotest.(check bool) "IN list over range" true
+    (Implies.implied c ~col:"X" (p "X IN (1, 2, 3, 9)"));
+  Alcotest.(check bool) "missing member" false
+    (Implies.implied c ~col:"X" (p "X IN (1, 3)"))
+
+(* ---- rewrite ---- *)
+
+let test_paper_section21_query () =
+  (* the paper's own example: a query restating the table constraints
+     returns all rows. The SNO conjunct is pruned (NOT NULL column); the
+     SCITY conjunct survives because SCITY is nullable — a CHECK passes
+     (not-false) on NULL where the WHERE conjunct is unknown. *)
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SNO BETWEEN 1 AND 499 \
+       AND S.SCITY IN ('Chicago', 'New York', 'Toronto')"
+  in
+  let o = R.remove_implied_predicates catalog q in
+  Alcotest.(check bool) "applied" true o.R.applied;
+  (match o.R.result with
+   | Spec s ->
+     (match conjuncts s.where with
+      | [ In_list _ ] -> ()
+      | _ -> Alcotest.fail "exactly the SNO conjunct should be pruned")
+   | Setop _ -> Alcotest.fail "shape");
+  let db = Workload.Generator.supplier_db ~suppliers:40 ~parts_per_supplier:3 () in
+  let a = Engine.Exec.run_query db ~hosts:[] (Spec q) in
+  let b = Engine.Exec.run_query db ~hosts:[] o.R.result in
+  Alcotest.(check bool) "equivalent" true (Engine.Relation.equal_bags a b);
+  Alcotest.(check int) "all suppliers qualify" 40 (Engine.Relation.cardinality a)
+
+let test_full_pruning_not_null_schema () =
+  (* with NOT NULL columns, every restated constraint is pruned *)
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (K INT NOT NULL, C VARCHAR(10) NOT NULL, PRIMARY KEY \
+       (K), CHECK (K BETWEEN 1 AND 99), CHECK (C IN ('a', 'b')))"
+  in
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT T.K FROM T WHERE T.K BETWEEN 1 AND 99 AND T.C IN ('a', 'b', 'c')"
+  in
+  let o = R.remove_implied_predicates cat q in
+  Alcotest.(check bool) "applied" true o.R.applied;
+  match o.R.result with
+  | Spec s -> Alcotest.(check bool) "no predicate left" true (s.where = Ptrue)
+  | Setop _ -> Alcotest.fail "shape"
+
+let test_partial_pruning () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO >= 1 AND S.SNAME = 'SUPPLIER-1'"
+  in
+  let o = R.remove_implied_predicates catalog q in
+  Alcotest.(check bool) "applied" true o.R.applied;
+  match o.R.result with
+  | Spec s ->
+    (match conjuncts s.where with
+     | [ Cmp (Eq, _, _) ] -> ()
+     | _ -> Alcotest.fail "only the implied conjunct should go")
+  | Setop _ -> Alcotest.fail "shape"
+
+let test_selective_not_pruned () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT S.SNO FROM SUPPLIER S WHERE S.SNO BETWEEN 10 AND 20"
+  in
+  let o = R.remove_implied_predicates catalog q in
+  Alcotest.(check bool) "not applied" false o.R.applied
+
+let test_nullable_column_not_pruned () =
+  (* SCITY is nullable in this schema variant: pruning would change the
+     result on NULL rows *)
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (K INT NOT NULL, C VARCHAR(10), PRIMARY KEY (K), \
+       CHECK (C IN ('a', 'b')))"
+  in
+  let q = Sql.Parser.parse_query_spec "SELECT T.K FROM T WHERE T.C IN ('a', 'b', 'c')" in
+  let o = R.remove_implied_predicates cat q in
+  Alcotest.(check bool) "not applied on nullable column" false o.R.applied;
+  (* semantic witness: CHECK passes for NULL (not-false) but WHERE drops it *)
+  let db = Engine.Database.create cat in
+  Engine.Database.load db "T" [ [| Value.Int 1; Value.Null |] ];
+  Alcotest.(check int) "instance valid" 0 (List.length (Engine.Database.validate db));
+  let filtered = Engine.Exec.run_query db ~hosts:[] (Spec q) in
+  Alcotest.(check int) "WHERE drops the NULL row" 0
+    (Engine.Relation.cardinality filtered)
+
+let test_multi_column_conjunct_kept () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO"
+  in
+  let o = R.remove_implied_predicates catalog q in
+  Alcotest.(check bool) "join conjunct untouched" false o.R.applied
+
+let test_apply_all_includes_pruning () =
+  let q =
+    Sql.Parser.parse_query
+      "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO BETWEEN 1 AND 499"
+  in
+  let q', outcomes = R.apply_all catalog q in
+  Alcotest.(check bool) "pruning applied" true
+    (List.exists
+       (fun o ->
+         o.R.applied && o.R.rule = "predicate pruning (table constraints)")
+       outcomes);
+  match q' with
+  | Spec s ->
+    Alcotest.(check bool) "predicate gone" true (s.where = Ptrue);
+    Alcotest.(check bool) "distinct gone too" true (s.distinct = All)
+  | Setop _ -> Alcotest.fail "shape"
+
+let () =
+  Alcotest.run "implied"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "BETWEEN to range" `Quick test_constraint_from_between;
+          Alcotest.test_case "IN to set" `Quick test_constraint_from_in;
+          Alcotest.test_case "range implications" `Quick test_implied_ranges;
+          Alcotest.test_case "set implications" `Quick test_implied_in_sets;
+          Alcotest.test_case "enumerated int range" `Quick
+            test_enumerated_int_range;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "paper section 2.1 query" `Quick
+            test_paper_section21_query;
+          Alcotest.test_case "full pruning on NOT NULL schema" `Quick
+            test_full_pruning_not_null_schema;
+          Alcotest.test_case "partial pruning" `Quick test_partial_pruning;
+          Alcotest.test_case "selective predicate kept" `Quick
+            test_selective_not_pruned;
+          Alcotest.test_case "nullable column kept" `Quick
+            test_nullable_column_not_pruned;
+          Alcotest.test_case "multi-column conjunct kept" `Quick
+            test_multi_column_conjunct_kept;
+          Alcotest.test_case "apply_all pipeline" `Quick
+            test_apply_all_includes_pruning;
+        ] );
+    ]

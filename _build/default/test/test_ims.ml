@@ -1,0 +1,279 @@
+(* IMS simulator tests: DL/I call semantics, the two gateway strategies of
+   paper section 6.1, and the paper's "halves the DL/I calls" claim. *)
+
+module Value = Sqlval.Value
+
+let ims_db ?(suppliers = 10) ?(parts_per = 4) () =
+  let db = Workload.Generator.supplier_db ~suppliers ~parts_per_supplier:parts_per () in
+  (db, Ims.Dli.of_supplier_db db)
+
+(* ---- raw DL/I semantics ---- *)
+
+let test_gu_gn_walk () =
+  let _, db = ims_db () in
+  let rec walk n status =
+    match status with
+    | Ims.Dli.Ok -> let s, _ = Ims.Dli.gn db () in walk (n + 1) s
+    | Ims.Dli.GB | Ims.Dli.GE -> n
+  in
+  let s0, _ = Ims.Dli.gu db () in
+  Alcotest.(check int) "visits all roots" 10 (walk 0 s0)
+
+let test_gu_with_key_ssa () =
+  let _, db = ims_db () in
+  match Ims.Dli.gu db ~ssa:("SNO", Value.Int 7) () with
+  | Ims.Dli.Ok, Some seg ->
+    Alcotest.(check bool) "right root" true
+      (Value.equal_null seg.Ims.Dli.seg_key (Value.Int 7))
+  | _ -> Alcotest.fail "expected Ok"
+
+let test_gu_key_ssa_stops_early () =
+  let _, db = ims_db () in
+  ignore (Ims.Dli.gu db ~ssa:("SNO", Value.Int 3) ());
+  let c = Ims.Dli.counters db in
+  (* key-sequenced roots: scanning stops at SNO = 3, i.e. 3 segments *)
+  Alcotest.(check (list (pair string int))) "scanned three roots"
+    [ ("SUPPLIER", 3) ] c.Ims.Dli.segments_scanned
+
+let test_gu_missing_key () =
+  let _, db = ims_db () in
+  (match Ims.Dli.gu db ~ssa:("SNO", Value.Int 999) () with
+   | Ims.Dli.GE, None -> ()
+   | _ -> Alcotest.fail "expected GE");
+  (* early stop: only as many scans as roots *)
+  let c = Ims.Dli.counters db in
+  Alcotest.(check bool) "scan bounded" true
+    (List.assoc "SUPPLIER" c.Ims.Dli.segments_scanned <= 10)
+
+let test_gnp_iterates_children () =
+  let _, db = ims_db () in
+  ignore (Ims.Dli.gu db ());
+  let rec count n =
+    match Ims.Dli.gnp db ~child:"PARTS" () with
+    | Ims.Dli.Ok, Some _ -> count (n + 1)
+    | (Ims.Dli.GE | Ims.Dli.GB), _ -> n
+    | Ims.Dli.Ok, None -> Alcotest.fail "Ok without segment"
+  in
+  Alcotest.(check int) "four parts" 4 (count 0)
+
+let test_gnp_resets_on_root_move () =
+  let _, db = ims_db () in
+  ignore (Ims.Dli.gu db ());
+  ignore (Ims.Dli.gnp db ~child:"PARTS" ());
+  ignore (Ims.Dli.gn db ());
+  let rec count n =
+    match Ims.Dli.gnp db ~child:"PARTS" () with
+    | Ims.Dli.Ok, Some _ -> count (n + 1)
+    | (Ims.Dli.GE | Ims.Dli.GB), _ -> n
+    | Ims.Dli.Ok, None -> Alcotest.fail "Ok without segment"
+  in
+  Alcotest.(check int) "fresh position under new parent" 4 (count 0)
+
+let test_gnp_key_ssa_early_stop () =
+  let _, db = ims_db () in
+  ignore (Ims.Dli.gu db ());
+  Ims.Dli.reset_counters db;
+  (* PNO = 2 is the second of four key-sequenced twins *)
+  (match Ims.Dli.gnp db ~child:"PARTS" ~ssa:("PNO", Value.Int 2) () with
+   | Ims.Dli.Ok, Some _ -> ()
+   | _ -> Alcotest.fail "expected hit");
+  let c = Ims.Dli.counters db in
+  Alcotest.(check int) "scanned two twins" 2
+    (List.assoc "PARTS" c.Ims.Dli.segments_scanned);
+  (* the follow-up call fails fast: next key (3) > 2 *)
+  (match Ims.Dli.gnp db ~child:"PARTS" ~ssa:("PNO", Value.Int 2) () with
+   | Ims.Dli.GE, None -> ()
+   | _ -> Alcotest.fail "expected GE");
+  let c = Ims.Dli.counters db in
+  Alcotest.(check int) "one extra scan" 3
+    (List.assoc "PARTS" c.Ims.Dli.segments_scanned)
+
+let test_gnp_nonkey_ssa_scans_all () =
+  let _, db = ims_db () in
+  ignore (Ims.Dli.gu db ());
+  Ims.Dli.reset_counters db;
+  (* non-key field: the search cannot stop early on a miss *)
+  ignore (Ims.Dli.gnp db ~child:"PARTS" ~ssa:("COLOR", Value.String "NO-SUCH") ());
+  let c = Ims.Dli.counters db in
+  Alcotest.(check int) "scans the whole twin chain" 4
+    (List.assoc "PARTS" c.Ims.Dli.segments_scanned)
+
+(* ---- gateway strategies (Example 10) ---- *)
+
+let test_strategies_agree () =
+  let rel_db, db = ims_db ~suppliers:20 ~parts_per:5 () in
+  let ssa = ("PNO", Value.Int 2) in
+  let j = Ims.Gateway.join_strategy db ~child:"PARTS" ~ssa in
+  let e = Ims.Gateway.exists_strategy db ~child:"PARTS" ~ssa in
+  let keys r = List.map (fun s -> s.Ims.Dli.seg_key) r.Ims.Gateway.output in
+  Alcotest.(check (list (Alcotest.testable Value.pp Value.equal_null)))
+    "same suppliers" (keys j) (keys e);
+  (* cross-check against the relational engine *)
+  let sql =
+    Engine.Exec.run_sql rel_db ~hosts:[ ("PARTNO", Value.Int 2) ]
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO \
+       = :PARTNO"
+  in
+  Alcotest.(check int) "matches SQL result" (List.length sql.Engine.Relation.rows)
+    (List.length (keys j))
+
+let test_halving_claim () =
+  (* every supplier has a part with PNO = 2, so the join strategy issues two
+     GNP calls per supplier (hit + GE) and the exists strategy one: the
+     paper's "reduces the number of DL/I calls against PARTS by half" *)
+  let _, db = ims_db ~suppliers:30 ~parts_per:5 () in
+  let ssa = ("PNO", Value.Int 2) in
+  let j = Ims.Gateway.join_strategy db ~child:"PARTS" ~ssa in
+  let e = Ims.Gateway.exists_strategy db ~child:"PARTS" ~ssa in
+  let gnp r = List.assoc "PARTS" r.Ims.Gateway.counters.Ims.Dli.gnp_calls in
+  Alcotest.(check int) "join: 2 GNP per supplier" 60 (gnp j);
+  Alcotest.(check int) "exists: 1 GNP per supplier" 30 (gnp e);
+  (* GU/GN traffic is identical in both programs *)
+  Alcotest.(check int) "same GU" j.Ims.Gateway.counters.Ims.Dli.gu_calls
+    e.Ims.Gateway.counters.Ims.Dli.gu_calls;
+  Alcotest.(check int) "same GN" j.Ims.Gateway.counters.Ims.Dli.gn_calls
+    e.Ims.Gateway.counters.Ims.Dli.gn_calls
+
+let test_nonkey_ssa_scan_savings () =
+  (* paper: "a greater cost reduction may occur if the join predicate is on
+     a non-key attribute" — the nested version halts at the first match *)
+  let _, db = ims_db ~suppliers:20 ~parts_per:8 () in
+  let ssa = ("COLOR", Value.String "RED") in
+  let j = Ims.Gateway.join_strategy db ~child:"PARTS" ~ssa in
+  let e = Ims.Gateway.exists_strategy db ~child:"PARTS" ~ssa in
+  let scanned r =
+    List.assoc "PARTS" r.Ims.Gateway.counters.Ims.Dli.segments_scanned
+  in
+  Alcotest.(check bool) "exists scans fewer segments" true (scanned e < scanned j)
+
+(* ---- program IR: the paper's numbered listings ---- *)
+
+let test_program_ir_matches_direct () =
+  (* interpreting the IR must agree with the direct strategy loops, output
+     and counters alike *)
+  let _, db = ims_db ~suppliers:20 ~parts_per:5 () in
+  let ssa = ("PNO", Value.Int 2) in
+  let check name program direct =
+    let a = Ims.Program.run db program in
+    let b = direct db ~child:"PARTS" ~ssa in
+    let keys r = List.map (fun s -> s.Ims.Dli.seg_key) r.Ims.Gateway.output in
+    Alcotest.(check (list (Alcotest.testable Value.pp Value.equal_null)))
+      (name ^ ": same output") (keys b) (keys a);
+    Alcotest.(check int) (name ^ ": same GU") b.Ims.Gateway.counters.Ims.Dli.gu_calls
+      a.Ims.Gateway.counters.Ims.Dli.gu_calls;
+    Alcotest.(check int) (name ^ ": same GN") b.Ims.Gateway.counters.Ims.Dli.gn_calls
+      a.Ims.Gateway.counters.Ims.Dli.gn_calls;
+    Alcotest.(check (list (pair string int)))
+      (name ^ ": same GNP") b.Ims.Gateway.counters.Ims.Dli.gnp_calls
+      a.Ims.Gateway.counters.Ims.Dli.gnp_calls
+  in
+  check "join" (Ims.Program.join_program ~child:"PARTS" ~ssa)
+    Ims.Gateway.join_strategy;
+  check "exists" (Ims.Program.exists_program ~child:"PARTS" ~ssa)
+    Ims.Gateway.exists_strategy
+
+let test_program_listing () =
+  let p = Ims.Program.exists_program ~child:"PARTS" ~ssa:("PNO", Value.Int 7) in
+  let listing = Ims.Program.to_string ~first_line:30 p in
+  (* the paper's lines 30-35: GU; while; GNP; if output; GN; od *)
+  Alcotest.(check bool) "starts at line 30" true
+    (String.length listing > 2 && String.sub listing 0 2 = "30");
+  let contains needle =
+    let lh = String.length listing and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub listing i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has GU" true (contains "GU root");
+  Alcotest.(check bool) "has qualified GNP" true (contains "GNP PARTS (PNO = 7)");
+  Alcotest.(check bool) "has the status test" true (contains "if status = ' ' then")
+
+(* ---- SQL translation ---- *)
+
+let catalog = Workload.Paper_schema.catalog ()
+
+let test_translate_key_query_uses_exists () =
+  let _, db = ims_db () in
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT ALL S.SNO, S.SNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = \
+       P.SNO AND P.PNO = :PARTNO"
+  in
+  let strat, r =
+    Ims.Gateway.translate catalog db q ~hosts:[ ("PARTNO", Value.Int 2) ]
+  in
+  Alcotest.(check bool) "exists strategy" true (strat = `Exists_strategy);
+  Alcotest.(check bool) "produces output" true (r.Ims.Gateway.output <> [])
+
+let test_translate_nonkey_query_uses_join () =
+  let _, db = ims_db () in
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT ALL S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND \
+       P.COLOR = 'RED'"
+  in
+  let strat, _ = Ims.Gateway.translate catalog db q ~hosts:[] in
+  Alcotest.(check bool) "join strategy" true (strat = `Join_strategy)
+
+let test_translate_exists_form () =
+  let _, db = ims_db () in
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT ALL S.SNO FROM SUPPLIER S WHERE EXISTS (SELECT * FROM PARTS P \
+       WHERE S.SNO = P.SNO AND P.PNO = :PARTNO)"
+  in
+  let strat, _ =
+    Ims.Gateway.translate catalog db q ~hosts:[ ("PARTNO", Value.Int 1) ]
+  in
+  Alcotest.(check bool) "exists strategy" true (strat = `Exists_strategy)
+
+let test_translate_rejects_unsupported () =
+  let _, db = ims_db () in
+  let q = Sql.Parser.parse_query_spec "SELECT P.PNO FROM PARTS P" in
+  match Ims.Gateway.translate catalog db q ~hosts:[] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let () =
+  Alcotest.run "ims"
+    [
+      ( "dli",
+        [
+          Alcotest.test_case "GU/GN walk" `Quick test_gu_gn_walk;
+          Alcotest.test_case "GU with key SSA" `Quick test_gu_with_key_ssa;
+          Alcotest.test_case "GU key SSA stops early" `Quick
+            test_gu_key_ssa_stops_early;
+          Alcotest.test_case "GU missing key" `Quick test_gu_missing_key;
+          Alcotest.test_case "GNP iterates children" `Quick
+            test_gnp_iterates_children;
+          Alcotest.test_case "GNP resets on root move" `Quick
+            test_gnp_resets_on_root_move;
+          Alcotest.test_case "GNP key SSA early stop" `Quick
+            test_gnp_key_ssa_early_stop;
+          Alcotest.test_case "GNP non-key SSA scans all" `Quick
+            test_gnp_nonkey_ssa_scans_all;
+        ] );
+      ( "gateway",
+        [
+          Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+          Alcotest.test_case "halving claim (Example 10)" `Quick
+            test_halving_claim;
+          Alcotest.test_case "non-key SSA scan savings" `Quick
+            test_nonkey_ssa_scan_savings;
+        ] );
+      ( "program-ir",
+        [
+          Alcotest.test_case "IR matches direct strategies" `Quick
+            test_program_ir_matches_direct;
+          Alcotest.test_case "paper-style listing" `Quick test_program_listing;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "key query -> exists" `Quick
+            test_translate_key_query_uses_exists;
+          Alcotest.test_case "non-key query -> join" `Quick
+            test_translate_nonkey_query_uses_join;
+          Alcotest.test_case "EXISTS form" `Quick test_translate_exists_form;
+          Alcotest.test_case "unsupported shapes" `Quick
+            test_translate_rejects_unsupported;
+        ] );
+    ]

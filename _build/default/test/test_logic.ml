@@ -1,0 +1,178 @@
+(* Tests for 3VL predicate evaluation, normal forms, and the equality
+   machinery that Algorithm 1 builds on. *)
+
+open Sql.Ast
+module Attr = Schema.Attr
+module Truth = Sqlval.Truth
+module Value = Sqlval.Value
+module G = Testsupport.Gen_sql
+
+let truth = Alcotest.testable Truth.pp Truth.equal
+
+let env_of_list cols hosts =
+  {
+    G.cols =
+      List.fold_left
+        (fun m (a, v) -> Attr.Map.add (Attr.of_string a) v m)
+        Attr.Map.empty cols;
+    G.host_vals = hosts;
+  }
+
+let eval env p = G.eval env p
+
+(* ---- evaluation ---- *)
+
+let test_eval_null_semantics () =
+  let env = env_of_list [ ("R.A", Value.Null); ("R.B", Value.Int 2) ] [] in
+  let p s = Sql.Parser.parse_pred s in
+  Alcotest.check truth "null = 2 unknown" Truth.Unknown (eval env (p "R.A = 2"));
+  Alcotest.check truth "null = null unknown" Truth.Unknown
+    (eval env (p "R.A = R.A"));
+  Alcotest.check truth "is null" Truth.True (eval env (p "R.A IS NULL"));
+  Alcotest.check truth "b is not null" Truth.True (eval env (p "R.B IS NOT NULL"));
+  (* unknown AND false = false; unknown OR true = true *)
+  Alcotest.check truth "unknown and false" Truth.False
+    (eval env (p "R.A = 2 AND R.B = 3"));
+  Alcotest.check truth "unknown or true" Truth.True
+    (eval env (p "R.A = 2 OR R.B = 2"));
+  Alcotest.check truth "not unknown" Truth.Unknown (eval env (p "NOT R.A = 2"))
+
+let test_eval_between_in () =
+  let env = env_of_list [ ("R.A", Value.Int 5) ] [] in
+  let p s = Sql.Parser.parse_pred s in
+  Alcotest.check truth "between hit" Truth.True (eval env (p "R.A BETWEEN 1 AND 10"));
+  Alcotest.check truth "between miss" Truth.False (eval env (p "R.A BETWEEN 6 AND 10"));
+  Alcotest.check truth "in hit" Truth.True (eval env (p "R.A IN (1, 5, 9)"));
+  Alcotest.check truth "in miss" Truth.False (eval env (p "R.A IN (1, 2)"));
+  let envn = env_of_list [ ("R.A", Value.Null) ] [] in
+  Alcotest.check truth "null between" Truth.Unknown
+    (eval envn (p "R.A BETWEEN 1 AND 10"));
+  Alcotest.check truth "null in" Truth.Unknown (eval envn (p "R.A IN (1, 2)"))
+
+let test_eval_hosts () =
+  let env = env_of_list [ ("R.A", Value.Int 7) ] [ ("X", Value.Int 7) ] in
+  Alcotest.check truth "host hit" Truth.True
+    (eval env (Sql.Parser.parse_pred "R.A = :X"))
+
+(* ---- normal forms preserve 3VL truth ---- *)
+
+let prop_preserves env_eval name transform =
+  QCheck2.Test.make ~name ~count:1000 ~print:G.pred_env_print
+    G.pred_and_env_gen (fun (p, env) ->
+      Truth.equal (env_eval env p) (env_eval env (transform p)))
+
+let prop_expand = prop_preserves eval "NNF expansion preserves 3VL truth" Logic.Norm.expand
+
+let prop_cnf =
+  prop_preserves eval "CNF conversion preserves 3VL truth" (fun p ->
+      Logic.Norm.pred_of_cnf (Logic.Norm.cnf_of_pred p))
+
+let prop_dnf =
+  prop_preserves eval "DNF conversion preserves 3VL truth" (fun p ->
+      Logic.Norm.pred_of_dnf (Logic.Norm.dnf_of_pred p))
+
+let prop_simplify = prop_preserves eval "simplify preserves 3VL truth" Logic.Norm.simplify
+
+let prop_cnf_shape =
+  QCheck2.Test.make ~name:"CNF clauses contain only literals" ~count:300
+    ~print:G.pred_print G.pred_gen (fun p ->
+      List.for_all
+        (List.for_all (function
+          | And _ | Or _ -> false
+          | Not (Exists _) -> true
+          | Not _ -> false
+          | _ -> true))
+        (Logic.Norm.cnf_of_pred p))
+
+(* ---- equalities ---- *)
+
+let test_classify () =
+  let lit s = Sql.Parser.parse_pred s in
+  (match Logic.Equalities.of_literal (lit "R.A = 5") with
+   | Some (Logic.Equalities.Type1 (_, Logic.Equalities.Const (Value.Int 5))) -> ()
+   | _ -> Alcotest.fail "type1 const");
+  (match Logic.Equalities.of_literal (lit "R.A = :H") with
+   | Some (Logic.Equalities.Type1 (_, Logic.Equalities.Host "H")) -> ()
+   | _ -> Alcotest.fail "type1 host");
+  (match Logic.Equalities.of_literal (lit "R.A = S.B") with
+   | Some (Logic.Equalities.Type2 (_, _)) -> ()
+   | _ -> Alcotest.fail "type2");
+  (match Logic.Equalities.of_literal (lit "R.A < 5") with
+   | None -> ()
+   | Some _ -> Alcotest.fail "non-equality");
+  match Logic.Equalities.of_literal (lit "5 = R.A") with
+  | Some (Logic.Equalities.Type1 _) -> ()
+  | _ -> Alcotest.fail "reversed const"
+
+let attr s = Attr.of_string s
+
+let test_closure () =
+  let eqs =
+    [ Logic.Equalities.Type2 (attr "R.A", attr "S.B");
+      Logic.Equalities.Type2 (attr "S.B", attr "S.C");
+      Logic.Equalities.Type1 (attr "T.D", Logic.Equalities.Const (Value.Int 1)) ]
+  in
+  let seed = Attr.Set.singleton (attr "R.A") in
+  let cl = Logic.Equalities.closure seed eqs in
+  Alcotest.(check bool) "A in" true (Attr.Set.mem (attr "R.A") cl);
+  Alcotest.(check bool) "B via type2" true (Attr.Set.mem (attr "S.B") cl);
+  Alcotest.(check bool) "C transitively" true (Attr.Set.mem (attr "S.C") cl);
+  Alcotest.(check bool) "D via type1" true (Attr.Set.mem (attr "T.D") cl);
+  Alcotest.(check int) "size" 4 (Attr.Set.cardinal cl)
+
+let test_closure_reverse_direction () =
+  (* closure must propagate both ways across Type-2 equalities *)
+  let eqs = [ Logic.Equalities.Type2 (attr "S.B", attr "R.A") ] in
+  let cl = Logic.Equalities.closure (Attr.Set.singleton (attr "R.A")) eqs in
+  Alcotest.(check bool) "B reached" true (Attr.Set.mem (attr "S.B") cl)
+
+let test_classes () =
+  let eqs =
+    [ Logic.Equalities.Type2 (attr "R.A", attr "S.B");
+      Logic.Equalities.Type1 (attr "S.B", Logic.Equalities.Const (Value.Int 9));
+      Logic.Equalities.Type2 (attr "S.C", attr "T.D") ]
+  in
+  let c = Logic.Equalities.Classes.build eqs in
+  Alcotest.(check bool) "A~B" true
+    (Logic.Equalities.Classes.same c (attr "R.A") (attr "S.B"));
+  Alcotest.(check bool) "A!~C" false
+    (Logic.Equalities.Classes.same c (attr "R.A") (attr "S.C"));
+  (match Logic.Equalities.Classes.binding c (attr "R.A") with
+   | Some (Logic.Equalities.Const (Value.Int 9)) -> ()
+   | _ -> Alcotest.fail "A bound to 9 through its class");
+  match Logic.Equalities.Classes.binding c (attr "S.C") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "C unbound"
+
+let test_split () =
+  let lits =
+    [ Sql.Parser.parse_pred "R.A = 1";
+      Sql.Parser.parse_pred "R.A < 5";
+      Sql.Parser.parse_pred "R.B = S.C" ]
+  in
+  let eqs, rest = Logic.Equalities.split lits in
+  Alcotest.(check int) "two equalities" 2 (List.length eqs);
+  Alcotest.(check int) "one residual" 1 (List.length rest)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "null semantics" `Quick test_eval_null_semantics;
+          Alcotest.test_case "between/in" `Quick test_eval_between_in;
+          Alcotest.test_case "host variables" `Quick test_eval_hosts;
+        ] );
+      ( "normal-forms",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_expand; prop_cnf; prop_dnf; prop_simplify; prop_cnf_shape ] );
+      ( "equalities",
+        [
+          Alcotest.test_case "classification" `Quick test_classify;
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "closure is symmetric" `Quick
+            test_closure_reverse_direction;
+          Alcotest.test_case "equivalence classes" `Quick test_classes;
+          Alcotest.test_case "split" `Quick test_split;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Object store tests: Figure 3 construction, index semantics, and the two
+   navigation strategies of Example 11 with their cost crossover. *)
+
+module Value = Sqlval.Value
+
+let store ?(suppliers = 50) ?(parts_per = 6) () =
+  let db = Workload.Generator.supplier_db ~suppliers ~parts_per_supplier:parts_per () in
+  (db, Oodb.Store.of_supplier_db db)
+
+let test_extents () =
+  let _, s = store () in
+  Alcotest.(check (list string)) "classes" [ "Agent"; "Parts"; "Supplier" ]
+    (Oodb.Store.classes s);
+  Alcotest.(check int) "suppliers" 50 (List.length (Oodb.Store.extent s "Supplier"));
+  Alcotest.(check int) "parts" 300 (List.length (Oodb.Store.extent s "Parts"))
+
+let test_parent_pointers () =
+  let _, s = store () in
+  Oodb.Store.reset_counters s;
+  List.iter
+    (fun oid ->
+      let part = Oodb.Store.fetch s oid in
+      match part.Oodb.Store.parent with
+      | None -> Alcotest.fail "part without parent"
+      | Some p ->
+        let sup = Oodb.Store.fetch s p in
+        Alcotest.(check string) "parent class" "Supplier" sup.Oodb.Store.class_name;
+        Alcotest.(check bool) "SNO matches" true
+          (Value.equal_null
+             (Oodb.Store.field part "SNO")
+             (Oodb.Store.field sup "SNO")))
+    (Oodb.Store.extent s "Parts")
+
+let test_index_lookup () =
+  let _, s = store () in
+  let oids = Oodb.Store.index_lookup s ~class_name:"Parts" ~field:"PNO" (Value.Int 3) in
+  (* every supplier has a part numbered 3 *)
+  Alcotest.(check int) "one per supplier" 50 (List.length oids);
+  List.iter
+    (fun oid ->
+      let o = Oodb.Store.fetch s oid in
+      Alcotest.(check bool) "PNO = 3" true
+        (Value.equal_null (Oodb.Store.field o "PNO") (Value.Int 3)))
+    oids
+
+let test_index_range () =
+  let _, s = store () in
+  let oids =
+    Oodb.Store.index_range s ~class_name:"Supplier" ~field:"SNO"
+      ~lo:(Value.Int 10) ~hi:(Value.Int 20)
+  in
+  Alcotest.(check int) "eleven suppliers" 11 (List.length oids)
+
+let test_counters_count () =
+  let _, s = store () in
+  Oodb.Store.reset_counters s;
+  ignore (Oodb.Store.index_lookup s ~class_name:"Parts" ~field:"PNO" (Value.Int 1));
+  ignore (Oodb.Store.fetch s (List.hd (Oodb.Store.extent s "Supplier")));
+  let c = Oodb.Store.counters s in
+  Alcotest.(check int) "one probe" 1 c.Oodb.Store.index_probes;
+  Alcotest.(check int) "one fetch" 1 c.Oodb.Store.fetches;
+  Alcotest.(check int) "one extent scan" 1 c.Oodb.Store.extent_scans
+
+(* ---- Example 11 strategies ---- *)
+
+let sno_list r =
+  List.map (fun o -> Oodb.Store.field o "SNO") r.Oodb.Navigate.output
+
+let test_strategies_agree () =
+  let rel_db, s = store () in
+  let lo = Value.Int 10 and hi = Value.Int 20 and pno = Value.Int 2 in
+  let a = Oodb.Navigate.parts_driven s ~lo ~hi ~pno in
+  let b = Oodb.Navigate.supplier_driven s ~lo ~hi ~pno in
+  Alcotest.(check (list (Alcotest.testable Value.pp Value.equal_null)))
+    "same suppliers" (sno_list a) (sno_list b);
+  (* cross-check against the relational engine *)
+  let sql =
+    Engine.Exec.run_sql rel_db
+      ~hosts:[ ("PARTNO", pno) ]
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO BETWEEN 10 AND 20 \
+       AND S.SNO = P.SNO AND P.PNO = :PARTNO"
+  in
+  Alcotest.(check int) "matches SQL" (List.length sql.Engine.Relation.rows)
+    (List.length (sno_list a))
+
+let cost r = Oodb.Store.cost r.Oodb.Navigate.counters
+
+let test_selective_range_favours_supplier_driven () =
+  (* paper's motivating case: the range predicate on the parent is much more
+     selective than PNO = :partno, so driving from PARTS wastes fetches *)
+  let _, s = store ~suppliers:200 ~parts_per:4 () in
+  let lo = Value.Int 10 and hi = Value.Int 12 and pno = Value.Int 2 in
+  let a = Oodb.Navigate.parts_driven s ~lo ~hi ~pno in
+  let b = Oodb.Navigate.supplier_driven s ~lo ~hi ~pno in
+  Alcotest.(check bool) "supplier-driven is cheaper" true (cost b < cost a);
+  Alcotest.(check bool) "and fetches fewer objects" true
+    (b.Oodb.Navigate.counters.Oodb.Store.fetches
+     < a.Oodb.Navigate.counters.Oodb.Store.fetches)
+
+let test_wide_range_favours_parts_driven () =
+  (* with an unselective range the original direction wins: the crossover
+     ("depending on the objects' selectivity") *)
+  let _, s = store ~suppliers:200 ~parts_per:4 () in
+  let lo = Value.Int 1 and hi = Value.Int 200 and pno = Value.Int 2 in
+  let a = Oodb.Navigate.parts_driven s ~lo ~hi ~pno in
+  let b = Oodb.Navigate.supplier_driven s ~lo ~hi ~pno in
+  Alcotest.(check bool) "parts-driven is cheaper" true (cost a < cost b)
+
+let test_empty_range () =
+  let _, s = store () in
+  let r =
+    Oodb.Navigate.supplier_driven s ~lo:(Value.Int 900) ~hi:(Value.Int 999)
+      ~pno:(Value.Int 1)
+  in
+  Alcotest.(check int) "no output" 0 (List.length r.Oodb.Navigate.output)
+
+let test_missing_part () =
+  let _, s = store () in
+  let a =
+    Oodb.Navigate.parts_driven s ~lo:(Value.Int 1) ~hi:(Value.Int 50)
+      ~pno:(Value.Int 999)
+  in
+  let b =
+    Oodb.Navigate.supplier_driven s ~lo:(Value.Int 1) ~hi:(Value.Int 50)
+      ~pno:(Value.Int 999)
+  in
+  Alcotest.(check int) "no output either way" 0
+    (List.length a.Oodb.Navigate.output + List.length b.Oodb.Navigate.output)
+
+let () =
+  Alcotest.run "oodb"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "extents" `Quick test_extents;
+          Alcotest.test_case "parent pointers" `Quick test_parent_pointers;
+          Alcotest.test_case "index lookup" `Quick test_index_lookup;
+          Alcotest.test_case "index range" `Quick test_index_range;
+          Alcotest.test_case "counters" `Quick test_counters_count;
+        ] );
+      ( "navigate",
+        [
+          Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+          Alcotest.test_case "selective range -> supplier-driven" `Quick
+            test_selective_range_favours_supplier_driven;
+          Alcotest.test_case "wide range -> parts-driven" `Quick
+            test_wide_range_favours_parts_driven;
+          Alcotest.test_case "empty range" `Quick test_empty_range;
+          Alcotest.test_case "missing part" `Quick test_missing_part;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Plan IR tests: SQL-to-algebra translation shapes, output schemas, and
+   the validation errors the translator must raise. *)
+
+module Plan = Relalg.Plan
+open Sql.Ast
+
+let catalog = Workload.Paper_schema.catalog ()
+let parse = Sql.Parser.parse_query
+
+let schema_names plan =
+  List.map
+    (fun c -> Schema.Attr.to_string c.Schema.Relschema.attr)
+    (Schema.Relschema.columns (Plan.schema catalog plan))
+
+let test_translation_shape () =
+  let plan =
+    Plan.of_query catalog
+      (parse
+         "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO \
+          = P.SNO")
+  in
+  match plan with
+  | Plan.Project (Distinct, [ Plan.Pcol _; Plan.Pcol _ ],
+                  Plan.Select (_, Plan.Product (Plan.Scan _, Plan.Scan _))) -> ()
+  | _ -> Alcotest.fail "plan shape"
+
+let test_projection_schema () =
+  let plan = Plan.of_query catalog (parse "SELECT P.PNO, P.PNAME FROM PARTS P") in
+  Alcotest.(check (list string)) "columns" [ "P.PNO"; "P.PNAME" ]
+    (schema_names plan)
+
+let test_star_schema () =
+  let plan = Plan.of_query catalog (parse "SELECT * FROM SUPPLIER S, AGENTS A") in
+  Alcotest.(check int) "all columns of both" 9 (List.length (schema_names plan))
+
+let test_qualified_star_expansion () =
+  let plan =
+    Plan.of_query catalog (parse "SELECT S.* FROM SUPPLIER S, PARTS P")
+  in
+  Alcotest.(check (list string)) "only supplier columns"
+    [ "S.SNO"; "S.SNAME"; "S.SCITY"; "S.BUDGET"; "S.STATUS" ]
+    (schema_names plan)
+
+let test_setop_schema () =
+  let plan =
+    Plan.of_query catalog
+      (parse "SELECT S.SNO FROM SUPPLIER S INTERSECT SELECT A.SNO FROM AGENTS A")
+  in
+  (match plan with
+   | Plan.Intersect (Distinct, _, _) -> ()
+   | _ -> Alcotest.fail "setop shape");
+  Alcotest.(check (list string)) "left schema" [ "S.SNO" ] (schema_names plan)
+
+let test_aggregate_schema () =
+  let plan =
+    Plan.of_query catalog
+      (parse "SELECT P.COLOR, COUNT(*), SUM(P.PNO) FROM PARTS P GROUP BY P.COLOR")
+  in
+  (match plan with
+   | Plan.Aggregate { group_by = [ _ ]; output = [ _; _; _ ]; _ } -> ()
+   | _ -> Alcotest.fail "aggregate shape");
+  Alcotest.(check (list string)) "synthesized names"
+    [ "P.COLOR"; "COUNT_2"; "SUM_3" ]
+    (schema_names plan)
+
+let test_aggregate_types () =
+  let plan =
+    Plan.of_query catalog
+      (parse "SELECT P.COLOR, AVG(P.PNO), MAX(P.PNAME) FROM PARTS P GROUP BY P.COLOR")
+  in
+  let cols = Schema.Relschema.columns (Plan.schema catalog plan) in
+  let types = List.map (fun c -> c.Schema.Relschema.ctype) cols in
+  Alcotest.(check bool) "avg is float, max keeps operand type" true
+    (types
+     = [ Schema.Relschema.Tstring; Schema.Relschema.Tfloat; Schema.Relschema.Tstring ])
+
+let test_constant_projection () =
+  (* constants survive translation (needed by the de-aggregation rewrite) *)
+  let plan =
+    Plan.of_query_spec catalog
+      {
+        (Sql.Parser.parse_query_spec "SELECT P.PNO FROM PARTS P") with
+        select =
+          Cols [ Col (Schema.Attr.of_string "P.PNO"); Const (Sqlval.Value.Int 1) ];
+      }
+  in
+  Alcotest.(check (list string)) "constant column named"
+    [ "P.PNO"; "CONST_2" ] (schema_names plan)
+
+let test_ungrouped_column_rejected () =
+  match
+    Plan.of_query catalog
+      (parse "SELECT P.PNAME, COUNT(*) FROM PARTS P GROUP BY P.COLOR")
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_star_with_group_by_rejected () =
+  match Plan.of_query catalog (parse "SELECT * FROM PARTS P GROUP BY P.COLOR") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_sum_star_rejected () =
+  match Sql.Parser.parse_query "SELECT SUM(*) FROM PARTS P" with
+  | exception Sql.Parser.Parse_error _ -> ()
+  | q ->
+    (match Plan.of_query catalog q with
+     | exception Invalid_argument _ -> ()
+     | _ -> Alcotest.fail "expected rejection")
+
+let test_pp_mentions_operators () =
+  let plan =
+    Plan.of_query catalog
+      (parse
+         "SELECT DISTINCT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO")
+  in
+  let s = Plan.to_string plan in
+  let contains needle =
+    let lh = String.length s and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "project_dist" true (contains "project_dist");
+  Alcotest.(check bool) "select" true (contains "select[");
+  Alcotest.(check bool) "product" true (contains " x ")
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "translate",
+        [
+          Alcotest.test_case "SPJ shape" `Quick test_translation_shape;
+          Alcotest.test_case "projection schema" `Quick test_projection_schema;
+          Alcotest.test_case "star schema" `Quick test_star_schema;
+          Alcotest.test_case "qualified star" `Quick test_qualified_star_expansion;
+          Alcotest.test_case "set operation" `Quick test_setop_schema;
+          Alcotest.test_case "aggregate schema" `Quick test_aggregate_schema;
+          Alcotest.test_case "aggregate types" `Quick test_aggregate_types;
+          Alcotest.test_case "constant projection" `Quick test_constant_projection;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "ungrouped column" `Quick
+            test_ungrouped_column_rejected;
+          Alcotest.test_case "star with GROUP BY" `Quick
+            test_star_with_group_by_rejected;
+          Alcotest.test_case "SUM(*)" `Quick test_sum_star_rejected;
+        ] );
+      ( "pretty",
+        [ Alcotest.test_case "operator names" `Quick test_pp_mentions_operators ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for values and three-valued logic, including the operator semantics
+   of paper Table 2. *)
+
+module Truth = Sqlval.Truth
+module Value = Sqlval.Value
+
+let truth = Alcotest.testable Truth.pp Truth.equal
+
+let all_truths = [ Truth.True; Truth.False; Truth.Unknown ]
+
+(* ---- Kleene connectives: full truth tables ---- *)
+
+let test_not () =
+  Alcotest.check truth "not true" Truth.False (Truth.not_ Truth.True);
+  Alcotest.check truth "not false" Truth.True (Truth.not_ Truth.False);
+  Alcotest.check truth "not unknown" Truth.Unknown (Truth.not_ Truth.Unknown)
+
+let test_and_table () =
+  let expect a b =
+    match a, b with
+    | Truth.False, _ | _, Truth.False -> Truth.False
+    | Truth.True, Truth.True -> Truth.True
+    | _ -> Truth.Unknown
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check truth
+            (Printf.sprintf "%s AND %s" (Truth.to_string a) (Truth.to_string b))
+            (expect a b) (Truth.and_ a b))
+        all_truths)
+    all_truths
+
+let test_or_table () =
+  let expect a b =
+    match a, b with
+    | Truth.True, _ | _, Truth.True -> Truth.True
+    | Truth.False, Truth.False -> Truth.False
+    | _ -> Truth.Unknown
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check truth
+            (Printf.sprintf "%s OR %s" (Truth.to_string a) (Truth.to_string b))
+            (expect a b) (Truth.or_ a b))
+        all_truths)
+    all_truths
+
+(* ---- Table 2: interpretation operators ---- *)
+
+let test_interpretations () =
+  (* ⌊P⌋: x IS NOT NULL AND P(x) — holds only when definitely true *)
+  Alcotest.(check bool) "⌊true⌋" true (Truth.is_true Truth.True);
+  Alcotest.(check bool) "⌊unknown⌋" false (Truth.is_true Truth.Unknown);
+  Alcotest.(check bool) "⌊false⌋" false (Truth.is_true Truth.False);
+  (* ⌈P⌉: x IS NULL OR P(x) — holds unless definitely false *)
+  Alcotest.(check bool) "⌈true⌉" true (Truth.is_not_false Truth.True);
+  Alcotest.(check bool) "⌈unknown⌉" true (Truth.is_not_false Truth.Unknown);
+  Alcotest.(check bool) "⌈false⌉" false (Truth.is_not_false Truth.False)
+
+(* ---- Table 2: X ≐ Y (null comparison) vs WHERE-clause equality ---- *)
+
+let test_null_comparison () =
+  Alcotest.(check bool) "NULL ≐ NULL" true (Value.equal_null Value.Null Value.Null);
+  Alcotest.(check bool) "NULL ≐ 1" false (Value.equal_null Value.Null (Value.Int 1));
+  Alcotest.(check bool) "1 ≐ 1" true (Value.equal_null (Value.Int 1) (Value.Int 1));
+  (* WHERE-clause: NULL = NULL is unknown *)
+  Alcotest.check truth "NULL = NULL (3VL)" Truth.Unknown
+    (Value.eq3 Value.Null Value.Null);
+  Alcotest.check truth "NULL = 1 (3VL)" Truth.Unknown
+    (Value.eq3 Value.Null (Value.Int 1));
+  Alcotest.check truth "1 = 1 (3VL)" Truth.True
+    (Value.eq3 (Value.Int 1) (Value.Int 1));
+  Alcotest.check truth "1 <> 2 (3VL)" Truth.True
+    (Value.ne3 (Value.Int 1) (Value.Int 2))
+
+let test_comparisons () =
+  Alcotest.check truth "1 < 2" Truth.True (Value.lt3 (Value.Int 1) (Value.Int 2));
+  Alcotest.check truth "2 <= 2" Truth.True (Value.le3 (Value.Int 2) (Value.Int 2));
+  Alcotest.check truth "3 > 2" Truth.True (Value.gt3 (Value.Int 3) (Value.Int 2));
+  Alcotest.check truth "2 >= 3" Truth.False (Value.ge3 (Value.Int 2) (Value.Int 3));
+  Alcotest.check truth "NULL < 2" Truth.Unknown (Value.lt3 Value.Null (Value.Int 2));
+  Alcotest.check truth "int vs float" Truth.True
+    (Value.eq3 (Value.Int 2) (Value.Float 2.0));
+  Alcotest.check truth "'a' < 'b'" Truth.True
+    (Value.lt3 (Value.String "a") (Value.String "b"))
+
+let test_compare_total () =
+  Alcotest.(check int) "null = null" 0 (Value.compare_total Value.Null Value.Null);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare_total Value.Null (Value.Int 0) < 0);
+  Alcotest.(check int) "2 = 2.0 numeric" 0
+    (Value.compare_total (Value.Int 2) (Value.Float 2.0));
+  Alcotest.(check bool) "antisym" true
+    (Value.compare_total (Value.Int 1) (Value.Int 2)
+     = -Value.compare_total (Value.Int 2) (Value.Int 1))
+
+let test_to_string () =
+  Alcotest.(check string) "null" "NULL" (Value.to_string Value.Null);
+  Alcotest.(check string) "string quoting" "'O''Brien'"
+    (Value.to_string (Value.String "O'Brien"));
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42))
+
+(* ---- properties ---- *)
+
+let truth_gen = QCheck2.Gen.oneofl all_truths
+
+let prop_de_morgan =
+  QCheck2.Test.make ~name:"3VL De Morgan: not (a and b) = not a or not b"
+    ~count:200
+    QCheck2.Gen.(pair truth_gen truth_gen)
+    (fun (a, b) ->
+      Truth.equal
+        (Truth.not_ (Truth.and_ a b))
+        (Truth.or_ (Truth.not_ a) (Truth.not_ b)))
+
+let prop_and_comm =
+  QCheck2.Test.make ~name:"3VL and commutative" ~count:200
+    QCheck2.Gen.(pair truth_gen truth_gen)
+    (fun (a, b) -> Truth.equal (Truth.and_ a b) (Truth.and_ b a))
+
+let prop_or_assoc =
+  QCheck2.Test.make ~name:"3VL or associative" ~count:200
+    QCheck2.Gen.(triple truth_gen truth_gen truth_gen)
+    (fun (a, b, c) ->
+      Truth.equal (Truth.or_ a (Truth.or_ b c)) (Truth.or_ (Truth.or_ a b) c))
+
+let prop_not_involutive =
+  QCheck2.Test.make ~name:"3VL not involutive" ~count:50 truth_gen (fun a ->
+      Truth.equal (Truth.not_ (Truth.not_ a)) a)
+
+let prop_total_order_consistent_with_eq_null =
+  QCheck2.Test.make ~name:"compare_total = 0 iff equal_null" ~count:500
+    QCheck2.Gen.(pair Testsupport.Gen_sql.value_gen Testsupport.Gen_sql.value_gen)
+    (fun (a, b) -> Value.equal_null a b = (Value.compare_total a b = 0))
+
+let prop_eq3_true_implies_equal_null =
+  QCheck2.Test.make ~name:"eq3 = True implies equal_null" ~count:500
+    QCheck2.Gen.(pair Testsupport.Gen_sql.value_gen Testsupport.Gen_sql.value_gen)
+    (fun (a, b) ->
+      (not (Truth.equal (Value.eq3 a b) Truth.True)) || Value.equal_null a b)
+
+let () =
+  Alcotest.run "sqlval"
+    [
+      ( "truth",
+        [
+          Alcotest.test_case "not" `Quick test_not;
+          Alcotest.test_case "and table" `Quick test_and_table;
+          Alcotest.test_case "or table" `Quick test_or_table;
+          Alcotest.test_case "interpretation operators (Table 2)" `Quick
+            test_interpretations;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "null comparison (Table 2)" `Quick
+            test_null_comparison;
+          Alcotest.test_case "3VL comparisons" `Quick test_comparisons;
+          Alcotest.test_case "total order" `Quick test_compare_total;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_de_morgan;
+            prop_and_comm;
+            prop_or_assoc;
+            prop_not_involutive;
+            prop_total_order_consistent_with_eq_null;
+            prop_eq3_true_implies_equal_null;
+          ] );
+    ]

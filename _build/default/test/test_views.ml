@@ -1,0 +1,289 @@
+(* Views as derived tables (paper section 3): derived key registration,
+   uniqueness analysis over views, and view merging for execution. *)
+
+module Value = Sqlval.Value
+module Views = Uniqueness.Views
+module R = Uniqueness.Rewrite
+open Sql.Ast
+
+let base = Workload.Paper_schema.catalog ()
+
+(* Example 3's derived table (host variable replaced by a constant, since
+   views cannot capture host variables) *)
+let supplied_parts_ddl =
+  "CREATE VIEW SUPPLIED_PARTS AS SELECT S.SNO, SNAME, P.PNO, PNAME FROM \
+   SUPPLIER S, PARTS P WHERE S.SNO = P.SNO"
+
+let catalog = Views.register_ddl base supplied_parts_ddl
+
+let db () = Workload.Generator.supplier_db ~suppliers:25 ~parts_per_supplier:4 ()
+
+(* registration uses the paper catalog; the generated db has its own widened
+   catalog, so re-register the view there for execution tests *)
+let exec_catalog d = Views.register_ddl (Engine.Database.catalog d) supplied_parts_ddl
+
+let run_expanded d cat sql =
+  let q = Sql.Parser.parse_query sql in
+  Engine.Exec.run_query d ~hosts:[] (Views.expand_query cat q)
+
+(* ---- registration ---- *)
+
+let test_parse_create_view () =
+  match Sql.Parser.parse_statement supplied_parts_ddl with
+  | Create_view cv ->
+    Alcotest.(check string) "name" "SUPPLIED_PARTS" cv.cv_name;
+    Alcotest.(check int) "two tables" 2 (List.length cv.cv_query.from)
+  | _ -> Alcotest.fail "expected CREATE VIEW"
+
+let test_view_schema () =
+  let def = Catalog.find_exn catalog "SUPPLIED_PARTS" in
+  Alcotest.(check bool) "is a view" true (Catalog.is_view def);
+  Alcotest.(check int) "four columns" 4
+    (Schema.Relschema.arity def.Catalog.tbl_schema)
+
+let test_derived_key_registered () =
+  (* paper section 3: (SNO, PNO) is a derived key of this derived table *)
+  let def = Catalog.find_exn catalog "SUPPLIED_PARTS" in
+  Alcotest.(check bool) "derived key (SNO, PNO)" true
+    (List.exists
+       (fun (k : Catalog.key) ->
+         List.sort compare k.Catalog.key_cols = [ "PNO"; "SNO" ])
+       def.Catalog.tbl_keys)
+
+let test_distinct_view_full_key () =
+  (* a DISTINCT view with no finer key is still a set *)
+  let cat =
+    Views.register_ddl base
+      "CREATE VIEW CITIES AS SELECT DISTINCT S.SCITY FROM SUPPLIER S"
+  in
+  let def = Catalog.find_exn cat "CITIES" in
+  Alcotest.(check bool) "full column set is a key" true
+    (List.exists
+       (fun (k : Catalog.key) -> k.Catalog.key_cols = [ "SCITY" ])
+       def.Catalog.tbl_keys)
+
+let test_register_rejects_aggregates () =
+  match
+    Views.register_ddl base
+      "CREATE VIEW X AS SELECT S.SCITY, COUNT(*) FROM SUPPLIER S GROUP BY S.SCITY"
+  with
+  | exception Views.Unsupported_view _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_register_rejects_hosts () =
+  match
+    Views.register_ddl base
+      "CREATE VIEW X AS SELECT S.SNO FROM SUPPLIER S WHERE S.SNO = :H"
+  with
+  | exception Views.Unsupported_view _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_register_rejects_duplicate_columns () =
+  match
+    Views.register_ddl base
+      "CREATE VIEW X AS SELECT S.SNO, P.SNO FROM SUPPLIER S, PARTS P WHERE \
+       S.SNO = P.SNO"
+  with
+  | exception Views.Unsupported_view _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* ---- analysis over views ---- *)
+
+let test_uniqueness_analysis_over_view () =
+  (* the derived key makes the DISTINCT redundant — without expansion *)
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT V.SNO, V.PNO, V.PNAME FROM SUPPLIED_PARTS V"
+  in
+  Alcotest.(check bool) "Algorithm 1 says YES over the view" true
+    (Uniqueness.Algorithm1.distinct_is_redundant catalog q);
+  let q2 =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT V.SNAME FROM SUPPLIED_PARTS V"
+  in
+  Alcotest.(check bool) "name-only projection still NO" false
+    (Uniqueness.Algorithm1.distinct_is_redundant catalog q2)
+
+(* ---- expansion ---- *)
+
+let test_expand_merges () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT V.SNO, V.PNAME FROM SUPPLIED_PARTS V WHERE V.PNO = 2"
+  in
+  let e = Views.expand catalog q in
+  Alcotest.(check int) "two base tables" 2 (List.length e.from);
+  Alcotest.(check bool) "no view left" true
+    (List.for_all
+       (fun f -> Catalog.find catalog f.table |> Option.map Catalog.is_view <> Some true)
+       e.from)
+
+let test_expand_executes_correctly () =
+  let d = db () in
+  let cat = exec_catalog d in
+  let via_view =
+    run_expanded d cat
+      "SELECT V.SNO, V.PNAME FROM SUPPLIED_PARTS V WHERE V.PNO = 2"
+  in
+  let direct =
+    Engine.Exec.run_sql d ~hosts:[]
+      "SELECT S.SNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO \
+       AND P.PNO = 2"
+  in
+  Alcotest.(check bool) "same result" true
+    (Engine.Relation.equal_bags via_view direct)
+
+let test_expand_handles_name_clash () =
+  (* outer query reuses the view's internal correlation name S *)
+  let d = db () in
+  let cat = exec_catalog d in
+  let via_view =
+    run_expanded d cat
+      "SELECT S.ANO, V.PNAME FROM AGENTS S, SUPPLIED_PARTS V WHERE S.SNO = \
+       V.SNO AND V.PNO = 1 AND S.ANO = 1"
+  in
+  let direct =
+    Engine.Exec.run_sql d ~hosts:[]
+      "SELECT A.ANO, P.PNAME FROM AGENTS A, SUPPLIER S, PARTS P WHERE S.SNO \
+       = P.SNO AND A.SNO = S.SNO AND P.PNO = 1 AND A.ANO = 1"
+  in
+  Alcotest.(check bool) "same result" true
+    (Engine.Relation.equal_bags via_view direct)
+
+let test_expand_nested_views () =
+  let d = db () in
+  let cat = exec_catalog d in
+  let cat =
+    Views.register_ddl cat
+      "CREATE VIEW RED_SUPPLIED AS SELECT V.SNO, V.PNO FROM SUPPLIED_PARTS \
+       V WHERE V.PNO = 1"
+  in
+  let via_view = run_expanded d cat "SELECT W.SNO FROM RED_SUPPLIED W" in
+  let direct =
+    Engine.Exec.run_sql d ~hosts:[]
+      "SELECT S.SNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.PNO = 1"
+  in
+  Alcotest.(check bool) "same result" true
+    (Engine.Relation.equal_bags via_view direct)
+
+let test_expand_view_in_exists () =
+  let d = db () in
+  let cat = exec_catalog d in
+  let via_view =
+    run_expanded d cat
+      "SELECT A.SNO, A.ANO FROM AGENTS A WHERE EXISTS (SELECT * FROM \
+       SUPPLIED_PARTS V WHERE V.SNO = A.SNO AND V.PNO = 2)"
+  in
+  let direct =
+    Engine.Exec.run_sql d ~hosts:[]
+      "SELECT A.SNO, A.ANO FROM AGENTS A WHERE EXISTS (SELECT * FROM \
+       SUPPLIER S, PARTS P WHERE S.SNO = P.SNO AND P.SNO = A.SNO AND P.PNO \
+       = 2)"
+  in
+  Alcotest.(check bool) "same result" true
+    (Engine.Relation.equal_bags via_view direct)
+
+let test_expand_qualified_star () =
+  let d = db () in
+  let cat = exec_catalog d in
+  let via_view =
+    run_expanded d cat "SELECT V.* FROM SUPPLIED_PARTS V WHERE V.PNO = 3"
+  in
+  Alcotest.(check int) "four columns" 4
+    (Schema.Relschema.arity via_view.Engine.Relation.schema)
+
+let test_distinct_view_merge_rules () =
+  (* CITY view is DISTINCT and not provably redundant: merging into a bag
+     context must be refused, into a DISTINCT context allowed *)
+  let d = db () in
+  let cat =
+    Views.register_ddl (exec_catalog d)
+      "CREATE VIEW CITIES AS SELECT DISTINCT S.SCITY FROM SUPPLIER S"
+  in
+  (match
+     Views.expand cat
+       (Sql.Parser.parse_query_spec "SELECT C.SCITY FROM CITIES C")
+   with
+   | exception Views.Unsupported_view _ -> ()
+   | _ -> Alcotest.fail "bag context must be refused");
+  let q = Sql.Parser.parse_query_spec "SELECT DISTINCT C.SCITY FROM CITIES C" in
+  let e = Views.expand cat q in
+  let r = Engine.Exec.run_query d ~hosts:[] (Spec e) in
+  Alcotest.(check int) "three cities" 3 (Engine.Relation.cardinality r)
+
+let test_distinct_view_with_key_merges () =
+  (* a DISTINCT view whose DISTINCT is provably redundant merges freely *)
+  let d = db () in
+  let cat =
+    Views.register_ddl (exec_catalog d)
+      "CREATE VIEW KEYED AS SELECT DISTINCT P.SNO, P.PNO, P.COLOR FROM PARTS P"
+  in
+  let via_view = run_expanded d cat "SELECT K.COLOR FROM KEYED K" in
+  let direct = Engine.Exec.run_sql d ~hosts:[] "SELECT P.COLOR FROM PARTS P" in
+  Alcotest.(check bool) "same bag" true
+    (Engine.Relation.equal_bags via_view direct)
+
+let test_scan_view_directly_fails () =
+  let d = db () in
+  let cat = exec_catalog d in
+  let q = Sql.Parser.parse_query "SELECT V.SNO FROM SUPPLIED_PARTS V" in
+  (* without expansion the engine must refuse, not return an empty result *)
+  let d2 = Engine.Database.create cat in
+  match Engine.Exec.run_query d2 ~hosts:[] q with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure on unexpanded view scan"
+
+(* rewrites compose with views after expansion *)
+let test_rewrites_after_expansion () =
+  let q =
+    Sql.Parser.parse_query_spec
+      "SELECT DISTINCT V.SNO, V.PNO, V.PNAME FROM SUPPLIED_PARTS V"
+  in
+  let e = Views.expand catalog q in
+  let o = R.remove_redundant_distinct catalog (Spec e) in
+  Alcotest.(check bool) "distinct removed after merging" true o.R.applied
+
+let () =
+  Alcotest.run "views"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "parse CREATE VIEW" `Quick test_parse_create_view;
+          Alcotest.test_case "view schema" `Quick test_view_schema;
+          Alcotest.test_case "derived key registered" `Quick
+            test_derived_key_registered;
+          Alcotest.test_case "DISTINCT view full-column key" `Quick
+            test_distinct_view_full_key;
+          Alcotest.test_case "rejects aggregates" `Quick
+            test_register_rejects_aggregates;
+          Alcotest.test_case "rejects host variables" `Quick
+            test_register_rejects_hosts;
+          Alcotest.test_case "rejects duplicate columns" `Quick
+            test_register_rejects_duplicate_columns;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "uniqueness over views" `Quick
+            test_uniqueness_analysis_over_view;
+          Alcotest.test_case "rewrites after expansion" `Quick
+            test_rewrites_after_expansion;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "merges into base tables" `Quick test_expand_merges;
+          Alcotest.test_case "executes correctly" `Quick
+            test_expand_executes_correctly;
+          Alcotest.test_case "name clash" `Quick test_expand_handles_name_clash;
+          Alcotest.test_case "nested views" `Quick test_expand_nested_views;
+          Alcotest.test_case "view inside EXISTS" `Quick
+            test_expand_view_in_exists;
+          Alcotest.test_case "qualified star over view" `Quick
+            test_expand_qualified_star;
+          Alcotest.test_case "DISTINCT view merge rules" `Quick
+            test_distinct_view_merge_rules;
+          Alcotest.test_case "redundant DISTINCT view merges" `Quick
+            test_distinct_view_with_key_merges;
+          Alcotest.test_case "direct view scan fails" `Quick
+            test_scan_view_directly_fails;
+        ] );
+    ]
