@@ -386,13 +386,16 @@ let experiment_a2 () =
   let alg1 = ref 0 and fd = ref 0 and exact = ref 0 and unsound = ref 0 in
   List.iter
     (fun q ->
-      let a = Uniqueness.Algorithm1.distinct_is_redundant cat q in
-      let f = Uniqueness.Fd_analysis.distinct_is_redundant cat q in
-      let e = Uniqueness.Exact.check cat q = Uniqueness.Exact.Unique in
-      if a then incr alg1;
-      if f then incr fd;
-      if e then incr exact;
-      if (a || f) && not e then incr unsound)
+      match Uniqueness.Exact.check cat q with
+      | Uniqueness.Exact.Unsupported _ -> () (* outside the oracle's class *)
+      | r ->
+        let a = Uniqueness.Algorithm1.distinct_is_redundant cat q in
+        let f = Uniqueness.Fd_analysis.distinct_is_redundant cat q in
+        let e = r = Uniqueness.Exact.Unique in
+        if a then incr alg1;
+        if f then incr fd;
+        if e then incr exact;
+        if (a || f) && not e then incr unsound)
     queries;
   let pct n = 100.0 *. float_of_int n /. float_of_int total in
   Printf.printf

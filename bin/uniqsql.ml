@@ -6,6 +6,7 @@
      uniqsql explain  "SELECT ..."            # enumerate costed strategies
      uniqsql check    "SELECT ..."            # exact bounded-model check
      uniqsql run      "SELECT ..."            # execute on a generated instance
+     uniqsql fuzz --seed 7 --count 5000       # differential soundness fuzzing
 
    The schema defaults to the paper's supplier database (Figure 1); pass
    --ddl FILE (semicolon-separated CREATE TABLE statements) to use your
@@ -91,6 +92,8 @@ let wrap f =
   | Sql.Lexer.Lex_error (msg, off) ->
     Printf.eprintf "lex error at byte %d: %s\n" off msg; 1
   | Failure msg -> Printf.eprintf "error: %s\n" msg; 1
+  | Difftest.Sexp.Parse_error msg ->
+    Printf.eprintf "corpus parse error: %s\n" msg; 1
   | Fd.Derive.Unknown_table t -> Printf.eprintf "unknown table: %s\n" t; 1
   | Fd.Derive.Unknown_column a ->
     Printf.eprintf "unknown column: %s\n" (Schema.Attr.to_string a); 1
@@ -223,7 +226,93 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
     Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg $ limit_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.seed
+         & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (same seed, same report).")
+  in
+  let count_arg =
+    Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.count
+         & info [ "count" ] ~docv:"N" ~doc:"Number of random cases.")
+  in
+  let instances_arg =
+    Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.instances
+         & info [ "instances" ] ~docv:"N" ~doc:"Database instances per case.")
+  in
+  let rows_arg =
+    Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.rows
+         & info [ "rows" ] ~docv:"N" ~doc:"Max rows per table per instance.")
+  in
+  let cells_arg =
+    Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.exact_cells
+         & info [ "exact-cells" ] ~docv:"N"
+             ~doc:"Search budget of the exact checker (agreement oracle).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Report failing cases without minimizing them.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"DIR"
+             ~doc:"Write each (minimized) failing case to DIR/caseN-ORACLE.sexp \
+                   for the regression corpus.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Skip the campaign: re-judge a stored counterexample \
+                   (corpus .sexp file) with all three oracles.")
+  in
+  let run seed count instances rows cells no_shrink save replay =
+    wrap (fun () ->
+        match replay with
+        | Some path ->
+          let case = Difftest.Case.load path in
+          let findings = Difftest.Runner.replay case in
+          List.iter
+            (fun f -> Format.printf "%a@." Difftest.Oracle.pp_finding f)
+            findings;
+          if Difftest.Oracle.failures findings <> [] then exit 1
+        | None ->
+          let config =
+            { Difftest.Runner.seed; count; instances; rows;
+              exact_cells = cells; shrink = not no_shrink }
+          in
+          let report = Difftest.Runner.run config in
+          Format.printf "%a" Difftest.Runner.pp_report report;
+          (match save with
+           | None -> ()
+           | Some dir ->
+             List.iter
+               (fun (d : Difftest.Runner.discrepancy) ->
+                 let oracle_slug =
+                   String.map
+                     (fun c -> if c = '/' then '-' else c)
+                     d.Difftest.Runner.oracle
+                 in
+                 let path =
+                   Filename.concat dir
+                     (Printf.sprintf "case%d-%s.sexp"
+                        d.Difftest.Runner.case_index oracle_slug)
+                 in
+                 Difftest.Case.save path d.Difftest.Runner.case;
+                 Format.printf "saved %s@." path)
+               report.Difftest.Runner.discrepancies);
+          if report.Difftest.Runner.discrepancies <> []
+             || report.Difftest.Runner.skipped_cases > 0
+          then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential soundness fuzzing: random schemas, queries and \
+             instances judged by the uniqueness, rewrite and agreement oracles.")
+    Term.(const run $ seed_arg $ count_arg $ instances_arg $ rows_arg
+          $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg)
+
 let () =
   let doc = "uniqueness-based semantic query optimization (Paulley & Larson, ICDE 1994)" in
   let info = Cmd.info "uniqsql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd; fuzz_cmd ]))

@@ -1,0 +1,180 @@
+module A = Sql.Ast
+module U = Uniqueness
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Fail of string
+
+type finding = {
+  oracle : string;
+  verdict : verdict;
+}
+
+let guard f =
+  try f () with
+  | e -> Fail ("exception: " ^ Printexc.to_string e)
+
+(* run [check] on every instance; the first offending one decides *)
+let on_instances (c : Case.t) check =
+  let rec go i = function
+    | [] -> Pass
+    | inst :: rest ->
+      let db = Case.database c inst in
+      (match check db inst.Case.hosts i with
+       | None -> go (i + 1) rest
+       | Some msg -> Fail msg)
+  in
+  go 0 c.Case.instances
+
+(* ---- uniqueness ---- *)
+
+let analyzers cat =
+  [ ("alg1", fun q -> U.Algorithm1.distinct_is_redundant cat q);
+    ("fd", fun q -> U.Fd_analysis.distinct_is_redundant cat q) ]
+
+let uniqueness (c : Case.t) =
+  match c.Case.query with
+  | A.Setop _ ->
+    [ { oracle = "uniqueness/alg1"; verdict = Skip "set operation" };
+      { oracle = "uniqueness/fd"; verdict = Skip "set operation" } ]
+  | A.Spec q when q.A.group_by <> [] ->
+    [ { oracle = "uniqueness/alg1"; verdict = Skip "GROUP BY" };
+      { oracle = "uniqueness/fd"; verdict = Skip "GROUP BY" } ]
+  | A.Spec q ->
+    let cat = Case.catalog c in
+    List.map
+      (fun (name, claims) ->
+        let verdict =
+          guard (fun () ->
+              if not (claims q) then Skip "analyzer does not claim uniqueness"
+              else
+                on_instances c (fun db hosts i ->
+                    let all_rows =
+                      Engine.Exec.run_query db ~hosts
+                        (A.Spec { q with A.distinct = A.All })
+                    in
+                    let distinct_rows =
+                      Engine.Exec.run_query db ~hosts
+                        (A.Spec { q with A.distinct = A.Distinct })
+                    in
+                    if Engine.Relation.equal_bags all_rows distinct_rows then
+                      None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "instance %d: ALL has %d rows, DISTINCT %d" i
+                           (Engine.Relation.cardinality all_rows)
+                           (Engine.Relation.cardinality distinct_rows))))
+        in
+        { oracle = "uniqueness/" ^ name; verdict })
+      (analyzers cat)
+
+(* ---- rewrite ---- *)
+
+let check_outcome c (outcome : U.Rewrite.outcome) =
+  if not outcome.U.Rewrite.applied then Skip "rule does not apply"
+  else
+    on_instances c (fun db hosts i ->
+        let before = Engine.Exec.run_query db ~hosts c.Case.query in
+        let after = Engine.Exec.run_query db ~hosts outcome.U.Rewrite.result in
+        if Engine.Relation.equal_bags before after then None
+        else
+          Some
+            (Printf.sprintf "instance %d: %d rows before, %d after (%s)" i
+               (Engine.Relation.cardinality before)
+               (Engine.Relation.cardinality after)
+               (Sql.Pretty.query outcome.U.Rewrite.result)))
+
+let rewrite (c : Case.t) =
+  let cat = Case.catalog c in
+  let q = c.Case.query in
+  let whole_query =
+    [ ("remove_distinct_alg1",
+       fun () -> U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Algorithm1 cat q);
+      ("remove_distinct_fd",
+       fun () -> U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Fd_closure cat q);
+      ("remove_group_by", fun () -> U.Rewrite.remove_redundant_group_by cat q);
+      ("intersect_to_exists", fun () -> U.Rewrite.intersect_to_exists cat q);
+      ("except_to_not_exists", fun () -> U.Rewrite.except_to_not_exists cat q) ]
+  in
+  let spec_rules =
+    match q with
+    | A.Spec s ->
+      [ ("subquery_to_join", fun () -> U.Rewrite.subquery_to_join cat s);
+        ("join_to_subquery", fun () -> U.Rewrite.join_to_subquery cat s);
+        ("remove_implied", fun () -> U.Rewrite.remove_implied_predicates cat s);
+        ("eliminate_joins", fun () -> U.Rewrite.eliminate_joins cat s) ]
+    | A.Setop _ -> []
+  in
+  let rule_findings =
+    List.map
+      (fun (name, apply) ->
+        { oracle = "rewrite/" ^ name;
+          verdict = guard (fun () -> check_outcome c (apply ())) })
+      (whole_query @ spec_rules)
+  in
+  (* the composed pipeline, end to end *)
+  let composed =
+    { oracle = "rewrite/apply_all";
+      verdict =
+        guard (fun () ->
+            let final, outcomes = U.Rewrite.apply_all cat q in
+            if outcomes = [] then Skip "no rewrite applies"
+            else
+              check_outcome c
+                { U.Rewrite.applied = true;
+                  rule = "apply_all";
+                  justification = "";
+                  result = final }) }
+  in
+  rule_findings @ [ composed ]
+
+(* ---- agreement ---- *)
+
+let agreement ?(max_cells = 100_000) (c : Case.t) =
+  match c.Case.query with
+  | A.Setop _ ->
+    [ { oracle = "agreement/alg1"; verdict = Skip "set operation" };
+      { oracle = "agreement/fd"; verdict = Skip "set operation" } ]
+  | A.Spec q ->
+    let cat = Case.catalog c in
+    List.map
+      (fun (name, claims) ->
+        let verdict =
+          guard (fun () ->
+              if q.A.group_by <> [] then Skip "GROUP BY"
+              else if not (claims q) then
+                Skip "analyzer does not claim uniqueness"
+              else
+                match U.Exact.check ~max_cells cat q with
+                | U.Exact.Unique -> Pass
+                | U.Exact.Unsupported reason ->
+                  Skip ("exact checker: " ^ reason)
+                | U.Exact.Duplicable cex ->
+                  Fail
+                    (Printf.sprintf
+                       "analyzer claims uniqueness, exact checker found \
+                        duplicates (projected row (%s) twice)"
+                       (String.concat ", "
+                          (List.map Sqlval.Value.to_string
+                             (Array.to_list cex.U.Exact.row1))))
+                | exception U.Exact.Too_large n ->
+                  Skip (Printf.sprintf "search space too large (%d)" n))
+        in
+        { oracle = "agreement/" ^ name; verdict })
+      (analyzers cat)
+
+let all ?max_cells c = uniqueness c @ rewrite c @ agreement ?max_cells c
+
+let failures fs =
+  List.filter (fun f -> match f.verdict with Fail _ -> true | Pass | Skip _ -> false) fs
+
+let pp_finding ppf f =
+  let s, msg =
+    match f.verdict with
+    | Pass -> ("pass", "")
+    | Skip m -> ("skip", ": " ^ m)
+    | Fail m -> ("FAIL", ": " ^ m)
+  in
+  Format.fprintf ppf "%s %s%s" s f.oracle msg

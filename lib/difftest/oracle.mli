@@ -1,0 +1,36 @@
+(** The three executable oracles, each judging a {!Case.t} against the
+    engine:
+
+    - {e uniqueness}: an analyzer that claims [DISTINCT] is redundant
+      (Theorem 1) must see [SELECT ALL] and [SELECT DISTINCT] agree as
+      multisets on every generated instance;
+    - {e rewrite}: every [Uniqueness.Rewrite] rule that applies must
+      preserve bag semantics on every instance;
+    - {e agreement}: an analyzer YES must be confirmed by the exact
+      bounded-model checker ([Uniqueness.Exact]).
+
+    A [Fail] verdict is a soundness discrepancy; [Skip] records why an
+    oracle did not apply (outside the analyzer's class, rewrite not
+    applicable, exact check over budget). All details are deterministic
+    functions of the case, so campaign reports replay bit-identically. *)
+
+type verdict =
+  | Pass
+  | Skip of string
+  | Fail of string
+
+type finding = {
+  oracle : string;  (** e.g. ["uniqueness/alg1"], ["rewrite/subquery_to_join"] *)
+  verdict : verdict;
+}
+
+val uniqueness : Case.t -> finding list
+val rewrite : Case.t -> finding list
+val agreement : ?max_cells:int -> Case.t -> finding list
+
+(** All three oracles; [max_cells] bounds the exact checker (default
+    [100_000]). *)
+val all : ?max_cells:int -> Case.t -> finding list
+
+val failures : finding list -> finding list
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,36 @@
+(** Random queries over an arbitrary catalog: joins, [IS NULL], [BETWEEN],
+    [IN], disjunctions, host variables, positive [EXISTS] subqueries,
+    [GROUP BY] with aggregates, and [INTERSECT]/[EXCEPT] expressions —
+    the full query class the analyzers and rewrites accept.
+
+    Host variables are drawn from a fixed pool ([:H1], [:H2]);
+    {!Instance_gen.hosts} binds every one the query mentions. *)
+
+(** Predicate sampling styles of the classic [Workload.Randquery]
+    generators, kept as a shared core so both its entry points and this
+    module draw projections and predicates the same way. *)
+type pred_style =
+  | Sampled of { max_predicates : int; const_range : int }
+      (** 0..[max_predicates] equality conjuncts with random left-hand
+          columns ([Workload.Randquery.generate]) *)
+  | Per_column of { const_range : int }
+      (** one conjunct per column, [=] one time in three and [<=]
+          otherwise ([Workload.Randquery.generate_single_table]) *)
+
+(** Random [SELECT DISTINCT] projection + conjunctive predicate over a fixed
+    FROM list — the generator core shared with [Workload.Randquery].
+    [columns] are qualified names such as ["R.A"]. *)
+val simple_spec :
+  rng:Random.State.t ->
+  from:Sql.Ast.from_item list ->
+  columns:string list ->
+  style:pred_style ->
+  Sql.Ast.query_spec
+
+(** Random query specification over 1–2 occurrences (correlation names
+    [Q1], [Q2]) of the catalog's tables. The catalog must be non-empty. *)
+val spec : rng:Random.State.t -> Catalog.t -> Sql.Ast.query_spec
+
+(** Random query expression: {!spec} most of the time, occasionally an
+    [INTERSECT]/[EXCEPT] over union-compatible single-table blocks. *)
+val query : rng:Random.State.t -> Catalog.t -> Sql.Ast.query

@@ -1,0 +1,112 @@
+type config = {
+  seed : int;
+  count : int;
+  instances : int;
+  rows : int;
+  exact_cells : int;
+  shrink : bool;
+}
+
+let default =
+  { seed = 7;
+    count = 1000;
+    instances = 3;
+    rows = 6;
+    exact_cells = 100_000;
+    shrink = true }
+
+type discrepancy = {
+  case_index : int;
+  oracle : string;
+  detail : string;
+  case : Case.t;
+}
+
+type report = {
+  config : config;
+  cases : int;
+  skipped_cases : int;
+  per_oracle : (string * (int * int * int)) list;
+  discrepancies : discrepancy list;
+}
+
+let replay ?max_cells c = Oracle.all ?max_cells c
+
+(* does [oracle] still fail on [c]? — the predicate shrinking preserves *)
+let oracle_fails ~max_cells oracle c =
+  List.exists
+    (fun (f : Oracle.finding) ->
+      f.Oracle.oracle = oracle
+      && match f.Oracle.verdict with
+         | Oracle.Fail _ -> true
+         | Oracle.Pass | Oracle.Skip _ -> false)
+    (Oracle.all ~max_cells c)
+
+let run ?(log = fun _ -> ()) config =
+  let rng = Random.State.make [| config.seed |] in
+  let tally : (string, int * int * int) Hashtbl.t = Hashtbl.create 32 in
+  let bump name f =
+    let p, s, x = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tally name) in
+    Hashtbl.replace tally name (f (p, s, x))
+  in
+  let discrepancies = ref [] in
+  let skipped_cases = ref 0 in
+  for i = 0 to config.count - 1 do
+    log i;
+    let c =
+      Case.generate ~rng ~instances:config.instances ~rows:config.rows ()
+    in
+    if not (Shrink.valid c) then incr skipped_cases
+    else
+      List.iter
+        (fun (f : Oracle.finding) ->
+          match f.Oracle.verdict with
+          | Oracle.Pass -> bump f.Oracle.oracle (fun (p, s, x) -> (p + 1, s, x))
+          | Oracle.Skip _ -> bump f.Oracle.oracle (fun (p, s, x) -> (p, s + 1, x))
+          | Oracle.Fail detail ->
+            bump f.Oracle.oracle (fun (p, s, x) -> (p, s, x + 1));
+            let case =
+              if config.shrink then
+                Shrink.minimize
+                  ~fails:(oracle_fails ~max_cells:config.exact_cells f.Oracle.oracle)
+                  c
+              else c
+            in
+            discrepancies :=
+              { case_index = i; oracle = f.Oracle.oracle; detail; case }
+              :: !discrepancies)
+        (Oracle.all ~max_cells:config.exact_cells c)
+  done;
+  let per_oracle =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { config;
+    cases = config.count;
+    skipped_cases = !skipped_cases;
+    per_oracle;
+    discrepancies = List.rev !discrepancies }
+
+let pp_report ppf r =
+  Format.fprintf ppf "fuzz campaign: seed %d, %d cases (%d instances each, <=%d rows)@."
+    r.config.seed r.cases r.config.instances r.config.rows;
+  if r.skipped_cases > 0 then
+    Format.fprintf ppf "invalid generated cases (generator bug): %d@."
+      r.skipped_cases;
+  Format.fprintf ppf "%-28s %8s %8s %8s@." "oracle" "pass" "skip" "fail";
+  List.iter
+    (fun (name, (p, s, x)) ->
+      Format.fprintf ppf "%-28s %8d %8d %8d@." name p s x)
+    r.per_oracle;
+  let total_fail =
+    List.fold_left (fun acc (_, (_, _, x)) -> acc + x) 0 r.per_oracle
+  in
+  if total_fail = 0 then Format.fprintf ppf "no discrepancies@."
+  else begin
+    Format.fprintf ppf "%d discrepancies:@." total_fail;
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "@.--- case %d, oracle %s@.%s@.%a" d.case_index
+          d.oracle d.detail Case.pp d.case)
+      r.discrepancies
+  end

@@ -1,0 +1,45 @@
+(** Seeded, budgeted fuzz campaigns.
+
+    Everything a campaign does — schemas, queries, instances, verdicts —
+    derives from [Random.State.make [| seed |]], and the report carries no
+    timing data, so the same configuration always produces a bit-identical
+    report ([uniqsql fuzz --seed 7 --count 5000] twice diffs empty; tested
+    in [test/test_difftest.ml]). *)
+
+type config = {
+  seed : int;
+  count : int;  (** cases to generate *)
+  instances : int;  (** database instances per case *)
+  rows : int;  (** max rows per table per instance *)
+  exact_cells : int;  (** budget of the exact checker (agreement oracle) *)
+  shrink : bool;  (** minimize failing cases before reporting *)
+}
+
+val default : config
+(** seed 7, 1000 cases, 3 instances, ≤6 rows, 100k exact-checker cells,
+    shrinking on *)
+
+type discrepancy = {
+  case_index : int;
+  oracle : string;
+  detail : string;
+  case : Case.t;  (** minimized when [config.shrink] *)
+}
+
+type report = {
+  config : config;
+  cases : int;
+  skipped_cases : int;
+      (** generated cases whose instances failed validation (bug in the
+          generators — always 0 unless the generator itself regresses) *)
+  per_oracle : (string * (int * int * int)) list;
+      (** oracle name -> (pass, skip, fail), sorted by name *)
+  discrepancies : discrepancy list;
+}
+
+val run : ?log:(int -> unit) -> config -> report
+
+(** Re-judge a stored corpus case (all three oracles). *)
+val replay : ?max_cells:int -> Case.t -> Oracle.finding list
+
+val pp_report : Format.formatter -> report -> unit

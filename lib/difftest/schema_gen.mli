@@ -1,0 +1,18 @@
+(** Random DDL: 1–3 tables with [PRIMARY KEY], [UNIQUE], [NOT NULL], [CHECK]
+    and [FOREIGN KEY] constraints — the schema dimension the fixed R/S
+    vocabulary of [Workload.Randquery] never varies.
+
+    Invariants the generators downstream rely on:
+    - the first column of every table is [INT] (set operations over first
+      columns are always union-compatible);
+    - foreign keys reference the (all-[INT]) primary key of an
+      earlier-numbered table through dedicated nullable [F]-columns, so a
+      child row can always fall back to [NULL] when the parent is empty;
+    - [CHECK] constraints are single-column range/membership predicates over
+      small integer constants (satisfiable by construction). *)
+
+val generate : rng:Random.State.t -> Sql.Ast.create_table list
+
+(** Build a catalog from generated (or shrunk) DDL.
+    @raise Failure on DDL the catalog rejects, as {!Catalog.add}. *)
+val catalog_of_ddl : Sql.Ast.create_table list -> Catalog.t

@@ -1,0 +1,136 @@
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+let must_quote s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
+         | _ -> false)
+       s
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_buffer b = function
+  | Atom s -> Buffer.add_string b (if must_quote s then escape s else s)
+  | List xs ->
+    Buffer.add_char b '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ' ';
+        to_buffer b x)
+      xs;
+    Buffer.add_char b ')'
+
+let to_string s =
+  let b = Buffer.create 256 in
+  to_buffer b s;
+  Buffer.contents b
+
+(* recursive-descent parser over a string with an index cell *)
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let quoted_atom () =
+    incr pos;
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match input.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape"
+          else begin
+            (match input.[!pos + 1] with
+             | 'n' -> Buffer.add_char b '\n'
+             | c -> Buffer.add_char b c);
+            pos := !pos + 2;
+            go ()
+          end
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents b)
+  in
+  let bare_atom () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match input.[!pos] with
+          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' -> false
+          | _ -> true)
+    do
+      incr pos
+    done;
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec expr () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | None -> fail "unterminated list"
+        | Some ')' -> incr pos
+        | Some _ ->
+          items := expr () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some ')' -> fail "unexpected ')'"
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  e
+
+let save path s =
+  let oc = open_out_bin path in
+  output_string oc (to_string s);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string (String.trim text)

@@ -1,0 +1,22 @@
+(** Minimal s-expressions — the on-disk format of the regression corpus
+    ([test/corpus/*.sexp]) and of counterexamples printed by the fuzzer.
+
+    Atoms that contain whitespace, parentheses, quotes or backslashes are
+    rendered in double quotes with backslash escapes; [of_string] reverses
+    the encoding exactly, so SQL text (queries, DDL) can be stored as
+    atoms. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** Parse one s-expression; trailing input (other than whitespace) is an
+    error. @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+val save : string -> t -> unit
+val load : string -> t

@@ -1,0 +1,233 @@
+module A = Sql.Ast
+module Value = Sqlval.Value
+
+let valid (c : Case.t) =
+  match Case.catalog c with
+  | exception _ -> false
+  | cat ->
+    List.for_all
+      (fun inst ->
+        match Engine.Database.validate (Instance_gen.database cat inst.Case.rows) with
+        | [] -> true
+        | _ :: _ -> false
+        | exception _ -> false)
+      c.Case.instances
+
+(* ---- structural edits ---- *)
+
+let remove_nth n xs = List.filteri (fun i _ -> i <> n) xs
+
+(* simplifications of one atomic conjunct (dropping it entirely is handled
+   by the caller) *)
+let atom_edits = function
+  | A.Or (a, b) -> [ a; b ]
+  | A.Not a -> [ a ]
+  | A.Exists q ->
+    let inner = A.conjuncts q.A.where in
+    List.mapi
+      (fun i _ -> A.Exists { q with A.where = A.conj (remove_nth i inner) })
+      inner
+  | A.Between (s, lo, _) -> [ A.Cmp (A.Ge, s, lo) ]
+  | _ -> []
+
+let where_edits (s : A.query_spec) =
+  let cs = A.conjuncts s.A.where in
+  List.concat
+    (List.mapi
+       (fun i c ->
+         { s with A.where = A.conj (remove_nth i cs) }
+         :: List.map
+              (fun c' ->
+                { s with
+                  A.where = A.conj (List.mapi (fun j x -> if j = i then c' else x) cs) })
+              (atom_edits c))
+       cs)
+
+let select_edits (s : A.query_spec) =
+  match s.A.select with
+  | A.Cols cols when List.length cols > 1 ->
+    List.mapi (fun i _ -> { s with A.select = A.Cols (remove_nth i cols) }) cols
+  | A.Cols _ | A.Star -> []
+
+(* drop a FROM item whose correlation name no column reference uses *)
+let from_edits (s : A.query_spec) =
+  if List.length s.A.from <= 1 then []
+  else begin
+    let used =
+      A.rels_of_pred s.A.where
+      @ (match s.A.select with
+         | A.Star -> List.map A.from_name s.A.from (* Star uses them all *)
+         | A.Cols cols -> List.concat_map A.rels_of_scalar cols)
+      @ List.concat_map A.rels_of_scalar s.A.group_by
+    in
+    let used = List.map String.uppercase_ascii used in
+    List.concat
+      (List.mapi
+         (fun i f ->
+           if List.mem (String.uppercase_ascii (A.from_name f)) used then []
+           else [ { s with A.from = remove_nth i s.A.from } ])
+         s.A.from)
+  end
+
+let spec_edits s = where_edits s @ select_edits s @ from_edits s
+
+let query_edits (q : A.query) =
+  let rec go = function
+    | A.Spec s -> List.map (fun s' -> A.Spec s') (spec_edits s)
+    | A.Setop (op, d, a, b) ->
+      List.map (fun a' -> A.Setop (op, d, a', b)) (go a)
+      @ List.map (fun b' -> A.Setop (op, d, a, b')) (go b)
+  in
+  go q
+
+(* table names a query mentions (FROM lists, EXISTS blocks included) *)
+let tables_of_query q =
+  let rec of_pred = function
+    | A.Exists s -> of_spec s
+    | A.And (a, b) | A.Or (a, b) -> of_pred a @ of_pred b
+    | A.Not a -> of_pred a
+    | _ -> []
+  and of_spec s =
+    List.map (fun f -> String.uppercase_ascii f.A.table) s.A.from
+    @ of_pred s.A.where
+  in
+  let rec of_query = function
+    | A.Spec s -> of_spec s
+    | A.Setop (_, _, a, b) -> of_query a @ of_query b
+  in
+  List.sort_uniq String.compare (of_query q)
+
+(* ---- DDL edits ---- *)
+
+(* drop table [name] and every FOREIGN KEY in other tables referencing it *)
+let drop_table (c : Case.t) name =
+  let ddl =
+    List.filter (fun ct -> ct.A.ct_name <> name) c.Case.ddl
+    |> List.map (fun ct ->
+           { ct with
+             A.ct_constraints =
+               List.filter
+                 (function
+                   | A.C_foreign_key (_, t, _) -> t <> name
+                   | _ -> true)
+                 ct.A.ct_constraints })
+  in
+  let instances =
+    List.map
+      (fun inst ->
+        { inst with Case.rows = List.filter (fun (t, _) -> t <> name) inst.Case.rows })
+      c.Case.instances
+  in
+  { c with Case.ddl; instances }
+
+let ddl_edits (c : Case.t) =
+  let referenced = tables_of_query c.Case.query in
+  let droppable =
+    List.filter
+      (fun ct -> not (List.mem (String.uppercase_ascii ct.A.ct_name) referenced))
+      c.Case.ddl
+  in
+  List.map (fun ct -> drop_table c ct.A.ct_name) droppable
+  @ List.concat_map
+      (fun ct ->
+        List.mapi
+          (fun i _ ->
+            let ddl =
+              List.map
+                (fun ct' ->
+                  if ct'.A.ct_name = ct.A.ct_name then
+                    { ct' with A.ct_constraints = remove_nth i ct'.A.ct_constraints }
+                  else ct')
+                c.Case.ddl
+            in
+            { c with Case.ddl = ddl })
+          ct.A.ct_constraints)
+      c.Case.ddl
+
+(* ---- instance edits ---- *)
+
+let instance_edits (c : Case.t) =
+  let edit_instance i f =
+    { c with
+      Case.instances =
+        List.mapi (fun j inst -> if j = i then f inst else inst) c.Case.instances }
+  in
+  let drop_rows =
+    List.concat
+      (List.mapi
+         (fun i inst ->
+           List.concat_map
+             (fun (name, rows) ->
+               List.mapi
+                 (fun r _ ->
+                   edit_instance i (fun inst ->
+                       { inst with
+                         Case.rows =
+                           List.map
+                             (fun (n, rs) ->
+                               if n = name then (n, remove_nth r rs) else (n, rs))
+                             inst.Case.rows }))
+                 rows)
+             inst.Case.rows)
+         c.Case.instances)
+  in
+  let zero_values =
+    List.concat
+      (List.mapi
+         (fun i inst ->
+           List.concat_map
+             (fun (name, rows) ->
+               List.concat
+                 (List.mapi
+                    (fun r row ->
+                      List.concat
+                        (List.mapi
+                           (fun k v ->
+                             match v with
+                             | Value.Int n when n <> 0 ->
+                               [ edit_instance i (fun inst ->
+                                     { inst with
+                                       Case.rows =
+                                         List.map
+                                           (fun (n', rs) ->
+                                             if n' = name then
+                                               ( n',
+                                                 List.mapi
+                                                   (fun r' row' ->
+                                                     if r' = r then begin
+                                                       let copy = Array.copy row' in
+                                                       copy.(k) <- Value.Int 0;
+                                                       copy
+                                                     end
+                                                     else row')
+                                                   rs )
+                                             else (n', rs))
+                                           inst.Case.rows }) ]
+                             | _ -> [])
+                           (Array.to_list row)))
+                    rows))
+             inst.Case.rows)
+         c.Case.instances)
+  in
+  drop_rows @ zero_values
+
+(* coarse edits first: whole instances and tables go before single rows,
+   conjuncts before projected columns, values last *)
+let candidates (c : Case.t) =
+  (if List.length c.Case.instances > 1 then
+     List.mapi
+       (fun i _ -> { c with Case.instances = remove_nth i c.Case.instances })
+       c.Case.instances
+   else [])
+  @ ddl_edits c
+  @ List.map (fun q -> { c with Case.query = q }) (query_edits c.Case.query)
+  @ instance_edits c
+
+let minimize ~fails (c : Case.t) =
+  let keeps c' = valid c' && fails c' in
+  let rec go c =
+    match List.find_opt keeps (candidates c) with
+    | Some c' -> go c'
+    | None -> c
+  in
+  go c

@@ -1,0 +1,15 @@
+(** Greedy minimization of failing cases.
+
+    [minimize ~fails case] repeatedly applies the first simplification —
+    dropping instances, rows, tables, constraints, conjuncts, projection
+    columns, disjunction arms, [EXISTS] blocks, or zeroing values — that
+    keeps the case well-formed (catalog builds, every instance still
+    validates) and keeps [fails] true, until no simplification does.
+    [fails] must be deterministic. The result is a fixpoint: every single
+    further simplification either breaks well-formedness or passes. *)
+
+(** The case's catalog builds and every instance satisfies its constraints
+    (no exceptions, [Engine.Database.validate] empty). *)
+val valid : Case.t -> bool
+
+val minimize : fails:(Case.t -> bool) -> Case.t -> Case.t

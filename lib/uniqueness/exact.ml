@@ -14,8 +14,44 @@ type counterexample = {
 type result =
   | Unique
   | Duplicable of counterexample
+  | Unsupported of string
 
 exception Too_large of int
+
+(* ---- supported query class ---- *)
+
+(* The checker handles the paper's query class: conjunctions/disjunctions of
+   comparisons over columns, constants and host variables. EXISTS subqueries
+   would need nested instance enumeration and aggregates/GROUP BY change the
+   row multiplicity model, so both are reported as [Unsupported] rather than
+   silently mis-checked. *)
+let unsupported_reason (q : Sql.Ast.query_spec) =
+  let scalar_agg = function
+    | Sql.Ast.Agg _ -> true
+    | Sql.Ast.Col _ | Sql.Ast.Const _ | Sql.Ast.Host _ -> false
+  in
+  let rec pred_feature (p : Sql.Ast.pred) =
+    match p with
+    | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> None
+    | Sql.Ast.Cmp (_, a, b) ->
+      if scalar_agg a || scalar_agg b then Some "aggregate in a predicate" else None
+    | Sql.Ast.Between (a, lo, hi) ->
+      if scalar_agg a || scalar_agg lo || scalar_agg hi then
+        Some "aggregate in a predicate"
+      else None
+    | Sql.Ast.In_list (a, _) | Sql.Ast.Is_null a | Sql.Ast.Is_not_null a ->
+      if scalar_agg a then Some "aggregate in a predicate" else None
+    | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) ->
+      (match pred_feature a with None -> pred_feature b | some -> some)
+    | Sql.Ast.Not a -> pred_feature a
+    | Sql.Ast.Exists _ -> Some "EXISTS subquery"
+  in
+  if q.Sql.Ast.group_by <> [] then Some "GROUP BY"
+  else
+    match q.Sql.Ast.select with
+    | Sql.Ast.Cols cs when List.exists scalar_agg cs ->
+      Some "aggregate in the select list"
+    | Sql.Ast.Star | Sql.Ast.Cols _ -> pred_feature q.Sql.Ast.where
 
 (* ---- domain construction ---- *)
 
@@ -57,7 +93,7 @@ let rec collect_constants acc (p : Sql.Ast.pred) =
   | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) ->
     collect_constants (collect_constants acc a) b
   | Sql.Ast.Not a -> collect_constants acc a
-  | Sql.Ast.Exists _ -> invalid_arg "Exact: EXISTS subqueries are not supported"
+  | Sql.Ast.Exists _ -> acc (* unreachable: [check] rejects EXISTS upfront *)
 
 (* Role of a column decides its domain: columns appearing in keys,
    predicates, or CHECK constraints need rich domains; pure-projection (or
@@ -75,8 +111,7 @@ let build_domains cat (q : Sql.Ast.query_spec) =
   let rec pred_cols acc (p : Sql.Ast.pred) =
     let of_scalar acc = function
       | Sql.Ast.Col c -> Attr.Set.add (resolve c) acc
-      | Sql.Ast.Const _ | Sql.Ast.Host _ -> acc
-      | Sql.Ast.Agg _ -> invalid_arg "Exact: aggregate in a predicate"
+      | Sql.Ast.Const _ | Sql.Ast.Host _ | Sql.Ast.Agg _ -> acc
     in
     match p with
     | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> acc
@@ -86,7 +121,7 @@ let build_domains cat (q : Sql.Ast.query_spec) =
       of_scalar acc a
     | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) -> pred_cols (pred_cols acc a) b
     | Sql.Ast.Not a -> pred_cols acc a
-    | Sql.Ast.Exists _ -> invalid_arg "Exact: EXISTS subqueries are not supported"
+    | Sql.Ast.Exists _ -> acc (* unreachable: [check] rejects EXISTS upfront *)
   in
   let used_in_pred = pred_cols Attr.Set.empty q.where in
   (* per table occurrence: schema, check constants and check columns *)
@@ -261,6 +296,9 @@ let search_space_of domains_per_table host_dom_sizes =
   List.fold_left ( * ) tuple_space host_dom_sizes
 
 let check ?(max_cells = 2_000_000) cat (q : Sql.Ast.query_spec) =
+  match unsupported_reason q with
+  | Some reason -> Unsupported reason
+  | None ->
   let per_table = build_domains cat q in
   let hosts, host_col_pairs = host_domains cat q in
   (* host domain: union of domains of the columns it is compared with *)
@@ -418,6 +456,8 @@ let search_space cat q =
 
 let pp_result ppf = function
   | Unique -> Format.fprintf ppf "unique (no duplicate-producing instance)"
+  | Unsupported reason ->
+    Format.fprintf ppf "unsupported query (%s)" reason
   | Duplicable ce ->
     Format.fprintf ppf "@[<v>duplicable; witness:@,";
     List.iter

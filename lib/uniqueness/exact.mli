@@ -32,9 +32,18 @@ type result =
   | Unique
       (** no valid bounded instance yields duplicate projected rows *)
   | Duplicable of counterexample
+  | Unsupported of string
+      (** the query is outside the checker's class ([EXISTS] subqueries,
+          aggregates, [GROUP BY]); the reason names the offending feature *)
+
+(** [None] when the checker can decide [q]; [Some reason] otherwise.
+    {!check} returns [Unsupported reason] in exactly these cases, so callers
+    that want to skip (rather than run) can ask first. *)
+val unsupported_reason : Sql.Ast.query_spec -> string option
 
 (** [check cat q] decides whether [SELECT ALL] = [SELECT DISTINCT] for [q]
-    over all valid two-tuple-per-table instances.
+    over all valid two-tuple-per-table instances. Returns [Unsupported _]
+    (never raises) on queries outside the checker's class.
 
     @param max_cells safety bound on the enumeration size (product of domain
     sizes over all cells); raises [Too_large] beyond it. Default [2_000_000]. *)

@@ -71,27 +71,69 @@ let freshen_names ~used (sub : query_spec) =
 
 (* Qualify every column reference: inner FROM list first, then the outer
    one (mirroring the engine's innermost-first scoping), so that merged
-   queries contain no ambiguous bare references. *)
+   queries contain no ambiguous bare references. A nested [EXISTS] opens a
+   further scope — its own FROM list shadows the enclosing ones, so its
+   local columns must not be resolved against (or reported as unknown in)
+   the outer product schema. *)
 let qualify_pred cat ~inner ~outer p =
-  let resolve_inner = Fd.Derive.resolver cat inner in
-  let resolve_outer =
-    match outer with [] -> None | _ -> Some (Fd.Derive.resolver cat outer)
+  let scopes0 =
+    List.map (Fd.Derive.resolver cat)
+      (inner :: (if outer = [] then [] else [ outer ]))
   in
-  let resolve a =
-    match resolve_inner a with
-    | qualified -> qualified
-    | exception Fd.Derive.Unknown_column _ ->
-      (match resolve_outer with
-       | Some r -> r a
-       | None -> raise (Fd.Derive.Unknown_column a))
+  let resolve scopes a =
+    let rec go = function
+      | [] -> raise (Fd.Derive.Unknown_column a)
+      | r :: rest ->
+        (match r a with
+         | qualified -> qualified
+         | exception Fd.Derive.Unknown_column _ -> go rest)
+    in
+    go scopes
   in
-  map_cols resolve p
+  let rec go scopes p =
+    let rec scalar = function
+      | Col a -> Col (resolve scopes a)
+      | (Const _ | Host _) as s -> s
+      | Agg (fn, Some s) -> Agg (fn, Some (scalar s))
+      | Agg (_, None) as s -> s
+    in
+    match p with
+    | Ptrue | Pfalse -> p
+    | Cmp (op, a, b) -> Cmp (op, scalar a, scalar b)
+    | Between (a, lo, hi) -> Between (scalar a, scalar lo, scalar hi)
+    | In_list (a, vs) -> In_list (scalar a, vs)
+    | Is_null a -> Is_null (scalar a)
+    | Is_not_null a -> Is_not_null (scalar a)
+    | And (a, b) -> And (go scopes a, go scopes b)
+    | Or (a, b) -> Or (go scopes a, go scopes b)
+    | Not a -> Not (go scopes a)
+    | Exists sub ->
+      Exists { sub with where = go (Fd.Derive.resolver cat sub.from :: scopes) sub.where }
+  in
+  go scopes0 p
 
 let qualify_scalar cat ~from s =
   let resolve = Fd.Derive.resolver cat from in
   match s with
   | Col a when not (String.equal a.Attr.name "*") -> Col (resolve a)
   | (Col _ | Const _ | Host _ | Agg _) as s -> s
+
+(* Explicit projection of every column of [from], in product-schema order —
+   what [SELECT *] denotes before the FROM list changes. *)
+let expand_star cat (from : from_item list) =
+  List.concat_map
+    (fun (f : from_item) ->
+      let def = Catalog.find_exn cat f.table in
+      let corr = from_name f in
+      List.map
+        (fun (a : Attr.t) -> Col (Attr.make ~rel:corr ~name:a.Attr.name))
+        (Schema.Relschema.attrs def.Catalog.tbl_schema))
+    from
+
+let has_aggregate = function
+  | Star -> false
+  | Cols cs ->
+    List.exists (function Agg _ -> true | Col _ | Const _ | Host _ -> false) cs
 
 (* ---- Theorem 2 condition ---- *)
 
@@ -231,14 +273,29 @@ let subquery_to_join cat (q : query_spec) =
     in
     let sub = freshen_names ~used:outer_rels sub in
     let merged_where = conj (others @ conjuncts sub.where) in
-    let merged from distinct =
-      Spec { q with distinct; from = q.from @ from; where = merged_where }
+    (* [SELECT *] must keep denoting the original FROM list's columns once
+       the subquery's tables join it *)
+    let select =
+      match q.select with Star -> Cols (expand_star cat q.from) | Cols _ -> q.select
     in
+    let merged from distinct =
+      Spec { q with select; distinct; from = q.from @ from; where = merged_where }
+    in
+    (* With GROUP BY or aggregates only the at-most-one-match branch is
+       sound: it leaves every group's contents intact, whereas collapsing
+       extra matches with DISTINCT happens after aggregation — too late to
+       undo the multiplicities the join fed into the aggregates. *)
+    let grouped = q.group_by <> [] || has_aggregate q.select in
     if inner_block_unique cat ~outer_rels sub then
       applied rule
         "the subquery block matches at most one tuple per outer row \
          (a candidate key of every inner table is pinned)"
         (merged sub.from q.distinct)
+    else if grouped then
+      unchanged rule
+        "subquery may match several tuples, which would skew the grouped \
+         aggregates"
+        (Spec q)
     else if q.distinct = Distinct then
       applied rule
         "projection is DISTINCT, so duplicates from extra matches collapse"
@@ -261,6 +318,10 @@ let join_to_subquery cat (q : query_spec) =
   let rule = "join-to-subquery (section 6)" in
   if List.length q.from < 2 then
     unchanged rule "single-table FROM list" (Spec q)
+  else if q.group_by <> [] || has_aggregate q.select then
+    (* moving a table into EXISTS changes the multiplicities (and possibly
+       the very columns) the grouping and aggregates consume *)
+    unchanged rule "GROUP BY / aggregates pin the join's multiplicities" (Spec q)
   else begin
     (* qualify projection and predicate so that table usage is explicit *)
     let select =

@@ -20,38 +20,25 @@ let default = { seed = 7; count = 200; max_predicates = 3 }
 let cols_r = [ "R.A"; "R.B"; "R.C" ]
 let cols_s = [ "S.D"; "S.E" ]
 
+(* Both entry points delegate projection and predicate sampling to
+   [Difftest.Query_gen.simple_spec] (the shared generator core); the RNG
+   call order matches the original inline generators, so fixed-seed
+   workloads are unchanged. *)
 let generate cfg =
   let rng = Random.State.make [| cfg.seed |] in
-  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
   let gen_one () =
     let two_tables = Random.State.bool rng in
-    let cols = if two_tables then cols_r @ cols_s else cols_r in
-    let proj =
-      let chosen = List.filter (fun _ -> Random.State.bool rng) cols in
-      if chosen = [] then [ pick cols ] else chosen
+    let columns = if two_tables then cols_r @ cols_s else cols_r in
+    let from =
+      if two_tables then
+        [ { Sql.Ast.table = "R"; corr = None };
+          { Sql.Ast.table = "S"; corr = None } ]
+      else [ { Sql.Ast.table = "R"; corr = None } ]
     in
-    let gen_pred () =
-      let lhs = pick cols in
-      let rhs =
-        if Random.State.bool rng then
-          Sql.Ast.Const (Value.Int (Random.State.int rng 3))
-        else Sql.Ast.Col (Schema.Attr.of_string (pick cols))
-      in
-      Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col (Schema.Attr.of_string lhs), rhs)
-    in
-    let preds =
-      List.init (Random.State.int rng (cfg.max_predicates + 1)) (fun _ -> gen_pred ())
-    in
-    Sql.Ast.plain_spec ~distinct:Sql.Ast.Distinct
-      ~select:
-        (Sql.Ast.Cols
-           (List.map (fun c -> Sql.Ast.Col (Schema.Attr.of_string c)) proj))
-      ~from:
-        (if two_tables then
-           [ { Sql.Ast.table = "R"; corr = None };
-             { Sql.Ast.table = "S"; corr = None } ]
-         else [ { Sql.Ast.table = "R"; corr = None } ])
-      ~where:(Sql.Ast.conj preds) ()
+    Difftest.Query_gen.simple_spec ~rng ~from ~columns
+      ~style:
+        (Difftest.Query_gen.Sampled
+           { max_predicates = cfg.max_predicates; const_range = 3 })
   in
   List.init cfg.count (fun _ -> gen_one ())
 
@@ -68,36 +55,13 @@ let scaling_catalog ~cols =
     (Printf.sprintf "CREATE TABLE R (%s, PRIMARY KEY (A))"
        (String.concat ", " defs))
 
+(* predicates over every column ([Per_column] style) so the exact checker
+   cannot pin any of them to a singleton domain *)
 let generate_single_table cfg ~cols =
   let rng = Random.State.make [| cfg.seed |] in
-  let names = List.map (fun c -> "R." ^ c) (column_names cols) in
-  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
-  let gen_one () =
-    let proj =
-      let chosen = List.filter (fun _ -> Random.State.bool rng) names in
-      if chosen = [] then [ pick names ] else chosen
-    in
-    (* predicates over every column so the exact checker cannot pin any of
-       them to a singleton domain *)
-    let preds =
-      List.map
-        (fun c ->
-          let rhs =
-            if Random.State.bool rng then
-              Sql.Ast.Const (Value.Int (Random.State.int rng 2))
-            else Sql.Ast.Col (Schema.Attr.of_string (pick names))
-          in
-          if Random.State.int rng 3 = 0 then
-            Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col (Schema.Attr.of_string c), rhs)
-          else
-            Sql.Ast.Cmp (Sql.Ast.Le, Sql.Ast.Col (Schema.Attr.of_string c), rhs))
-        names
-    in
-    Sql.Ast.plain_spec ~distinct:Sql.Ast.Distinct
-      ~select:
-        (Sql.Ast.Cols
-           (List.map (fun c -> Sql.Ast.Col (Schema.Attr.of_string c)) proj))
-      ~from:[ { Sql.Ast.table = "R"; corr = None } ]
-      ~where:(Sql.Ast.conj preds) ()
-  in
-  List.init cfg.count (fun _ -> gen_one ())
+  let columns = List.map (fun c -> "R." ^ c) (column_names cols) in
+  List.init cfg.count (fun _ ->
+      Difftest.Query_gen.simple_spec ~rng
+        ~from:[ { Sql.Ast.table = "R"; corr = None } ]
+        ~columns
+        ~style:(Difftest.Query_gen.Per_column { const_range = 2 }))

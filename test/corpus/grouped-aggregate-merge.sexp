@@ -1,0 +1,15 @@
+(case
+ (ddl
+  "CREATE TABLE T1 (C1 INT NOT NULL, PRIMARY KEY (C1))"
+  "CREATE TABLE T2 (C1 INT, C2 INT NOT NULL, PRIMARY KEY (C2))")
+ (query
+  "SELECT DISTINCT Q1.C1, COUNT(*) FROM T1 Q1 WHERE EXISTS (SELECT ALL * FROM T2 E1 WHERE E1.C1 = Q1.C1) GROUP BY Q1.C1")
+ (instances
+  (instance
+   (table T1 (row 1) (row 2))
+   (table T2 (row 1 1) (row 1 2) (row 2 3))
+   (hosts))
+  (instance
+   (table T1 (row 1))
+   (table T2 (row 1 4) (row 1 5))
+   (hosts))))

@@ -1,0 +1,18 @@
+(case
+ (ddl
+  "CREATE TABLE T1 (C1 INT NOT NULL, C2 INT, PRIMARY KEY (C1))"
+  "CREATE TABLE T2 (C1 INT NOT NULL, C2 INT, PRIMARY KEY (C1))"
+  "CREATE TABLE T3 (C1 INT NOT NULL, C2 INT, PRIMARY KEY (C1))")
+ (query
+  "SELECT DISTINCT Q2.C2 FROM T2 Q1, T1 Q2 WHERE EXISTS (SELECT ALL * FROM T3 E1 WHERE E1.C2 = Q1.C2)")
+ (instances
+  (instance
+   (table T1 (row 1 0) (row 2 1))
+   (table T2 (row 1 1) (row 2 NULL))
+   (table T3 (row 1 1) (row 2 0))
+   (hosts))
+  (instance
+   (table T1)
+   (table T2 (row 1 2))
+   (table T3 (row 1 2))
+   (hosts))))

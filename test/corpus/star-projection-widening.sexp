@@ -1,0 +1,12 @@
+(case
+ (ddl
+  "CREATE TABLE T1 (C1 INT NOT NULL, PRIMARY KEY (C1))")
+ (query
+  "SELECT ALL * FROM T1 Q1 WHERE EXISTS (SELECT ALL * FROM T1 E1 WHERE E1.C1 = Q1.C1)")
+ (instances
+  (instance
+   (table T1 (row 1) (row 2))
+   (hosts))
+  (instance
+   (table T1)
+   (hosts))))

@@ -18,6 +18,7 @@ let exact_unique q =
   match Exact.check catalog (parse q) with
   | Exact.Unique -> true
   | Exact.Duplicable _ -> false
+  | Exact.Unsupported reason -> Alcotest.fail ("unsupported: " ^ reason)
 
 (* The paper's examples *)
 
@@ -179,6 +180,7 @@ let test_exact_examples () =
 let test_exact_counterexample_is_concrete () =
   match Exact.check catalog (parse example2) with
   | Exact.Unique -> Alcotest.fail "expected a counterexample"
+  | Exact.Unsupported reason -> Alcotest.fail ("unsupported: " ^ reason)
   | Exact.Duplicable ce ->
     (* the witness projections must agree (that is the duplicate) *)
     Alcotest.(check int) "arity" (Array.length ce.Exact.row1)
