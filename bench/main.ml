@@ -676,6 +676,49 @@ let experiment_w1 () =
       Printf.printf "%-36s %16s\n" name pretty)
     (List.sort compare rows)
 
+(* ----------------------------------------------------------- EXPLAIN *)
+
+(* Machine-readable trajectory file: the full explain report (decision
+   traces + execution counters) for the paper's flagship queries, from a
+   seeded instance. Everything in the JSON body is deterministic — no
+   wall-clock times — so successive runs diff cleanly. *)
+let experiment_explain () =
+  section "EXPLAIN  decision traces for the paper examples (BENCH_explain.json)";
+  let d =
+    Workload.Generator.supplier_db ~seed:42 ~suppliers:100
+      ~parts_per_supplier:5 ()
+  in
+  let stats = Engine.Database.row_count d in
+  let entries =
+    List.map
+      (fun (label, sql, hosts) ->
+        let report =
+          Explain.explain ~stats ~database:d ~hosts catalog (parse sql)
+        in
+        Trace.Json.Obj
+          [ ("example", Trace.Json.String label);
+            ("report", Explain.to_json report) ])
+      [ ("Example 1", example1, []);
+        ("Example 2", example2, []);
+        ("Example 7", example7, hosts78);
+        ("Example 8", example8, []);
+        ("Example 9", example9, []) ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "explain");
+        ("seed", Trace.Json.Int 42);
+        ("suppliers", Trace.Json.Int 100);
+        ("parts_per_supplier", Trace.Json.Int 5);
+        ("reports", Trace.Json.List entries) ]
+  in
+  let oc = open_out "BENCH_explain.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_explain.json (%d reports, seed 42)\n"
+    (List.length entries)
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -697,6 +740,8 @@ let experiments =
     ("X3", "predicate pruning", experiment_x3);
     ("X4", "views as derived tables", experiment_x4);
     ("AB1", "engine ablations", experiment_ab1);
+    ("EXPLAIN", "decision-trace trajectory file (BENCH_explain.json)",
+     experiment_explain);
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

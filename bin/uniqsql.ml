@@ -3,7 +3,7 @@
 
      uniqsql analyze  "SELECT DISTINCT ..."   # run Algorithm 1 with trace
      uniqsql rewrite  "SELECT ..."            # apply the full rewrite suite
-     uniqsql explain  "SELECT ..."            # enumerate costed strategies
+     uniqsql explain  "SELECT ..."            # full decision trace (--json, --run)
      uniqsql check    "SELECT ..."            # exact bounded-model check
      uniqsql run      "SELECT ..."            # execute on a generated instance
      uniqsql fuzz --seed 7 --count 5000       # differential soundness fuzzing
@@ -149,20 +149,57 @@ let explain_cmd =
     Arg.(value & opt int 1000
          & info [ "rows" ] ~docv:"N" ~doc:"Assumed cardinality per table.")
   in
-  let run sql ddl views rows =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as JSON (machine-readable; same \
+                   information as the tree).")
+  in
+  let run_arg =
+    Arg.(value & flag
+         & info [ "run" ]
+             ~doc:"Also execute the as-written and chosen forms on a \
+                   generated supplier database and fold the engine counters \
+                   into the report (built-in paper schema only).")
+  in
+  let size_arg =
+    Arg.(value & opt int 300
+         & info [ "suppliers" ] ~docv:"N"
+             ~doc:"Suppliers in the generated instance used by --run.")
+  in
+  let run sql ddl views rows json exec suppliers sets =
     wrap (fun () ->
-        let cat = catalog_of_ddl ddl views in
         let q = Sql.Parser.parse_query sql in
         let stats _ = rows in
-        let strategies = Optimizer.Planner.enumerate cat stats q in
-        List.iter
-          (fun s -> Format.printf "%a@." Optimizer.Planner.pp_strategy s)
-          strategies;
-        let best = Optimizer.Planner.choose cat stats q in
-        Format.printf "@.chosen: %s@." best.Optimizer.Planner.name)
+        let hosts = List.map parse_binding sets in
+        let cat, database =
+          if not exec then (catalog_of_ddl ddl views, None)
+          else begin
+            match ddl with
+            | Some _ -> failwith "--run only supports the built-in paper schema"
+            | None ->
+              let db =
+                Workload.Generator.supplier_db ~suppliers
+                  ~parts_per_supplier:5 ()
+              in
+              let cat =
+                List.fold_left add_statement (Engine.Database.catalog db) views
+              in
+              (cat, Some db)
+          end
+        in
+        let report = Explain.explain ~stats ?database ~hosts cat q in
+        if json then
+          print_endline (Trace.Json.to_string_pretty (Explain.to_json report))
+        else Format.printf "%a@." Explain.pp report)
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Enumerate and cost the strategy space.")
-    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ rows_arg)
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Full decision trace: Algorithm 1, derived FDs, every rewrite \
+             attempt, the costed strategy space, and (with --run) the \
+             engine's execution counters.")
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ rows_arg $ json_arg
+          $ run_arg $ size_arg $ set_arg)
 
 (* ---- check (exact) ---- *)
 

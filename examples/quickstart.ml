@@ -1,37 +1,37 @@
-(* Quickstart: declare a schema, ask whether DISTINCT is redundant, rewrite
-   the query, and watch the sort disappear.
+(* Quickstart: declare a schema, ask whether DISTINCT is redundant, read the
+   full decision trace explaining why, and watch the sort disappear.
 
-   Run with: dune exec examples/quickstart.exe *)
+   Run with: dune exec examples/quickstart.exe
+   The same report is available from the CLI: uniqsql explain "SELECT ..." *)
 
 let () =
   (* 1. Declare the schema (paper Figure 1), constraints included. *)
   let catalog = Workload.Paper_schema.catalog () in
 
-  (* 2. The paper's Example 1: is the DISTINCT necessary? *)
+  (* 2. The paper's Example 1: is the DISTINCT necessary? The explain
+     report traces every decision — Algorithm 1 line by line, the derived
+     FDs, each rewrite attempt, the planner's costed strategies — with the
+     paper result justifying each step. *)
   let sql =
     "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P \
      WHERE S.SNO = P.SNO AND P.COLOR = 'RED'"
   in
-  let spec = Sql.Parser.parse_query_spec sql in
-  let report = Uniqueness.Algorithm1.analyze catalog spec in
-  Format.printf "Query:@.  %s@.@." sql;
-  Format.printf "%a@.@." Uniqueness.Algorithm1.pp_report report;
-
-  (* 3. Rewrite it. *)
-  let outcome =
-    Uniqueness.Rewrite.remove_redundant_distinct catalog (Sql.Ast.Spec spec)
-  in
-  Format.printf "Rewritten:@.  %s@.@." (Sql.Pretty.query outcome.Uniqueness.Rewrite.result);
-
-  (* 4. Execute both forms and compare the work done. *)
+  let query = Sql.Parser.parse_query sql in
   let db = Workload.Generator.supplier_db ~suppliers:300 ~parts_per_supplier:8 () in
+  let report =
+    Explain.explain ~stats:(Engine.Database.row_count db) ~database:db
+      catalog query
+  in
+  Format.printf "%a@.@." Explain.pp report;
+
+  (* 3. The rewritten form returns the same bag of rows, without the sort. *)
   let run q =
     let config = Engine.Exec.default_config () in
     let r = Engine.Exec.run_query ~config db ~hosts:[] q in
     (r, config.Engine.Exec.stats)
   in
-  let original, stats_orig = run (Sql.Ast.Spec spec) in
-  let rewritten, stats_rew = run outcome.Uniqueness.Rewrite.result in
+  let original, stats_orig = run query in
+  let rewritten, stats_rew = run report.Explain.rewritten in
   Format.printf "Original  : %d rows, %d sort(s), %d comparisons@."
     (Engine.Relation.cardinality original)
     stats_orig.Engine.Stats.sorts stats_orig.Engine.Stats.comparisons;

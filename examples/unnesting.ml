@@ -13,6 +13,9 @@ let hosts =
 let show_outcome title (o : R.outcome) =
   Format.printf "@.=== %s@." title;
   Format.printf "rule    : %s@." o.R.rule;
+  (match o.R.citation with
+   | Some c -> Format.printf "paper   : %s@." c
+   | None -> ());
   Format.printf "applied : %b — %s@." o.R.applied o.R.justification;
   Format.printf "result  : %s@." (Sql.Pretty.query o.R.result)
 
@@ -89,4 +92,11 @@ let () =
   in
   List.iter
     (fun s -> Format.printf "  %a@." Optimizer.Planner.pp_strategy s)
-    (Optimizer.Planner.enumerate catalog stats (Sql.Ast.Spec ex7))
+    (Optimizer.Planner.enumerate catalog stats (Sql.Ast.Spec ex7));
+
+  (* the same decision, as a provenance-carrying trace: every rewrite the
+     optimizer tried (fired or refused) and every strategy it costed *)
+  Format.printf "@.=== Decision trace for the same choice@.";
+  let trace = Trace.make () in
+  ignore (Optimizer.Planner.choose ~trace catalog stats (Sql.Ast.Spec ex7));
+  Format.printf "%a@." Trace.pp (Trace.nodes trace)

@@ -26,13 +26,16 @@ let () =
     Sql.Parser.parse_query_spec
       "SELECT DISTINCT V.SNO, V.PNO, V.PNAME FROM SUPPLIED_PARTS V"
   in
-  let report = Uniqueness.Algorithm1.analyze catalog q1 in
+  let trace = Trace.make () in
+  let report = Uniqueness.Algorithm1.analyze ~trace catalog q1 in
   Format.printf "Query over the view:@.  %s@." (Sql.Pretty.query_spec q1);
   Format.printf "Algorithm 1: %s — the derived key answers without expanding \
                  the view.@.@."
     (match report.Uniqueness.Algorithm1.answer with
      | Uniqueness.Algorithm1.Yes -> "YES, DISTINCT is redundant"
      | Uniqueness.Algorithm1.No -> "NO");
+  Format.printf "Decision trace (note the DERIVED candidate key at line 17):@.";
+  Format.printf "%a@.@." Trace.pp (Trace.nodes trace);
 
   (* the name-only projection still needs its DISTINCT *)
   let q2 =

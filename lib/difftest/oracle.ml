@@ -125,6 +125,7 @@ let rewrite (c : Case.t) =
               check_outcome c
                 { U.Rewrite.applied = true;
                   rule = "apply_all";
+                  citation = None;
                   justification = "";
                   result = final }) }
   in

@@ -45,6 +45,17 @@ let add t u =
   t.hash_probes <- t.hash_probes + u.hash_probes;
   t.subquery_evals <- t.subquery_evals + u.subquery_evals
 
+let fields t =
+  [ ("rows_scanned", t.rows_scanned);
+    ("rows_output", t.rows_output);
+    ("predicate_evals", t.predicate_evals);
+    ("product_pairs", t.product_pairs);
+    ("sorts", t.sorts);
+    ("sorted_rows", t.sorted_rows);
+    ("comparisons", t.comparisons);
+    ("hash_probes", t.hash_probes);
+    ("subquery_evals", t.subquery_evals) ]
+
 let pp ppf t =
   Format.fprintf ppf
     "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \

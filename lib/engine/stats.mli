@@ -18,5 +18,10 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 val add : t -> t -> unit
+
+(** Counter name/value pairs in declaration order — the stable interchange
+    form used to fold execution counters into explain reports (both the
+    JSON and tree renderings). *)
+val fields : t -> (string * int) list
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,150 @@
+type section = {
+  title : string;
+  nodes : Trace.node list;
+}
+
+type execution = {
+  label : string;
+  sql : string;
+  rows : int;
+  counters : (string * int) list;
+}
+
+type report = {
+  query : Sql.Ast.query;
+  sections : section list;
+  rewritten : Sql.Ast.query;
+  chosen : string;
+  chosen_query : Sql.Ast.query;
+  executions : execution list;
+}
+
+(* Top-level query specifications with a label per set-operation operand
+   (["left"], ["right"], nested as ["left.right"], ...). *)
+let rec labelled_specs prefix = function
+  | Sql.Ast.Spec q -> [ (prefix, q) ]
+  | Sql.Ast.Setop (_, _, a, b) ->
+    let extend side = if prefix = "" then side else prefix ^ "." ^ side in
+    labelled_specs (extend "left") a @ labelled_specs (extend "right") b
+
+let analysis_section title analyze q =
+  let nodes =
+    List.concat_map
+      (fun (label, spec) ->
+        let t = Trace.make () in
+        (try analyze ~trace:t spec
+         with Fd.Derive.Unknown_table _ | Fd.Derive.Unknown_column _ ->
+           Trace.emit t
+             (Trace.node ~rule:(title ^ ".skipped")
+                "analysis skipped: unresolved table or column reference"));
+        let nodes = Trace.nodes t in
+        if label = "" then nodes
+        else
+          [ Trace.node ~rule:(title ^ ".operand")
+              ~inputs:[ ("operand", label) ]
+              ~children:nodes "analysis of a set-operation operand" ])
+      (labelled_specs "" q)
+  in
+  { title; nodes }
+
+let run_execution cat database hosts label q =
+  let q = Uniqueness.Views.expand_query cat q in
+  let config = Engine.Exec.default_config () in
+  let r = Engine.Exec.run_query ~config database ~hosts q in
+  {
+    label;
+    sql = Sql.Pretty.query q;
+    rows = Engine.Relation.cardinality r;
+    counters = Engine.Stats.fields config.Engine.Exec.stats;
+  }
+
+let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) cat query =
+  let algorithm1 =
+    analysis_section "algorithm1"
+      (fun ~trace spec -> ignore (Uniqueness.Algorithm1.analyze ~trace cat spec))
+      query
+  in
+  let fd =
+    analysis_section "fd-closure"
+      (fun ~trace spec -> ignore (Uniqueness.Fd_analysis.analyze ~trace cat spec))
+      query
+  in
+  let rewrite_trace = Trace.make () in
+  let rewritten, _ =
+    Uniqueness.Rewrite.apply_all ~trace:rewrite_trace cat query
+  in
+  let planner_trace = Trace.make () in
+  let chosen = Optimizer.Planner.choose ~trace:planner_trace cat stats query in
+  let executions =
+    match database with
+    | None -> []
+    | Some db ->
+      let as_written = run_execution cat db hosts "as-written" query in
+      if chosen.Optimizer.Planner.query = query then [ as_written ]
+      else
+        [ as_written;
+          run_execution cat db hosts "chosen" chosen.Optimizer.Planner.query ]
+  in
+  {
+    query;
+    sections =
+      [ algorithm1;
+        fd;
+        { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
+        { title = "planner"; nodes = Trace.nodes planner_trace } ];
+    rewritten;
+    chosen = chosen.Optimizer.Planner.name;
+    chosen_query = chosen.Optimizer.Planner.query;
+    executions;
+  }
+
+(* ---- rendering ---- *)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>query: %s@," (Sql.Pretty.query r.query);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@,%s@,%s@," s.title
+        (String.make (String.length s.title) '-');
+      if s.nodes = [] then Format.fprintf ppf "(no decisions)@,"
+      else Format.fprintf ppf "%a@," Trace.pp s.nodes)
+    r.sections;
+  Format.fprintf ppf "@,rewritten: %s@," (Sql.Pretty.query r.rewritten);
+  Format.fprintf ppf "chosen: %s@," r.chosen;
+  if r.executions <> [] then begin
+    Format.fprintf ppf "@,execution@,---------@,";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "%s: %d row(s)@," e.label e.rows;
+        List.iter
+          (fun (k, v) -> Format.fprintf ppf "    %s = %d@," k v)
+          e.counters)
+      r.executions
+  end;
+  Format.fprintf ppf "@]"
+
+let to_json r =
+  let open Trace.Json in
+  let execution e =
+    Obj
+      [ ("label", String e.label);
+        ("sql", String e.sql);
+        ("rows", Int e.rows);
+        ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) e.counters)) ]
+  in
+  Obj
+    ([ ("query", String (Sql.Pretty.query r.query));
+       ("sections",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [ ("title", String s.title);
+                   ("nodes", Trace.to_json s.nodes) ])
+             r.sections));
+       ("rewritten", String (Sql.Pretty.query r.rewritten));
+       ("chosen", String r.chosen);
+       ("chosen_query", String (Sql.Pretty.query r.chosen_query)) ]
+     @
+     if r.executions = [] then []
+     else [ ("execution", List (List.map execution r.executions)) ])

@@ -1,0 +1,56 @@
+(** [uniqsql explain]: one provenance-carrying report per query.
+
+    Composes the decision traces of every analysis layer — Algorithm 1, the
+    FD-closure analyzer, the rewrite suite, the cost-based planner — and
+    (optionally) the execution counters of {!Engine.Stats} into a single
+    report, rendered either as a human-readable tree ({!pp}) or as JSON
+    ({!to_json}, consumed by the benchmark harness and the snapshot tests).
+
+    Tracing is only ever enabled inside this module; the analyzers
+    themselves run traced here and untraced everywhere else, so building a
+    report never changes a verdict (property-tested in
+    [test/test_trace.ml]). *)
+
+(** One titled group of decision nodes (one per analysis layer). *)
+type section = {
+  title : string;  (** ["algorithm1"], ["fd-closure"], ["rewrites"], ["planner"] *)
+  nodes : Trace.node list;
+}
+
+(** Execution counters for one executed form of the query. *)
+type execution = {
+  label : string;              (** ["as-written"] or ["chosen"] *)
+  sql : string;
+  rows : int;                  (** result cardinality *)
+  counters : (string * int) list;  (** {!Engine.Stats.fields} *)
+}
+
+type report = {
+  query : Sql.Ast.query;       (** the query as written *)
+  sections : section list;     (** decision traces, one per layer *)
+  rewritten : Sql.Ast.query;   (** after [Rewrite.apply_all] *)
+  chosen : string;             (** name of the planner's strategy *)
+  chosen_query : Sql.Ast.query;
+  executions : execution list; (** empty unless [~database] was given *)
+}
+
+(** Build the full report.
+
+    [stats] is the planner's table-cardinality callback (default: 1000 rows
+    per table). With [~database], the as-written and chosen forms are also
+    executed (views expanded first) and their {!Engine.Stats} counters are
+    folded into the report; [hosts] binds host variables for that run. *)
+val explain :
+  ?stats:Optimizer.Cost.table_stats ->
+  ?database:Engine.Database.t ->
+  ?hosts:(string * Sqlval.Value.t) list ->
+  Catalog.t ->
+  Sql.Ast.query ->
+  report
+
+(** Human-readable tree rendering (deterministic; snapshot-tested). *)
+val pp : Format.formatter -> report -> unit
+
+(** Machine-readable JSON rendering (deterministic; round-trips the same
+    information as {!pp}). *)
+val to_json : report -> Trace.Json.t

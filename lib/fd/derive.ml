@@ -50,7 +50,7 @@ let conjunct_equalities resolve (where : Sql.Ast.pred) =
       | _ -> None)
     clauses
 
-let of_query_spec cat (q : Sql.Ast.query_spec) =
+let of_query_spec ?(trace = Trace.disabled) cat (q : Sql.Ast.query_spec) =
   let resolve = resolver cat q.from in
   let per_table =
     List.map
@@ -76,14 +76,48 @@ let of_query_spec cat (q : Sql.Ast.query_spec) =
       Attr.Set.empty per_table
   in
   let key_fds = List.concat_map (fun (_, _, _, fds) -> fds) per_table in
+  if Trace.enabled trace then
+    List.iter
+      (fun (corr, _, _, fds) ->
+        List.iter
+          (fun (f : Fdset.fd) ->
+            Trace.emit trace
+              (Trace.node ~rule:"fd.key-dependency"
+                 ~citation:"section 3 (key dependencies)"
+                 ~inputs:[ ("occurrence", corr) ]
+                 ~facts:[ ("fd", Format.asprintf "%a" Fdset.pp_fd f) ]
+                 "a declared candidate key functionally determines every \
+                  attribute of the occurrence"))
+          fds)
+      per_table;
   let eq_fds =
     List.concat_map
-      (function
-        | Logic.Equalities.Type1 (a, _) ->
-          [ { Fdset.lhs = Attr.Set.empty; rhs = Attr.Set.singleton a } ]
-        | Logic.Equalities.Type2 (a, b) ->
-          [ { Fdset.lhs = Attr.Set.singleton a; rhs = Attr.Set.singleton b };
-            { Fdset.lhs = Attr.Set.singleton b; rhs = Attr.Set.singleton a } ])
+      (fun eq ->
+        let fds =
+          match eq with
+          | Logic.Equalities.Type1 (a, _) ->
+            [ { Fdset.lhs = Attr.Set.empty; rhs = Attr.Set.singleton a } ]
+          | Logic.Equalities.Type2 (a, b) ->
+            [ { Fdset.lhs = Attr.Set.singleton a; rhs = Attr.Set.singleton b };
+              { Fdset.lhs = Attr.Set.singleton b; rhs = Attr.Set.singleton a } ]
+        in
+        Trace.emitf trace (fun () ->
+            Trace.node ~rule:"fd.equality-dependency"
+              ~citation:"section 3 / Example 3"
+              ~inputs:
+                [ ("condition", Format.asprintf "%a" Logic.Equalities.pp eq) ]
+              ~facts:
+                (List.map
+                   (fun f -> ("fd", Format.asprintf "%a" Fdset.pp_fd f))
+                   fds)
+              (match eq with
+               | Logic.Equalities.Type1 _ ->
+                 "the column is bound to one value for the whole execution, \
+                  so the empty set determines it"
+               | Logic.Equalities.Type2 _ ->
+                 "equated columns determine each other in every qualifying \
+                  row"));
+        fds)
       (conjunct_equalities resolve q.where)
   in
   {

@@ -30,7 +30,12 @@ exception Unknown_column of Schema.Attr.t
 val resolver :
   Catalog.t -> Sql.Ast.from_item list -> Schema.Attr.t -> Schema.Attr.t
 
-val of_query_spec : Catalog.t -> Sql.Ast.query_spec -> source
+(** Collect the derived dependencies of a query specification. With
+    [~trace], every dependency emits a provenance node —
+    [fd.key-dependency] for declared candidate keys, [fd.equality-dependency]
+    for conditions of the selection predicate — naming the occurrence or
+    literal it came from. *)
+val of_query_spec : ?trace:Trace.t -> Catalog.t -> Sql.Ast.query_spec -> source
 
 (** The resolved projection attributes of the query ([Star] expands to all
     product columns in order). *)

@@ -15,7 +15,10 @@ let union a b = a @ b
 
 let make_fd lhs rhs = { lhs = Attr.set_of_list lhs; rhs = Attr.set_of_list rhs }
 
-let closure t xs =
+let pp_fd ppf f =
+  Format.fprintf ppf "%a -> %a" Attr.pp_set f.lhs Attr.pp_set f.rhs
+
+let closure ?(trace = Trace.disabled) t xs =
   let cur = ref xs in
   let changed = ref true in
   while !changed do
@@ -23,6 +26,15 @@ let closure t xs =
     List.iter
       (fun f ->
         if Attr.Set.subset f.lhs !cur && not (Attr.Set.subset f.rhs !cur) then begin
+          Trace.emitf trace (fun () ->
+              Trace.node ~rule:"fd.closure-step"
+                ~inputs:[ ("fd", Format.asprintf "%a" pp_fd f) ]
+                ~facts:
+                  [ ("acquired",
+                     Format.asprintf "%a" Attr.pp_set
+                       (Attr.Set.diff f.rhs !cur)) ]
+                "the left-hand side is contained in X+, so the right-hand \
+                 side joins it (Armstrong transitivity)");
           cur := Attr.Set.union f.rhs !cur;
           changed := true
         end)
@@ -78,9 +90,6 @@ let candidate_keys ?(exhaustive_limit = 14) t ~all ~within =
       elems;
     [ !s ]
   end
-
-let pp_fd ppf f =
-  Format.fprintf ppf "%a -> %a" Attr.pp_set f.lhs Attr.pp_set f.rhs
 
 let pp ppf t =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_fd ppf t

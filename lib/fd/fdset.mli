@@ -20,8 +20,10 @@ val union : t -> t -> t
 
 val make_fd : Schema.Attr.t list -> Schema.Attr.t list -> fd
 
-(** [closure t xs] — the attribute closure X⁺ under [t]. *)
-val closure : t -> Schema.Attr.Set.t -> Schema.Attr.Set.t
+(** [closure t xs] — the attribute closure X⁺ under [t]. With [~trace],
+    every saturation step emits an [fd.closure-step] node naming the
+    dependency that fired and the attributes acquired. *)
+val closure : ?trace:Trace.t -> t -> Schema.Attr.Set.t -> Schema.Attr.Set.t
 
 (** Does [t] imply [lhs -> rhs]? (Armstrong-complete via closure.) *)
 val implies : t -> fd -> bool

@@ -27,21 +27,47 @@ let split literals =
       | None -> (eqs, lit :: rest))
     literals ([], [])
 
-let closure seed eqs =
+let pp ppf = function
+  | Type1 (a, Const v) ->
+    Format.fprintf ppf "%a = %s" Attr.pp a (Sqlval.Value.to_string v)
+  | Type1 (a, Host h) -> Format.fprintf ppf "%a = :%s" Attr.pp a h
+  | Type2 (a, b) -> Format.fprintf ppf "%a = %a" Attr.pp a Attr.pp b
+
+let closure ?(trace = Trace.disabled) seed eqs =
   let v = ref seed in
-  List.iter (function Type1 (a, _) -> v := Attr.Set.add a !v | Type2 _ -> ()) eqs;
+  List.iter
+    (function
+      | Type1 (a, _) as eq ->
+        if not (Attr.Set.mem a !v) then
+          Trace.emitf trace (fun () ->
+              Trace.node ~rule:"closure.type1"
+                ~inputs:[ ("condition", Format.asprintf "%a" pp eq) ]
+                ~facts:[ ("bound", Attr.to_string a) ]
+                "Type-1 equality binds the column for the whole execution");
+        v := Attr.Set.add a !v
+      | Type2 _ -> ())
+    eqs;
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
       (function
-        | Type2 (a, b) ->
+        | Type2 (a, b) as eq ->
+          let propagate added =
+            Trace.emitf trace (fun () ->
+                Trace.node ~rule:"closure.type2"
+                  ~inputs:[ ("condition", Format.asprintf "%a" pp eq) ]
+                  ~facts:[ ("bound", Attr.to_string added) ]
+                  "Type-2 equality propagates bound-ness transitively")
+          in
           if Attr.Set.mem a !v && not (Attr.Set.mem b !v) then begin
             v := Attr.Set.add b !v;
+            propagate b;
             changed := true
           end;
           if Attr.Set.mem b !v && not (Attr.Set.mem a !v) then begin
             v := Attr.Set.add a !v;
+            propagate a;
             changed := true
           end
         | Type1 _ -> ())
@@ -113,9 +139,3 @@ module Classes = struct
     && Hashtbl.find_opt c.parent b <> None
     && Attr.equal (find c a) (find c b)
 end
-
-let pp ppf = function
-  | Type1 (a, Const v) ->
-    Format.fprintf ppf "%a = %s" Attr.pp a (Sqlval.Value.to_string v)
-  | Type1 (a, Host h) -> Format.fprintf ppf "%a = :%s" Attr.pp a h
-  | Type2 (a, b) -> Format.fprintf ppf "%a = %a" Attr.pp a Attr.pp b

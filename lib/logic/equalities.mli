@@ -24,8 +24,11 @@ val split : Sql.Ast.pred list -> t list * Sql.Ast.pred list
 
 (** [closure seed eqs] — Algorithm 1 lines 13–16: start from the projection
     attributes, add every Type-1 column, then saturate under Type-2
-    equalities. *)
-val closure : Schema.Attr.Set.t -> t list -> Schema.Attr.Set.t
+    equalities. With [~trace], every column acquired emits a
+    [closure.type1] / [closure.type2] decision node naming the equality
+    that bound it. *)
+val closure :
+  ?trace:Trace.t -> Schema.Attr.Set.t -> t list -> Schema.Attr.Set.t
 
 (** Equivalence classes of columns under Type-2 equalities, with the constant
     each class is pinned to (if any Type-1 member). Used for constant

@@ -9,12 +9,27 @@ type strategy = {
 let strategy cat stats name query =
   { name; query; estimate = Cost.query cat stats query }
 
-let enumerate ?(with_rewrites = true) cat stats q =
+let strategy_node ?(verdict = Trace.Info) s =
+  Trace.node ~rule:"planner.strategy" ~verdict
+    ~inputs:[ ("strategy", s.name) ]
+    ~facts:
+      [ ("cost", Printf.sprintf "%.1f" s.estimate.Cost.cost);
+        ("card", Printf.sprintf "%.1f" s.estimate.Cost.card);
+        ("query", Sql.Pretty.query s.query) ]
+    (if verdict = Trace.Chosen then "cheapest estimate wins"
+     else "costed execution strategy")
+
+let enumerate ?(with_rewrites = true) ?(trace = Trace.disabled) cat stats q =
   let original = strategy cat stats "as-written" q in
-  if not with_rewrites then [ original ]
+  if not with_rewrites then begin
+    Trace.emitf trace (fun () -> strategy_node original);
+    [ original ]
+  end
   else begin
     let candidates = ref [] in
     let note name (o : R.outcome) =
+      (* every attempt leaves its decision node, fired or refused *)
+      Trace.emitf trace (fun () -> R.node_of_outcome o);
       if o.R.applied then candidates := strategy cat stats name o.R.result :: !candidates
     in
     note "distinct-removed (Alg. 1)" (R.remove_redundant_distinct ~analyzer:R.Algorithm1 cat q);
@@ -46,17 +61,24 @@ let enumerate ?(with_rewrites = true) cat stats q =
           end)
         (original :: List.rev !candidates)
     in
+    if Trace.enabled trace then
+      List.iter (fun s -> Trace.emit trace (strategy_node s)) uniq;
     uniq
   end
 
-let choose ?with_rewrites cat stats q =
-  let all = enumerate ?with_rewrites cat stats q in
+let choose ?with_rewrites ?(trace = Trace.disabled) cat stats q =
+  let all = enumerate ?with_rewrites ~trace cat stats q in
   match all with
   | [] -> assert false
   | first :: rest ->
-    List.fold_left
-      (fun best s -> if s.estimate.Cost.cost < best.estimate.Cost.cost then s else best)
-      first rest
+    let best =
+      List.fold_left
+        (fun best s ->
+          if s.estimate.Cost.cost < best.estimate.Cost.cost then s else best)
+        first rest
+    in
+    Trace.emitf trace (fun () -> strategy_node ~verdict:Trace.Chosen best);
+    best
 
 let pp_strategy ppf s =
   Format.fprintf ppf "%-28s cost=%12.1f card=%10.1f  %s" s.name

@@ -13,15 +13,22 @@ type strategy = {
   estimate : Cost.estimate;
 }
 
+(** With [~trace], every rewrite attempt (fired or refused) emits its
+    decision node, followed by a [planner.strategy] node per surviving
+    candidate carrying its cost and cardinality estimates. *)
 val enumerate :
   ?with_rewrites:bool ->
+  ?trace:Trace.t ->
   Catalog.t ->
   Cost.table_stats ->
   Sql.Ast.query ->
   strategy list
 
+(** Pick the cheapest strategy. With [~trace], additionally emits a
+    [planner.strategy] node with verdict [Chosen] for the winner. *)
 val choose :
   ?with_rewrites:bool ->
+  ?trace:Trace.t ->
   Catalog.t ->
   Cost.table_stats ->
   Sql.Ast.query ->

@@ -1,23 +1,28 @@
-(* Abstract syntax for the SQL2 subset of the paper (section 2):
-   query specifications (select / project / extended Cartesian product,
-   EXISTS subqueries, host variables) and query expressions built from
-   INTERSECT [ALL] and EXCEPT [ALL]; DDL with PRIMARY KEY, UNIQUE, CHECK. *)
+(** Abstract syntax for the SQL2 subset of the paper (section 2):
+    query specifications (select / project / extended Cartesian product,
+    [EXISTS] subqueries, host variables) and query expressions built from
+    [INTERSECT \[ALL\]] and [EXCEPT \[ALL\]]; DDL with [PRIMARY KEY],
+    [UNIQUE], [CHECK]. This module intentionally has no interface file:
+    every constructor is public, and pattern matches over the whole AST
+    are the norm throughout the analyzers. *)
 
 type comparison = Eq | Ne | Lt | Le | Gt | Ge
 
-(* Aggregate functions: an extension beyond the paper's query class
-   (section 8 lists Group By as future work). A star-count is
-   [Agg (Count, None)]. *)
+(** Aggregate functions: an extension beyond the paper's query class
+    (section 8 lists Group By as future work). A star-count is
+    [Agg (Count, None)]. *)
 type agg_fn = Count | Sum | Min | Max | Avg
 
 type scalar =
   | Col of Schema.Attr.t
-      (* a column reference; the special name "*" with a qualifier denotes
-         a qualified star such as S."*", expanded during translation *)
+      (** a column reference; the special name ["*"] with a qualifier
+          denotes a qualified star such as [S.*], expanded during
+          translation *)
   | Const of Sqlval.Value.t
-  | Host of string  (* host variable, written [:NAME]; value bound at run time *)
+  | Host of string
+      (** host variable, written [:NAME]; value bound at run time *)
   | Agg of agg_fn * scalar option
-      (* select-list only; rejected in predicates at evaluation time *)
+      (** select-list only; rejected in predicates at evaluation time *)
 
 type distinctness = All | Distinct
 
@@ -32,7 +37,7 @@ type pred =
   | And of pred * pred
   | Or of pred * pred
   | Not of pred
-  | Exists of query_spec  (* correlated positive existential subquery *)
+  | Exists of query_spec  (** correlated positive existential subquery *)
 
 and select_list =
   | Star
@@ -46,8 +51,8 @@ and query_spec = {
   from : from_item list;
   where : pred;
   group_by : scalar list;
-      (* grouping columns; [] = no grouping (a select list containing only
-         aggregates then forms a single global group) *)
+      (** grouping columns; [[]] = no grouping (a select list containing
+          only aggregates then forms a single global group) *)
 }
 
 let plain_spec ?(distinct = All) ~select ~from ~where () =
@@ -66,9 +71,9 @@ type table_constraint =
   | C_unique of string list
   | C_check of pred
   | C_foreign_key of string list * string * string list
-      (* referencing columns, referenced table, referenced columns
-         ([] = the referenced table's primary key) — the inclusion
-         dependencies of the paper's future-work list *)
+      (** referencing columns, referenced table, referenced columns
+          ([[]] = the referenced table's primary key) — the inclusion
+          dependencies of the paper's future-work list *)
 
 type col_def = {
   cd_name : string;
@@ -102,8 +107,8 @@ let comparison_flip = function
   | Gt -> Lt
   | Ge -> Le
 
-(* 3VL negation of a comparison operator: NOT (a < b) == a >= b holds in SQL
-   because unknown maps to unknown on both sides. *)
+(** 3VL negation of a comparison operator: [NOT (a < b)] is [a >= b] in
+    SQL because unknown maps to unknown on both sides. *)
 let comparison_negate = function
   | Eq -> Ne
   | Ne -> Eq
@@ -120,7 +125,7 @@ let disj = function
   | [] -> Pfalse
   | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
 
-(* Flatten a predicate into its top-level conjuncts. *)
+(** Flatten a predicate into its top-level conjuncts. *)
 let rec conjuncts = function
   | And (a, b) -> conjuncts a @ conjuncts b
   | Ptrue -> []
@@ -129,7 +134,7 @@ let rec conjuncts = function
 let from_name (f : from_item) =
   match f.corr with Some c -> c | None -> f.table
 
-(* All host variables mentioned in a predicate, deduplicated. *)
+(** All host variables mentioned in a predicate, in syntactic order. *)
 let rec hosts_of_pred p =
   let rec of_scalar = function
     | Host h -> [ h ]
@@ -149,8 +154,8 @@ let rec hosts_of_pred p =
 
 let hosts_of_query_spec q = List.sort_uniq String.compare (hosts_of_pred q.where)
 
-(* Map every column reference in a predicate, descending into EXISTS
-   subquery predicates (their FROM lists are untouched). *)
+(** Map every column reference in a predicate, descending into [EXISTS]
+    subquery predicates (their [FROM] lists are untouched). *)
 let rec map_cols f p =
   let rec scalar = function
     | Col a -> Col (f a)
@@ -170,7 +175,7 @@ let rec map_cols f p =
   | Not a -> Not (map_cols f a)
   | Exists q -> Exists { q with where = map_cols f q.where }
 
-(* All table/correlation qualifiers referenced by a predicate's columns. *)
+(** All table/correlation qualifiers referenced by a predicate's columns. *)
 let rec rels_of_pred p =
   let rec of_scalar = function
     | Col a -> if a.Schema.Attr.rel = "" then [] else [ a.Schema.Attr.rel ]

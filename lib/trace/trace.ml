@@ -1,0 +1,195 @@
+type verdict =
+  | Yes
+  | No
+  | Applied
+  | Not_applied
+  | Chosen
+  | Rejected
+  | Info
+
+type node = {
+  rule : string;
+  citation : string option;
+  inputs : (string * string) list;
+  facts : (string * string) list;
+  verdict : verdict;
+  detail : string;
+  children : node list;
+}
+
+(* [None] is the disabled context; a live context accumulates in reverse. *)
+type t = node list ref option
+
+let disabled = None
+let make () = Some (ref [])
+let enabled = function None -> false | Some _ -> true
+let child = function None -> None | Some _ -> Some (ref [])
+let nodes = function None -> [] | Some r -> List.rev !r
+let emit t n = match t with None -> () | Some r -> r := n :: !r
+let emitf t f = match t with None -> () | Some r -> r := f () :: !r
+
+let node ~rule ?citation ?(inputs = []) ?(facts = []) ?(verdict = Info)
+    ?(children = []) detail =
+  { rule; citation; inputs; facts; verdict; detail; children }
+
+let verdict_to_string = function
+  | Yes -> "yes"
+  | No -> "no"
+  | Applied -> "applied"
+  | Not_applied -> "not-applied"
+  | Chosen -> "chosen"
+  | Rejected -> "rejected"
+  | Info -> "info"
+
+(* ---- tree rendering ---- *)
+
+let rec pp_node_indented indent ppf n =
+  let pad = String.make (2 * indent) ' ' in
+  let tag =
+    match n.verdict with
+    | Info -> ""
+    | v -> Printf.sprintf "[%s] " (String.uppercase_ascii (verdict_to_string v))
+  in
+  let cite = match n.citation with None -> "" | Some c -> " (" ^ c ^ ")" in
+  Format.fprintf ppf "%s* %s%s%s" pad tag n.rule cite;
+  if n.detail <> "" then Format.fprintf ppf " -- %s" n.detail;
+  let kv label (k, v) =
+    Format.fprintf ppf "@,%s    %s %s = %s" pad label k v
+  in
+  List.iter (kv "<") n.inputs;
+  List.iter (kv ">") n.facts;
+  List.iter
+    (fun c ->
+      Format.pp_print_cut ppf ();
+      pp_node_indented (indent + 1) ppf c)
+    n.children
+
+let pp_node ppf n = Format.fprintf ppf "@[<v>%a@]" (pp_node_indented 0) n
+
+let pp ppf ns =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (pp_node_indented 0))
+    ns
+
+(* ---- JSON ---- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        l;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    write b j;
+    Buffer.contents b
+
+  let rec write_pretty b indent = function
+    | (Null | Bool _ | Int _ | Float _ | String _) as j -> write b j
+    | List [] -> Buffer.add_string b "[]"
+    | List l ->
+      let pad = String.make (2 * (indent + 1)) ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          write_pretty b (indent + 1) x)
+        l;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * indent) ' ');
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      let pad = String.make (2 * (indent + 1)) ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad;
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write_pretty b (indent + 1) v)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * indent) ' ');
+      Buffer.add_char b '}'
+
+  let to_string_pretty j =
+    let b = Buffer.create 256 in
+    write_pretty b 0 j;
+    Buffer.contents b
+end
+
+let rec node_to_json n =
+  let open Json in
+  let pairs kvs = Obj (List.map (fun (k, v) -> (k, String v)) kvs) in
+  Obj
+    ([ ("rule", String n.rule) ]
+     @ (match n.citation with
+        | None -> []
+        | Some c -> [ ("citation", String c) ])
+     @ [ ("verdict", String (verdict_to_string n.verdict)) ]
+     @ (if n.detail = "" then [] else [ ("detail", String n.detail) ])
+     @ (if n.inputs = [] then [] else [ ("inputs", pairs n.inputs) ])
+     @ (if n.facts = [] then [] else [ ("facts", pairs n.facts) ])
+     @
+     if n.children = [] then []
+     else [ ("children", List (List.map node_to_json n.children)) ])
+
+let to_json ns = Json.List (List.map node_to_json ns)

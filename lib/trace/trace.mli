@@ -1,0 +1,115 @@
+(** Provenance-carrying decision traces.
+
+    Every analyzer in this repository — Algorithm 1, the FD deriver, the
+    rewrite suite, the planner — decides something (YES/NO, applied/refused,
+    chosen/rejected). A {!node} records one such decision together with its
+    provenance: the rule that made it, the paper result justifying it (e.g.
+    ["Theorem 2 / Corollary 1"]), the inputs it looked at, and the facts it
+    derived. Nodes nest, so a rewrite's node can carry the analyzer trace
+    that licensed it as children.
+
+    Tracing is {e off by default} and free when off: a disabled context
+    ({!disabled}) makes {!emit} a no-op, and {!emitf} does not even build
+    the node. Analyzers thread a [?trace] argument defaulting to
+    {!disabled}, so the hot path (the fuzzer, the benchmarks) pays one
+    pointer comparison per potential trace point.
+
+    Two renderers are provided: an ASCII tree for humans ({!pp}) and a JSON
+    encoding for machines ({!to_json}); both are deterministic so the
+    snapshot tests in [test/test_trace.ml] can pin them. *)
+
+(** The decision a node records. [Info] marks a derivation step that is not
+    itself a verdict (a closure step, a derived FD, a cost estimate). *)
+type verdict =
+  | Yes          (** a uniqueness test succeeded *)
+  | No           (** a uniqueness test failed *)
+  | Applied      (** a rewrite rule fired *)
+  | Not_applied  (** a rewrite rule was considered and refused *)
+  | Chosen       (** the planner picked this strategy *)
+  | Rejected     (** the planner costed but did not pick this strategy *)
+  | Info         (** a derivation step, not a decision *)
+
+type node = {
+  rule : string;  (** stable identifier, e.g. ["algorithm1.line17"] *)
+  citation : string option;
+      (** the paper result justifying the step, e.g. ["Theorem 1"] *)
+  inputs : (string * string) list;   (** what the step looked at *)
+  facts : (string * string) list;    (** what the step derived *)
+  verdict : verdict;
+  detail : string;                   (** one-line human narration *)
+  children : node list;              (** sub-decisions, in order *)
+}
+
+(** A trace context: either a live collector or {!disabled}. *)
+type t
+
+val disabled : t
+
+(** A fresh, live collector. *)
+val make : unit -> t
+
+val enabled : t -> bool
+
+(** [child t] — a fresh collector when [t] is live, {!disabled} otherwise.
+    Collect sub-decisions into it, then attach [nodes child] as the
+    [children] of a node emitted on [t]. *)
+val child : t -> t
+
+(** The nodes emitted so far, in emission order ([] when disabled). *)
+val nodes : t -> node list
+
+(** Append a node ([emit disabled] is a no-op). *)
+val emit : t -> node -> unit
+
+(** Like {!emit} but builds the node only when the context is live — use
+    this on hot paths so a disabled trace costs nothing. *)
+val emitf : t -> (unit -> node) -> unit
+
+(** Node constructor with empty defaults ([verdict] defaults to [Info]). *)
+val node :
+  rule:string ->
+  ?citation:string ->
+  ?inputs:(string * string) list ->
+  ?facts:(string * string) list ->
+  ?verdict:verdict ->
+  ?children:node list ->
+  string ->
+  node
+
+val verdict_to_string : verdict -> string
+
+(** {1 Rendering} *)
+
+(** ASCII tree, two-space indentation, deterministic:
+    {v
+* [YES] algorithm1.verdict (Theorem 1) -- a candidate key of every table ...
+    closure = {P.COLOR, P.PNO, ...}
+  * algorithm1.line5 -- C <=> S.SNO = P.SNO AND ...
+    v} *)
+val pp_node : Format.formatter -> node -> unit
+
+val pp : Format.formatter -> node list -> unit
+
+(** {1 JSON}
+
+    A minimal JSON document type and printer (the repository has no JSON
+    dependency). [to_string] emits compact single-line JSON;
+    [to_string_pretty] indents with two spaces. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_string_pretty : t -> string
+end
+
+val node_to_json : node -> Json.t
+
+(** [to_json nodes] — a JSON array of node objects. *)
+val to_json : node list -> Json.t

@@ -29,20 +29,40 @@ let pp_clause clause =
   | [] -> "FALSE"
   | lits -> String.concat " OR " (List.map Sql.Pretty.pred lits)
 
-let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
+let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
+    (q : Sql.Ast.query_spec) =
+  let tctx = trace in
   let trace = ref [] in
   let step line detail = trace := { line; detail } :: !trace in
+  (* mirror every textual step as a structured node (same line, same
+     narration) so the two renderings cannot drift apart *)
+  let tstep ?citation ?(inputs = []) ?(facts = []) ?(children = []) line
+      detail =
+    Trace.emitf tctx (fun () ->
+        Trace.node
+          ~rule:("algorithm1.line" ^ line)
+          ?citation ~inputs ~facts ~children detail)
+  in
   let finish answer reason closure =
+    Trace.emitf tctx (fun () ->
+        Trace.node ~rule:"algorithm1.verdict" ~citation:"Theorem 1 / Algorithm 1"
+          ~verdict:(match answer with Yes -> Trace.Yes | No -> Trace.No)
+          ~facts:[ ("V", Format.asprintf "%a" Attr.pp_set closure) ]
+          reason);
     { answer; reason; trace = List.rev !trace; closure }
   in
   let resolve = Fd.Derive.resolver cat q.from in
   (* line 5: C := CR ∧ CS ∧ CR,S ∧ T in CNF *)
   let cnf = Logic.Norm.cnf_of_pred q.where in
-  step "5"
-    (Printf.sprintf "C <=> %s"
-       (match cnf with
-        | [] -> "T"
-        | _ -> String.concat " AND " (List.map pp_clause cnf) ^ " AND T"));
+  let cnf_text =
+    match cnf with
+    | [] -> "T"
+    | _ -> String.concat " AND " (List.map pp_clause cnf) ^ " AND T"
+  in
+  step "5" (Printf.sprintf "C <=> %s" cnf_text);
+  tstep "5"
+    ~inputs:[ ("C", cnf_text) ]
+    "the selection predicate in conjunctive normal form";
   (* lines 6-9: delete clauses with non-equality atoms and disjunctive
      clauses *)
   let kept, deleted =
@@ -58,24 +78,41 @@ let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
      else
        Printf.sprintf "deleted %d clause(s): %s" (List.length deleted)
          (String.concat "; " (List.map pp_clause deleted)));
+  tstep "6-9"
+    ~facts:(List.map (fun c -> ("deleted", pp_clause c)) deleted)
+    (if deleted = [] then "C is unchanged"
+     else "non-equality and disjunctive clauses are unusable and deleted");
   (* line 10 *)
   if kept = [] && paper_strict then begin
     step "10" "C = T; return NO (printed algorithm)";
+    tstep "10" "C = T; the printed algorithm stops with NO";
     finish No "no usable equality conditions (paper-strict mode)" Attr.Set.empty
   end
   else begin
-    if kept = [] then step "10" "C = T; key-subset test proceeds on the projection alone"
-    else step "10" "C is not simply true; we proceed";
+    if kept = [] then begin
+      step "10" "C = T; key-subset test proceeds on the projection alone";
+      tstep "10" "C = T; key-subset test proceeds on the projection alone"
+    end
+    else begin
+      step "10" "C is not simply true; we proceed";
+      tstep "10" "C is not simply true; we proceed"
+    end;
     (* line 11: convert C to DNF. After the deletions every clause is a
        singleton, so the DNF has exactly one conjunct; the loop below still
        follows the paper's structure. *)
     let dnf = Logic.Norm.dnf_of_cnf kept in
-    step "11"
-      (Printf.sprintf "E1 <=> %s"
-         (match dnf with
-          | [] -> "F"
-          | e :: _ ->
-            (match e with [] -> "T" | _ -> String.concat " AND " (List.map Sql.Pretty.pred e))));
+    let dnf_text =
+      match dnf with
+      | [] -> "F"
+      | e :: _ ->
+        (match e with
+         | [] -> "T"
+         | _ -> String.concat " AND " (List.map Sql.Pretty.pred e))
+    in
+    step "11" (Printf.sprintf "E1 <=> %s" dnf_text);
+    tstep "11"
+      ~inputs:[ ("E1", dnf_text) ]
+      "the remaining equality conditions in disjunctive normal form";
     let projection =
       Attr.set_of_list (Fd.Derive.projection_attrs cat q)
     in
@@ -97,7 +134,19 @@ let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
       let v0 = projection in
       step "13"
         (Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v0));
+      tstep "13"
+        ~facts:[ ("V", Format.asprintf "%a" Attr.pp_set v0) ]
+        "V starts as the projection attributes";
       (* line 14: add Type-1 columns *)
+      let type1_bound =
+        List.filter_map
+          (function
+            | Logic.Equalities.Type1 (a, _) as eq when not (Attr.Set.mem a v0)
+              ->
+              Some (Attr.to_string a, Format.asprintf "%a" Logic.Equalities.pp eq)
+            | Logic.Equalities.Type1 _ | Logic.Equalities.Type2 _ -> None)
+          eqs
+      in
       let v1 =
         List.fold_left
           (fun acc -> function
@@ -108,11 +157,22 @@ let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
       step "14"
         (if Attr.Set.equal v0 v1 then "V is unchanged"
          else Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v1));
+      tstep "14" ~inputs:type1_bound
+        ~facts:[ ("V", Format.asprintf "%a" Attr.pp_set v1) ]
+        (if Attr.Set.equal v0 v1 then "no Type-1 equality adds a column"
+         else "columns pinned by Type-1 equalities join V");
       (* lines 15-16: transitive closure under Type-2 conditions *)
-      let v2 = Logic.Equalities.closure v1 eqs in
+      let closure_steps = Trace.child tctx in
+      let v2 = Logic.Equalities.closure ~trace:closure_steps v1 eqs in
       step "15-16"
         (if Attr.Set.equal v1 v2 then "V is unchanged"
          else Printf.sprintf "V = %s" (Format.asprintf "%a" Attr.pp_set v2));
+      tstep "15-16"
+        ~children:(Trace.nodes closure_steps)
+        ~facts:[ ("V", Format.asprintf "%a" Attr.pp_set v2) ]
+        (if Attr.Set.equal v1 v2 then
+           "no Type-2 equality extends V: the closure is reached"
+         else "transitive closure of V under the Type-2 equalities");
       (* line 17: Key(R) · Key(S) ⊆ V, any candidate key per table *)
       let missing =
         List.filter
@@ -120,6 +180,18 @@ let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
             not (keys <> [] && List.exists (fun k -> Attr.Set.subset k v2) keys))
           table_keys
       in
+      tstep "17" ~citation:"Theorem 1"
+        ~facts:
+          (List.map
+             (fun (corr, keys) ->
+               match List.find_opt (fun k -> Attr.Set.subset k v2) keys with
+               | Some k ->
+                 ( corr,
+                   Printf.sprintf "candidate key %s is contained in V"
+                     (Format.asprintf "%a" Attr.pp_set k) )
+               | None -> (corr, "no candidate key is contained in V"))
+             table_keys)
+        "does V contain a candidate key of every table of the product?";
       (v2, missing)
     in
     let rec loop = function
@@ -151,6 +223,8 @@ let analyze ?(paper_strict = false) cat (q : Sql.Ast.query_spec) =
       (* predicate is unsatisfiable: the result is empty, duplicates are
          impossible *)
       step "11" "C is unsatisfiable; the result is empty";
+      tstep "11" "C is unsatisfiable; the result is empty, so duplicates are \
+                  impossible";
       finish Yes "the selection predicate is unsatisfiable" projection
     | conjuncts -> loop conjuncts
   end

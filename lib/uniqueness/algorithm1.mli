@@ -39,9 +39,20 @@ type report = {
     deleted with the other non-equality conditions), which keeps the test
     sufficient.
 
+    With [~trace], every algorithm line additionally emits a structured
+    decision node ([algorithm1.lineN]) mirroring the textual report —
+    closure steps carry the Type-1/Type-2 equality that fired, the line-17
+    node names the candidate key found (or missed) per table, and the final
+    [algorithm1.verdict] node cites Theorem 1. Tracing never changes the
+    answer and costs nothing when disabled (the default).
+
     @raise Fd.Derive.Unknown_table or [Unknown_column] on bad references. *)
 val analyze :
-  ?paper_strict:bool -> Catalog.t -> Sql.Ast.query_spec -> report
+  ?paper_strict:bool ->
+  ?trace:Trace.t ->
+  Catalog.t ->
+  Sql.Ast.query_spec ->
+  report
 
 (** [true] iff {!analyze} answers {!Yes}: [SELECT DISTINCT] and [SELECT ALL]
     coincide, so an optimizer may drop the duplicate-elimination step. *)

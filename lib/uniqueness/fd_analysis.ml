@@ -6,10 +6,38 @@ type report = {
   closure : Attr.Set.t;
 }
 
-let analyze cat (q : Sql.Ast.query_spec) =
-  let src = Fd.Derive.of_query_spec cat q in
+let analyze ?(trace = Trace.disabled) cat (q : Sql.Ast.query_spec) =
+  let src = Fd.Derive.of_query_spec ~trace cat q in
   let projection = Attr.set_of_list (Fd.Derive.projection_attrs cat q) in
-  let closure = Fd.Fdset.closure src.Fd.Derive.src_fds projection in
+  let closure_steps = Trace.child trace in
+  let closure =
+    Fd.Fdset.closure ~trace:closure_steps src.Fd.Derive.src_fds projection
+  in
+  Trace.emitf trace (fun () ->
+      Trace.node ~rule:"fd.projection-closure"
+        ~inputs:
+          [ ("projection", Format.asprintf "%a" Attr.pp_set projection) ]
+        ~facts:[ ("closure", Format.asprintf "%a" Attr.pp_set closure) ]
+        ~children:(Trace.nodes closure_steps)
+        "attribute closure of the projection under the derived dependencies");
+  let finish unique derived_keys =
+    Trace.emitf trace (fun () ->
+        Trace.node ~rule:"fd-closure.verdict"
+          ~citation:"Theorem 1 (FD-closure sufficient test)"
+          ~verdict:(if unique then Trace.Yes else Trace.No)
+          ~facts:
+            (List.map
+               (fun k ->
+                 ("derived key", Format.asprintf "%a" Attr.pp_set k))
+               derived_keys)
+          (if unique then
+             "the projection functionally determines a candidate key of \
+              every table occurrence"
+           else
+             "some table occurrence keeps no candidate key inside the \
+              closure"));
+    { unique; derived_keys; closure }
+  in
   if q.Sql.Ast.group_by <> [] then begin
     (* grouped query: the output is keyed by the grouping columns, so the
        projection is duplicate-free iff it functionally determines them *)
@@ -22,25 +50,46 @@ let analyze cat (q : Sql.Ast.query_spec) =
     let unique =
       List.for_all (fun a -> Attr.Set.mem a closure) group_attrs
     in
-    {
-      unique;
-      derived_keys = (if unique then [ Attr.set_of_list group_attrs ] else []);
-      closure;
-    }
+    Trace.emitf trace (fun () ->
+        Trace.node ~rule:"fd.grouping-key"
+          ~inputs:
+            [ ("grouping columns",
+               Format.asprintf "%a" Attr.pp_set
+                 (Attr.set_of_list group_attrs)) ]
+          (if unique then
+             "the grouped output is keyed by the grouping columns, which \
+              the projection determines"
+           else "the projection does not determine the grouping columns"));
+    finish unique
+      (if unique then [ Attr.set_of_list group_attrs ] else [])
   end
-  else
-  let unique =
-    List.for_all
-      (fun (_, keys) ->
-        keys <> [] && List.exists (fun k -> Attr.Set.subset k closure) keys)
-      src.Fd.Derive.src_keys
-  in
-  let derived_keys =
-    if not unique then []
-    else
-      Fd.Fdset.candidate_keys src.Fd.Derive.src_fds ~all:src.Fd.Derive.src_attrs
-        ~within:projection
-  in
-  { unique; derived_keys; closure }
+  else begin
+    let unique =
+      List.for_all
+        (fun (corr, keys) ->
+          let ok =
+            keys <> [] && List.exists (fun k -> Attr.Set.subset k closure) keys
+          in
+          Trace.emitf trace (fun () ->
+              Trace.node ~rule:"fd.key-check"
+                ~inputs:[ ("occurrence", corr) ]
+                (match
+                   List.find_opt (fun k -> Attr.Set.subset k closure) keys
+                 with
+                 | Some k ->
+                   Printf.sprintf "candidate key %s is inside the closure"
+                     (Format.asprintf "%a" Attr.pp_set k)
+                 | None -> "no candidate key is inside the closure"));
+          ok)
+        src.Fd.Derive.src_keys
+    in
+    let derived_keys =
+      if not unique then []
+      else
+        Fd.Fdset.candidate_keys src.Fd.Derive.src_fds
+          ~all:src.Fd.Derive.src_attrs ~within:projection
+    in
+    finish unique derived_keys
+  end
 
 let distinct_is_redundant cat q = (analyze cat q).unique

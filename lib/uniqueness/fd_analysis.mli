@@ -17,5 +17,11 @@ type report = {
   closure : Schema.Attr.Set.t;  (** closure of the projection attributes *)
 }
 
-val analyze : Catalog.t -> Sql.Ast.query_spec -> report
+(** Analyze a query specification. With [~trace], the derived dependencies
+    (with their provenance), every closure step, the per-occurrence key
+    checks, and the final [fd-closure.verdict] node are emitted as a
+    structured decision trace. Tracing never changes the verdict and costs
+    nothing when disabled (the default). *)
+val analyze : ?trace:Trace.t -> Catalog.t -> Sql.Ast.query_spec -> report
+
 val distinct_is_redundant : Catalog.t -> Sql.Ast.query_spec -> bool

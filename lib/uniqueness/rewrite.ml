@@ -8,17 +8,60 @@ type analyzer =
 type outcome = {
   applied : bool;
   rule : string;
+  citation : string option;
   justification : string;
   result : Sql.Ast.query;
 }
 
-let unchanged rule justification result = { applied = false; rule; justification; result }
-let applied rule justification result = { applied = true; rule; justification; result }
+(* Paper result justifying each rule, keyed by the (stable) rule name. *)
+let citation_of_rule = function
+  | "distinct-removal (Theorem 1)" -> Some "Theorem 1"
+  | "group-by removal (section 8 extension)" -> Some "section 8 (future work)"
+  | "subquery-to-join (Theorem 2 / Corollary 1)" ->
+    Some "Theorem 2 / Corollary 1"
+  | "join-to-subquery (section 6)" -> Some "section 6"
+  | "predicate pruning (table constraints)" -> Some "section 2.1"
+  | "join-elimination (inclusion dependencies)" ->
+    Some "section 8 (future work, after King)"
+  | "intersect-to-exists (Theorem 3 / Corollary 2)" ->
+    Some "Theorem 3 / Corollary 2"
+  | "except-to-not-exists (section 5.3 extension)" ->
+    Some "section 5.3 (extension)"
+  | _ -> None
 
-let spec_is_unique analyzer cat spec =
+let unchanged ?citation rule justification result =
+  let citation =
+    match citation with Some _ as c -> c | None -> citation_of_rule rule
+  in
+  { applied = false; rule; citation; justification; result }
+
+let applied ?citation rule justification result =
+  let citation =
+    match citation with Some _ as c -> c | None -> citation_of_rule rule
+  in
+  { applied = true; rule; citation; justification; result }
+
+(* The stable rule names carry a parenthesized annotation ("distinct-removal
+   (Theorem 1)"); in a trace node the citation field plays that role, so we
+   render the bare rule name to avoid printing the provenance twice. *)
+let bare_rule_name rule =
+  match String.rindex_opt rule '(' with
+  | Some i when i > 0 && rule.[i - 1] = ' ' && rule.[String.length rule - 1] = ')'
+    -> String.sub rule 0 (i - 1)
+  | _ -> rule
+
+let node_of_outcome ?(children = []) (o : outcome) =
+  Trace.node ~rule:(bare_rule_name o.rule)
+    ?citation:o.citation
+    ~verdict:(if o.applied then Trace.Applied else Trace.Not_applied)
+    ~facts:
+      (if o.applied then [ ("result", Sql.Pretty.query o.result) ] else [])
+    ~children o.justification
+
+let spec_is_unique ?(trace = Trace.disabled) analyzer cat spec =
   match analyzer with
-  | Algorithm1 -> Algorithm1.distinct_is_redundant cat spec
-  | Fd_closure -> Fd_analysis.distinct_is_redundant cat spec
+  | Algorithm1 -> (Algorithm1.analyze ~trace cat spec).Algorithm1.answer = Algorithm1.Yes
+  | Fd_closure -> (Fd_analysis.analyze ~trace cat spec).Fd_analysis.unique
 
 (* A query-spec operand is duplicate-free if it says DISTINCT or if the
    uniqueness condition holds for its projection. *)
@@ -173,10 +216,12 @@ let inner_block_unique cat ~outer_rels (sub : query_spec) =
 
 (* ---- 5.1 unnecessary duplicate elimination ---- *)
 
-let remove_redundant_distinct ?(analyzer = Algorithm1) cat query =
+let remove_redundant_distinct ?(analyzer = Algorithm1) ?trace cat query =
   let rule = "distinct-removal (Theorem 1)" in
+  let citation = "Theorem 1" in
   let rec go = function
-    | Spec q when q.distinct = Distinct && spec_is_unique analyzer cat q ->
+    | Spec q when q.distinct = Distinct && spec_is_unique ?trace analyzer cat q
+      ->
       (Spec { q with distinct = All }, true)
     | Spec _ as q -> (q, false)
     | Setop (op, d, a, b) ->
@@ -186,10 +231,10 @@ let remove_redundant_distinct ?(analyzer = Algorithm1) cat query =
   in
   let result, changed = go query in
   if changed then
-    applied rule
+    applied ~citation rule
       "the projection functionally determines a candidate key of every table"
       result
-  else unchanged rule "uniqueness condition not established" query
+  else unchanged ~citation rule "uniqueness condition not established" query
 
 (* ---- section 8 extension: unnecessary grouping ---- *)
 
@@ -698,9 +743,12 @@ let except_to_not_exists cat query = setop_to_exists ~negate:true cat query
 
 (* ---- driver ---- *)
 
-let apply_all ?(analyzer = Algorithm1) cat query =
+let apply_all ?(analyzer = Algorithm1) ?(trace = Trace.disabled) cat query =
   let outcomes = ref [] in
-  let note o = if o.applied then outcomes := o :: !outcomes in
+  let note ?children o =
+    Trace.emitf trace (fun () -> node_of_outcome ?children o);
+    if o.applied then outcomes := o :: !outcomes
+  in
   let try_rewrite f q =
     let o = f q in
     note o;
@@ -726,15 +774,19 @@ let apply_all ?(analyzer = Algorithm1) cat query =
       match q with
       | Spec spec ->
         let o = subquery_to_join cat spec in
-        if o.applied then begin
-          note o;
-          unnest (fuel - 1) o.result
-        end
-        else q
+        note o;
+        if o.applied then unnest (fuel - 1) o.result else q
       | Setop _ -> q
   in
   let q = unnest 5 q in
-  let q = try_rewrite (remove_redundant_distinct ~analyzer cat) q in
+  let q =
+    (* carry the analyzer's own decision trace as children of the
+       distinct-removal node: the rewrite's provenance is the analysis *)
+    let analysis = Trace.child trace in
+    let o = remove_redundant_distinct ~analyzer ~trace:analysis cat q in
+    note ~children:(Trace.nodes analysis) o;
+    o.result
+  in
   (q, List.rev !outcomes)
 
 let pp_outcome ppf o =

@@ -14,9 +14,16 @@ type analyzer =
 type outcome = {
   applied : bool;
   rule : string;
+  citation : string option;
+      (** the paper result the rule rests on, e.g. ["Theorem 2 / Corollary 1"] *)
   justification : string;
   result : Sql.Ast.query;  (** the input when [applied = false] *)
 }
+
+(** A decision-trace node for a rule attempt — verdict
+    [Applied]/[Not_applied], the justification as detail, the rewritten SQL
+    as a fact, [~children] for the analyzer trace that licensed it. *)
+val node_of_outcome : ?children:Trace.node list -> outcome -> Trace.node
 
 (** {1 Section 5.1: unnecessary duplicate elimination} *)
 
@@ -24,7 +31,7 @@ type outcome = {
     (Theorem 1) holds; recurses into set-operation operands only to analyze,
     never to change their semantics. *)
 val remove_redundant_distinct :
-  ?analyzer:analyzer -> Catalog.t -> Sql.Ast.query -> outcome
+  ?analyzer:analyzer -> ?trace:Trace.t -> Catalog.t -> Sql.Ast.query -> outcome
 
 (** {1 Section 8 extension: unnecessary grouping} *)
 
@@ -89,8 +96,14 @@ val except_to_not_exists : Catalog.t -> Sql.Ast.query -> outcome
 (** {1 Convenience} *)
 
 (** Apply every enabled rewrite once, outermost first. Returns all outcomes
-    that applied, with the final query. *)
+    that applied, with the final query. With [~trace], {e every} attempt —
+    fired or refused — emits its decision node in application order, the
+    distinct-removal node carrying the analyzer's trace as children. *)
 val apply_all :
-  ?analyzer:analyzer -> Catalog.t -> Sql.Ast.query -> Sql.Ast.query * outcome list
+  ?analyzer:analyzer ->
+  ?trace:Trace.t ->
+  Catalog.t ->
+  Sql.Ast.query ->
+  Sql.Ast.query * outcome list
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,194 @@
+(* Decision-trace tests: the rendered explain output for the paper's
+   flagship example is pinned exactly (tree and JSON), and a fixed-seed
+   fuzz hook asserts that turning tracing on never changes an analyzer
+   verdict, a rewrite result, or a query result. *)
+
+module D = Difftest
+module A1 = Uniqueness.Algorithm1
+module R = Uniqueness.Rewrite
+
+let catalog = Workload.Paper_schema.catalog ()
+
+let example1 =
+  "SELECT DISTINCT S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE \
+   S.SNO = P.SNO AND P.COLOR = 'RED'"
+
+let algorithm1_nodes sql =
+  let t = Trace.make () in
+  ignore (A1.analyze ~trace:t catalog (Sql.Parser.parse_query_spec sql));
+  Trace.nodes t
+
+(* ---- exact snapshots (paper Example 1) ---- *)
+
+let expected_tree =
+  {|* algorithm1.line5 -- the selection predicate in conjunctive normal form
+    < C = S.SNO = P.SNO AND P.COLOR = 'RED' AND T
+* algorithm1.line6-9 -- C is unchanged
+* algorithm1.line10 -- C is not simply true; we proceed
+* algorithm1.line11 -- the remaining equality conditions in disjunctive normal form
+    < E1 = S.SNO = P.SNO AND P.COLOR = 'RED'
+* algorithm1.line13 -- V starts as the projection attributes
+    > V = {P.PNAME, P.PNO, S.SNO}
+* algorithm1.line14 -- columns pinned by Type-1 equalities join V
+    < P.COLOR = P.COLOR = 'RED'
+    > V = {P.COLOR, P.PNAME, P.PNO, S.SNO}
+* algorithm1.line15-16 -- transitive closure of V under the Type-2 equalities
+    > V = {P.COLOR, P.PNAME, P.PNO, P.SNO, S.SNO}
+  * closure.type2 -- Type-2 equality propagates bound-ness transitively
+      < condition = S.SNO = P.SNO
+      > bound = P.SNO
+* algorithm1.line17 (Theorem 1) -- does V contain a candidate key of every table of the product?
+    > S = candidate key {S.SNO} is contained in V
+    > P = candidate key {P.PNO, P.SNO} is contained in V
+* [YES] algorithm1.verdict (Theorem 1 / Algorithm 1) -- a candidate key of every table is functionally bound
+    > V = {P.COLOR, P.PNAME, P.PNO, P.SNO, S.SNO}|}
+
+let test_tree_snapshot () =
+  let got = Format.asprintf "%a" Trace.pp (algorithm1_nodes example1) in
+  Alcotest.(check string) "Example 1 Algorithm 1 tree" expected_tree got
+
+let expected_json =
+  {|[{"rule":"algorithm1.line5","verdict":"info","detail":"the selection predicate in conjunctive normal form","inputs":{"C":"S.SNO = P.SNO AND P.COLOR = 'RED' AND T"}},{"rule":"algorithm1.line6-9","verdict":"info","detail":"C is unchanged"},{"rule":"algorithm1.line10","verdict":"info","detail":"C is not simply true; we proceed"},{"rule":"algorithm1.line11","verdict":"info","detail":"the remaining equality conditions in disjunctive normal form","inputs":{"E1":"S.SNO = P.SNO AND P.COLOR = 'RED'"}},{"rule":"algorithm1.line13","verdict":"info","detail":"V starts as the projection attributes","facts":{"V":"{P.PNAME, P.PNO, S.SNO}"}},{"rule":"algorithm1.line14","verdict":"info","detail":"columns pinned by Type-1 equalities join V","inputs":{"P.COLOR":"P.COLOR = 'RED'"},"facts":{"V":"{P.COLOR, P.PNAME, P.PNO, S.SNO}"}},{"rule":"algorithm1.line15-16","verdict":"info","detail":"transitive closure of V under the Type-2 equalities","facts":{"V":"{P.COLOR, P.PNAME, P.PNO, P.SNO, S.SNO}"},"children":[{"rule":"closure.type2","verdict":"info","detail":"Type-2 equality propagates bound-ness transitively","inputs":{"condition":"S.SNO = P.SNO"},"facts":{"bound":"P.SNO"}}]},{"rule":"algorithm1.line17","citation":"Theorem 1","verdict":"info","detail":"does V contain a candidate key of every table of the product?","facts":{"S":"candidate key {S.SNO} is contained in V","P":"candidate key {P.PNO, P.SNO} is contained in V"}},{"rule":"algorithm1.verdict","citation":"Theorem 1 / Algorithm 1","verdict":"yes","detail":"a candidate key of every table is functionally bound","facts":{"V":"{P.COLOR, P.PNAME, P.PNO, P.SNO, S.SNO}"}}]|}
+
+let test_json_snapshot () =
+  let got = Trace.Json.to_string (Trace.to_json (algorithm1_nodes example1)) in
+  Alcotest.(check string) "Example 1 Algorithm 1 JSON" expected_json got
+
+(* the pretty printer must round-trip: same document, only whitespace
+   outside string literals may differ *)
+let strip_outside_strings s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false and escaped = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        Buffer.add_char b c;
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_string := false
+      end
+      else if c = '"' then begin
+        Buffer.add_char b c;
+        in_string := true
+      end
+      else if not (c = ' ' || c = '\n') then Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let test_json_pretty_roundtrip () =
+  let doc = Trace.to_json (algorithm1_nodes example1) in
+  Alcotest.(check string) "pretty and compact agree modulo layout"
+    (strip_outside_strings (Trace.Json.to_string doc))
+    (strip_outside_strings (Trace.Json.to_string_pretty doc))
+
+(* ---- the full explain report ---- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_report_names_the_evidence () =
+  let report = Explain.explain catalog (Sql.Parser.parse_query example1) in
+  let rendered = Format.asprintf "%a" Explain.pp report in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions: " ^ needle) true
+        (contains rendered needle))
+    [ "candidate key {S.SNO} is contained in V";
+      "candidate key {P.PNO, P.SNO} is contained in V";
+      "closure.type2";
+      "Theorem 1 / Algorithm 1";
+      "[YES]";
+      "[APPLIED] distinct-removal (Theorem 1)";
+      "[CHOSEN]" ];
+  Alcotest.(check string) "rewritten form drops the DISTINCT"
+    "SELECT ALL S.SNO, P.PNO, P.PNAME FROM SUPPLIER S, PARTS P WHERE S.SNO = \
+     P.SNO AND P.COLOR = 'RED'"
+    (Sql.Pretty.query report.Explain.rewritten)
+
+let test_report_deterministic () =
+  let build () =
+    Trace.Json.to_string
+      (Explain.to_json (Explain.explain catalog (Sql.Parser.parse_query example1)))
+  in
+  Alcotest.(check string) "two builds render identically" (build ()) (build ())
+
+let test_setop_report () =
+  let q =
+    Sql.Parser.parse_query
+      "SELECT ALL S.SNO FROM SUPPLIER S WHERE S.SCITY = 'Toronto' INTERSECT \
+       SELECT ALL A.SNO FROM AGENTS A WHERE A.ACITY = 'Ottawa'"
+  in
+  let rendered = Format.asprintf "%a" Explain.pp (Explain.explain catalog q) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("setop report mentions: " ^ needle) true
+        (contains rendered needle))
+    [ "algorithm1.operand"; "operand = left"; "operand = right";
+      "[APPLIED] intersect-to-exists (Theorem 3 / Corollary 2)" ]
+
+(* ---- fuzz hook: tracing must never change behaviour ---- *)
+
+let rng_of seed = Random.State.make [| seed |]
+
+let prop_trace_never_changes_verdicts =
+  QCheck2.Test.make
+    ~name:"tracing on/off: identical analyzer verdicts and rewrite results"
+    ~count:200 QCheck2.Gen.int
+    (fun seed ->
+      let rng = rng_of seed in
+      let ddl = D.Schema_gen.generate ~rng in
+      let cat = D.Schema_gen.catalog_of_ddl ddl in
+      let spec = D.Query_gen.spec ~rng cat in
+      let q = D.Query_gen.query ~rng cat in
+      let traced f = f ~trace:(Trace.make ()) and plain f = f ~trace:Trace.disabled in
+      let a1 ~trace = (A1.analyze ~trace cat spec).A1.answer in
+      let fd ~trace =
+        (Uniqueness.Fd_analysis.analyze ~trace cat spec).Uniqueness.Fd_analysis.unique
+      in
+      let rw ~trace = fst (R.apply_all ~trace cat q) in
+      traced a1 = plain a1 && traced fd = plain fd && traced rw = plain rw)
+
+let prop_explain_never_changes_results =
+  QCheck2.Test.make
+    ~name:"building an explain report never changes query results"
+    ~count:60 QCheck2.Gen.int
+    (fun seed ->
+      let rng = rng_of seed in
+      let case = D.Case.generate ~rng ~instances:1 ~rows:4 () in
+      let cat = D.Case.catalog case in
+      match case.D.Case.instances with
+      | [] -> true
+      | inst :: _ ->
+        let db = D.Case.database case inst in
+        let hosts = inst.D.Case.hosts in
+        let direct =
+          Engine.Exec.run_query db ~hosts case.D.Case.query
+        in
+        let report =
+          Explain.explain ~stats:(Engine.Database.row_count db) ~database:db
+            ~hosts cat case.D.Case.query
+        in
+        (match report.Explain.executions with
+         | { Explain.label = "as-written"; rows; _ } :: _ ->
+           rows = Engine.Relation.cardinality direct
+         | _ -> false))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_trace_never_changes_verdicts; prop_explain_never_changes_results ]
+
+let () =
+  Alcotest.run "trace"
+    [ ("snapshots",
+       [ Alcotest.test_case "example 1 tree" `Quick test_tree_snapshot;
+         Alcotest.test_case "example 1 json" `Quick test_json_snapshot;
+         Alcotest.test_case "json pretty round-trip" `Quick
+           test_json_pretty_roundtrip ]);
+      ("report",
+       [ Alcotest.test_case "names the evidence" `Quick
+           test_report_names_the_evidence;
+         Alcotest.test_case "deterministic" `Quick test_report_deterministic;
+         Alcotest.test_case "set operations" `Quick test_setop_report ]);
+      ("fuzz", qsuite) ]
