@@ -719,6 +719,91 @@ let experiment_explain () =
   Printf.printf "wrote BENCH_explain.json (%d reports, seed 42)\n"
     (List.length entries)
 
+(* ---------------------------------------------------- ANALYSIS_CACHE *)
+
+(* Cold-vs-warm effectiveness of the verdict cache and the closure memo,
+   measured in closure-work counters rather than wall-clock time: iteration
+   counts are deterministic, so the trajectory file diffs cleanly across
+   runs. The warm pass must do strictly fewer saturation sweeps — every
+   verdict is served from the cache and no closure loop runs at all. *)
+let experiment_analysis_cache () =
+  section
+    "ANALYSIS_CACHE  verdict + closure memoization, cold vs warm \
+     (BENCH_analysis_cache.json)";
+  let work =
+    List.map
+      (fun sql -> (catalog, parse_spec sql))
+      [ example1; example2;
+        "SELECT DISTINCT X.SNO, Y.PNO, Y.PNAME FROM SUPPLIER X, PARTS Y \
+         WHERE X.SNO = Y.SNO AND Y.COLOR = 'RED'";
+        example7; example8;
+        "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = \
+         'Chicago'" ]
+    @ List.map
+        (fun q -> (Workload.Randquery.small_catalog, q))
+        (Workload.Randquery.generate
+           { Workload.Randquery.default with count = 40 })
+  in
+  let cache = Analysis_cache.create () in
+  let pass () =
+    let verdicts_before = Analysis_cache.counters cache in
+    Cache.Counters.reset ();
+    List.iter
+      (fun (cat, q) ->
+        ignore (Uniqueness.Algorithm1.distinct_is_redundant ~cache cat q);
+        ignore (Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat q))
+      work;
+    let closures = Cache.Counters.snapshot () in
+    let v = Analysis_cache.counters cache in
+    ( closures,
+      v.Cache.Lru.c_hits - verdicts_before.Cache.Lru.c_hits,
+      v.Cache.Lru.c_misses - verdicts_before.Cache.Lru.c_misses )
+  in
+  Cache.Runtime.with_enabled true @@ fun () ->
+  Cache.Runtime.clear ();
+  let cold_c, cold_h, cold_m = pass () in
+  let warm_c, warm_h, warm_m = pass () in
+  assert (warm_c.Cache.Counters.iterations < cold_c.Cache.Counters.iterations);
+  let row label (c : Cache.Counters.snapshot) hits misses =
+    Printf.printf "%-6s %14d %14d %12d %12d %12d\n" label
+      c.Cache.Counters.calls c.Cache.Counters.iterations
+      c.Cache.Counters.memo_hits hits misses
+  in
+  Printf.printf "%d queries, both analyzers, one shared cache\n\n"
+    (List.length work);
+  Printf.printf "%-6s %14s %14s %12s %12s %12s\n" "pass" "closure calls"
+    "iterations" "memo hits" "verdict hit" "verdict miss";
+  row "cold" cold_c cold_h cold_m;
+  row "warm" warm_c warm_h warm_m;
+  Printf.printf
+    "\nwarm pass: %d of %d closure iterations remain (strictly fewer, by \
+     construction)\n"
+    warm_c.Cache.Counters.iterations cold_c.Cache.Counters.iterations;
+  let pass_json (c : Cache.Counters.snapshot) hits misses =
+    Trace.Json.Obj
+      (List.map
+         (fun (k, v) -> (k, Trace.Json.Int v))
+         (Cache.Counters.fields c
+         @ [ ("verdict_hits", hits); ("verdict_misses", misses) ]))
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "analysis_cache");
+        ("queries", Trace.Json.Int (List.length work));
+        ("analyzers", Trace.Json.Int 2);
+        ("cold", pass_json cold_c cold_h cold_m);
+        ("warm", pass_json warm_c warm_h warm_m);
+        ( "warm_strictly_fewer_iterations",
+          Trace.Json.Bool
+            (warm_c.Cache.Counters.iterations
+             < cold_c.Cache.Counters.iterations) ) ]
+  in
+  let oc = open_out "BENCH_analysis_cache.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_analysis_cache.json\n"
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -742,6 +827,9 @@ let experiments =
     ("AB1", "engine ablations", experiment_ab1);
     ("EXPLAIN", "decision-trace trajectory file (BENCH_explain.json)",
      experiment_explain);
+    ("ANALYSIS_CACHE",
+     "cold vs warm analysis cache in closure counters (BENCH_analysis_cache.json)",
+     experiment_analysis_cache);
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

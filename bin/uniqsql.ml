@@ -7,6 +7,8 @@
      uniqsql check    "SELECT ..."            # exact bounded-model check
      uniqsql run      "SELECT ..."            # execute on a generated instance
      uniqsql fuzz --seed 7 --count 5000       # differential soundness fuzzing
+     uniqsql batch FILE [FILE ...]            # many queries, one shared cache
+     uniqsql serve                            # stdin line-by-line, shared cache
 
    The schema defaults to the paper's supplier database (Figure 1); pass
    --ddl FILE (semicolon-separated CREATE TABLE statements) to use your
@@ -167,7 +169,14 @@ let explain_cmd =
          & info [ "suppliers" ] ~docv:"N"
              ~doc:"Suppliers in the generated instance used by --run.")
   in
-  let run sql ddl views rows json exec suppliers sets =
+  let cache_arg =
+    Arg.(value & flag
+         & info [ "cache" ]
+             ~doc:"Route every uniqueness verdict through a fresh analysis \
+                   cache (hits show as cache.hit nodes, a cache section \
+                   reports the counters). Verdicts are unchanged.")
+  in
+  let run sql ddl views rows json exec suppliers sets use_cache =
     wrap (fun () ->
         let q = Sql.Parser.parse_query sql in
         let stats _ = rows in
@@ -188,7 +197,13 @@ let explain_cmd =
               (cat, Some db)
           end
         in
-        let report = Explain.explain ~stats ?database ~hosts cat q in
+        let cache =
+          if use_cache then Some (Analysis_cache.create ()) else None
+        in
+        let report =
+          Cache.Runtime.with_enabled use_cache (fun () ->
+              Explain.explain ~stats ?database ~hosts ?cache cat q)
+        in
         if json then
           print_endline (Trace.Json.to_string_pretty (Explain.to_json report))
         else Format.printf "%a@." Explain.pp report)
@@ -199,7 +214,7 @@ let explain_cmd =
              attempt, the costed strategy space, and (with --run) the \
              engine's execution counters.")
     Term.(const run $ sql_arg $ ddl_arg $ view_arg $ rows_arg $ json_arg
-          $ run_arg $ size_arg $ set_arg)
+          $ run_arg $ size_arg $ set_arg $ cache_arg)
 
 (* ---- check (exact) ---- *)
 
@@ -303,7 +318,14 @@ let fuzz_cmd =
              ~doc:"Skip the campaign: re-judge a stored counterexample \
                    (corpus .sexp file) with all three oracles.")
   in
-  let run seed count instances rows cells no_shrink save replay =
+  let cache_arg =
+    Arg.(value & flag
+         & info [ "cache" ]
+             ~doc:"Run the whole campaign through one shared analysis cache \
+                   (closure memo on). The report must be bit-identical to a \
+                   cache-free campaign with the same seed.")
+  in
+  let run seed count instances rows cells no_shrink save replay use_cache =
     wrap (fun () ->
         match replay with
         | Some path ->
@@ -316,7 +338,8 @@ let fuzz_cmd =
         | None ->
           let config =
             { Difftest.Runner.seed; count; instances; rows;
-              exact_cells = cells; shrink = not no_shrink }
+              exact_cells = cells; shrink = not no_shrink;
+              use_cache }
           in
           let report = Difftest.Runner.run config in
           Format.printf "%a" Difftest.Runner.pp_report report;
@@ -347,9 +370,128 @@ let fuzz_cmd =
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
              instances judged by the uniqueness, rewrite and agreement oracles.")
     Term.(const run $ seed_arg $ count_arg $ instances_arg $ rows_arg
-          $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg)
+          $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg $ cache_arg)
+
+(* ---- batch / serve ---- *)
+
+let capacity_arg =
+  Arg.(value & opt int 1024
+       & info [ "capacity" ] ~docv:"N"
+           ~doc:"Verdict-cache capacity (LRU-bounded).")
+
+let pp_cache_stats cache =
+  let c = Analysis_cache.counters cache in
+  let m = Cache.Runtime.counters () in
+  Format.printf
+    "cache: verdict_hits=%d verdict_misses=%d verdict_evictions=%d \
+     entries=%d closure_memo_hits=%d closure_memo_misses=%d@."
+    c.Cache.Lru.c_hits c.Cache.Lru.c_misses c.Cache.Lru.c_evictions
+    (Analysis_cache.length cache) m.Cache.Lru.c_hits m.Cache.Lru.c_misses
+
+(* One line of output per query: the two analyzer verdicts (where they
+   apply) and the rewritten form, all served through the shared cache.
+   A bad query reports its error and the session continues. *)
+let process_query cache cat label sql =
+  match Sql.Parser.parse_query sql with
+  | exception Sql.Parser.Parse_error msg ->
+    Format.printf "%s parse error: %s@." label msg
+  | exception Sql.Lexer.Lex_error (msg, off) ->
+    Format.printf "%s lex error at byte %d: %s@." label off msg
+  | q ->
+    (try
+       (match q with
+        | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
+          let alg1 =
+            Uniqueness.Algorithm1.distinct_is_redundant ~cache cat s
+          in
+          let fd = Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat s in
+          Format.printf "%s unique(alg1)=%b unique(fd)=%b" label alg1 fd
+        | _ -> Format.printf "%s unique=n/a" label);
+       let final, outcomes = Uniqueness.Rewrite.apply_all ~cache cat q in
+       Format.printf " rewrites=%d" (List.length outcomes);
+       if outcomes <> [] then
+         Format.printf " final=%s" (Sql.Pretty.query final);
+       Format.printf "@."
+     with e -> Format.printf "%s error: %s@." label (Printexc.to_string e))
+
+let split_statements text =
+  String.split_on_char ';' text
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let batch_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"FILE"
+             ~doc:"Files of semicolon-separated queries. Repeat a file to \
+                   measure warm-cache behaviour: the second pass is served \
+                   from the cache filled by the first.")
+  in
+  let run ddl views capacity files =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let cache = Analysis_cache.create ~capacity () in
+        Cache.Runtime.with_enabled true (fun () ->
+            List.iteri
+              (fun pass path ->
+                let stmts = split_statements (read_file path) in
+                List.iteri
+                  (fun i sql ->
+                    process_query cache cat
+                      (Printf.sprintf "[%d:%s:%d]" (pass + 1)
+                         (Filename.basename path) (i + 1))
+                      sql)
+                  stmts)
+              files);
+        pp_cache_stats cache)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Analyze and rewrite many queries through one shared analysis \
+             cache (verdict memo + closure memo); prints the cache counters \
+             at the end.")
+    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ files_arg)
+
+let serve_cmd =
+  let run ddl views capacity =
+    wrap (fun () ->
+        let cat = catalog_of_ddl ddl views in
+        let cache = Analysis_cache.create ~capacity () in
+        Cache.Runtime.with_enabled true (fun () ->
+            let rec loop n =
+              match In_channel.input_line stdin with
+              | None -> ()
+              | Some line ->
+                let line = String.trim line in
+                if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
+                then loop n
+                else if line = ".stats" then begin
+                  pp_cache_stats cache;
+                  Format.print_flush ();
+                  loop n
+                end
+                else begin
+                  process_query cache cat (Printf.sprintf "[%d]" n) line;
+                  Format.print_flush ();
+                  loop (n + 1)
+                end
+            in
+            loop 1);
+        pp_cache_stats cache)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Read queries from stdin, one per line, analyzing each through \
+             one long-lived shared analysis cache. Blank lines and -- \
+             comments are skipped; the line .stats prints the cache \
+             counters; EOF ends the session (printing them once more).")
+    Term.(const run $ ddl_arg $ view_arg $ capacity_arg)
 
 let () =
   let doc = "uniqueness-based semantic query optimization (Paulley & Larson, ICDE 1994)" in
   let info = Cmd.info "uniqsql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd;
+            fuzz_cmd; batch_cmd; serve_cmd ]))

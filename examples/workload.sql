@@ -1,0 +1,38 @@
+-- A small mixed workload over the paper's supplier schema (Figure 1),
+-- meant for `uniqsql batch` / `uniqsql serve`. Several queries share the
+-- same shape up to correlation names, so a second pass over this file
+-- (uniqsql batch examples/workload.sql examples/workload.sql) is served
+-- almost entirely from the analysis cache.
+
+SELECT DISTINCT S.SNO, P.PNO, P.PNAME
+FROM SUPPLIER S, PARTS P
+WHERE S.SNO = P.SNO AND P.COLOR = 'RED';
+
+-- same shape as above, alpha-renamed: shares the cache entry
+SELECT DISTINCT X.SNO, Y.PNO, Y.PNAME
+FROM SUPPLIER X, PARTS Y
+WHERE X.SNO = Y.SNO AND Y.COLOR = 'RED';
+
+SELECT DISTINCT S.SNO, S.SNAME
+FROM SUPPLIER S
+WHERE S.SCITY = 'Chicago';
+
+SELECT ALL P.SNO, P.PNO
+FROM PARTS P
+WHERE P.COLOR = 'BLUE';
+
+SELECT DISTINCT A.SNO, A.ANO
+FROM AGENTS A
+WHERE A.ACITY = 'Toronto';
+
+SELECT S.SNAME
+FROM SUPPLIER S
+WHERE EXISTS
+  (SELECT P.PNO FROM PARTS P WHERE P.SNO = S.SNO AND P.COLOR = 'RED');
+
+SELECT DISTINCT S.SNO FROM SUPPLIER S
+INTERSECT
+SELECT DISTINCT P.SNO FROM PARTS P;
+
+SELECT DISTINCT S.SCITY
+FROM SUPPLIER S;

@@ -1,0 +1,101 @@
+type t = int array
+(* Little-endian array of 62-bit words; invariant: no trailing zero word,
+   so structural equality of arrays coincides with set equality and the
+   serialized key of a set is canonical. *)
+
+let bits_per_word = Sys.int_size - 1
+
+let empty = [||]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let singleton i =
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let a = Array.make (w + 1) 0 in
+  a.(w) <- 1 lsl b;
+  a
+
+let mem i (t : t) =
+  let w = i / bits_per_word in
+  w < Array.length t && t.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add i (t : t) =
+  if mem i t then t
+  else begin
+    let w = i / bits_per_word in
+    let a = Array.make (max (Array.length t) (w + 1)) 0 in
+    Array.blit t 0 a 0 (Array.length t);
+    a.(w) <- a.(w) lor (1 lsl (i mod bits_per_word));
+    a
+  end
+
+let union (a : t) (b : t) =
+  if a == b then a
+  else
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let n = max la lb in
+      let c = Array.make n 0 in
+      for i = 0 to n - 1 do
+        c.(i) <-
+          (if i < la then a.(i) else 0) lor (if i < lb then b.(i) else 0)
+      done;
+      (* a union never shrinks below the larger operand, whose top word is
+         nonzero by the invariant *)
+      c
+    end
+
+let inter (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  normalize (Array.init n (fun i -> a.(i) land b.(i)))
+
+let diff (a : t) (b : t) =
+  let lb = Array.length b in
+  normalize
+    (Array.mapi (fun i w -> if i < lb then w land lnot b.(i) else w) a)
+
+let subset (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  la <= lb
+  &&
+  let rec go i = i >= la || (a.(i) land lnot b.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let is_empty (t : t) = Array.length t = 0
+
+let fold f (t : t) init =
+  let acc = ref init in
+  Array.iteri
+    (fun wi w ->
+      let w = ref w in
+      while !w <> 0 do
+        let b = !w land - !w in
+        (* index of the lowest set bit *)
+        let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+        acc := f ((wi * bits_per_word) + log2 b 0) !acc;
+        w := !w land lnot b
+      done)
+    t;
+  !acc
+
+let cardinal t = fold (fun _ n -> n + 1) t 0
+let elements t = List.rev (fold (fun i l -> i :: l) t [])
+let of_list l = List.fold_left (fun t i -> add i t) empty l
+
+let add_to_buffer buf (t : t) =
+  Array.iter
+    (fun w ->
+      Buffer.add_char buf (Char.chr (w land 0xff));
+      for shift = 1 to 7 do
+        Buffer.add_char buf (Char.chr ((w lsr (shift * 8)) land 0xff))
+      done)
+    t

@@ -1,0 +1,43 @@
+(** Dense bitsets over small non-negative integers.
+
+    The closure loops of {!Fd.Fdset} and {!Logic.Equalities} spend their
+    time in [Attr.Set.subset] / [Attr.Set.union] over balanced trees; after
+    {!Interner} maps attributes to small dense integers, the same operations
+    become a handful of word instructions here.
+
+    Representation invariant: a set is an array of bit words with no
+    trailing zero word, so structurally equal arrays are equal sets and
+    {!add_to_buffer} emits a canonical serialization — the property the
+    closure memo key in {!Runtime} relies on. Values are immutable:
+    operations return fresh arrays and never mutate their arguments. *)
+
+type t
+
+val empty : t
+val singleton : int -> t
+val mem : int -> t -> bool
+
+(** [add i t] — [t ∪ {i}]; returns [t] itself when [i] is already present. *)
+val add : int -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] — elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+val cardinal : t -> int
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Members in increasing order. *)
+val elements : t -> int list
+
+val of_list : int list -> t
+
+(** Append the canonical fixed-width serialization of the set to [buf]
+    (used to build closure-memo keys). *)
+val add_to_buffer : Buffer.t -> t -> unit

@@ -1,0 +1,33 @@
+let closure_calls = ref 0
+let closure_iterations = ref 0
+let closure_memo_hits = ref 0
+
+let record_call () = incr closure_calls
+let record_iteration () = incr closure_iterations
+let record_memo_hit () = incr closure_memo_hits
+
+let reset () =
+  closure_calls := 0;
+  closure_iterations := 0;
+  closure_memo_hits := 0
+
+type snapshot = {
+  calls : int;
+  iterations : int;
+  memo_hits : int;
+}
+
+let snapshot () =
+  { calls = !closure_calls;
+    iterations = !closure_iterations;
+    memo_hits = !closure_memo_hits }
+
+let diff a b =
+  { calls = b.calls - a.calls;
+    iterations = b.iterations - a.iterations;
+    memo_hits = b.memo_hits - a.memo_hits }
+
+let fields s =
+  [ ("closure_calls", s.calls);
+    ("closure_iterations", s.iterations);
+    ("closure_memo_hits", s.memo_hits) ]

@@ -1,0 +1,36 @@
+module Attr = Schema.Attr
+
+(* One process-wide table. Attribute names are already canonicalized
+   (uppercased) by Attr.make, so interning is a plain hash-cons; the table
+   only ever grows, which is fine — a workload touches the attributes of
+   its catalog, not an unbounded stream. *)
+
+let ids : (Attr.t, int) Hashtbl.t = Hashtbl.create 256
+let attrs : Attr.t array ref = ref (Array.make 256 (Attr.make ~rel:"" ~name:""))
+let next = ref 0
+
+let id a =
+  match Hashtbl.find_opt ids a with
+  | Some i -> i
+  | None ->
+    let i = !next in
+    incr next;
+    if i >= Array.length !attrs then begin
+      let bigger = Array.make (2 * Array.length !attrs) a in
+      Array.blit !attrs 0 bigger 0 (Array.length !attrs);
+      attrs := bigger
+    end;
+    !attrs.(i) <- a;
+    Hashtbl.add ids a i;
+    i
+
+let attr i =
+  if i < 0 || i >= !next then invalid_arg "Interner.attr: unknown id";
+  !attrs.(i)
+
+let size () = !next
+
+let bits_of_set s = Attr.Set.fold (fun a acc -> Bitset.add (id a) acc) s Bitset.empty
+
+let set_of_bits b =
+  Bitset.fold (fun i acc -> Attr.Set.add (attr i) acc) b Attr.Set.empty

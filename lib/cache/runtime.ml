@@ -1,0 +1,88 @@
+(* The closure memo is process-global because the closure functions it
+   serves sit at the bottom of the dependency order (lib/fd, lib/logic)
+   where no cache handle can be threaded through without widening every
+   analyzer signature. It is disabled by default; the batch/serve drivers
+   and the benchmark turn it on, and the difftest fuzzer toggles it both
+   ways to prove it invisible. *)
+
+let flag = ref false
+let enabled () = !flag
+let set_enabled b = flag := b
+
+let with_enabled b f =
+  let saved = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let default_capacity = 4096
+let capacity = ref default_capacity
+
+let table : (string, Bitset.t) Lru.t ref = ref (Lru.create ~capacity:default_capacity)
+
+let set_capacity n =
+  capacity := n;
+  table := Lru.create ~capacity:n
+
+let clear () = table := Lru.create ~capacity:!capacity
+
+let find_closure key = Lru.find !table key
+let store_closure key v = Lru.add !table key v
+let counters () = Lru.counters !table
+
+(* Canonical key: a tag byte distinguishing the client (FD closure vs
+   equality closure), the seed set, then the dependency pairs sorted — the
+   closure of a set under a dependency list does not depend on list order,
+   so sorting buys sharing across syntactic permutations. *)
+let closure_key ~tag ~(seed : Bitset.t) (pairs : (Bitset.t * Bitset.t) list) =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf tag;
+  Bitset.add_to_buffer buf seed;
+  Buffer.add_char buf '|';
+  let serialized =
+    List.map
+      (fun (a, b) ->
+        let pb = Buffer.create 16 in
+        Bitset.add_to_buffer pb a;
+        Buffer.add_char pb '>';
+        Bitset.add_to_buffer pb b;
+        Buffer.contents pb)
+      pairs
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf ';')
+    (List.sort_uniq String.compare serialized);
+  Buffer.contents buf
+
+(* Generic saturation of [seed] under (lhs, rhs) pairs: whenever lhs is
+   contained in the accumulator, rhs joins it. An empty lhs fires
+   unconditionally, which lets equality closures (Type-1 conditions) use
+   the same loop as FD closures. One iteration is counted per sweep so the
+   benchmark's cold/warm comparison is deterministic. *)
+let saturate pairs seed =
+  let cur = ref seed in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Counters.record_iteration ();
+    List.iter
+      (fun (lhs, rhs) ->
+        if Bitset.subset lhs !cur && not (Bitset.subset rhs !cur) then begin
+          cur := Bitset.union rhs !cur;
+          changed := true
+        end)
+      pairs
+  done;
+  !cur
+
+let memo_closure ~tag ~seed pairs =
+  let key = closure_key ~tag ~seed pairs in
+  match find_closure key with
+  | Some bits ->
+    Counters.record_memo_hit ();
+    bits
+  | None ->
+    let bits = saturate pairs seed in
+    store_closure key bits;
+    bits

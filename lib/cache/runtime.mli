@@ -1,0 +1,49 @@
+(** The process-global closure memo.
+
+    {!Fd.Fdset.closure} and {!Logic.Equalities.closure} consult this table
+    when it is enabled: a closure already computed for the same
+    (seed, dependencies) pair is returned without running the saturation
+    loop at all. The memo is keyed on interned bitset serializations
+    ({!closure_key}), LRU-bounded, and {e off by default} — analyses are
+    bit-for-bit identical with it on or off (fuzz-tested), it only skips
+    recomputation.
+
+    Use {!with_enabled} to scope the toggle; the batch/serve CLI modes and
+    the [ANALYSIS_CACHE] benchmark enable it for their whole run. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [with_enabled b f] — run [f] with the memo toggled to [b], restoring
+    the previous state afterwards (exception-safe). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a
+
+(** Replace the table with an empty one of the given capacity. *)
+val set_capacity : int -> unit
+
+(** Drop all memoized closures (e.g. between benchmark passes). *)
+val clear : unit -> unit
+
+val find_closure : string -> Bitset.t option
+val store_closure : string -> Bitset.t -> unit
+
+(** Hit/miss/eviction counters of the memo table. *)
+val counters : unit -> Lru.counters
+
+(** [closure_key ~tag ~seed pairs] — canonical memo key for the closure of
+    [seed] under the (lhs, rhs) dependency [pairs]. The key is insensitive
+    to the order (and duplication) of [pairs], which the closure result
+    provably is too. [tag] namespaces clients with different dependency
+    semantics. *)
+val closure_key : tag:char -> seed:Bitset.t -> (Bitset.t * Bitset.t) list -> string
+
+(** [saturate pairs seed] — smallest superset of [seed] closed under the
+    pairs: whenever a pair's lhs is contained in the accumulator, its rhs
+    joins it (an empty lhs fires unconditionally). Counts one
+    {!Counters.record_iteration} per sweep. *)
+val saturate : (Bitset.t * Bitset.t) list -> Bitset.t -> Bitset.t
+
+(** [memo_closure ~tag ~seed pairs] — {!saturate} through the memo table:
+    a hit records {!Counters.record_memo_hit} and runs no sweeps at all, a
+    miss computes and stores. Callers must check {!enabled} themselves. *)
+val memo_closure : tag:char -> seed:Bitset.t -> (Bitset.t * Bitset.t) list -> Bitset.t

@@ -29,11 +29,11 @@ let on_instances (c : Case.t) check =
 
 (* ---- uniqueness ---- *)
 
-let analyzers cat =
-  [ ("alg1", fun q -> U.Algorithm1.distinct_is_redundant cat q);
-    ("fd", fun q -> U.Fd_analysis.distinct_is_redundant cat q) ]
+let analyzers ?cache cat =
+  [ ("alg1", fun q -> U.Algorithm1.distinct_is_redundant ?cache cat q);
+    ("fd", fun q -> U.Fd_analysis.distinct_is_redundant ?cache cat q) ]
 
-let uniqueness (c : Case.t) =
+let uniqueness ?cache (c : Case.t) =
   match c.Case.query with
   | A.Setop _ ->
     [ { oracle = "uniqueness/alg1"; verdict = Skip "set operation" };
@@ -68,7 +68,7 @@ let uniqueness (c : Case.t) =
                            (Engine.Relation.cardinality distinct_rows))))
         in
         { oracle = "uniqueness/" ^ name; verdict })
-      (analyzers cat)
+      (analyzers ?cache cat)
 
 (* ---- rewrite ---- *)
 
@@ -86,22 +86,26 @@ let check_outcome c (outcome : U.Rewrite.outcome) =
                (Engine.Relation.cardinality after)
                (Sql.Pretty.query outcome.U.Rewrite.result)))
 
-let rewrite (c : Case.t) =
+let rewrite ?cache (c : Case.t) =
   let cat = Case.catalog c in
   let q = c.Case.query in
   let whole_query =
     [ ("remove_distinct_alg1",
-       fun () -> U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Algorithm1 cat q);
+       fun () ->
+         U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Algorithm1
+           ?cache cat q);
       ("remove_distinct_fd",
-       fun () -> U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Fd_closure cat q);
+       fun () ->
+         U.Rewrite.remove_redundant_distinct ~analyzer:U.Rewrite.Fd_closure
+           ?cache cat q);
       ("remove_group_by", fun () -> U.Rewrite.remove_redundant_group_by cat q);
-      ("intersect_to_exists", fun () -> U.Rewrite.intersect_to_exists cat q);
-      ("except_to_not_exists", fun () -> U.Rewrite.except_to_not_exists cat q) ]
+      ("intersect_to_exists", fun () -> U.Rewrite.intersect_to_exists ?cache cat q);
+      ("except_to_not_exists", fun () -> U.Rewrite.except_to_not_exists ?cache cat q) ]
   in
   let spec_rules =
     match q with
     | A.Spec s ->
-      [ ("subquery_to_join", fun () -> U.Rewrite.subquery_to_join cat s);
+      [ ("subquery_to_join", fun () -> U.Rewrite.subquery_to_join ?cache cat s);
         ("join_to_subquery", fun () -> U.Rewrite.join_to_subquery cat s);
         ("remove_implied", fun () -> U.Rewrite.remove_implied_predicates cat s);
         ("eliminate_joins", fun () -> U.Rewrite.eliminate_joins cat s) ]
@@ -119,7 +123,7 @@ let rewrite (c : Case.t) =
     { oracle = "rewrite/apply_all";
       verdict =
         guard (fun () ->
-            let final, outcomes = U.Rewrite.apply_all cat q in
+            let final, outcomes = U.Rewrite.apply_all ?cache cat q in
             if outcomes = [] then Skip "no rewrite applies"
             else
               check_outcome c
@@ -133,7 +137,7 @@ let rewrite (c : Case.t) =
 
 (* ---- agreement ---- *)
 
-let agreement ?(max_cells = 100_000) (c : Case.t) =
+let agreement ?(max_cells = 100_000) ?cache (c : Case.t) =
   match c.Case.query with
   | A.Setop _ ->
     [ { oracle = "agreement/alg1"; verdict = Skip "set operation" };
@@ -164,9 +168,112 @@ let agreement ?(max_cells = 100_000) (c : Case.t) =
                   Skip (Printf.sprintf "search space too large (%d)" n))
         in
         { oracle = "agreement/" ^ name; verdict })
-      (analyzers cat)
+      (analyzers ?cache cat)
 
-let all ?max_cells c = uniqueness c @ rewrite c @ agreement ?max_cells c
+(* ---- cache consistency ---- *)
+
+(* Drop [cache.hit] marker nodes (at any depth): the only trace difference
+   caching is allowed to introduce. *)
+let rec strip_cache_hits nodes =
+  List.filter_map
+    (fun (n : Trace.node) ->
+      if n.Trace.rule = "cache.hit" then None
+      else Some { n with Trace.children = strip_cache_hits n.Trace.children })
+    nodes
+
+(* Caching must be semantically invisible: for every analyzer, the direct
+   verdict, the cache-miss verdict, and the cache-hit verdict must agree
+   (closure memo forced on for the cached runs); and [apply_all] must
+   produce the same final query, the same outcome list, and the same trace
+   (modulo [cache.hit] nodes) with and without a cache. *)
+let cache_consistency (c : Case.t) =
+  let cat = Case.catalog c in
+  let safe f =
+    match f () with v -> Ok v | exception e -> Error (Printexc.to_string e)
+  in
+  let verdicts =
+    match c.Case.query with
+    | A.Setop _ -> { oracle = "cache/verdicts"; verdict = Skip "set operation" }
+    | A.Spec q ->
+      { oracle = "cache/verdicts";
+        verdict =
+          guard (fun () ->
+              let cache = Analysis_cache.create () in
+              let mismatches =
+                List.map2
+                  (fun (name, direct) (_, cached) ->
+                    let d =
+                      Cache.Runtime.with_enabled false (fun () -> safe (fun () -> direct q))
+                    in
+                    let miss =
+                      Cache.Runtime.with_enabled true (fun () -> safe (fun () -> cached q))
+                    in
+                    let hit =
+                      Cache.Runtime.with_enabled true (fun () -> safe (fun () -> cached q))
+                    in
+                    if d = miss && miss = hit then None
+                    else
+                      let show = function
+                        | Ok b -> string_of_bool b
+                        | Error e -> "exception " ^ e
+                      in
+                      Some
+                        (Printf.sprintf "%s: direct=%s miss=%s hit=%s" name
+                           (show d) (show miss) (show hit)))
+                  (analyzers cat) (analyzers ~cache cat)
+                |> List.filter_map Fun.id
+              in
+              match mismatches with
+              | [] -> Pass
+              | ms -> Fail (String.concat "; " ms)) }
+  in
+  let apply_all_consistent =
+    { oracle = "cache/apply_all";
+      verdict =
+        guard (fun () ->
+            let q = c.Case.query in
+            let base_trace = Trace.make () in
+            match
+              Cache.Runtime.with_enabled false (fun () ->
+                  U.Rewrite.apply_all ~trace:base_trace cat q)
+            with
+            | exception _ -> Skip "rewrite pipeline raises without a cache"
+            | base_final, base_outcomes ->
+              let cache = Analysis_cache.create () in
+              (* first pass fills the cache, second exercises the hit path *)
+              let _warm =
+                Cache.Runtime.with_enabled true (fun () ->
+                    U.Rewrite.apply_all ~cache cat q)
+              in
+              let cached_trace = Trace.make () in
+              let cached_final, cached_outcomes =
+                Cache.Runtime.with_enabled true (fun () ->
+                    U.Rewrite.apply_all ~cache ~trace:cached_trace cat q)
+              in
+              let outcome_key (o : U.Rewrite.outcome) =
+                (o.U.Rewrite.rule, o.U.Rewrite.applied,
+                 Sql.Pretty.query o.U.Rewrite.result)
+              in
+              if cached_final <> base_final then
+                Fail
+                  (Printf.sprintf "final query differs: %s vs %s (cached)"
+                     (Sql.Pretty.query base_final)
+                     (Sql.Pretty.query cached_final))
+              else if
+                List.map outcome_key cached_outcomes
+                <> List.map outcome_key base_outcomes
+              then Fail "applied-outcome list differs under caching"
+              else if
+                strip_cache_hits (Trace.nodes cached_trace)
+                <> Trace.nodes base_trace
+              then Fail "traces differ beyond cache.hit nodes"
+              else Pass) }
+  in
+  [ verdicts; apply_all_consistent ]
+
+let all ?max_cells ?cache c =
+  uniqueness ?cache c @ rewrite ?cache c @ agreement ?max_cells ?cache c
+  @ cache_consistency c
 
 let failures fs =
   List.filter (fun f -> match f.verdict with Fail _ -> true | Pass | Skip _ -> false) fs

@@ -9,6 +9,12 @@
     - {e agreement}: an analyzer YES must be confirmed by the exact
       bounded-model checker ([Uniqueness.Exact]).
 
+    A fourth oracle, {e cache consistency}, asserts that the analysis cache
+    is semantically invisible: direct, cache-miss, and cache-hit verdicts
+    agree for every analyzer (with the closure memo forced on and off), and
+    the rewrite pipeline produces identical results and traces — modulo
+    [cache.hit] marker nodes — with and without a cache.
+
     A [Fail] verdict is a soundness discrepancy; [Skip] records why an
     oracle did not apply (outside the analyzer's class, rewrite not
     applicable, exact check over budget). All details are deterministic
@@ -24,13 +30,19 @@ type finding = {
   verdict : verdict;
 }
 
-val uniqueness : Case.t -> finding list
-val rewrite : Case.t -> finding list
-val agreement : ?max_cells:int -> Case.t -> finding list
+(** With [~cache], the oracles run their analyzers and rewrites through the
+    given verdict cache (results must be unchanged — that invariant is what
+    {!cache_consistency} checks, and a campaign with a cache must report
+    bit-identically to one without). *)
 
-(** All three oracles; [max_cells] bounds the exact checker (default
+val uniqueness : ?cache:Analysis_cache.t -> Case.t -> finding list
+val rewrite : ?cache:Analysis_cache.t -> Case.t -> finding list
+val agreement : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
+val cache_consistency : Case.t -> finding list
+
+(** All four oracles; [max_cells] bounds the exact checker (default
     [100_000]). *)
-val all : ?max_cells:int -> Case.t -> finding list
+val all : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
 
 val failures : finding list -> finding list
 val pp_finding : Format.formatter -> finding -> unit

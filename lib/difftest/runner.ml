@@ -5,6 +5,7 @@ type config = {
   rows : int;
   exact_cells : int;
   shrink : bool;
+  use_cache : bool;
 }
 
 let default =
@@ -13,7 +14,8 @@ let default =
     instances = 3;
     rows = 6;
     exact_cells = 100_000;
-    shrink = true }
+    shrink = true;
+    use_cache = false }
 
 type discrepancy = {
   case_index : int;
@@ -43,6 +45,11 @@ let oracle_fails ~max_cells oracle c =
     (Oracle.all ~max_cells c)
 
 let run ?(log = fun _ -> ()) config =
+  (* One shared cache (and the closure memo) for the whole campaign when
+     requested: the report must come out bit-identical either way, which the
+     cache smoke test asserts by diffing the two. *)
+  let cache = if config.use_cache then Some (Analysis_cache.create ()) else None in
+  Cache.Runtime.with_enabled config.use_cache @@ fun () ->
   let rng = Random.State.make [| config.seed |] in
   let tally : (string, int * int * int) Hashtbl.t = Hashtbl.create 32 in
   let bump name f =
@@ -75,7 +82,7 @@ let run ?(log = fun _ -> ()) config =
             discrepancies :=
               { case_index = i; oracle = f.Oracle.oracle; detail; case }
               :: !discrepancies)
-        (Oracle.all ~max_cells:config.exact_cells c)
+        (Oracle.all ~max_cells:config.exact_cells ?cache c)
   done;
   let per_oracle =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []

@@ -13,11 +13,15 @@ type config = {
   rows : int;  (** max rows per table per instance *)
   exact_cells : int;  (** budget of the exact checker (agreement oracle) *)
   shrink : bool;  (** minimize failing cases before reporting *)
+  use_cache : bool;
+      (** run every oracle through one campaign-wide {!Analysis_cache} with
+          the closure memo enabled; the report must stay bit-identical to a
+          cache-free campaign (asserted by the CI cache smoke step) *)
 }
 
 val default : config
 (** seed 7, 1000 cases, 3 instances, ≤6 rows, 100k exact-checker cells,
-    shrinking on *)
+    shrinking on, cache off *)
 
 type discrepancy = {
   case_index : int;

@@ -8,6 +8,9 @@ type t = {
   mutable comparisons : int;
   mutable hash_probes : int;
   mutable subquery_evals : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 let create () =
@@ -21,6 +24,9 @@ let create () =
     comparisons = 0;
     hash_probes = 0;
     subquery_evals = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let reset t =
@@ -32,7 +38,10 @@ let reset t =
   t.sorted_rows <- 0;
   t.comparisons <- 0;
   t.hash_probes <- 0;
-  t.subquery_evals <- 0
+  t.subquery_evals <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_evictions <- 0
 
 let add t u =
   t.rows_scanned <- t.rows_scanned + u.rows_scanned;
@@ -43,7 +52,15 @@ let add t u =
   t.sorted_rows <- t.sorted_rows + u.sorted_rows;
   t.comparisons <- t.comparisons + u.comparisons;
   t.hash_probes <- t.hash_probes + u.hash_probes;
-  t.subquery_evals <- t.subquery_evals + u.subquery_evals
+  t.subquery_evals <- t.subquery_evals + u.subquery_evals;
+  t.cache_hits <- t.cache_hits + u.cache_hits;
+  t.cache_misses <- t.cache_misses + u.cache_misses;
+  t.cache_evictions <- t.cache_evictions + u.cache_evictions
+
+let record_cache t ~hits ~misses ~evictions =
+  t.cache_hits <- hits;
+  t.cache_misses <- misses;
+  t.cache_evictions <- evictions
 
 let fields t =
   [ ("rows_scanned", t.rows_scanned);
@@ -54,13 +71,18 @@ let fields t =
     ("sorted_rows", t.sorted_rows);
     ("comparisons", t.comparisons);
     ("hash_probes", t.hash_probes);
-    ("subquery_evals", t.subquery_evals) ]
+    ("subquery_evals", t.subquery_evals);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("cache_evictions", t.cache_evictions) ]
 
 let pp ppf t =
   Format.fprintf ppf
     "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \
-     comparisons=%d hash_probes=%d subqueries=%d"
+     comparisons=%d hash_probes=%d subqueries=%d cache_hits=%d \
+     cache_misses=%d cache_evictions=%d"
     t.rows_scanned t.rows_output t.predicate_evals t.product_pairs t.sorts
-    t.sorted_rows t.comparisons t.hash_probes t.subquery_evals
+    t.sorted_rows t.comparisons t.hash_probes t.subquery_evals t.cache_hits
+    t.cache_misses t.cache_evictions
 
 let to_string t = Format.asprintf "%a" pp t

@@ -13,11 +13,19 @@ type t = {
   mutable comparisons : int;        (** row comparisons in sorts/merges *)
   mutable hash_probes : int;        (** hash-table probes (hash distinct) *)
   mutable subquery_evals : int;     (** EXISTS subquery evaluations *)
+  mutable cache_hits : int;         (** analysis-cache verdict hits *)
+  mutable cache_misses : int;       (** analysis-cache verdict misses *)
+  mutable cache_evictions : int;    (** analysis-cache LRU evictions *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 val add : t -> t -> unit
+
+(** Overwrite the analysis-cache counters with a fresh reading (they are
+    gauges of the shared cache, not per-execution deltas, so adding readings
+    from two reports would double-count). *)
+val record_cache : t -> hits:int -> misses:int -> evictions:int -> unit
 
 (** Counter name/value pairs in declaration order — the stable interchange
     form used to fold execution counters into explain reports (both the

@@ -47,10 +47,17 @@ let analysis_section title analyze q =
   in
   { title; nodes }
 
-let run_execution cat database hosts label q =
+let run_execution ?cache cat database hosts label q =
   let q = Uniqueness.Views.expand_query cat q in
   let config = Engine.Exec.default_config () in
   let r = Engine.Exec.run_query ~config database ~hosts q in
+  (match cache with
+  | None -> ()
+  | Some c ->
+    let k = Analysis_cache.counters c in
+    Engine.Stats.record_cache config.Engine.Exec.stats
+      ~hits:k.Cache.Lru.c_hits ~misses:k.Cache.Lru.c_misses
+      ~evictions:k.Cache.Lru.c_evictions);
   {
     label;
     sql = Sql.Pretty.query q;
@@ -58,32 +65,55 @@ let run_execution cat database hosts label q =
     counters = Engine.Stats.fields config.Engine.Exec.stats;
   }
 
-let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) cat query =
+let cache_section cache =
+  match cache with
+  | None -> []
+  | Some c ->
+    let k = Analysis_cache.counters c in
+    let m = Cache.Runtime.counters () in
+    [ { title = "cache";
+        nodes =
+          [ Trace.node ~rule:"cache.counters"
+              ~facts:
+                [ ("verdict_hits", string_of_int k.Cache.Lru.c_hits);
+                  ("verdict_misses", string_of_int k.Cache.Lru.c_misses);
+                  ("verdict_evictions", string_of_int k.Cache.Lru.c_evictions);
+                  ("verdict_entries", string_of_int k.Cache.Lru.c_length);
+                  ("closure_memo_hits", string_of_int m.Cache.Lru.c_hits);
+                  ("closure_memo_misses", string_of_int m.Cache.Lru.c_misses) ]
+              "analysis-cache counters for this session" ] } ]
+
+let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
   let algorithm1 =
     analysis_section "algorithm1"
-      (fun ~trace spec -> ignore (Uniqueness.Algorithm1.analyze ~trace cat spec))
+      (fun ~trace spec ->
+        ignore (Uniqueness.Algorithm1.distinct_is_redundant ?cache ~trace cat spec))
       query
   in
   let fd =
     analysis_section "fd-closure"
-      (fun ~trace spec -> ignore (Uniqueness.Fd_analysis.analyze ~trace cat spec))
+      (fun ~trace spec ->
+        ignore (Uniqueness.Fd_analysis.distinct_is_redundant ?cache ~trace cat spec))
       query
   in
   let rewrite_trace = Trace.make () in
   let rewritten, _ =
-    Uniqueness.Rewrite.apply_all ~trace:rewrite_trace cat query
+    Uniqueness.Rewrite.apply_all ?cache ~trace:rewrite_trace cat query
   in
   let planner_trace = Trace.make () in
-  let chosen = Optimizer.Planner.choose ~trace:planner_trace cat stats query in
+  let chosen =
+    Optimizer.Planner.choose ?cache ~trace:planner_trace cat stats query
+  in
   let executions =
     match database with
     | None -> []
     | Some db ->
-      let as_written = run_execution cat db hosts "as-written" query in
+      let as_written = run_execution ?cache cat db hosts "as-written" query in
       if chosen.Optimizer.Planner.query = query then [ as_written ]
       else
         [ as_written;
-          run_execution cat db hosts "chosen" chosen.Optimizer.Planner.query ]
+          run_execution ?cache cat db hosts "chosen"
+            chosen.Optimizer.Planner.query ]
   in
   {
     query;
@@ -91,7 +121,8 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) cat query =
       [ algorithm1;
         fd;
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
-        { title = "planner"; nodes = Trace.nodes planner_trace } ];
+        { title = "planner"; nodes = Trace.nodes planner_trace } ]
+      @ cache_section cache;
     rewritten;
     chosen = chosen.Optimizer.Planner.name;
     chosen_query = chosen.Optimizer.Planner.query;

@@ -13,7 +13,9 @@
 
 (** One titled group of decision nodes (one per analysis layer). *)
 type section = {
-  title : string;  (** ["algorithm1"], ["fd-closure"], ["rewrites"], ["planner"] *)
+  title : string;
+      (** ["algorithm1"], ["fd-closure"], ["rewrites"], ["planner"], and
+          ["cache"] when a cache was supplied *)
   nodes : Trace.node list;
 }
 
@@ -39,11 +41,19 @@ type report = {
     [stats] is the planner's table-cardinality callback (default: 1000 rows
     per table). With [~database], the as-written and chosen forms are also
     executed (views expanded first) and their {!Engine.Stats} counters are
-    folded into the report; [hosts] binds host variables for that run. *)
+    folded into the report; [hosts] binds host variables for that run.
+
+    With [~cache], every uniqueness verdict goes through the
+    {!Analysis_cache}: hits add [cache.hit] marker nodes to the analysis
+    sections, an extra ["cache"] section reports the hit/miss/eviction
+    counters, and each execution's {!Engine.Stats.fields} carries them as
+    [cache_hits]/[cache_misses]/[cache_evictions]. Verdicts, rewrites, and
+    the chosen strategy are unchanged by caching. *)
 val explain :
   ?stats:Optimizer.Cost.table_stats ->
   ?database:Engine.Database.t ->
   ?hosts:(string * Sqlval.Value.t) list ->
+  ?cache:Analysis_cache.t ->
   Catalog.t ->
   Sql.Ast.query ->
   report

@@ -7,22 +7,30 @@ type fd = {
 
 type t = fd list
 
+let fd_equal a b = Attr.Set.equal a.lhs b.lhs && Attr.Set.equal a.rhs b.rhs
+
 let empty = []
-let of_list l = l
 let to_list t = t
-let add t f = f :: t
-let union a b = a @ b
+let add t f = if List.exists (fd_equal f) t then t else f :: t
+
+(* Dedup on construction, keeping first occurrences in order. [add]'s
+   prepend-then-reverse keeps this O(n^2) on tiny lists, which derived FD
+   sets are; before this, [union] was a bare [@] and repeated derivation
+   rounds could snowball duplicate dependencies. *)
+let of_list l = List.rev (List.fold_left add empty l)
+let union a b = of_list (to_list a @ to_list b)
 
 let make_fd lhs rhs = { lhs = Attr.set_of_list lhs; rhs = Attr.set_of_list rhs }
 
 let pp_fd ppf f =
   Format.fprintf ppf "%a -> %a" Attr.pp_set f.lhs Attr.pp_set f.rhs
 
-let closure ?(trace = Trace.disabled) t xs =
+let closure_direct ~trace t xs =
   let cur = ref xs in
   let changed = ref true in
   while !changed do
     changed := false;
+    Cache.Counters.record_iteration ();
     List.iter
       (fun f ->
         if Attr.Set.subset f.lhs !cur && not (Attr.Set.subset f.rhs !cur) then begin
@@ -41,6 +49,23 @@ let closure ?(trace = Trace.disabled) t xs =
       t
   done;
   !cur
+
+let closure ?(trace = Trace.disabled) t xs =
+  Cache.Counters.record_call ();
+  (* Tracing needs the per-step provenance only the direct loop produces,
+     so a live trace always takes it — which also keeps the snapshot-tested
+     default trace output independent of the cache. *)
+  if Trace.enabled trace || not (Cache.Runtime.enabled ()) then
+    closure_direct ~trace t xs
+  else
+    let seed = Cache.Interner.bits_of_set xs in
+    let pairs =
+      List.map
+        (fun f ->
+          (Cache.Interner.bits_of_set f.lhs, Cache.Interner.bits_of_set f.rhs))
+        t
+    in
+    Cache.Interner.set_of_bits (Cache.Runtime.memo_closure ~tag:'F' ~seed pairs)
 
 let implies t f = Attr.Set.subset f.rhs (closure t f.lhs)
 

@@ -33,7 +33,7 @@ let pp ppf = function
   | Type1 (a, Host h) -> Format.fprintf ppf "%a = :%s" Attr.pp a h
   | Type2 (a, b) -> Format.fprintf ppf "%a = %a" Attr.pp a Attr.pp b
 
-let closure ?(trace = Trace.disabled) seed eqs =
+let closure_direct ~trace seed eqs =
   let v = ref seed in
   List.iter
     (function
@@ -50,6 +50,7 @@ let closure ?(trace = Trace.disabled) seed eqs =
   let changed = ref true in
   while !changed do
     changed := false;
+    Cache.Counters.record_iteration ();
     List.iter
       (function
         | Type2 (a, b) as eq ->
@@ -74,6 +75,29 @@ let closure ?(trace = Trace.disabled) seed eqs =
       eqs
   done;
   !v
+
+let closure ?(trace = Trace.disabled) seed eqs =
+  Cache.Counters.record_call ();
+  if Trace.enabled trace || not (Cache.Runtime.enabled ()) then
+    closure_direct ~trace seed eqs
+  else
+    (* Encode the equality semantics as saturation pairs: a Type-1 condition
+       binds its column unconditionally (empty lhs always fires), a Type-2
+       condition propagates bound-ness both ways. *)
+    let module B = Cache.Bitset in
+    let id a = Cache.Interner.id a in
+    let pairs =
+      List.concat_map
+        (function
+          | Type1 (a, _) -> [ (B.empty, B.singleton (id a)) ]
+          | Type2 (a, b) ->
+            [ (B.singleton (id a), B.singleton (id b));
+              (B.singleton (id b), B.singleton (id a)) ])
+        eqs
+    in
+    let seed_bits = Cache.Interner.bits_of_set seed in
+    Cache.Interner.set_of_bits
+      (Cache.Runtime.memo_closure ~tag:'E' ~seed:seed_bits pairs)
 
 module Classes = struct
   (* Union-find over attributes, with a constant binding per class. *)

@@ -19,7 +19,7 @@ let strategy_node ?(verdict = Trace.Info) s =
     (if verdict = Trace.Chosen then "cheapest estimate wins"
      else "costed execution strategy")
 
-let enumerate ?(with_rewrites = true) ?(trace = Trace.disabled) cat stats q =
+let enumerate ?(with_rewrites = true) ?cache ?(trace = Trace.disabled) cat stats q =
   let original = strategy cat stats "as-written" q in
   if not with_rewrites then begin
     Trace.emitf trace (fun () -> strategy_node original);
@@ -32,20 +32,22 @@ let enumerate ?(with_rewrites = true) ?(trace = Trace.disabled) cat stats q =
       Trace.emitf trace (fun () -> R.node_of_outcome o);
       if o.R.applied then candidates := strategy cat stats name o.R.result :: !candidates
     in
-    note "distinct-removed (Alg. 1)" (R.remove_redundant_distinct ~analyzer:R.Algorithm1 cat q);
-    note "distinct-removed (FD)" (R.remove_redundant_distinct ~analyzer:R.Fd_closure cat q);
-    note "intersect-to-exists" (R.intersect_to_exists cat q);
-    note "except-to-not-exists" (R.except_to_not_exists cat q);
+    note "distinct-removed (Alg. 1)"
+      (R.remove_redundant_distinct ~analyzer:R.Algorithm1 ?cache cat q);
+    note "distinct-removed (FD)"
+      (R.remove_redundant_distinct ~analyzer:R.Fd_closure ?cache cat q);
+    note "intersect-to-exists" (R.intersect_to_exists ?cache cat q);
+    note "except-to-not-exists" (R.except_to_not_exists ?cache cat q);
     note "group-by-removed" (R.remove_redundant_group_by cat q);
     (match q with
      | Sql.Ast.Spec spec ->
-       note "subquery-to-join" (R.subquery_to_join cat spec);
+       note "subquery-to-join" (R.subquery_to_join ?cache cat spec);
        note "join-to-subquery" (R.join_to_subquery cat spec);
        note "join-eliminated" (R.eliminate_joins cat spec);
        note "predicates-pruned" (R.remove_implied_predicates cat spec)
      | Sql.Ast.Setop _ -> ());
     (* compose: unnest + drop distinct, etc. *)
-    let composed, outcomes = R.apply_all cat q in
+    let composed, outcomes = R.apply_all ?cache cat q in
     if outcomes <> [] && composed <> q then
       candidates := strategy cat stats "rewrites-composed" composed :: !candidates;
     (* dedupe by resulting query *)
@@ -66,8 +68,8 @@ let enumerate ?(with_rewrites = true) ?(trace = Trace.disabled) cat stats q =
     uniq
   end
 
-let choose ?with_rewrites ?(trace = Trace.disabled) cat stats q =
-  let all = enumerate ?with_rewrites ~trace cat stats q in
+let choose ?with_rewrites ?cache ?(trace = Trace.disabled) cat stats q =
+  let all = enumerate ?with_rewrites ?cache ~trace cat stats q in
   match all with
   | [] -> assert false
   | first :: rest ->

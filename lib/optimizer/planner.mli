@@ -15,9 +15,12 @@ type strategy = {
 
 (** With [~trace], every rewrite attempt (fired or refused) emits its
     decision node, followed by a [planner.strategy] node per surviving
-    candidate carrying its cost and cardinality estimates. *)
+    candidate carrying its cost and cardinality estimates. With [~cache],
+    the uniqueness verdicts behind the rewrites are memoized
+    ({!Analysis_cache}) — the candidate set is unchanged. *)
 val enumerate :
   ?with_rewrites:bool ->
+  ?cache:Analysis_cache.t ->
   ?trace:Trace.t ->
   Catalog.t ->
   Cost.table_stats ->
@@ -28,6 +31,7 @@ val enumerate :
     [planner.strategy] node with verdict [Chosen] for the winner. *)
 val choose :
   ?with_rewrites:bool ->
+  ?cache:Analysis_cache.t ->
   ?trace:Trace.t ->
   Catalog.t ->
   Cost.table_stats ->

@@ -229,8 +229,14 @@ let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
     | conjuncts -> loop conjuncts
   end
 
-let distinct_is_redundant ?paper_strict cat q =
-  (analyze ?paper_strict cat q).answer = Yes
+let distinct_is_redundant ?paper_strict ?cache ?(trace = Trace.disabled) cat q =
+  let run () = (analyze ?paper_strict ~trace cat q).answer = Yes in
+  match cache with
+  | None -> run ()
+  | Some c ->
+    (* paper-strict mode answers differently, so it gets its own key space *)
+    let tag = if paper_strict = Some true then "alg1-strict" else "alg1" in
+    Analysis_cache.cached_verdict c ~tag ~trace ~run cat q
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>answer: %s@,reason: %s@,@[<v 2>trace:@,%a@]@]"

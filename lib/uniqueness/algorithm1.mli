@@ -55,7 +55,17 @@ val analyze :
   report
 
 (** [true] iff {!analyze} answers {!Yes}: [SELECT DISTINCT] and [SELECT ALL]
-    coincide, so an optimizer may drop the duplicate-elimination step. *)
-val distinct_is_redundant : ?paper_strict:bool -> Catalog.t -> Sql.Ast.query_spec -> bool
+    coincide, so an optimizer may drop the duplicate-elimination step.
+
+    With [~cache], the verdict is memoized under an [~tag:"alg1"] (or
+    ["alg1-strict"]) fingerprint — see {!Analysis_cache.cached_verdict} for
+    the hit/trace semantics. Caching never changes the answer. *)
+val distinct_is_redundant :
+  ?paper_strict:bool ->
+  ?cache:Analysis_cache.t ->
+  ?trace:Trace.t ->
+  Catalog.t ->
+  Sql.Ast.query_spec ->
+  bool
 
 val pp_report : Format.formatter -> report -> unit

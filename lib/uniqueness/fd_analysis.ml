@@ -92,4 +92,8 @@ let analyze ?(trace = Trace.disabled) cat (q : Sql.Ast.query_spec) =
     finish unique derived_keys
   end
 
-let distinct_is_redundant cat q = (analyze cat q).unique
+let distinct_is_redundant ?cache ?(trace = Trace.disabled) cat q =
+  let run () = (analyze ~trace cat q).unique in
+  match cache with
+  | None -> run ()
+  | Some c -> Analysis_cache.cached_verdict c ~tag:"fd" ~trace ~run cat q

@@ -24,4 +24,12 @@ type report = {
     nothing when disabled (the default). *)
 val analyze : ?trace:Trace.t -> Catalog.t -> Sql.Ast.query_spec -> report
 
-val distinct_is_redundant : Catalog.t -> Sql.Ast.query_spec -> bool
+(** [true] iff {!analyze} reports unique. With [~cache], the verdict is
+    memoized under an [~tag:"fd"] fingerprint — see
+    {!Analysis_cache.cached_verdict}. Caching never changes the answer. *)
+val distinct_is_redundant :
+  ?cache:Analysis_cache.t ->
+  ?trace:Trace.t ->
+  Catalog.t ->
+  Sql.Ast.query_spec ->
+  bool

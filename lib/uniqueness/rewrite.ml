@@ -58,15 +58,15 @@ let node_of_outcome ?(children = []) (o : outcome) =
       (if o.applied then [ ("result", Sql.Pretty.query o.result) ] else [])
     ~children o.justification
 
-let spec_is_unique ?(trace = Trace.disabled) analyzer cat spec =
+let spec_is_unique ?cache ?trace analyzer cat spec =
   match analyzer with
-  | Algorithm1 -> (Algorithm1.analyze ~trace cat spec).Algorithm1.answer = Algorithm1.Yes
-  | Fd_closure -> (Fd_analysis.analyze ~trace cat spec).Fd_analysis.unique
+  | Algorithm1 -> Algorithm1.distinct_is_redundant ?cache ?trace cat spec
+  | Fd_closure -> Fd_analysis.distinct_is_redundant ?cache ?trace cat spec
 
 (* A query-spec operand is duplicate-free if it says DISTINCT or if the
    uniqueness condition holds for its projection. *)
-let operand_is_duplicate_free cat spec =
-  spec.distinct = Distinct || Fd_analysis.distinct_is_redundant cat spec
+let operand_is_duplicate_free ?cache cat spec =
+  spec.distinct = Distinct || Fd_analysis.distinct_is_redundant ?cache cat spec
 
 (* ---- name hygiene ---- *)
 
@@ -216,11 +216,12 @@ let inner_block_unique cat ~outer_rels (sub : query_spec) =
 
 (* ---- 5.1 unnecessary duplicate elimination ---- *)
 
-let remove_redundant_distinct ?(analyzer = Algorithm1) ?trace cat query =
+let remove_redundant_distinct ?(analyzer = Algorithm1) ?cache ?trace cat query =
   let rule = "distinct-removal (Theorem 1)" in
   let citation = "Theorem 1" in
   let rec go = function
-    | Spec q when q.distinct = Distinct && spec_is_unique ?trace analyzer cat q
+    | Spec q
+      when q.distinct = Distinct && spec_is_unique ?cache ?trace analyzer cat q
       ->
       (Spec { q with distinct = All }, true)
     | Spec _ as q -> (q, false)
@@ -300,7 +301,7 @@ let remove_redundant_group_by cat query =
 
 (* ---- 5.2 subquery to join ---- *)
 
-let subquery_to_join cat (q : query_spec) =
+let subquery_to_join ?cache cat (q : query_spec) =
   let rule = "subquery-to-join (Theorem 2 / Corollary 1)" in
   let conjs = conjuncts q.where in
   let rec split acc = function
@@ -346,7 +347,7 @@ let subquery_to_join cat (q : query_spec) =
         "projection is DISTINCT, so duplicates from extra matches collapse"
         (merged sub.from Distinct)
     else if
-      operand_is_duplicate_free cat { q with where = conj others }
+      operand_is_duplicate_free ?cache cat { q with where = conj others }
     then
       applied rule
         "outer block is duplicate-free (Corollary 1): join made DISTINCT"
@@ -686,7 +687,7 @@ let correlation_pred cat ~left ~right =
       else Or (And (Is_null x, Is_null y), Cmp (Eq, x, y)))
     ls rs
 
-let setop_to_exists ~negate cat query =
+let setop_to_exists ?cache ~negate cat query =
   let rule =
     if negate then "except-to-not-exists (section 5.3 extension)"
     else "intersect-to-exists (Theorem 3 / Corollary 2)"
@@ -717,14 +718,14 @@ let setop_to_exists ~negate cat query =
   match query with
   | Setop (op, _, Spec l, Spec r)
     when (op = Intersect && not negate) || (op = Except && negate) ->
-    if operand_is_duplicate_free cat l then begin
+    if operand_is_duplicate_free ?cache cat l then begin
       match build l r with
       | Some result ->
         applied rule "left operand is duplicate-free (Theorem 3)" result
       | None ->
         unchanged rule "projection lists are not plain compatible columns" query
     end
-    else if (not negate) && operand_is_duplicate_free cat r then begin
+    else if (not negate) && operand_is_duplicate_free ?cache cat r then begin
       (* INTERSECT commutes, so the unique operand can drive the probe *)
       match build r l with
       | Some result ->
@@ -738,12 +739,12 @@ let setop_to_exists ~negate cat query =
   | Setop _ | Spec _ ->
     unchanged rule "not a matching set operation on query specifications" query
 
-let intersect_to_exists cat query = setop_to_exists ~negate:false cat query
-let except_to_not_exists cat query = setop_to_exists ~negate:true cat query
+let intersect_to_exists ?cache cat query = setop_to_exists ?cache ~negate:false cat query
+let except_to_not_exists ?cache cat query = setop_to_exists ?cache ~negate:true cat query
 
 (* ---- driver ---- *)
 
-let apply_all ?(analyzer = Algorithm1) ?(trace = Trace.disabled) cat query =
+let apply_all ?(analyzer = Algorithm1) ?cache ?(trace = Trace.disabled) cat query =
   let outcomes = ref [] in
   let note ?children o =
     Trace.emitf trace (fun () -> node_of_outcome ?children o);
@@ -754,8 +755,8 @@ let apply_all ?(analyzer = Algorithm1) ?(trace = Trace.disabled) cat query =
     note o;
     o.result
   in
-  let q = try_rewrite (setop_to_exists ~negate:false cat) query in
-  let q = try_rewrite (setop_to_exists ~negate:true cat) q in
+  let q = try_rewrite (setop_to_exists ?cache ~negate:false cat) query in
+  let q = try_rewrite (setop_to_exists ?cache ~negate:true cat) q in
   let q = try_rewrite (remove_redundant_group_by cat) q in
   let q =
     match q with
@@ -773,7 +774,7 @@ let apply_all ?(analyzer = Algorithm1) ?(trace = Trace.disabled) cat query =
     else
       match q with
       | Spec spec ->
-        let o = subquery_to_join cat spec in
+        let o = subquery_to_join ?cache cat spec in
         note o;
         if o.applied then unnest (fuel - 1) o.result else q
       | Setop _ -> q
@@ -783,7 +784,7 @@ let apply_all ?(analyzer = Algorithm1) ?(trace = Trace.disabled) cat query =
     (* carry the analyzer's own decision trace as children of the
        distinct-removal node: the rewrite's provenance is the analysis *)
     let analysis = Trace.child trace in
-    let o = remove_redundant_distinct ~analyzer ~trace:analysis cat q in
+    let o = remove_redundant_distinct ~analyzer ?cache ~trace:analysis cat q in
     note ~children:(Trace.nodes analysis) o;
     o.result
   in

@@ -31,7 +31,12 @@ val node_of_outcome : ?children:Trace.node list -> outcome -> Trace.node
     (Theorem 1) holds; recurses into set-operation operands only to analyze,
     never to change their semantics. *)
 val remove_redundant_distinct :
-  ?analyzer:analyzer -> ?trace:Trace.t -> Catalog.t -> Sql.Ast.query -> outcome
+  ?analyzer:analyzer ->
+  ?cache:Analysis_cache.t ->
+  ?trace:Trace.t ->
+  Catalog.t ->
+  Sql.Ast.query ->
+  outcome
 
 (** {1 Section 8 extension: unnecessary grouping} *)
 
@@ -52,7 +57,8 @@ val remove_redundant_group_by : Catalog.t -> Sql.Ast.query -> outcome
       projection keeps its [ALL]; or
     - the outer block alone is duplicate-free (Corollary 1) or the query is
       already [DISTINCT] — the join is made [DISTINCT]. *)
-val subquery_to_join : Catalog.t -> Sql.Ast.query_spec -> outcome
+val subquery_to_join :
+  ?cache:Analysis_cache.t -> Catalog.t -> Sql.Ast.query_spec -> outcome
 
 (** {1 Section 6: join to subquery (for navigational systems)} *)
 
@@ -87,20 +93,25 @@ val eliminate_joins : Catalog.t -> Sql.Ast.query_spec -> outcome
     simplified to [x = y] for non-nullable columns, cf. the paper's
     footnote 1). Applies when either operand is duplicate-free; prefers the
     left operand, else swaps (Corollary 2's symmetric case). *)
-val intersect_to_exists : Catalog.t -> Sql.Ast.query -> outcome
+val intersect_to_exists :
+  ?cache:Analysis_cache.t -> Catalog.t -> Sql.Ast.query -> outcome
 
 (** [Q1 EXCEPT [ALL] Q2] to [NOT EXISTS] under the same conditions on the
     left operand (the extension the paper mentions in section 5.3). *)
-val except_to_not_exists : Catalog.t -> Sql.Ast.query -> outcome
+val except_to_not_exists :
+  ?cache:Analysis_cache.t -> Catalog.t -> Sql.Ast.query -> outcome
 
 (** {1 Convenience} *)
 
 (** Apply every enabled rewrite once, outermost first. Returns all outcomes
     that applied, with the final query. With [~trace], {e every} attempt —
     fired or refused — emits its decision node in application order, the
-    distinct-removal node carrying the analyzer's trace as children. *)
+    distinct-removal node carrying the analyzer's trace as children. With
+    [~cache], the uniqueness verdicts the rules rest on are memoized
+    ({!Analysis_cache}); caching never changes which rules fire. *)
 val apply_all :
   ?analyzer:analyzer ->
+  ?cache:Analysis_cache.t ->
   ?trace:Trace.t ->
   Catalog.t ->
   Sql.Ast.query ->

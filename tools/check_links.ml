@@ -1,0 +1,113 @@
+(* Markdown link checker for the repo's own documentation.
+
+   For every [text](target) in the files given on the command line:
+   - external targets (http://, https://, mailto:) are ignored;
+   - a relative target must resolve to an existing file, relative to the
+     directory of the file containing the link;
+   - a #fragment (in-file or cross-file) must match a heading of the target
+     document, under GitHub's slug rules (lowercase, punctuation dropped,
+     spaces to hyphens).
+
+   Prints every broken link and exits 1 if there are any, so CI can run
+   simply: dune exec tools/check_links.exe -- README.md doc/*.md *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let slug_of_heading line =
+  let text =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && line.[!i] = '#' do incr i done;
+    String.trim (String.sub line !i (n - !i))
+  in
+  let b = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c -> Buffer.add_char b c
+      | ' ' | '-' -> Buffer.add_char b '-'
+      | _ -> ())
+    text;
+  Buffer.contents b
+
+let headings text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.length l > 0 && l.[0] = '#')
+  |> List.map slug_of_heading
+
+(* [text](target) occurrences; a one-line scanner is enough for our docs
+   (no reference-style links, no nested brackets in link text) *)
+let links text =
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '[' then begin
+      match String.index_from_opt text !i ']' with
+      | Some j when j + 1 < n && text.[j + 1] = '(' -> (
+        match String.index_from_opt text (j + 1) ')' with
+        | Some k ->
+          out := String.sub text (j + 2) (k - j - 2) :: !out;
+          i := k + 1
+        | None -> incr i)
+      | _ -> incr i
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let is_external t =
+  List.exists
+    (fun p -> String.length t >= String.length p
+              && String.sub t 0 (String.length p) = p)
+    [ "http://"; "https://"; "mailto:" ]
+
+let check_file path =
+  let text = read_file path in
+  let dir = Filename.dirname path in
+  let errors = ref [] in
+  List.iter
+    (fun target ->
+      if not (is_external target) then begin
+        let file, fragment =
+          match String.index_opt target '#' with
+          | Some 0 -> ("", String.sub target 1 (String.length target - 1))
+          | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+          | None -> (target, "")
+        in
+        let resolved =
+          if file = "" then path else Filename.concat dir file
+        in
+        if not (Sys.file_exists resolved) then
+          errors := Printf.sprintf "%s: broken link (%s)" path target :: !errors
+        else if fragment <> "" && Sys.is_regular_file resolved
+                && Filename.check_suffix resolved ".md"
+                && not (List.mem fragment (headings (read_file resolved)))
+        then
+          errors :=
+            Printf.sprintf "%s: missing anchor #%s in %s" path fragment
+              resolved
+            :: !errors
+      end)
+    (links text);
+  List.rev !errors
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as fs) -> fs
+    | _ ->
+      prerr_endline "usage: check_links FILE.md ...";
+      exit 2
+  in
+  let errors = List.concat_map check_file files in
+  List.iter prerr_endline errors;
+  if errors <> [] then exit 1;
+  Printf.printf "check_links: %d files, all intra-repo links resolve\n"
+    (List.length files)
