@@ -33,12 +33,33 @@ let time_ms f =
   let x = f () in
   (x, (Unix.gettimeofday () -. t0) *. 1000.0)
 
-(* median of three timed runs, discarding the result *)
-let measure_ms f =
-  let runs = List.init 3 (fun _ -> snd (time_ms f)) in
-  match List.sort compare runs with
-  | [ _; m; _ ] -> m
-  | _ -> assert false
+(* Every wall-clock number in the harness is the median of [repeats] runs;
+   the spread (max - min over those runs) is carried alongside so a table
+   or trajectory file can show how noisy the figure is. *)
+type timing = { median_ms : float; spread_ms : float }
+
+let median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "median: repeats must be >= 1";
+  let runs =
+    List.sort compare
+      (List.map (fun _ -> snd (time_ms f)) (List.init repeats Fun.id))
+  in
+  let nth = List.nth runs in
+  let med =
+    if repeats mod 2 = 1 then nth (repeats / 2)
+    else (nth ((repeats / 2) - 1) +. nth (repeats / 2)) /. 2.0
+  in
+  { median_ms = med; spread_ms = nth (repeats - 1) -. List.hd runs }
+
+let measure_ms ?repeats f = (median ?repeats f).median_ms
+
+(* [timed f] — [f]'s result plus its median timing (the result is taken
+   from the first run; all harness workloads are deterministic). *)
+let timed ?repeats f =
+  let result = ref None in
+  let keep x = if !result = None then result := Some x in
+  let t = median ?repeats (fun () -> keep (f ())) in
+  (Option.get !result, t)
 
 let run_timed ?config d hosts q =
   let config = match config with Some c -> c | None -> Engine.Exec.default_config () in
@@ -59,8 +80,9 @@ let experiment_f1 () =
       let cfg =
         { Workload.Generator.default with suppliers; parts_per_supplier = 10 }
       in
-      let d, gen_ms = time_ms (fun () -> Workload.Generator.generate cfg) in
-      let violations, val_ms = time_ms (fun () -> Engine.Database.validate d) in
+      let d, gen_t = timed (fun () -> Workload.Generator.generate cfg) in
+      let violations, val_t = timed (fun () -> Engine.Database.validate d) in
+      let gen_ms = gen_t.median_ms and val_ms = val_t.median_ms in
       let rows =
         Engine.Database.row_count d "SUPPLIER"
         + Engine.Database.row_count d "PARTS"
@@ -319,21 +341,24 @@ let experiment_a1 () =
     Workload.Randquery.generate { Workload.Randquery.default with count = 100 }
   in
   let cat = Workload.Randquery.small_catalog in
-  let _, alg1_ms =
-    time_ms (fun () ->
-        List.iter
-          (fun q -> ignore (Uniqueness.Algorithm1.distinct_is_redundant cat q))
-          queries)
+  let alg1_ms =
+    (median (fun () ->
+         List.iter
+           (fun q -> ignore (Uniqueness.Algorithm1.distinct_is_redundant cat q))
+           queries))
+      .median_ms
   in
-  let _, fd_ms =
-    time_ms (fun () ->
-        List.iter
-          (fun q -> ignore (Uniqueness.Fd_analysis.distinct_is_redundant cat q))
-          queries)
+  let fd_ms =
+    (median (fun () ->
+         List.iter
+           (fun q -> ignore (Uniqueness.Fd_analysis.distinct_is_redundant cat q))
+           queries))
+      .median_ms
   in
-  let _, exact_ms =
-    time_ms (fun () ->
-        List.iter (fun q -> ignore (Uniqueness.Exact.check cat q)) queries)
+  let exact_ms =
+    (median (fun () ->
+         List.iter (fun q -> ignore (Uniqueness.Exact.check cat q)) queries))
+      .median_ms
   in
   let n = float_of_int (List.length queries) in
   Printf.printf "%-22s %12s %14s\n" "method" "total (ms)" "per query (ms)";
@@ -355,20 +380,22 @@ let experiment_a1 () =
           { Workload.Randquery.default with count = 10 }
           ~cols
       in
-      let _, a_ms =
-        time_ms (fun () ->
-            List.iter
-              (fun q -> ignore (Uniqueness.Algorithm1.distinct_is_redundant cat q))
-              qs)
+      let a_ms =
+        (median (fun () ->
+             List.iter
+               (fun q -> ignore (Uniqueness.Algorithm1.distinct_is_redundant cat q))
+               qs))
+          .median_ms
       in
-      let _, e_ms =
-        time_ms (fun () ->
-            List.iter
-              (fun q ->
-                match Uniqueness.Exact.check ~max_cells:5_000_000 cat q with
-                | _ -> ()
-                | exception Uniqueness.Exact.Too_large _ -> ())
-              qs)
+      let e_ms =
+        (median (fun () ->
+             List.iter
+               (fun q ->
+                 match Uniqueness.Exact.check ~max_cells:5_000_000 cat q with
+                 | _ -> ()
+                 | exception Uniqueness.Exact.Too_large _ -> ())
+               qs))
+          .median_ms
       in
       Printf.printf "%8d | %16.2f | %16.2f | %9.0fx\n" cols a_ms e_ms
         (e_ms /. max 1e-9 a_ms))
@@ -525,17 +552,19 @@ let experiment_x4 () =
     parse_spec "SELECT DISTINCT V.SNO, V.PNO, V.PNAME FROM SUPPLIED_PARTS V"
   in
   let expanded = Uniqueness.Views.expand cat over_view in
-  let _, t_view =
-    time_ms (fun () ->
-        for _ = 1 to 1000 do
-          ignore (Uniqueness.Algorithm1.distinct_is_redundant cat over_view)
-        done)
+  let t_view =
+    (median (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Uniqueness.Algorithm1.distinct_is_redundant cat over_view)
+         done))
+      .median_ms
   in
-  let _, t_exp =
-    time_ms (fun () ->
-        for _ = 1 to 1000 do
-          ignore (Uniqueness.Algorithm1.distinct_is_redundant cat expanded)
-        done)
+  let t_exp =
+    (median (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Uniqueness.Algorithm1.distinct_is_redundant cat expanded)
+         done))
+      .median_ms
   in
   Printf.printf "Algorithm 1 over the view     : %6.1f us/query (derived keys, no expansion)\n"
     t_view;
@@ -804,6 +833,129 @@ let experiment_analysis_cache () =
   close_out oc;
   Printf.printf "wrote BENCH_analysis_cache.json\n"
 
+(* ----------------------------------------------------------- PARALLEL *)
+
+(* Wall-clock scaling of the batch analysis pipeline over the domain pool:
+   the examples/workload.sql statements replicated many times, analyzed
+   sequentially and on N domains sharing one sharded verdict cache. The
+   replicated statements are alpha-equivalent, so after a warm-up pass the
+   cache serves every verdict — each item still pays its fingerprint
+   canonicalization, which is the work the pool spreads — and the hit
+   traffic is what hammers the shard locks (the contention counter).
+   Speedup is bounded by the machine: the JSON records
+   Domain.recommended_domain_count so a single-core reading (speedup ~1x,
+   pure pool overhead) is distinguishable from a multi-core one. *)
+let experiment_parallel () =
+  section "PARALLEL  domain-pool scaling of the analysis pipeline (BENCH_parallel.json)";
+  let statements =
+    let text =
+      try
+        let ic = open_in_bin "examples/workload.sql" in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      with Sys_error _ -> example1 ^ ";" ^ example2 ^ ";" ^ example7 ^ ";" ^ example9
+    in
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map parse
+  in
+  let replicate = 50 in
+  let work =
+    List.concat (List.init replicate (fun _ -> statements))
+  in
+  let analyze cache q =
+    (match q with
+     | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
+       ignore (Uniqueness.Algorithm1.distinct_is_redundant ~cache catalog s);
+       ignore (Uniqueness.Fd_analysis.distinct_is_redundant ~cache catalog s)
+     | _ -> ());
+    ignore (Uniqueness.Rewrite.apply_all ~cache catalog q)
+  in
+  let run_at jobs =
+    let shards = if jobs > 1 then 16 else 1 in
+    Cache.Mode.set_parallel (jobs > 1);
+    Cache.Runtime.set_shards shards;
+    Cache.Runtime.clear ();
+    let cache = Analysis_cache.create ~capacity:4096 ~shards () in
+    let r =
+      Cache.Runtime.with_enabled true @@ fun () ->
+      Parallel.Pool.with_pool ~jobs @@ fun pool ->
+      (* one warm-up pass fills the cache; the timed passes measure the
+         steady state the batch/serve sessions run in *)
+      Parallel.Pool.map pool (analyze cache) work |> ignore;
+      Analysis_cache.reset_counters cache;
+      let t =
+        median ~repeats:5 (fun () ->
+            Parallel.Pool.map pool (analyze cache) work |> ignore)
+      in
+      (t, Analysis_cache.counters cache, Analysis_cache.contention cache,
+       Analysis_cache.shard_counters cache)
+    in
+    Cache.Mode.set_parallel false;
+    Cache.Runtime.set_shards 1;
+    r
+  in
+  let levels = [ 1; 2; 4 ] in
+  let results = List.map (fun jobs -> (jobs, run_at jobs)) levels in
+  let base_ms =
+    match results with (_, (t, _, _, _)) :: _ -> t.median_ms | [] -> nan
+  in
+  Printf.printf "%d statements x %d replicas = %d queries per pass, 5 passes\n\n"
+    (List.length statements) replicate (List.length work);
+  Printf.printf "%6s | %10s %10s | %8s | %10s %10s %10s\n" "jobs" "median ms"
+    "spread" "speedup" "hits" "misses" "contention";
+  List.iter
+    (fun (jobs, (t, (k : Cache.Lru.counters), contention, _)) ->
+      Printf.printf "%6d | %10.2f %10.2f | %7.2fx | %10d %10d %10d\n" jobs
+        t.median_ms t.spread_ms
+        (base_ms /. max 1e-9 t.median_ms)
+        k.Cache.Lru.c_hits k.Cache.Lru.c_misses contention)
+    results;
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "\nrecommended_domain_count: %d%s\n" cores
+    (if cores = 1 then " (single-core host: parallel rows measure pool overhead)"
+     else "");
+  let level_json (jobs, (t, (k : Cache.Lru.counters), contention, per_shard)) =
+    Trace.Json.Obj
+      [ ("jobs", Trace.Json.Int jobs);
+        ("median_ms", Trace.Json.Float t.median_ms);
+        ("spread_ms", Trace.Json.Float t.spread_ms);
+        ("speedup", Trace.Json.Float (base_ms /. max 1e-9 t.median_ms));
+        ( "cache",
+          Trace.Json.Obj
+            [ ("hits", Trace.Json.Int k.Cache.Lru.c_hits);
+              ("misses", Trace.Json.Int k.Cache.Lru.c_misses);
+              ("evictions", Trace.Json.Int k.Cache.Lru.c_evictions);
+              ("entries", Trace.Json.Int k.Cache.Lru.c_length);
+              ("contention", Trace.Json.Int contention) ] );
+        ( "shards",
+          Trace.Json.List
+            (Array.to_list
+               (Array.mapi
+                  (fun i (s : Cache.Sharded.shard_counters) ->
+                    Trace.Json.Obj
+                      [ ("shard", Trace.Json.Int i);
+                        ("hits", Trace.Json.Int s.Cache.Sharded.s_counters.Cache.Lru.c_hits);
+                        ("misses", Trace.Json.Int s.Cache.Sharded.s_counters.Cache.Lru.c_misses);
+                        ("contention", Trace.Json.Int s.Cache.Sharded.s_contention) ])
+                  per_shard))) ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "parallel");
+        ("queries_per_pass", Trace.Json.Int (List.length work));
+        ("repeats", Trace.Json.Int 5);
+        ("recommended_domain_count", Trace.Json.Int cores);
+        ("levels", Trace.Json.List (List.map level_json results)) ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n"
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -830,6 +982,9 @@ let experiments =
     ("ANALYSIS_CACHE",
      "cold vs warm analysis cache in closure counters (BENCH_analysis_cache.json)",
      experiment_analysis_cache);
+    ("PARALLEL",
+     "domain-pool scaling, sequential vs N domains (BENCH_parallel.json)",
+     experiment_parallel);
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

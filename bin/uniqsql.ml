@@ -12,7 +12,9 @@
 
    The schema defaults to the paper's supplier database (Figure 1); pass
    --ddl FILE (semicolon-separated CREATE TABLE statements) to use your
-   own. Host variables are bound with --set NAME=VALUE. *)
+   own. Host variables are bound with --set NAME=VALUE. batch, serve and
+   fuzz accept --jobs N to fan analyses out over N domains (lib/parallel)
+   with byte-identical output. *)
 
 open Cmdliner
 
@@ -77,6 +79,24 @@ let view_arg =
   Arg.(value & opt_all string []
        & info [ "view" ] ~docv:"DDL"
            ~doc:"Register a view (CREATE VIEW name AS SELECT ...); repeatable.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the analysis pipeline. 1 (the default) \
+                 is the historical sequential path — no domain is spawned, \
+                 no lock is taken. Output is byte-identical at any value \
+                 (cache counters excepted, which depend on scheduling).")
+
+(* Flip the cache layer into its sharded, mutex-protected mode. Must run
+   before any worker domain exists; with jobs = 1 nothing changes and every
+   cache keeps its lock-free single-domain fast path. *)
+let setup_parallel jobs =
+  if jobs < 1 then failwith "--jobs must be >= 1";
+  if jobs > 1 then begin
+    Cache.Mode.set_parallel true;
+    Cache.Runtime.set_shards 16
+  end
 
 let strict_arg =
   Arg.(value & flag
@@ -325,8 +345,9 @@ let fuzz_cmd =
                    (closure memo on). The report must be bit-identical to a \
                    cache-free campaign with the same seed.")
   in
-  let run seed count instances rows cells no_shrink save replay use_cache =
+  let run seed count instances rows cells no_shrink save replay use_cache jobs =
     wrap (fun () ->
+        setup_parallel jobs;
         match replay with
         | Some path ->
           let case = Difftest.Case.load path in
@@ -341,7 +362,10 @@ let fuzz_cmd =
               exact_cells = cells; shrink = not no_shrink;
               use_cache }
           in
-          let report = Difftest.Runner.run config in
+          let report =
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Difftest.Runner.run ~pool config)
+          in
           Format.printf "%a" Difftest.Runner.pp_report report;
           (match save with
            | None -> ()
@@ -368,9 +392,13 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
-             instances judged by the uniqueness, rewrite and agreement oracles.")
+             instances judged by the uniqueness, rewrite and agreement \
+             oracles. Generation is sequential on the seeded RNG and judging \
+             fans out over --jobs domains, so the report is byte-identical \
+             at any job count.")
     Term.(const run $ seed_arg $ count_arg $ instances_arg $ rows_arg
-          $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg $ cache_arg)
+          $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg $ cache_arg
+          $ jobs_arg)
 
 (* ---- batch / serve ---- *)
 
@@ -390,29 +418,35 @@ let pp_cache_stats cache =
 
 (* One line of output per query: the two analyzer verdicts (where they
    apply) and the rewritten form, all served through the shared cache.
-   A bad query reports its error and the session continues. *)
+   A bad query reports its error and the session continues. Returns the
+   reply as a string so it can be computed on any domain and printed in
+   input order by the submitting one. *)
 let process_query cache cat label sql =
-  match Sql.Parser.parse_query sql with
-  | exception Sql.Parser.Parse_error msg ->
-    Format.printf "%s parse error: %s@." label msg
-  | exception Sql.Lexer.Lex_error (msg, off) ->
-    Format.printf "%s lex error at byte %d: %s@." label off msg
-  | q ->
-    (try
-       (match q with
-        | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
-          let alg1 =
-            Uniqueness.Algorithm1.distinct_is_redundant ~cache cat s
-          in
-          let fd = Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat s in
-          Format.printf "%s unique(alg1)=%b unique(fd)=%b" label alg1 fd
-        | _ -> Format.printf "%s unique=n/a" label);
-       let final, outcomes = Uniqueness.Rewrite.apply_all ~cache cat q in
-       Format.printf " rewrites=%d" (List.length outcomes);
-       if outcomes <> [] then
-         Format.printf " final=%s" (Sql.Pretty.query final);
-       Format.printf "@."
-     with e -> Format.printf "%s error: %s@." label (Printexc.to_string e))
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match Sql.Parser.parse_query sql with
+   | exception Sql.Parser.Parse_error msg ->
+     Format.fprintf ppf "%s parse error: %s@." label msg
+   | exception Sql.Lexer.Lex_error (msg, off) ->
+     Format.fprintf ppf "%s lex error at byte %d: %s@." label off msg
+   | q ->
+     (try
+        (match q with
+         | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
+           let alg1 =
+             Uniqueness.Algorithm1.distinct_is_redundant ~cache cat s
+           in
+           let fd = Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat s in
+           Format.fprintf ppf "%s unique(alg1)=%b unique(fd)=%b" label alg1 fd
+         | _ -> Format.fprintf ppf "%s unique=n/a" label);
+        let final, outcomes = Uniqueness.Rewrite.apply_all ~cache cat q in
+        Format.fprintf ppf " rewrites=%d" (List.length outcomes);
+        if outcomes <> [] then
+          Format.fprintf ppf " final=%s" (Sql.Pretty.query final);
+        Format.fprintf ppf "@."
+      with e -> Format.fprintf ppf "%s error: %s@." label (Printexc.to_string e)));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
 
 let split_statements text =
   String.split_on_char ';' text
@@ -427,56 +461,107 @@ let batch_cmd =
                    measure warm-cache behaviour: the second pass is served \
                    from the cache filled by the first.")
   in
-  let run ddl views capacity files =
+  let run ddl views capacity jobs files =
     wrap (fun () ->
+        setup_parallel jobs;
         let cat = catalog_of_ddl ddl views in
-        let cache = Analysis_cache.create ~capacity () in
+        let cache =
+          Analysis_cache.create ~capacity
+            ~shards:(if jobs > 1 then 16 else 1) ()
+        in
         Cache.Runtime.with_enabled true (fun () ->
-            List.iteri
-              (fun pass path ->
-                let stmts = split_statements (read_file path) in
-                List.iteri
-                  (fun i sql ->
-                    process_query cache cat
-                      (Printf.sprintf "[%d:%s:%d]" (pass + 1)
-                         (Filename.basename path) (i + 1))
-                      sql)
-                  stmts)
-              files);
+            let work =
+              List.concat
+                (List.mapi
+                   (fun pass path ->
+                     let stmts = split_statements (read_file path) in
+                     List.mapi
+                       (fun i sql ->
+                         ( Printf.sprintf "[%d:%s:%d]" (pass + 1)
+                             (Filename.basename path) (i + 1),
+                           sql ))
+                       stmts)
+                   files)
+            in
+            (* Replies print in statement order whatever the job count;
+               with jobs = 1 the pool is a no-op and this is the
+               historical sequential loop. *)
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                Parallel.Pool.map pool
+                  (fun (label, sql) -> process_query cache cat label sql)
+                  work)
+            |> List.iter print_string);
         pp_cache_stats cache)
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Analyze and rewrite many queries through one shared analysis \
              cache (verdict memo + closure memo); prints the cache counters \
-             at the end.")
-    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ files_arg)
+             at the end. With --jobs N the queries are analyzed on N domains \
+             sharing the (sharded) cache; the replies still print in order.")
+    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ jobs_arg $ files_arg)
 
 let serve_cmd =
-  let run ddl views capacity =
+  let run ddl views capacity jobs =
     wrap (fun () ->
+        setup_parallel jobs;
         let cat = catalog_of_ddl ddl views in
-        let cache = Analysis_cache.create ~capacity () in
+        let cache =
+          Analysis_cache.create ~capacity
+            ~shards:(if jobs > 1 then 16 else 1) ()
+        in
         Cache.Runtime.with_enabled true (fun () ->
-            let rec loop n =
-              match In_channel.input_line stdin with
-              | None -> ()
-              | Some line ->
-                let line = String.trim line in
-                if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
-                then loop n
-                else if line = ".stats" then begin
-                  pp_cache_stats cache;
-                  Format.print_flush ();
-                  loop n
-                end
-                else begin
-                  process_query cache cat (Printf.sprintf "[%d]" n) line;
-                  Format.print_flush ();
-                  loop (n + 1)
-                end
-            in
-            loop 1);
+            Parallel.Pool.with_pool ~jobs (fun pool ->
+                (* stdin is read sequentially; analyses run on the pool; a
+                   FIFO window of futures keeps replies in input order.
+                   Finished replies at the window's front print eagerly
+                   (Pool.ready); reading only blocks once ~2*jobs analyses
+                   are in flight. With jobs = 1 every async runs inline and
+                   each reply prints before the next line is read — the
+                   historical behaviour. *)
+                let window : string Parallel.Pool.future Queue.t =
+                  Queue.create ()
+                in
+                let pop () = print_string (Parallel.Pool.await pool (Queue.take window)) in
+                let drain_ready () =
+                  while
+                    (not (Queue.is_empty window))
+                    && Parallel.Pool.ready (Queue.peek window)
+                  do
+                    pop ()
+                  done;
+                  flush stdout
+                in
+                let drain_all () =
+                  while not (Queue.is_empty window) do pop () done;
+                  flush stdout
+                in
+                let rec loop n =
+                  match In_channel.input_line stdin with
+                  | None -> drain_all ()
+                  | Some line ->
+                    let line = String.trim line in
+                    if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
+                    then loop n
+                    else if line = ".stats" then begin
+                      (* counters must reflect every query received so far *)
+                      drain_all ();
+                      pp_cache_stats cache;
+                      Format.print_flush ();
+                      loop n
+                    end
+                    else begin
+                      let label = Printf.sprintf "[%d]" n in
+                      Queue.add
+                        (Parallel.Pool.async pool (fun () ->
+                             process_query cache cat label line))
+                        window;
+                      if Queue.length window > 2 * jobs then pop ();
+                      drain_ready ();
+                      loop (n + 1)
+                    end
+                in
+                loop 1));
         pp_cache_stats cache)
   in
   Cmd.v
@@ -484,8 +569,10 @@ let serve_cmd =
        ~doc:"Read queries from stdin, one per line, analyzing each through \
              one long-lived shared analysis cache. Blank lines and -- \
              comments are skipped; the line .stats prints the cache \
-             counters; EOF ends the session (printing them once more).")
-    Term.(const run $ ddl_arg $ view_arg $ capacity_arg)
+             counters; EOF ends the session (printing them once more). \
+             With --jobs N analyses overlap on N domains while replies \
+             still leave in input order.")
+    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ jobs_arg)
 
 let () =
   let doc = "uniqueness-based semantic query optimization (Paulley & Larson, ICDE 1994)" in

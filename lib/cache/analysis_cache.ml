@@ -67,15 +67,17 @@ module Fingerprint = struct
   (* Catalogs are immutable values; "catalog change" means a new value, so a
      single-slot memo on physical equality covers the common case (one
      catalog reused across a whole batch) and can never serve a stale
-     digest. *)
-  let digest_memo : (Catalog.t * string) option ref = ref None
+     digest. Atomic for the benefit of worker domains: two that race on a
+     cold slot both compute the same digest and one write wins — never a
+     stale or torn value. *)
+  let digest_memo : (Catalog.t * string) option Atomic.t = Atomic.make None
 
   let schema_digest cat =
-    match !digest_memo with
+    match Atomic.get digest_memo with
     | Some (c, d) when c == cat -> d
     | _ ->
       let d = compute_digest cat in
-      digest_memo := Some (cat, d);
+      Atomic.set digest_memo (Some (cat, d));
       d
 
   (* ---- canonical (alpha-renamed) query text ---- *)
@@ -203,16 +205,21 @@ module Fingerprint = struct
     tag ^ "#" ^ schema_digest cat ^ "#" ^ body
 end
 
-type t = { verdicts : (string, bool) Cache.Lru.t }
+(* One shard (the default) is byte-for-byte the historical unsharded LRU;
+   the parallel CLI modes create the cache with more shards so worker
+   domains hit different locks. *)
+type t = { verdicts : (string, bool) Cache.Sharded.t }
 
 let default_capacity = 1024
-let create ?(capacity = default_capacity) () =
-  { verdicts = Cache.Lru.create ~capacity }
+let create ?(capacity = default_capacity) ?shards () =
+  { verdicts = Cache.Sharded.create ?shards ~capacity () }
 
-let counters t = Cache.Lru.counters t.verdicts
-let reset_counters t = Cache.Lru.reset_counters t.verdicts
-let clear t = Cache.Lru.clear t.verdicts
-let length t = Cache.Lru.length t.verdicts
+let counters t = Cache.Sharded.counters t.verdicts
+let contention t = Cache.Sharded.contention t.verdicts
+let shard_counters t = Cache.Sharded.shard_counters t.verdicts
+let reset_counters t = Cache.Sharded.reset_counters t.verdicts
+let clear t = Cache.Sharded.clear t.verdicts
+let length t = Cache.Sharded.length t.verdicts
 
 let hit_node key verdict =
   Trace.node ~rule:"cache.hit"
@@ -223,7 +230,7 @@ let hit_node key verdict =
 
 let cached_verdict t ~tag ?(trace = Trace.disabled) ~run cat q =
   let key = Fingerprint.query_key ~tag cat q in
-  match Cache.Lru.find t.verdicts key with
+  match Cache.Sharded.find t.verdicts key with
   | Some v when not (Trace.enabled trace) -> v
   | Some v ->
     (* A traced request must still produce the full provenance tree, so the
@@ -235,5 +242,5 @@ let cached_verdict t ~tag ?(trace = Trace.disabled) ~run cat q =
     fresh
   | None ->
     let v = run () in
-    Cache.Lru.add t.verdicts key v;
+    Cache.Sharded.add t.verdicts key v;
     v

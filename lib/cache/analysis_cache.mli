@@ -32,10 +32,13 @@ module Fingerprint : sig
   val query_key : tag:string -> Catalog.t -> Sql.Ast.query_spec -> string
 end
 
-(** A verdict cache. Not thread-safe; share one per batch/serve session. *)
+(** A verdict cache; share one per batch/serve session. Domain-safe when
+    created with [?shards > 1] {e and} {!Cache.Mode.parallel} is on (the
+    parallel CLI modes arrange both); the default single shard with the
+    mode off is the historical single-domain behaviour, lock-free. *)
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?shards:int -> unit -> t
 
 (** [cached_verdict t ~tag ?trace ~run cat q] — the verdict for [q],
     served from cache when present. On a miss, [run ()] computes and the
@@ -51,8 +54,15 @@ val cached_verdict :
   Sql.Ast.query_spec ->
   bool
 
-(** Hit/miss/eviction counters since creation (or {!reset_counters}). *)
+(** Hit/miss/eviction counters since creation (or {!reset_counters}),
+    aggregated over shards. *)
 val counters : t -> Cache.Lru.counters
+
+(** Total mutex-contention events over all shards (always 0 single-domain). *)
+val contention : t -> int
+
+(** Per-shard counters, for the [PARALLEL] benchmark. *)
+val shard_counters : t -> Cache.Sharded.shard_counters array
 
 val reset_counters : t -> unit
 

@@ -1,15 +1,19 @@
-let closure_calls = ref 0
-let closure_iterations = ref 0
-let closure_memo_hits = ref 0
+(* Atomic so that worker domains can record closure work concurrently;
+   an atomic fetch-and-add is cheap enough to leave unconditional on the
+   single-domain path. *)
 
-let record_call () = incr closure_calls
-let record_iteration () = incr closure_iterations
-let record_memo_hit () = incr closure_memo_hits
+let closure_calls = Atomic.make 0
+let closure_iterations = Atomic.make 0
+let closure_memo_hits = Atomic.make 0
+
+let record_call () = Atomic.incr closure_calls
+let record_iteration () = Atomic.incr closure_iterations
+let record_memo_hit () = Atomic.incr closure_memo_hits
 
 let reset () =
-  closure_calls := 0;
-  closure_iterations := 0;
-  closure_memo_hits := 0
+  Atomic.set closure_calls 0;
+  Atomic.set closure_iterations 0;
+  Atomic.set closure_memo_hits 0
 
 type snapshot = {
   calls : int;
@@ -18,9 +22,9 @@ type snapshot = {
 }
 
 let snapshot () =
-  { calls = !closure_calls;
-    iterations = !closure_iterations;
-    memo_hits = !closure_memo_hits }
+  { calls = Atomic.get closure_calls;
+    iterations = Atomic.get closure_iterations;
+    memo_hits = Atomic.get closure_memo_hits }
 
 let diff a b =
   { calls = b.calls - a.calls;

@@ -3,32 +3,74 @@ module Attr = Schema.Attr
 (* One process-wide table. Attribute names are already canonicalized
    (uppercased) by Attr.make, so interning is a plain hash-cons; the table
    only ever grows, which is fine — a workload touches the attributes of
-   its catalog, not an unbounded stream. *)
+   its catalog, not an unbounded stream.
 
-let ids : (Attr.t, int) Hashtbl.t = Hashtbl.create 256
-let attrs : Attr.t array ref = ref (Array.make 256 (Attr.make ~rel:"" ~name:""))
-let next = ref 0
+   Domain safety: the attr -> id map is sharded by attribute hash with one
+   mutex per shard (taken only in {!Mode.parallel} mode), and allocation of
+   a new id serializes on [alloc_lock]. The reverse array is published with
+   [Atomic.set] {e before} [next] is bumped, so any reader that sees an id
+   [i < next] is guaranteed to see an array that holds slot [i] — ids
+   travel between domains only through mutex-protected caches, which
+   provides the happens-before edge for the slot contents themselves. *)
+
+let n_shards = 16
+
+type shard = {
+  lock : Mutex.t;
+  ids : (Attr.t, int) Hashtbl.t;
+}
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { lock = Mutex.create (); ids = Hashtbl.create 64 })
+
+let alloc_lock = Mutex.create ()
+let next = Atomic.make 0
+let attrs : Attr.t array Atomic.t =
+  Atomic.make (Array.make 256 (Attr.make ~rel:"" ~name:""))
+
+let with_lock m f =
+  if not (Mode.parallel ()) then f ()
+  else begin
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  end
+
+(* Caller holds the shard lock for [a]'s shard, so no other domain can be
+   allocating the same attribute; [alloc_lock] orders allocations from
+   different shards. *)
+let allocate a =
+  with_lock alloc_lock (fun () ->
+      let i = Atomic.get next in
+      let arr = Atomic.get attrs in
+      let arr =
+        if i < Array.length arr then arr
+        else begin
+          let bigger = Array.make (2 * Array.length arr) a in
+          Array.blit arr 0 bigger 0 (Array.length arr);
+          Atomic.set attrs bigger;
+          bigger
+        end
+      in
+      arr.(i) <- a;
+      Atomic.incr next;
+      i)
 
 let id a =
-  match Hashtbl.find_opt ids a with
-  | Some i -> i
-  | None ->
-    let i = !next in
-    incr next;
-    if i >= Array.length !attrs then begin
-      let bigger = Array.make (2 * Array.length !attrs) a in
-      Array.blit !attrs 0 bigger 0 (Array.length !attrs);
-      attrs := bigger
-    end;
-    !attrs.(i) <- a;
-    Hashtbl.add ids a i;
-    i
+  let shard = shards.(Hashtbl.hash a land (n_shards - 1)) in
+  with_lock shard.lock (fun () ->
+      match Hashtbl.find_opt shard.ids a with
+      | Some i -> i
+      | None ->
+        let i = allocate a in
+        Hashtbl.add shard.ids a i;
+        i)
 
 let attr i =
-  if i < 0 || i >= !next then invalid_arg "Interner.attr: unknown id";
-  !attrs.(i)
+  if i < 0 || i >= Atomic.get next then invalid_arg "Interner.attr: unknown id";
+  (Atomic.get attrs).(i)
 
-let size () = !next
+let size () = Atomic.get next
 
 let bits_of_set s = Attr.Set.fold (fun a acc -> Bitset.add (id a) acc) s Bitset.empty
 

@@ -1,0 +1,20 @@
+(* The single process-wide switch between the lock-free single-domain fast
+   path and the mutex-protected multi-domain path. It exists so that
+   [--jobs 1] pays nothing for the parallel machinery: every lock site in
+   this library branches on [parallel ()] (one atomic load) instead of
+   taking an uncontended mutex.
+
+   The switch must be flipped while only one domain is touching the caches
+   — in practice once at CLI startup, or around a [Parallel.Pool] region
+   whose workers have all been joined. Flipping it while worker domains
+   are live is a programming error (the fast path is not domain-safe). *)
+
+let flag = Atomic.make false
+
+let parallel () = Atomic.get flag
+let set_parallel b = Atomic.set flag b
+
+let with_parallel b f =
+  let saved = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f

@@ -1,0 +1,16 @@
+(** Process-wide single-domain / multi-domain mode switch for the cache
+    layer.
+
+    When {e off} (the default), the {!Interner}, {!Sharded} tables and the
+    {!Runtime} memo skip all mutual exclusion: behaviour and performance
+    are exactly those of the pre-parallel, single-core code. When {e on},
+    every shared structure takes its per-shard mutex. The CLI turns it on
+    once at startup when [--jobs N > 1]; it must only be flipped while no
+    worker domain is running. *)
+
+val parallel : unit -> bool
+val set_parallel : bool -> unit
+
+(** [with_parallel b f] — run [f] with the mode set to [b], restoring the
+    previous mode afterwards (exception-safe). For tests. *)
+val with_parallel : bool -> (unit -> 'a) -> 'a

@@ -3,31 +3,49 @@
    where no cache handle can be threaded through without widening every
    analyzer signature. It is disabled by default; the batch/serve drivers
    and the benchmark turn it on, and the difftest fuzzer toggles it both
-   ways to prove it invisible. *)
+   ways to prove it invisible.
 
-let flag = ref false
-let enabled () = !flag
-let set_enabled b = flag := b
+   The table is a {!Sharded} LRU: one shard by default (bit-identical to
+   the historical unsharded behaviour for [--jobs 1]), re-built with
+   [set_shards] when a CLI mode spins up a domain pool. The enable flag is
+   atomic so worker domains read it coherently. *)
+
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
 
 let with_enabled b f =
-  let saved = !flag in
-  flag := b;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+  let saved = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f
 
 let default_capacity = 4096
 let capacity = ref default_capacity
+let shards = ref 1
 
-let table : (string, Bitset.t) Lru.t ref = ref (Lru.create ~capacity:default_capacity)
+let table : (string, Bitset.t) Sharded.t ref =
+  ref (Sharded.create ~capacity:default_capacity ())
+
+let rebuild () =
+  table := Sharded.create ~shards:!shards ~capacity:!capacity ()
 
 let set_capacity n =
   capacity := n;
-  table := Lru.create ~capacity:n
+  rebuild ()
 
-let clear () = table := Lru.create ~capacity:!capacity
+let set_shards n =
+  shards := n;
+  rebuild ()
 
-let find_closure key = Lru.find !table key
-let store_closure key v = Lru.add !table key v
-let counters () = Lru.counters !table
+let shard_count () = Sharded.shard_count !table
+
+let clear () = rebuild ()
+
+let find_closure key = Sharded.find !table key
+let store_closure key v = Sharded.add !table key v
+let counters () = Sharded.counters !table
+let contention () = Sharded.contention !table
+let shard_counters () = Sharded.shard_counters !table
 
 (* Canonical key: a tag byte distinguishing the client (FD closure vs
    equality closure), the seed set, then the dependency pairs sorted — the
@@ -76,6 +94,10 @@ let saturate pairs seed =
   done;
   !cur
 
+(* Two domains that miss on the same key concurrently both compute and
+   both store — the results are equal (saturation is deterministic), so
+   the duplicate work is the only cost, surfacing as extra misses in the
+   counters rather than as any observable difference in answers. *)
 let memo_closure ~tag ~seed pairs =
   let key = closure_key ~tag ~seed pairs in
   match find_closure key with

@@ -21,14 +21,29 @@ val with_enabled : bool -> (unit -> 'a) -> 'a
 (** Replace the table with an empty one of the given capacity. *)
 val set_capacity : int -> unit
 
+(** Replace the table with an empty one of [n] shards (rounded up to a
+    power of two). One shard — the default — reproduces the historical
+    unsharded behaviour exactly; the CLI raises this before spinning up a
+    domain pool so that worker domains hit different locks. *)
+val set_shards : int -> unit
+
+val shard_count : unit -> int
+
 (** Drop all memoized closures (e.g. between benchmark passes). *)
 val clear : unit -> unit
 
 val find_closure : string -> Bitset.t option
 val store_closure : string -> Bitset.t -> unit
 
-(** Hit/miss/eviction counters of the memo table. *)
+(** Hit/miss/eviction counters of the memo table, aggregated over shards. *)
 val counters : unit -> Lru.counters
+
+(** Total mutex-contention events over all shards (always 0 while
+    {!Mode.parallel} is off). *)
+val contention : unit -> int
+
+(** Per-shard counters (for the [PARALLEL] benchmark). *)
+val shard_counters : unit -> Sharded.shard_counters array
 
 (** [closure_key ~tag ~seed pairs] — canonical memo key for the closure of
     [seed] under the (lhs, rhs) dependency [pairs]. The key is insensitive

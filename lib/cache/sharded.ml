@@ -1,0 +1,91 @@
+(* A domain-safe LRU built from [shards] independent {!Lru} tables, each
+   behind its own mutex. Keys are routed by hash, so two domains touching
+   different shards never serialize; the capacity is divided evenly so the
+   whole table still holds at most ~[capacity] entries.
+
+   Locking is skipped entirely when {!Mode.parallel} is off — the
+   single-domain fast path is the plain [Lru] code plus one atomic load —
+   and contention is observable: a [Mutex.try_lock] that fails counts one
+   contention event for that shard before falling back to a blocking
+   lock. *)
+
+type ('k, 'v) t = {
+  shards : ('k, 'v) Lru.t array;
+  locks : Mutex.t array;
+  contention : int Atomic.t array;
+  mask : int;
+}
+
+type shard_counters = {
+  s_counters : Lru.counters;
+  s_contention : int;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(shards = 1) ~capacity () =
+  if shards < 1 then invalid_arg "Sharded.create: shards must be positive";
+  let n = next_pow2 shards 1 in
+  let per_shard = max 1 (capacity / n) in
+  {
+    shards = Array.init n (fun _ -> Lru.create ~capacity:per_shard);
+    locks = Array.init n (fun _ -> Mutex.create ());
+    contention = Array.init n (fun _ -> Atomic.make 0);
+    mask = n - 1;
+  }
+
+let shard_count t = Array.length t.shards
+
+let shard_of t k = Hashtbl.hash k land t.mask
+
+let with_shard t i f =
+  if not (Mode.parallel ()) then f t.shards.(i)
+  else begin
+    let m = t.locks.(i) in
+    if not (Mutex.try_lock m) then begin
+      Atomic.incr t.contention.(i);
+      Mutex.lock m
+    end;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f t.shards.(i))
+  end
+
+let find t k = with_shard t (shard_of t k) (fun s -> Lru.find s k)
+let add t k v = with_shard t (shard_of t k) (fun s -> Lru.add s k v)
+let mem t k = with_shard t (shard_of t k) (fun s -> Lru.mem s k)
+
+let fold_shards t f init =
+  let acc = ref init in
+  Array.iteri (fun i _ -> acc := with_shard t i (fun s -> f !acc s)) t.shards;
+  !acc
+
+let length t = fold_shards t (fun acc s -> acc + Lru.length s) 0
+
+let clear t = fold_shards t (fun () s -> Lru.clear s) ()
+
+let counters t =
+  fold_shards t
+    (fun (acc : Lru.counters) s ->
+      let c = Lru.counters s in
+      {
+        Lru.c_hits = acc.Lru.c_hits + c.Lru.c_hits;
+        c_misses = acc.Lru.c_misses + c.Lru.c_misses;
+        c_evictions = acc.Lru.c_evictions + c.Lru.c_evictions;
+        c_length = acc.Lru.c_length + c.Lru.c_length;
+      })
+    { Lru.c_hits = 0; c_misses = 0; c_evictions = 0; c_length = 0 }
+
+let contention t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.contention
+
+let shard_counters t =
+  Array.mapi
+    (fun i _ ->
+      {
+        s_counters = with_shard t i (fun s -> Lru.counters s);
+        s_contention = Atomic.get t.contention.(i);
+      })
+    t.shards
+
+let reset_counters t =
+  fold_shards t (fun () s -> Lru.reset_counters s) ();
+  Array.iter (fun c -> Atomic.set c 0) t.contention

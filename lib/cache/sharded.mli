@@ -1,0 +1,48 @@
+(** Domain-safe sharded LRU tables.
+
+    A {!t} is [shards] independent {!Lru} tables (shard chosen by key
+    hash), each behind its own mutex, with the capacity divided evenly.
+    With one shard it behaves exactly like a plain {!Lru} of the full
+    capacity — the configuration the sequential CLI paths use, so
+    [--jobs 1] eviction behaviour and counters are unchanged from the
+    unsharded code.
+
+    Mutexes are taken only while {!Mode.parallel} is on; contention (a
+    failed [try_lock] before the blocking lock) is counted per shard and
+    surfaces in the [PARALLEL] benchmark. *)
+
+type ('k, 'v) t
+
+(** One shard's cumulative statistics. *)
+type shard_counters = {
+  s_counters : Lru.counters;
+  s_contention : int;  (** failed [try_lock]s on this shard's mutex *)
+}
+
+(** [create ?shards ~capacity ()] — [shards] (default 1, rounded up to a
+    power of two) tables of [max 1 (capacity / shards)] entries each.
+    @raise Invalid_argument when [shards < 1] or [capacity < shards]
+    leaves a shard without capacity (capacity per shard is clamped to 1). *)
+val create : ?shards:int -> capacity:int -> unit -> ('k, 'v) t
+
+val shard_count : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Presence test (touches neither recency nor counters). *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+
+(** Aggregate over all shards (hits/misses/evictions/length summed). *)
+val counters : ('k, 'v) t -> Lru.counters
+
+(** Total contention events over all shards. *)
+val contention : ('k, 'v) t -> int
+
+(** Per-shard counters, in shard order (stable across calls). *)
+val shard_counters : ('k, 'v) t -> shard_counters array
+
+val reset_counters : ('k, 'v) t -> unit

@@ -44,11 +44,17 @@ let oracle_fails ~max_cells oracle c =
          | Oracle.Pass | Oracle.Skip _ -> false)
     (Oracle.all ~max_cells c)
 
-let run ?(log = fun _ -> ()) config =
+let run ?(log = fun _ -> ()) ?pool config =
+  let jobs = match pool with None -> 1 | Some p -> Parallel.Pool.jobs p in
   (* One shared cache (and the closure memo) for the whole campaign when
      requested: the report must come out bit-identical either way, which the
      cache smoke test asserts by diffing the two. *)
-  let cache = if config.use_cache then Some (Analysis_cache.create ()) else None in
+  let cache =
+    if config.use_cache then
+      Some (Analysis_cache.create ~shards:(if jobs > 1 then 16 else 1) ())
+    else None
+  in
+  Cache.Mode.with_parallel (jobs > 1) @@ fun () ->
   Cache.Runtime.with_enabled config.use_cache @@ fun () ->
   let rng = Random.State.make [| config.seed |] in
   let tally : (string, int * int * int) Hashtbl.t = Hashtbl.create 32 in
@@ -58,31 +64,65 @@ let run ?(log = fun _ -> ()) config =
   in
   let discrepancies = ref [] in
   let skipped_cases = ref 0 in
-  for i = 0 to config.count - 1 do
-    log i;
-    let c =
-      Case.generate ~rng ~instances:config.instances ~rows:config.rows ()
+  (* Judging a case draws no randomness, so it can run on any domain; only
+     generation touches [rng] and stays on this one. *)
+  let judge c =
+    if not (Shrink.valid c) then `Invalid
+    else `Findings (Oracle.all ~max_cells:config.exact_cells ?cache c)
+  in
+  let block_size = match pool with None -> 1 | Some p -> 32 * Parallel.Pool.jobs p in
+  let next = ref 0 in
+  while !next < config.count do
+    let n = min block_size (config.count - !next) in
+    (* Generate the block in index order off the single RNG stream (an
+       explicit loop: [List.init]'s evaluation order is unspecified), so
+       the cases — hence the report — are bit-identical at any job count. *)
+    let block = ref [] in
+    for i = !next to !next + n - 1 do
+      log i;
+      let c =
+        Case.generate ~rng ~instances:config.instances ~rows:config.rows ()
+      in
+      block := (i, c) :: !block
+    done;
+    let judged =
+      let f (i, c) = (i, c, judge c) in
+      let block = List.rev !block in
+      match pool with
+      | None -> List.map f block
+      | Some p -> Parallel.Pool.map p f block
     in
-    if not (Shrink.valid c) then incr skipped_cases
-    else
-      List.iter
-        (fun (f : Oracle.finding) ->
-          match f.Oracle.verdict with
-          | Oracle.Pass -> bump f.Oracle.oracle (fun (p, s, x) -> (p + 1, s, x))
-          | Oracle.Skip _ -> bump f.Oracle.oracle (fun (p, s, x) -> (p, s + 1, x))
-          | Oracle.Fail detail ->
-            bump f.Oracle.oracle (fun (p, s, x) -> (p, s, x + 1));
-            let case =
-              if config.shrink then
-                Shrink.minimize
-                  ~fails:(oracle_fails ~max_cells:config.exact_cells f.Oracle.oracle)
-                  c
-              else c
-            in
-            discrepancies :=
-              { case_index = i; oracle = f.Oracle.oracle; detail; case }
-              :: !discrepancies)
-        (Oracle.all ~max_cells:config.exact_cells ?cache c)
+    (* Merge in submission order; shrinking replays oracles, so it runs here
+       on the submitting domain, not inside the judged block. *)
+    List.iter
+      (fun (i, c, outcome) ->
+        match outcome with
+        | `Invalid -> incr skipped_cases
+        | `Findings findings ->
+          List.iter
+            (fun (f : Oracle.finding) ->
+              match f.Oracle.verdict with
+              | Oracle.Pass ->
+                bump f.Oracle.oracle (fun (p, s, x) -> (p + 1, s, x))
+              | Oracle.Skip _ ->
+                bump f.Oracle.oracle (fun (p, s, x) -> (p, s + 1, x))
+              | Oracle.Fail detail ->
+                bump f.Oracle.oracle (fun (p, s, x) -> (p, s, x + 1));
+                let case =
+                  if config.shrink then
+                    Shrink.minimize
+                      ~fails:
+                        (oracle_fails ~max_cells:config.exact_cells
+                           f.Oracle.oracle)
+                      c
+                  else c
+                in
+                discrepancies :=
+                  { case_index = i; oracle = f.Oracle.oracle; detail; case }
+                  :: !discrepancies)
+            findings)
+      judged;
+    next := !next + n
   done;
   let per_oracle =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []

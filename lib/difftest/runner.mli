@@ -41,7 +41,14 @@ type report = {
   discrepancies : discrepancy list;
 }
 
-val run : ?log:(int -> unit) -> config -> report
+(** [run ?log ?pool config] — execute the campaign. With a [?pool], case
+    {e generation} stays sequential on the single seeded RNG stream while
+    oracle judging fans out over the pool's domains, and results merge back
+    in case order — the report is byte-identical at any job count (the
+    pool-consistency check in [test/test_difftest.ml] diffs [--jobs 1]
+    against [--jobs 4]). [Cache.Mode.parallel] is forced on for the
+    campaign's duration whenever the pool has more than one domain. *)
+val run : ?log:(int -> unit) -> ?pool:Parallel.Pool.t -> config -> report
 
 (** Re-judge a stored corpus case (all three oracles). *)
 val replay : ?max_cells:int -> Case.t -> Oracle.finding list

@@ -11,6 +11,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable cache_contention : int;
 }
 
 let create () =
@@ -27,6 +28,7 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    cache_contention = 0;
   }
 
 let reset t =
@@ -41,7 +43,8 @@ let reset t =
   t.subquery_evals <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
-  t.cache_evictions <- 0
+  t.cache_evictions <- 0;
+  t.cache_contention <- 0
 
 let add t u =
   t.rows_scanned <- t.rows_scanned + u.rows_scanned;
@@ -55,12 +58,14 @@ let add t u =
   t.subquery_evals <- t.subquery_evals + u.subquery_evals;
   t.cache_hits <- t.cache_hits + u.cache_hits;
   t.cache_misses <- t.cache_misses + u.cache_misses;
-  t.cache_evictions <- t.cache_evictions + u.cache_evictions
+  t.cache_evictions <- t.cache_evictions + u.cache_evictions;
+  t.cache_contention <- t.cache_contention + u.cache_contention
 
-let record_cache t ~hits ~misses ~evictions =
+let record_cache t ~hits ~misses ~evictions ~contention =
   t.cache_hits <- hits;
   t.cache_misses <- misses;
-  t.cache_evictions <- evictions
+  t.cache_evictions <- evictions;
+  t.cache_contention <- contention
 
 let fields t =
   [ ("rows_scanned", t.rows_scanned);
@@ -74,15 +79,16 @@ let fields t =
     ("subquery_evals", t.subquery_evals);
     ("cache_hits", t.cache_hits);
     ("cache_misses", t.cache_misses);
-    ("cache_evictions", t.cache_evictions) ]
+    ("cache_evictions", t.cache_evictions);
+    ("cache_contention", t.cache_contention) ]
 
 let pp ppf t =
   Format.fprintf ppf
     "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \
      comparisons=%d hash_probes=%d subqueries=%d cache_hits=%d \
-     cache_misses=%d cache_evictions=%d"
+     cache_misses=%d cache_evictions=%d cache_contention=%d"
     t.rows_scanned t.rows_output t.predicate_evals t.product_pairs t.sorts
     t.sorted_rows t.comparisons t.hash_probes t.subquery_evals t.cache_hits
-    t.cache_misses t.cache_evictions
+    t.cache_misses t.cache_evictions t.cache_contention
 
 let to_string t = Format.asprintf "%a" pp t

@@ -16,6 +16,7 @@ type t = {
   mutable cache_hits : int;         (** analysis-cache verdict hits *)
   mutable cache_misses : int;       (** analysis-cache verdict misses *)
   mutable cache_evictions : int;    (** analysis-cache LRU evictions *)
+  mutable cache_contention : int;   (** analysis-cache shard-lock contention *)
 }
 
 val create : unit -> t
@@ -25,7 +26,8 @@ val add : t -> t -> unit
 (** Overwrite the analysis-cache counters with a fresh reading (they are
     gauges of the shared cache, not per-execution deltas, so adding readings
     from two reports would double-count). *)
-val record_cache : t -> hits:int -> misses:int -> evictions:int -> unit
+val record_cache :
+  t -> hits:int -> misses:int -> evictions:int -> contention:int -> unit
 
 (** Counter name/value pairs in declaration order — the stable interchange
     form used to fold execution counters into explain reports (both the

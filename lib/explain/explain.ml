@@ -57,7 +57,8 @@ let run_execution ?cache cat database hosts label q =
     let k = Analysis_cache.counters c in
     Engine.Stats.record_cache config.Engine.Exec.stats
       ~hits:k.Cache.Lru.c_hits ~misses:k.Cache.Lru.c_misses
-      ~evictions:k.Cache.Lru.c_evictions);
+      ~evictions:k.Cache.Lru.c_evictions
+      ~contention:(Analysis_cache.contention c));
   {
     label;
     sql = Sql.Pretty.query q;

@@ -1,0 +1,176 @@
+(* One shared FIFO of thunks, [jobs - 1] worker domains pulling from it,
+   and the submitting domain pulling too whenever it would otherwise block
+   in [await]. Every completed task signals [progress]; workers sleep on
+   [wakeup]. The deterministic ordering guarantees live entirely in the
+   callers ([map] concatenates chunk results in submission order, [await]
+   is per-future), so the scheduler itself is free to run tasks in any
+   order on any domain. *)
+
+type 'a cell =
+  | Pending
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a future = { mutable cell : 'a cell }
+
+type shared = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;  (* workers: the queue may be non-empty / shutdown *)
+  progress : Condition.t;  (* awaiters: some task completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+}
+
+type t = {
+  n_jobs : int;
+  shared : shared option;  (* None iff n_jobs = 1: the sequential path *)
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.n_jobs
+
+let worker shared =
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    let rec next () =
+      match Queue.take_opt shared.queue with
+      | Some task -> Some task
+      | None ->
+        if shared.stop then None
+        else begin
+          Condition.wait shared.wakeup shared.mutex;
+          next ()
+        end
+    in
+    let task = next () in
+    Mutex.unlock shared.mutex;
+    match task with
+    | None -> ()
+    | Some run ->
+      run ();
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  if jobs = 1 then { n_jobs = 1; shared = None; domains = [] }
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        wakeup = Condition.create ();
+        progress = Condition.create ();
+        queue = Queue.create ();
+        stop = false;
+      }
+    in
+    let domains =
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker shared))
+    in
+    { n_jobs = jobs; shared = Some shared; domains }
+  end
+
+(* Tasks never let an exception escape into the worker loop: the outcome —
+   value or exception + backtrace — is stored in the future and re-raised
+   by whoever awaits it. The cell write happens under the pool mutex, which
+   is also the publication point for cross-domain visibility. *)
+let run_to_cell f =
+  match f () with
+  | v -> Value v
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+let async t f =
+  match t.shared with
+  | None -> { cell = run_to_cell f }
+  | Some shared ->
+    let fut = { cell = Pending } in
+    let run () =
+      let outcome = run_to_cell f in
+      Mutex.lock shared.mutex;
+      fut.cell <- outcome;
+      Condition.broadcast shared.progress;
+      Mutex.unlock shared.mutex
+    in
+    Mutex.lock shared.mutex;
+    Queue.add run shared.queue;
+    Condition.signal shared.wakeup;
+    Mutex.unlock shared.mutex;
+    fut
+
+(* Advisory, lock-free: the cell only ever moves Pending -> completed, so
+   a stale read is a false "not ready", never a false "ready". *)
+let ready fut = match fut.cell with Pending -> false | Value _ | Raised _ -> true
+
+let finish = function
+  | Value v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let await t fut =
+  match t.shared with
+  | None -> finish fut.cell
+  | Some shared ->
+    let rec wait () =
+      Mutex.lock shared.mutex;
+      match fut.cell with
+      | Value _ | Raised _ ->
+        let c = fut.cell in
+        Mutex.unlock shared.mutex;
+        finish c
+      | Pending -> (
+        (* Help instead of idling: run a queued task (possibly the very one
+           we are waiting for), then look again. *)
+        match Queue.take_opt shared.queue with
+        | Some run ->
+          Mutex.unlock shared.mutex;
+          run ();
+          wait ()
+        | None ->
+          Condition.wait shared.progress shared.mutex;
+          let c = fut.cell in
+          Mutex.unlock shared.mutex;
+          (match c with Pending -> wait () | done_ -> finish done_))
+    in
+    wait ()
+
+let map t f xs =
+  match t.shared with
+  | None -> List.map f xs
+  | Some _ ->
+    let n = List.length xs in
+    if n = 0 then []
+    else begin
+      (* Several chunks per domain, so a slow chunk is backfilled by idle
+         workers instead of setting the critical path. *)
+      let chunk_size = max 1 (1 + ((n - 1) / (t.n_jobs * 4))) in
+      let rec chunks acc cur len = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | x :: rest ->
+          if len = chunk_size then chunks (List.rev cur :: acc) [ x ] 1 rest
+          else chunks acc (x :: cur) (len + 1) rest
+      in
+      let futures =
+        List.map
+          (fun chunk -> async t (fun () -> List.map f chunk))
+          (chunks [] [] 0 xs)
+      in
+      (* Await in submission order: results concatenate deterministically
+         and the first failing chunk (in that order) re-raises here. *)
+      List.concat_map (fun fut -> await t fut) futures
+    end
+
+let shutdown t =
+  match t.shared with
+  | None -> ()
+  | Some shared ->
+    Mutex.lock shared.mutex;
+    shared.stop <- true;
+    Condition.broadcast shared.wakeup;
+    Mutex.unlock shared.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,71 @@
+(** A fixed-size pool of worker domains with a work-sharing scheduler.
+
+    The analysis pipeline is embarrassingly parallel across queries — the
+    shape Graefe's Volcano exchange operator exploits — so the pool's only
+    job is to spread independent analyses over the cores without changing
+    any observable ordering. Three properties are guaranteed:
+
+    - {e Deterministic result order.} {!map} and {!await} deliver results in
+      submission order, never completion order, so batch output, fuzz
+      reports, and serve replies are byte-identical at any [--jobs] level.
+    - {e Exceptions travel to the submitter.} An exception raised inside a
+      worker is captured with its backtrace and re-raised by {!map} /
+      {!await} on the submitting domain (the first failing item in
+      submission order wins). Workers never die; the pool stays usable.
+    - {e [jobs = 1] degenerates to the sequential path.} No domain is
+      spawned, no mutex is taken, {!map} is [List.map]: single-core
+      behaviour and performance are exactly those of the code before the
+      pool existed.
+
+    Scheduling is chunked work-sharing: {!map} splits its input into
+    contiguous chunks (several per worker) pushed to one shared FIFO; idle
+    workers — and the submitting domain itself while it waits — pull the
+    next chunk, so an expensive item delays only its own chunk, not the
+    whole batch. Hand-rolled on [Domain]/[Mutex]/[Condition]; no external
+    dependency.
+
+    The pool is not reentrant: do not call {!map}, {!async} or {!await}
+    from inside a task running on this pool. *)
+
+type t
+
+(** [create ~jobs] — a pool that runs work on [jobs] domains total: the
+    submitting domain plus [jobs - 1] spawned workers ([jobs = 1] spawns
+    nothing). @raise Invalid_argument when [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Total domains working for this pool (the [~jobs] it was created with). *)
+val jobs : t -> int
+
+(** [map t f xs] — [List.map f xs], evaluated in parallel chunks. Results
+    arrive in submission order; the first exception (in submission order) is
+    re-raised on the calling domain after the batch has drained. The pool is
+    reusable immediately afterwards, including after an exception. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** A single submitted task (used by [uniqsql serve] to keep a sliding
+    window of in-flight queries while stdin is read sequentially). *)
+type 'a future
+
+(** [async t f] — submit [f] for execution on any domain of the pool. With
+    [jobs = 1] the call runs [f] immediately on the calling domain. *)
+val async : t -> (unit -> 'a) -> 'a future
+
+(** [ready fut] — has the task completed? Advisory and non-blocking: a
+    [false] may be stale (the task just finished on another domain), a
+    [true] is definitive. Lets [uniqsql serve] emit finished replies
+    eagerly without blocking on the next stdin line. *)
+val ready : 'a future -> bool
+
+(** [await t fut] — block until [fut] is done and return its result, or
+    re-raise (with backtrace) the exception its task raised. While waiting,
+    the calling domain executes other queued tasks of the pool rather than
+    idling. *)
+val await : t -> 'a future -> 'a
+
+(** Join the worker domains. Queued tasks are finished first; the pool must
+    not be used afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] — [create], run [f], always [shutdown]. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

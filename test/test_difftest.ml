@@ -103,6 +103,27 @@ let test_campaign_deterministic () =
   let b = report_text (D.Runner.run campaign_config) in
   Alcotest.(check string) "identical reports" a b
 
+(* pool-consistency oracle: judging the campaign on 4 domains must merge
+   back into the byte-identical report the sequential run produces, with
+   the shared cache on as well as off *)
+let test_campaign_pool_consistent () =
+  let sequential = report_text (D.Runner.run campaign_config) in
+  let pooled =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        report_text (D.Runner.run ~pool campaign_config))
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4" sequential pooled;
+  let cached = { campaign_config with D.Runner.use_cache = true } in
+  let seq_cached = report_text (D.Runner.run cached) in
+  let pooled_cached =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        report_text (D.Runner.run ~pool cached))
+  in
+  Alcotest.(check string) "cache-free = shared-cache, pooled" sequential
+    seq_cached;
+  Alcotest.(check string) "jobs 1 = jobs 4 with the shared cache" seq_cached
+    pooled_cached
+
 (* ---- regression corpus ---- *)
 
 let corpus_files () =
@@ -153,6 +174,8 @@ let () =
             test_campaign_clean;
           Alcotest.test_case "same seed, same report" `Quick
             test_campaign_deterministic;
+          Alcotest.test_case "4-domain pool, same report" `Quick
+            test_campaign_pool_consistent;
         ] );
       ( "corpus",
         [

@@ -1,0 +1,197 @@
+(* Tests for the domain pool and the domain-safe sharded cache: map's
+   submission-order determinism, exception capture across domains, pool
+   reuse, the jobs = 1 sequential degeneration, and a multi-domain stress
+   run on one sharded LRU whose counters must add up exactly. *)
+
+module Pool = Parallel.Pool
+module S = Cache.Sharded
+module L = Cache.Lru
+
+exception Boom of int
+
+(* results arrive in submission order, not completion order: give the
+   early items the most work so completion order would be reversed *)
+let test_map_submission_order () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let n = 200 in
+  let inputs = List.init n Fun.id in
+  let slow i =
+    let spins = (n - i) * 50 in
+    let acc = ref 0 in
+    for k = 1 to spins do
+      acc := (!acc * 7) + k
+    done;
+    ignore !acc;
+    i * i
+  in
+  Alcotest.(check (list int))
+    "map keeps submission order"
+    (List.map (fun i -> i * i) inputs)
+    (Pool.map pool slow inputs)
+
+let test_map_empty_and_small () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+  Alcotest.(check (list int)) "fewer items than domains" [ 2; 4 ]
+    (Pool.map pool (fun x -> 2 * x) [ 1; 2 ])
+
+(* an exception raised inside a worker re-raises on the submitting domain;
+   the pool stays usable afterwards *)
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  (match Pool.map pool (fun i -> if i = 17 then raise (Boom i) else i)
+           (List.init 64 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Boom to re-raise"
+  | exception Boom 17 -> ());
+  Alcotest.(check (list int)) "pool survives a raising batch" [ 1; 2; 3 ]
+    (Pool.map pool (fun x -> x) [ 1; 2; 3 ]);
+  (* async/await propagate too *)
+  let fut = Pool.async pool (fun () -> raise (Boom 3)) in
+  (match Pool.await pool fut with
+  | _ -> Alcotest.fail "expected Boom from await"
+  | exception Boom 3 -> ())
+
+let test_pool_reuse_across_batches () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  for round = 1 to 5 do
+    let xs = List.init 40 (fun i -> (round * 100) + i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      (List.map succ xs)
+      (Pool.map pool succ xs)
+  done
+
+(* jobs = 1 spawns nothing: every task runs inline on the calling domain,
+   and a future is already resolved when async returns *)
+let test_jobs1_degenerates_to_sequential () =
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+  let self = Domain.self () in
+  let ran_on = ref None in
+  let fut = Pool.async pool (fun () -> ran_on := Some (Domain.self ())) in
+  Alcotest.(check bool) "async ran inline" true (Pool.ready fut);
+  Pool.await pool fut;
+  Alcotest.(check bool) "on the calling domain" true (!ran_on = Some self);
+  (* side effects happen in list order, like List.map *)
+  let order = ref [] in
+  ignore
+    (Pool.map pool
+       (fun i ->
+         order := i :: !order;
+         i)
+       [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "left-to-right effects" [ 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_create_rejects_zero_jobs () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+(* ---- sharded LRU under concurrency ---- *)
+
+(* four domains hammer one sharded table; afterwards, with the dust
+   settled, hits + misses over the shards must equal the number of finds
+   issued, and every key must be present with its correct value *)
+let test_sharded_stress_counters () =
+  let keys_per_domain = 2_000 in
+  let domains = 4 in
+  let t : (int, int) S.t = S.create ~shards:8 ~capacity:100_000 () in
+  Cache.Mode.with_parallel true @@ fun () ->
+  Pool.with_pool ~jobs:domains @@ fun pool ->
+  let worker d =
+    (* overlapping key ranges: half shared with the neighbour *)
+    let base = d * keys_per_domain / 2 in
+    let found = ref 0 in
+    for k = base to base + keys_per_domain - 1 do
+      (match S.find t k with
+      | Some v -> if v <> 2 * k then Alcotest.fail "wrong value under race"
+      | None -> S.add t k (2 * k));
+      (match S.find t k with
+      | Some v ->
+        incr found;
+        if v <> 2 * k then Alcotest.fail "wrong value under race"
+      | None -> Alcotest.fail "just-added key missing")
+    done;
+    !found
+  in
+  let found = Pool.map pool worker (List.init domains Fun.id) in
+  Alcotest.(check int) "second find always hits"
+    (domains * keys_per_domain)
+    (List.fold_left ( + ) 0 found);
+  let agg = S.counters t in
+  Alcotest.(check int) "hits + misses = finds issued"
+    (2 * domains * keys_per_domain)
+    (agg.L.c_hits + agg.L.c_misses);
+  Alcotest.(check int) "no evictions at this capacity" 0 agg.L.c_evictions;
+  (* per-shard counters sum to the aggregate *)
+  let per = S.shard_counters t in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 per in
+  Alcotest.(check int) "shard hits sum" agg.L.c_hits
+    (sum (fun s -> s.S.s_counters.L.c_hits));
+  Alcotest.(check int) "shard misses sum" agg.L.c_misses
+    (sum (fun s -> s.S.s_counters.L.c_misses));
+  Alcotest.(check int) "contention sums" (S.contention t)
+    (sum (fun s -> s.S.s_contention));
+  (* every key that was added is still there with its value *)
+  let all_keys = (domains - 1) * keys_per_domain / 2 + keys_per_domain in
+  Alcotest.(check int) "entry count" all_keys (S.length t);
+  for k = 0 to all_keys - 1 do
+    match S.find t k with
+    | Some v when v = 2 * k -> ()
+    | Some _ -> Alcotest.fail "corrupted value after stress"
+    | None -> Alcotest.fail (Printf.sprintf "key %d lost after stress" k)
+  done
+
+(* the interner allocates dense, stable ids when four domains intern
+   overlapping attribute sets concurrently *)
+let test_interner_stress () =
+  let attrs_per_domain = 500 in
+  let domains = 4 in
+  Cache.Mode.with_parallel true @@ fun () ->
+  Pool.with_pool ~jobs:domains @@ fun pool ->
+  let worker d =
+    let base = d * attrs_per_domain / 2 in
+    List.init attrs_per_domain (fun i ->
+        let a =
+          Schema.Attr.of_string (Printf.sprintf "STRESS.C%d" (base + i))
+        in
+        let id = Cache.Interner.id a in
+        if not (Schema.Attr.equal (Cache.Interner.attr id) a) then
+          Alcotest.fail "interned id resolves to the wrong attribute";
+        (a, id))
+  in
+  let pairs = List.concat (Pool.map pool worker (List.init domains Fun.id)) in
+  (* same attribute always got the same id, across all domains *)
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (a, id) ->
+      let key = Schema.Attr.to_string a in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.add tbl key id
+      | Some id' ->
+        if id <> id' then
+          Alcotest.fail (Printf.sprintf "%s interned twice: %d and %d" key id id'))
+    pairs
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "map keeps submission order" `Quick
+            test_map_submission_order;
+          Alcotest.test_case "empty and small inputs" `Quick
+            test_map_empty_and_small;
+          Alcotest.test_case "worker exception re-raises at the submitter"
+            `Quick test_exception_propagation;
+          Alcotest.test_case "reusable across batches" `Quick
+            test_pool_reuse_across_batches;
+          Alcotest.test_case "jobs=1 is the sequential path" `Quick
+            test_jobs1_degenerates_to_sequential;
+          Alcotest.test_case "rejects jobs < 1" `Quick
+            test_create_rejects_zero_jobs ] );
+      ( "sharded",
+        [ Alcotest.test_case "4-domain LRU stress, counters add up" `Quick
+            test_sharded_stress_counters;
+          Alcotest.test_case "4-domain interner stress" `Quick
+            test_interner_stress ] ) ]
