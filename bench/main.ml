@@ -833,18 +833,216 @@ let experiment_analysis_cache () =
   close_out oc;
   Printf.printf "wrote BENCH_analysis_cache.json\n"
 
+(* ---------------------------------------------------------- NORMALIZE *)
+
+(* Normalization + closure engine v2 (BENCH_normalize.json):
+
+   1. closure engines — the paper workload analyzed with the sweep
+      fixpoint vs the counter-based linear engine; the linear engine must
+      do strictly fewer recorded iterations (one per closure call instead
+      of one per re-scan);
+   2. conjunct counts — a predicate with shared atoms, conversion counts
+      with and without the interning/dedup/subsumption the engine applies
+      (the "without" figure is the raw distribution product the old
+      round-tripping converter materialized);
+   3. adversarial nested OR-of-ANDs — distributions of 2^15..2^21 clauses
+      (the largest past a million conjuncts) must complete under the
+      clause budget in bounded memory, answer the sound MAYBE, leave a
+      norm.budget trace node, and stay under a wall-clock ceiling.
+
+   The asserts make the experiment its own CI check: a regression on any
+   of the three exits non-zero. *)
+let experiment_normalize () =
+  section "NORMALIZE  normalization + closure engine v2 (BENCH_normalize.json)";
+  let work =
+    List.map
+      (fun sql -> (catalog, parse_spec sql))
+      [ example1; example2; example7; example8;
+        "SELECT DISTINCT S.SNO, S.SNAME FROM SUPPLIER S WHERE S.SCITY = \
+         'Chicago'" ]
+    @ List.map
+        (fun q -> (Workload.Randquery.small_catalog, q))
+        (Workload.Randquery.generate
+           { Workload.Randquery.default with count = 60 })
+  in
+  let pass () =
+    List.iter
+      (fun (cat, q) ->
+        ignore (Uniqueness.Algorithm1.distinct_is_redundant cat q);
+        ignore (Uniqueness.Fd_analysis.distinct_is_redundant cat q))
+      work
+  in
+  let run_engine engine =
+    Cache.Runtime.set_engine engine;
+    Cache.Counters.reset ();
+    pass ();
+    let c = Cache.Counters.snapshot () in
+    let t = median ~repeats:5 pass in
+    (c, t)
+  in
+  let sweep_c, sweep_t = run_engine `Sweep in
+  let linear_c, linear_t = run_engine `Linear in
+  Cache.Runtime.set_engine `Linear;
+  assert (linear_c.Cache.Counters.iterations < sweep_c.Cache.Counters.iterations);
+  Printf.printf "%d queries, both analyzers, closure memo off\n\n"
+    (List.length work);
+  Printf.printf "%-8s %14s %14s %12s\n" "engine" "closure calls" "iterations"
+    "median ms";
+  Printf.printf "%-8s %14d %14d %12.2f\n" "sweep" sweep_c.Cache.Counters.calls
+    sweep_c.Cache.Counters.iterations sweep_t.median_ms;
+  Printf.printf "%-8s %14d %14d %12.2f\n" "linear" linear_c.Cache.Counters.calls
+    linear_c.Cache.Counters.iterations linear_t.median_ms;
+  (* conjunct counts: OR of [width] two-literal conjunctions (and the dual
+     AND of two-literal disjunctions) whose atoms repeat from a small pool;
+     raw distribution is 2^width clauses, the engine's set-dedup +
+     subsumption collapse the repeats *)
+  let width = 10 and pool = 5 in
+  let atoms =
+    Array.init pool (fun i ->
+        Sql.Parser.parse_pred (Printf.sprintf "S.SNO = %d" i))
+  in
+  let fold op = function
+    | [] -> Sql.Ast.Ptrue
+    | p :: ps -> List.fold_left op p ps
+  in
+  let pairs =
+    List.init width (fun i ->
+        (atoms.(i mod pool), atoms.(((2 * i) + 1) mod pool)))
+  in
+  let or_of_ands =
+    fold
+      (fun a b -> Sql.Ast.Or (a, b))
+      (List.map (fun (x, y) -> Sql.Ast.And (x, y)) pairs)
+  in
+  let and_of_ors =
+    fold
+      (fun a b -> Sql.Ast.And (a, b))
+      (List.map (fun (x, y) -> Sql.Ast.Or (x, y)) pairs)
+  in
+  let theoretical = 1 lsl width in
+  let cnf_actual = List.length (Logic.Norm.cnf_of_pred or_of_ands) in
+  let dnf_actual = List.length (Logic.Norm.dnf_of_pred and_of_ors) in
+  Printf.printf
+    "\nconjunct counts (%d disjuncts over a %d-atom pool):\n\
+    \  CNF of OR-of-ANDs: %d raw -> %d after dedup + subsumption\n\
+    \  DNF of AND-of-ORs: %d raw -> %d after dedup + subsumption\n"
+    width pool theoretical cnf_actual theoretical dnf_actual;
+  assert (cnf_actual < theoretical && dnf_actual < theoretical);
+  (* adversarial suite: pairwise-distinct atoms, nothing collapses, the
+     budget must *)
+  let ceiling_ms = 250.0 in
+  let adversarial width =
+    let k = ref 0 in
+    let atom () =
+      incr k;
+      Sql.Parser.parse_pred (Printf.sprintf "S.SNO = %d" (1000 + !k))
+    in
+    let where =
+      fold
+        (fun a b -> Sql.Ast.Or (a, b))
+        (List.init width (fun _ -> Sql.Ast.And (atom (), atom ())))
+    in
+    Sql.Ast.plain_spec ~distinct:Sql.Ast.Distinct
+      ~select:(Sql.Ast.Cols [ Sql.Ast.Col (Schema.Attr.of_string "S.SNO") ])
+      ~from:[ { Sql.Ast.table = "SUPPLIER"; corr = Some "S" } ]
+      ~where ()
+  in
+  Printf.printf "\nadversarial nested OR-of-ANDs (budget %d, ceiling %.0f ms):\n"
+    Logic.Norm.default_budget ceiling_ms;
+  Printf.printf "%8s %14s %8s %14s %12s\n" "width" "raw conjuncts" "answer"
+    "budget node" "median ms";
+  let adversarial_cases =
+    List.map
+      (fun width ->
+        let q = adversarial width in
+        let report, t =
+          timed ~repeats:5 (fun () -> Uniqueness.Algorithm1.analyze catalog q)
+        in
+        let trace = Trace.make () in
+        ignore (Uniqueness.Algorithm1.analyze ~trace catalog q);
+        let rec has_budget (n : Trace.node) =
+          n.Trace.rule = "norm.budget" || List.exists has_budget n.Trace.children
+        in
+        let budget_node = List.exists has_budget (Trace.nodes trace) in
+        let maybe =
+          report.Uniqueness.Algorithm1.answer = Uniqueness.Algorithm1.Maybe
+        in
+        assert (maybe && budget_node && t.median_ms < ceiling_ms);
+        Printf.printf "%8d %14d %8s %14b %12.3f\n" width (1 lsl width)
+          (if maybe then "MAYBE" else "?")
+          budget_node t.median_ms;
+        (width, t, budget_node, maybe))
+      [ 15; 18; 21 ]
+  in
+  let engine_json (c : Cache.Counters.snapshot) (t : timing) =
+    Trace.Json.Obj
+      [ ("calls", Trace.Json.Int c.Cache.Counters.calls);
+        ("iterations", Trace.Json.Int c.Cache.Counters.iterations);
+        ("median_ms", Trace.Json.Float t.median_ms);
+        ("spread_ms", Trace.Json.Float t.spread_ms) ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "normalize");
+        ( "workload",
+          Trace.Json.Obj
+            [ ("queries", Trace.Json.Int (List.length work));
+              ("sweep", engine_json sweep_c sweep_t);
+              ("linear", engine_json linear_c linear_t);
+              ( "linear_strictly_fewer_iterations",
+                Trace.Json.Bool
+                  (linear_c.Cache.Counters.iterations
+                   < sweep_c.Cache.Counters.iterations) ) ] );
+        ( "conjunct_counts",
+          Trace.Json.Obj
+            [ ("width", Trace.Json.Int width);
+              ("atom_pool", Trace.Json.Int pool);
+              ("raw", Trace.Json.Int theoretical);
+              ("cnf_after_dedup", Trace.Json.Int cnf_actual);
+              ("dnf_after_dedup", Trace.Json.Int dnf_actual) ] );
+        ( "adversarial",
+          Trace.Json.Obj
+            [ ("budget", Trace.Json.Int Logic.Norm.default_budget);
+              ("ceiling_ms", Trace.Json.Float ceiling_ms);
+              ( "budget_path_taken",
+                Trace.Json.Bool
+                  (List.for_all (fun (_, _, b, m) -> b && m) adversarial_cases)
+              );
+              ( "cases",
+                Trace.Json.List
+                  (List.map
+                     (fun (w, (t : timing), budget_node, maybe) ->
+                       Trace.Json.Obj
+                         [ ("width", Trace.Json.Int w);
+                           ("raw_conjuncts", Trace.Json.Int (1 lsl w));
+                           ( "answer",
+                             Trace.Json.String (if maybe then "maybe" else "?")
+                           );
+                           ("norm_budget_node", Trace.Json.Bool budget_node);
+                           ("median_ms", Trace.Json.Float t.median_ms);
+                           ("spread_ms", Trace.Json.Float t.spread_ms) ])
+                     adversarial_cases) ) ] ) ]
+  in
+  let oc = open_out "BENCH_normalize.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_normalize.json\n"
+
 (* ----------------------------------------------------------- PARALLEL *)
 
-(* Wall-clock scaling of the batch analysis pipeline over the domain pool:
-   the examples/workload.sql statements replicated many times, analyzed
-   sequentially and on N domains sharing one sharded verdict cache. The
-   replicated statements are alpha-equivalent, so after a warm-up pass the
-   cache serves every verdict — each item still pays its fingerprint
-   canonicalization, which is the work the pool spreads — and the hit
-   traffic is what hammers the shard locks (the contention counter).
-   Speedup is bounded by the machine: the JSON records
-   Domain.recommended_domain_count so a single-core reading (speedup ~1x,
-   pure pool overhead) is distinguishable from a multi-core one. *)
+(* Wall-clock scaling of the batch analysis pipeline over the domain pool.
+   Every timed pass starts with cold caches (closure memo and verdict
+   cache cleared), so the domains share real analysis work — CNF/closure
+   computation and verdict-cache misses — not just fingerprint hashing
+   against a saturated 14-entry cache. The workload mixes many replicas
+   of the examples/workload.sql statements (alpha-equivalent, so the
+   verdict cache still earns intra-pass hits and the hit traffic hammers
+   the shard locks) with per-replica random queries whose fingerprints are
+   distinct (sustained miss + insert traffic). Speedup is bounded by the
+   machine: the JSON records Domain.recommended_domain_count so a
+   single-core reading (speedup ~1x, pure pool overhead) is
+   distinguishable from a multi-core one. *)
 let experiment_parallel () =
   section "PARALLEL  domain-pool scaling of the analysis pipeline (BENCH_parallel.json)";
   let statements =
@@ -863,33 +1061,47 @@ let experiment_parallel () =
   in
   let replicate = 50 in
   let work =
-    List.concat (List.init replicate (fun _ -> statements))
+    List.concat
+      (List.init replicate (fun i ->
+           List.map (fun q -> (catalog, q)) statements
+           @ List.map
+               (fun s -> (Workload.Randquery.small_catalog, Sql.Ast.Spec s))
+               (Workload.Randquery.generate
+                  { Workload.Randquery.default with seed = i + 1; count = 4 })))
   in
-  let analyze cache q =
+  let analyze cache (cat, q) =
     (match q with
      | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
-       ignore (Uniqueness.Algorithm1.distinct_is_redundant ~cache catalog s);
-       ignore (Uniqueness.Fd_analysis.distinct_is_redundant ~cache catalog s)
+       ignore (Uniqueness.Algorithm1.distinct_is_redundant ~cache cat s);
+       ignore (Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat s)
      | _ -> ());
-    ignore (Uniqueness.Rewrite.apply_all ~cache catalog q)
+    ignore (Uniqueness.Rewrite.apply_all ~cache cat q)
   in
   let run_at jobs =
     let shards = if jobs > 1 then 16 else 1 in
     Cache.Mode.set_parallel (jobs > 1);
     Cache.Runtime.set_shards shards;
-    Cache.Runtime.clear ();
     let cache = Analysis_cache.create ~capacity:4096 ~shards () in
+    let cold () =
+      Cache.Runtime.clear ();
+      Analysis_cache.clear cache
+    in
     let r =
       Cache.Runtime.with_enabled true @@ fun () ->
       Parallel.Pool.with_pool ~jobs @@ fun pool ->
-      (* one warm-up pass fills the cache; the timed passes measure the
-         steady state the batch/serve sessions run in *)
-      Parallel.Pool.map pool (analyze cache) work |> ignore;
-      Analysis_cache.reset_counters cache;
+      let pass () = Parallel.Pool.map pool (analyze cache) work |> ignore in
+      (* every timed pass analyzes from cold, so the domains split real
+         closure and verdict work, not pure cache hits *)
       let t =
         median ~repeats:5 (fun () ->
-            Parallel.Pool.map pool (analyze cache) work |> ignore)
+            cold ();
+            pass ())
       in
+      (* one more cold pass with fresh counters for the deterministic
+         hit/miss/contention figures *)
+      cold ();
+      Analysis_cache.reset_counters cache;
+      pass ();
       (t, Analysis_cache.counters cache, Analysis_cache.contention cache,
        Analysis_cache.shard_counters cache)
     in
@@ -902,8 +1114,10 @@ let experiment_parallel () =
   let base_ms =
     match results with (_, (t, _, _, _)) :: _ -> t.median_ms | [] -> nan
   in
-  Printf.printf "%d statements x %d replicas = %d queries per pass, 5 passes\n\n"
-    (List.length statements) replicate (List.length work);
+  Printf.printf
+    "%d replicas x (%d shared statements + 4 distinct random queries) = %d \
+     queries per cold pass, 5 passes\n\n"
+    replicate (List.length statements) (List.length work);
   Printf.printf "%6s | %10s %10s | %8s | %10s %10s %10s\n" "jobs" "median ms"
     "spread" "speedup" "hits" "misses" "contention";
   List.iter
@@ -982,6 +1196,10 @@ let experiments =
     ("ANALYSIS_CACHE",
      "cold vs warm analysis cache in closure counters (BENCH_analysis_cache.json)",
      experiment_analysis_cache);
+    ("NORMALIZE",
+     "normalization + closure engine v2, sweep vs linear, clause budget \
+      (BENCH_normalize.json)",
+     experiment_normalize);
     ("PARALLEL",
      "domain-pool scaling, sequential vs N domains (BENCH_parallel.json)",
      experiment_parallel);

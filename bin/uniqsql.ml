@@ -345,7 +345,16 @@ let fuzz_cmd =
                    (closure memo on). The report must be bit-identical to a \
                    cache-free campaign with the same seed.")
   in
-  let run seed count instances rows cells no_shrink save replay use_cache jobs =
+  let nested_or_arg =
+    Arg.(value & opt float Difftest.Runner.default.Difftest.Runner.nested_or
+         & info [ "nested-or" ] ~docv:"P"
+             ~doc:"Probability (0.0-1.0) that a case's query is the \
+                   budget-blowing nested OR-of-ANDs shape, exercising the \
+                   analyzers' sound MAYBE path. The default 0.0 leaves the \
+                   seeded RNG stream byte-identical to earlier releases.")
+  in
+  let run seed count instances rows cells no_shrink save replay use_cache
+      nested_or jobs =
     wrap (fun () ->
         setup_parallel jobs;
         match replay with
@@ -360,7 +369,7 @@ let fuzz_cmd =
           let config =
             { Difftest.Runner.seed; count; instances; rows;
               exact_cells = cells; shrink = not no_shrink;
-              use_cache }
+              use_cache; nested_or }
           in
           let report =
             Parallel.Pool.with_pool ~jobs (fun pool ->
@@ -398,7 +407,7 @@ let fuzz_cmd =
              at any job count.")
     Term.(const run $ seed_arg $ count_arg $ instances_arg $ rows_arg
           $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg $ cache_arg
-          $ jobs_arg)
+          $ nested_or_arg $ jobs_arg)
 
 (* ---- batch / serve ---- *)
 

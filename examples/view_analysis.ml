@@ -33,7 +33,8 @@ let () =
                  the view.@.@."
     (match report.Uniqueness.Algorithm1.answer with
      | Uniqueness.Algorithm1.Yes -> "YES, DISTINCT is redundant"
-     | Uniqueness.Algorithm1.No -> "NO");
+     | Uniqueness.Algorithm1.No -> "NO"
+     | Uniqueness.Algorithm1.Maybe -> "MAYBE (budget exhausted)");
   Format.printf "Decision trace (note the DERIVED candidate key at line 17):@.";
   Format.printf "%a@.@." Trace.pp (Trace.nodes trace);
 

@@ -73,12 +73,11 @@ let closure_key ~tag ~(seed : Bitset.t) (pairs : (Bitset.t * Bitset.t) list) =
     (List.sort_uniq String.compare serialized);
   Buffer.contents buf
 
-(* Generic saturation of [seed] under (lhs, rhs) pairs: whenever lhs is
-   contained in the accumulator, rhs joins it. An empty lhs fires
-   unconditionally, which lets equality closures (Type-1 conditions) use
-   the same loop as FD closures. One iteration is counted per sweep so the
-   benchmark's cold/warm comparison is deterministic. *)
-let saturate pairs seed =
+(* Quadratic sweep baseline: re-scan the whole pair list until a sweep adds
+   nothing. One iteration is counted per sweep. Kept (a) as the differential
+   oracle the linear engine is property-tested against and (b) as the
+   "before" side of the NORMALIZE benchmark. *)
+let saturate_sweep pairs seed =
   let cur = ref seed in
   let changed = ref true in
   while !changed do
@@ -93,6 +92,70 @@ let saturate pairs seed =
       pairs
   done;
   !cur
+
+(* Counter-based linear closure (Beeri–Bernstein): each pair keeps a count
+   of its lhs attributes not yet in the accumulator and a worklist carries
+   newly-acquired attributes to the pairs watching them, so every pair and
+   every attribute is touched O(1) times instead of once per sweep. Counts
+   one iteration per call — the single pass over the dependency structure —
+   so the benchmark's sweep-vs-linear comparison stays deterministic. *)
+let saturate_linear pairs seed =
+  Counters.record_iteration ();
+  let pairs = Array.of_list pairs in
+  let n = Array.length pairs in
+  let counts = Array.make n 0 in
+  (* attribute id -> indices of pairs still missing it *)
+  let watchers : (int, int list) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let cur = ref seed in
+  let queue = Queue.create () in
+  let fire i =
+    let _, rhs = pairs.(i) in
+    let added = Bitset.diff rhs !cur in
+    if not (Bitset.is_empty added) then begin
+      cur := Bitset.union rhs !cur;
+      Bitset.fold (fun a () -> Queue.add a queue) added ()
+    end
+  in
+  Array.iteri
+    (fun i (lhs, _) ->
+      let missing = Bitset.diff lhs seed in
+      let m = Bitset.cardinal missing in
+      counts.(i) <- m;
+      if m = 0 then fire i
+      else
+        Bitset.fold
+          (fun a () ->
+            let old = Option.value ~default:[] (Hashtbl.find_opt watchers a) in
+            Hashtbl.replace watchers a (i :: old))
+          missing ())
+    pairs;
+  (* An attribute enters the queue at most once: [fire] only enqueues the
+     genuinely new part of a rhs, and [cur] absorbs it in the same step. *)
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    match Hashtbl.find_opt watchers a with
+    | None -> ()
+    | Some is ->
+      Hashtbl.remove watchers a;
+      List.iter
+        (fun i ->
+          counts.(i) <- counts.(i) - 1;
+          if counts.(i) = 0 then fire i)
+        is
+  done;
+  !cur
+
+(* The engine switch exists for the NORMALIZE benchmark (and differential
+   tests): flip to [`Sweep] to measure the quadratic baseline on identical
+   inputs. Everything ships on [`Linear]. *)
+let engine : [ `Linear | `Sweep ] Atomic.t = Atomic.make `Linear
+let set_engine e = Atomic.set engine e
+let current_engine () = Atomic.get engine
+
+let saturate pairs seed =
+  match Atomic.get engine with
+  | `Linear -> saturate_linear pairs seed
+  | `Sweep -> saturate_sweep pairs seed
 
 (* Two domains that miss on the same key concurrently both compute and
    both store — the results are equal (saturation is deterministic), so

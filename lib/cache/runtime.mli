@@ -54,9 +54,25 @@ val closure_key : tag:char -> seed:Bitset.t -> (Bitset.t * Bitset.t) list -> str
 
 (** [saturate pairs seed] — smallest superset of [seed] closed under the
     pairs: whenever a pair's lhs is contained in the accumulator, its rhs
-    joins it (an empty lhs fires unconditionally). Counts one
-    {!Counters.record_iteration} per sweep. *)
+    joins it (an empty lhs fires unconditionally). Dispatches on the
+    {!set_engine} switch; both engines compute the same set. *)
 val saturate : (Bitset.t * Bitset.t) list -> Bitset.t -> Bitset.t
+
+(** Counter-based linear-time closure (Beeri–Bernstein): per-pair
+    unsatisfied-lhs counters plus a worklist of newly-acquired attributes.
+    Counts one {!Counters.record_iteration} per call. *)
+val saturate_linear : (Bitset.t * Bitset.t) list -> Bitset.t -> Bitset.t
+
+(** The historical whole-list sweep fixpoint: one
+    {!Counters.record_iteration} per sweep. Kept as the differential oracle
+    and benchmark baseline for {!saturate_linear}. *)
+val saturate_sweep : (Bitset.t * Bitset.t) list -> Bitset.t -> Bitset.t
+
+(** Benchmark/test switch between the two [saturate] engines. The default
+    — and the only setting production paths ever see — is [`Linear]. *)
+val set_engine : [ `Linear | `Sweep ] -> unit
+
+val current_engine : unit -> [ `Linear | `Sweep ]
 
 (** [memo_closure ~tag ~seed pairs] — {!saturate} through the memo table:
     a hit records {!Counters.record_memo_hit} and runs no sweeps at all, a

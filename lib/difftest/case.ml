@@ -16,10 +16,16 @@ let catalog c = Schema_gen.catalog_of_ddl c.ddl
 
 let database c inst = Instance_gen.database (catalog c) inst.rows
 
-let generate ~rng ?(instances = 3) ?(rows = 6) () =
+let generate ~rng ?(instances = 3) ?(rows = 6) ?(nested_or = 0.0) () =
   let ddl = Schema_gen.generate ~rng in
   let cat = Schema_gen.catalog_of_ddl ddl in
-  let query = Query_gen.query ~rng cat in
+  (* short-circuit keeps the RNG stream untouched at the 0.0 default, so
+     seeded campaigns without the knob stay byte-identical *)
+  let query =
+    if nested_or > 0.0 && Random.State.float rng 1.0 < nested_or then
+      A.Spec (Query_gen.nested_or_spec ~rng cat)
+    else Query_gen.query ~rng cat
+  in
   let instances =
     List.init instances (fun _ ->
         { rows = Instance_gen.tables ~rng ~rows cat;

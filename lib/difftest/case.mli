@@ -23,8 +23,18 @@ val catalog : t -> Catalog.t
 val database : t -> instance -> Engine.Database.t
 
 (** Random case: schema, query over it, [instances] constraint-satisfying
-    databases with host bindings (defaults: 3 instances, ≤6 rows/table). *)
-val generate : rng:Random.State.t -> ?instances:int -> ?rows:int -> unit -> t
+    databases with host bindings (defaults: 3 instances, ≤6 rows/table).
+    [nested_or] (default 0.0) is the probability of drawing the query from
+    {!Query_gen.nested_or_spec} — the budget-blowing OR-of-ANDs shape —
+    instead of the general generator; at 0.0 the RNG stream is untouched,
+    so existing seeded campaigns are byte-identical. *)
+val generate :
+  rng:Random.State.t ->
+  ?instances:int ->
+  ?rows:int ->
+  ?nested_or:float ->
+  unit ->
+  t
 
 val to_sexp : t -> Sexp.t
 

@@ -152,7 +152,11 @@ let agreement ?(max_cells = 100_000) ?cache (c : Case.t) =
               else if not (claims q) then
                 Skip "analyzer does not claim uniqueness"
               else
-                match U.Exact.check ~max_cells cat q with
+                (* tight pair bound: an oversized pair space is a Skip
+                   here, never a minutes-long enumeration *)
+                match
+                  U.Exact.check ~max_cells ~max_pairs:(10 * max_cells) cat q
+                with
                 | U.Exact.Unique -> Pass
                 | U.Exact.Unsupported reason ->
                   Skip ("exact checker: " ^ reason)

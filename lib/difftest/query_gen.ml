@@ -218,6 +218,50 @@ let spec ~rng cat =
     | None -> generic_spec ~rng cat
   else generic_spec ~rng cat
 
+(* Adversarial shape for the normalization clause budget: an OR of [width]
+   two-literal conjunctions whose atoms are pairwise distinct (fresh
+   constants from a counter), so distributing into CNF needs 2^width
+   distinct clauses — no dedup or subsumption rescues it. Widths past
+   log2 of the budget force Algorithm 1 onto its sound MAYBE path. A
+   separate entry point: the default generator's RNG stream — and every
+   seeded fuzz campaign — stays byte-identical. *)
+let nested_or_spec ~rng ?(width = 14) cat =
+  let def = pick rng (Catalog.tables cat) in
+  let cols = cols_of_occurrence ~corr:"Q1" def in
+  (* booleans admit only two distinct constants; avoid them when possible
+     so every atom really is fresh *)
+  let usable =
+    match List.filter (fun c -> c.ctype <> R.Tbool) cols with
+    | [] -> cols
+    | cs -> cs
+  in
+  let fresh = ref 0 in
+  let eq () =
+    let c = pick rng usable in
+    incr fresh;
+    let v =
+      match c.ctype with
+      | R.Tint -> Value.Int (1000 + !fresh)
+      | R.Tstring -> Value.String (Printf.sprintf "nv%d" !fresh)
+      | R.Tfloat -> Value.Float (float_of_int (1000 + !fresh))
+      | R.Tbool -> Value.Bool (!fresh mod 2 = 0)
+    in
+    A.Cmp (A.Eq, A.Col c.attr, A.Const v)
+  in
+  let where =
+    match List.init width (fun _ -> A.And (eq (), eq ())) with
+    | [] -> A.Ptrue
+    | d :: ds -> List.fold_left (fun acc d' -> A.Or (acc, d')) d ds
+  in
+  let select =
+    let chosen = List.filter (fun _ -> Random.State.bool rng) cols in
+    let chosen = match chosen with [] -> [ pick rng cols ] | cs -> cs in
+    A.Cols (List.map (fun c -> A.Col c.attr) chosen)
+  in
+  A.plain_spec ~distinct:A.Distinct ~select
+    ~from:[ { A.table = def.Catalog.tbl_name; corr = Some "Q1" } ]
+    ~where ()
+
 (* single-table block projecting the (always-INT) first column — operands
    of set operations are union-compatible by construction *)
 let setop_operand rng cat corr =

@@ -34,3 +34,12 @@ val spec : rng:Random.State.t -> Catalog.t -> Sql.Ast.query_spec
 (** Random query expression: {!spec} most of the time, occasionally an
     [INTERSECT]/[EXCEPT] over union-compatible single-table blocks. *)
 val query : rng:Random.State.t -> Catalog.t -> Sql.Ast.query
+
+(** Adversarial single-table [SELECT DISTINCT] whose WHERE is an OR of
+    [width] (default 14) two-literal conjunctions with pairwise-distinct
+    atoms: its CNF needs [2^width] distinct clauses, so any width past
+    log2 of {!Logic.Norm.default_budget} drives the analyzers onto the
+    sound budget-exceeded (MAYBE) path. Uses its own entry point so the
+    default generator's RNG stream is untouched. *)
+val nested_or_spec :
+  rng:Random.State.t -> ?width:int -> Catalog.t -> Sql.Ast.query_spec

@@ -6,6 +6,7 @@ type config = {
   exact_cells : int;
   shrink : bool;
   use_cache : bool;
+  nested_or : float;
 }
 
 let default =
@@ -15,7 +16,8 @@ let default =
     rows = 6;
     exact_cells = 100_000;
     shrink = true;
-    use_cache = false }
+    use_cache = false;
+    nested_or = 0.0 }
 
 type discrepancy = {
   case_index : int;
@@ -81,7 +83,8 @@ let run ?(log = fun _ -> ()) ?pool config =
     for i = !next to !next + n - 1 do
       log i;
       let c =
-        Case.generate ~rng ~instances:config.instances ~rows:config.rows ()
+        Case.generate ~rng ~instances:config.instances ~rows:config.rows
+          ~nested_or:config.nested_or ()
       in
       block := (i, c) :: !block
     done;

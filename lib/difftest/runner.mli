@@ -17,11 +17,16 @@ type config = {
       (** run every oracle through one campaign-wide {!Analysis_cache} with
           the closure memo enabled; the report must stay bit-identical to a
           cache-free campaign (asserted by the CI cache smoke step) *)
+  nested_or : float;
+      (** probability a case's query is the budget-blowing nested
+          OR-of-ANDs shape ({!Query_gen.nested_or_spec}); 0.0 — the
+          default — draws nothing from the RNG, so historical seeded
+          reports are byte-identical *)
 }
 
 val default : config
 (** seed 7, 1000 cases, 3 instances, ≤6 rows, 100k exact-checker cells,
-    shrinking on, cache off *)
+    shrinking on, cache off, no nested-OR cases *)
 
 type discrepancy = {
   case_index : int;

@@ -35,9 +35,11 @@ let resolver cat from =
 
 (* Equality conditions usable for FD derivation: only singleton CNF clauses
    (conjuncts that are single literals) pin values for every qualifying row.
-   A disjunction like [x = 5 OR x = 10] does not. *)
+   A disjunction like [x = 5 OR x = 10] does not. The CNF is mined for
+   evidence only, so a predicate that blows the clause budget soundly
+   yields no equalities rather than an exponential conversion. *)
 let conjunct_equalities resolve (where : Sql.Ast.pred) =
-  let clauses = Logic.Norm.cnf_of_pred where in
+  let clauses = Logic.Norm.usable_clauses where in
   List.filter_map
     (function
       | [ lit ] ->

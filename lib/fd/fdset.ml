@@ -54,9 +54,10 @@ let closure ?(trace = Trace.disabled) t xs =
   Cache.Counters.record_call ();
   (* Tracing needs the per-step provenance only the direct loop produces,
      so a live trace always takes it — which also keeps the snapshot-tested
-     default trace output independent of the cache. *)
-  if Trace.enabled trace || not (Cache.Runtime.enabled ()) then
-    closure_direct ~trace t xs
+     default trace output independent of the cache. Untraced closures run
+     the counter-based linear engine over interned bitsets, through the
+     memo table when it is enabled. *)
+  if Trace.enabled trace then closure_direct ~trace t xs
   else
     let seed = Cache.Interner.bits_of_set xs in
     let pairs =
@@ -65,7 +66,12 @@ let closure ?(trace = Trace.disabled) t xs =
           (Cache.Interner.bits_of_set f.lhs, Cache.Interner.bits_of_set f.rhs))
         t
     in
-    Cache.Interner.set_of_bits (Cache.Runtime.memo_closure ~tag:'F' ~seed pairs)
+    let bits =
+      if Cache.Runtime.enabled () then
+        Cache.Runtime.memo_closure ~tag:'F' ~seed pairs
+      else Cache.Runtime.saturate pairs seed
+    in
+    Cache.Interner.set_of_bits bits
 
 let implies t f = Attr.Set.subset f.rhs (closure t f.lhs)
 

@@ -76,10 +76,57 @@ let closure_direct ~trace seed eqs =
   done;
   !v
 
+(* Path-compressed union-find over interned attribute ids: a Type-2
+   equality merges two classes, a Type-1 equality marks a class bound, and
+   the closure is the seed plus every member of a bound class. One pass
+   over the conditions (recorded as one iteration) replaces the
+   while-changed sweeps of the loop above, which stays for traced runs
+   because only it can narrate each propagation step. *)
+let closure_uf seed eqs =
+  Cache.Counters.record_iteration ();
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let bound : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec find a =
+    match Hashtbl.find_opt parent a with
+    | None ->
+      Hashtbl.replace parent a a;
+      a
+    | Some p when p = a -> a
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent a r;
+      r
+  in
+  let mark a = Hashtbl.replace bound (find a) () in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then begin
+      Hashtbl.replace parent ra rb;
+      if Hashtbl.mem bound ra then Hashtbl.replace bound rb ()
+    end
+  in
+  List.iter
+    (function
+      | Type1 (a, _) -> mark (Cache.Interner.id a)
+      | Type2 (a, b) -> union (Cache.Interner.id a) (Cache.Interner.id b))
+    eqs;
+  Attr.Set.iter
+    (fun a ->
+      let i = Cache.Interner.id a in
+      if Hashtbl.mem parent i then mark i)
+    seed;
+  let bits =
+    Hashtbl.fold
+      (fun i _ acc ->
+        if Hashtbl.mem bound (find i) then Cache.Bitset.add i acc else acc)
+      parent Cache.Bitset.empty
+  in
+  Attr.Set.union seed (Cache.Interner.set_of_bits bits)
+
 let closure ?(trace = Trace.disabled) seed eqs =
   Cache.Counters.record_call ();
-  if Trace.enabled trace || not (Cache.Runtime.enabled ()) then
-    closure_direct ~trace seed eqs
+  if Trace.enabled trace then closure_direct ~trace seed eqs
+  else if not (Cache.Runtime.enabled ()) then closure_uf seed eqs
   else
     (* Encode the equality semantics as saturation pairs: a Type-1 condition
        binds its column unconditionally (empty lhs always fires), a Type-2

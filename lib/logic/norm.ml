@@ -4,14 +4,24 @@ type literal = Sql.Ast.pred
 type cnf = literal list list
 type dnf = literal list list
 
+type 'a budgeted = Within of 'a | Exceeded of { budget : int }
+
+let default_budget = 4096
+
 (* Expand BETWEEN/IN and push NOT down to literals. De Morgan's laws and
    double negation are valid in Kleene 3VL, and NOT of a comparison is the
-   complementary comparison (unknown maps to unknown either way). *)
+   complementary comparison (unknown maps to unknown either way).
+
+   The empty IN list is spelled out even though [disj []]/[conj []] already
+   produce the right constants: [x IN ()] is an empty disjunction (false, for
+   every x including NULL — matching Eval), so its negation is an empty
+   conjunction (true). *)
 let rec nnf_pos = function
   | Ptrue -> Ptrue
   | Pfalse -> Pfalse
   | Cmp _ as p -> p
   | Between (a, lo, hi) -> And (Cmp (Ge, a, lo), Cmp (Le, a, hi))
+  | In_list (_, []) -> Pfalse
   | In_list (a, vs) -> disj (List.map (fun v -> Cmp (Eq, a, Const v)) vs)
   | Is_null _ as p -> p
   | Is_not_null _ as p -> p
@@ -25,6 +35,7 @@ and nnf_neg = function
   | Pfalse -> Ptrue
   | Cmp (op, a, b) -> Cmp (comparison_negate op, a, b)
   | Between (a, lo, hi) -> Or (Cmp (Lt, a, lo), Cmp (Gt, a, hi))
+  | In_list (_, []) -> Ptrue
   | In_list (a, vs) -> conj (List.map (fun v -> Cmp (Ne, a, Const v)) vs)
   | Is_null a -> Is_not_null a
   | Is_not_null a -> Is_null a
@@ -35,33 +46,227 @@ and nnf_neg = function
 
 let expand p = nnf_pos p
 
-(* CNF/DNF by structural recursion on the NNF. The two are dual:
-   distribute OR over AND for CNF, AND over OR for DNF. *)
+(* ------------------------------------------------------------------ *)
+(* The clause engine. Literals are interned to dense ints per conversion
+   call, clauses carry both their first-occurrence literal order (so output
+   is stable against the historical list-of-lists code on inputs without
+   duplicates) and a bitset over literal ids (so duplicate detection and
+   subsumption are word operations). Distribution is budgeted: no step may
+   hold more than [budget] distinct clauses for one subformula, and blowing
+   the budget raises out to a sound [Exceeded] answer instead of
+   materializing an exponential list. *)
 
-let cross (a : 'a list list) (b : 'a list list) : 'a list list =
-  List.concat_map (fun xa -> List.map (fun xb -> xa @ xb) b) a
+module B = Cache.Bitset
 
-let rec cnf_of_nnf = function
-  | Ptrue -> []
-  | Pfalse -> [ [] ]
-  | And (p, q) -> cnf_of_nnf p @ cnf_of_nnf q
-  | Or (p, q) -> cross (cnf_of_nnf p) (cnf_of_nnf q)
-  | lit -> [ [ lit ] ]
+exception Budget_exceeded
 
-let rec dnf_of_nnf = function
-  | Ptrue -> [ [] ]
-  | Pfalse -> []
-  | Or (p, q) -> dnf_of_nnf p @ dnf_of_nnf q
-  | And (p, q) -> cross (dnf_of_nnf p) (dnf_of_nnf q)
-  | lit -> [ [ lit ] ]
+(* Per-call literal interner: structural pred -> dense int. *)
+module Lit = struct
+  type table = {
+    ids : (literal, int) Hashtbl.t;
+    mutable lits : literal array;
+    mutable next : int;
+  }
 
-let cnf_of_pred p = cnf_of_nnf (expand p)
-let dnf_of_pred p = dnf_of_nnf (expand p)
+  let create () =
+    { ids = Hashtbl.create 32; lits = Array.make 16 Ptrue; next = 0 }
+
+  let id t lit =
+    match Hashtbl.find_opt t.ids lit with
+    | Some i -> i
+    | None ->
+      let i = t.next in
+      if i = Array.length t.lits then begin
+        let bigger = Array.make (2 * i) Ptrue in
+        Array.blit t.lits 0 bigger 0 i;
+        t.lits <- bigger
+      end;
+      t.lits.(i) <- lit;
+      t.next <- i + 1;
+      Hashtbl.add t.ids lit i;
+      i
+
+  let lit t i = t.lits.(i)
+end
+
+type clause = { order : int list; set : B.t }
+(* [order] is duplicate-free in first-occurrence order; [set] is the same
+   literals as a bitset. *)
+
+let empty_clause = { order = []; set = B.empty }
+
+let clause_union a b =
+  let extra = List.filter (fun i -> not (B.mem i a.set)) b.order in
+  { order = a.order @ extra; set = B.union a.set b.set }
+
+(* Drop later duplicates, keeping first-occurrence order. *)
+let dedup clauses =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c.set then false
+      else begin
+        Hashtbl.add seen c.set ();
+        true
+      end)
+    clauses
+
+let gather ~budget a b =
+  let c = dedup (a @ b) in
+  if List.length c > budget then raise Budget_exceeded;
+  c
+
+let cross_clauses ~budget a b =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun xa ->
+      List.iter
+        (fun xb ->
+          let c = clause_union xa xb in
+          if not (Hashtbl.mem seen c.set) then begin
+            Hashtbl.add seen c.set ();
+            incr count;
+            if !count > budget then raise Budget_exceeded;
+            out := c :: !out
+          end)
+        b)
+    a;
+  List.rev !out
+
+(* Subsumption: a clause implied by a strictly smaller clause of the same
+   list is redundant (in CNF, [d] true forces [c ⊇ d] true; dually in DNF).
+   Equal clauses were already deduplicated, so only strictly smaller sets
+   can subsume. Survivor order is preserved. *)
+let subsume clauses =
+  match clauses with
+  | [] | [ _ ] -> clauses
+  | _ ->
+    let withc = List.map (fun c -> (B.cardinal c.set, c)) clauses in
+    List.filter_map
+      (fun (n, c) ->
+        if
+          List.exists
+            (fun (m, d) -> m < n && B.subset d.set c.set)
+            withc
+        then None
+        else Some c)
+      withc
+
+(* Structural recursion over the NNF; CNF and DNF are dual (in CNF, AND
+   gathers clause lists and OR distributes; in DNF the other way around). *)
+let clauses_of_nnf ~budget ~polarity tbl p =
+  let leaf lit =
+    let i = Lit.id tbl lit in
+    [ { order = [ i ]; set = B.singleton i } ]
+  in
+  let rec go = function
+    | Ptrue -> (match polarity with `Cnf -> [] | `Dnf -> [ empty_clause ])
+    | Pfalse -> (match polarity with `Cnf -> [ empty_clause ] | `Dnf -> [])
+    | And (p, q) ->
+      let a = go p in
+      let b = go q in
+      (match polarity with
+       | `Cnf -> gather ~budget a b
+       | `Dnf -> cross_clauses ~budget a b)
+    | Or (p, q) ->
+      let a = go p in
+      let b = go q in
+      (match polarity with
+       | `Cnf -> cross_clauses ~budget a b
+       | `Dnf -> gather ~budget a b)
+    | lit -> leaf lit
+  in
+  go p
+
+let convert ~budget ~polarity p =
+  let tbl = Lit.create () in
+  match clauses_of_nnf ~budget ~polarity tbl (expand p) with
+  | clauses ->
+    Within
+      (List.map (fun c -> List.map (Lit.lit tbl) c.order) (subsume clauses))
+  | exception Budget_exceeded -> Exceeded { budget }
+
+let cnf_of_pred_budgeted ?(budget = default_budget) p =
+  convert ~budget ~polarity:`Cnf p
+
+let dnf_of_pred_budgeted ?(budget = default_budget) p =
+  convert ~budget ~polarity:`Dnf p
+
+let unbudgeted = function
+  | Within c -> c
+  | Exceeded _ -> assert false (* budget is max_int *)
+
+let cnf_of_pred p = unbudgeted (convert ~budget:max_int ~polarity:`Cnf p)
+let dnf_of_pred p = unbudgeted (convert ~budget:max_int ~polarity:`Dnf p)
+
+let usable_clauses ?(budget = default_budget) p =
+  match cnf_of_pred_budgeted ~budget p with
+  | Within clauses -> clauses
+  | Exceeded _ -> []
 
 let pred_of_cnf clauses = conj (List.map disj clauses)
 let pred_of_dnf conjs = disj (List.map conj conjs)
 
-let dnf_of_cnf clauses = dnf_of_nnf (pred_of_cnf clauses)
+(* ------------------------------------------------------------------ *)
+(* Streaming DNF of a CNF remainder: the cartesian product of the clauses,
+   one conjunct per element, enumerated with an odometer (rightmost clause
+   varies fastest, matching the order the old distribute-then-append code
+   produced). O(product) conjuncts still exist, but the enumerator holds
+   only the current index vector — the consumer decides how many to force. *)
+
+let dnf_seq_of_cnf (clauses : cnf) : literal list Seq.t =
+  if List.exists (function [] -> true | _ -> false) clauses then Seq.empty
+  else
+    let arrs = Array.of_list (List.map Array.of_list clauses) in
+    let n = Array.length arrs in
+    if n = 0 then Seq.return []
+    else
+      let build idx =
+        (* duplicate literals across clauses collapse (AND idempotence) *)
+        let lits = ref [] in
+        for i = n - 1 downto 0 do
+          let l = arrs.(i).(idx.(i)) in
+          if not (List.mem l !lits) then lits := l :: !lits
+        done;
+        !lits
+      in
+      let advance idx =
+        let idx = Array.copy idx in
+        let rec go i =
+          if i < 0 then None
+          else if idx.(i) + 1 < Array.length arrs.(i) then begin
+            idx.(i) <- idx.(i) + 1;
+            Some idx
+          end
+          else begin
+            idx.(i) <- 0;
+            go (i - 1)
+          end
+        in
+        go (n - 1)
+      in
+      let rec seq idx () =
+        Seq.Cons
+          ( build idx,
+            fun () ->
+              match advance idx with
+              | None -> Seq.Nil
+              | Some idx' -> seq idx' () )
+      in
+      seq (Array.make n 0)
+
+let dnf_of_cnf clauses = List.of_seq (dnf_seq_of_cnf clauses)
+
+let dnf_of_cnf_budgeted ?(budget = default_budget) clauses =
+  let rec take acc n seq =
+    match seq () with
+    | Seq.Nil -> Within (List.rev acc)
+    | Seq.Cons (x, rest) ->
+      if n >= budget then Exceeded { budget } else take (x :: acc) (n + 1) rest
+  in
+  take [] 0 (dnf_seq_of_cnf clauses)
 
 (* Light constant folding on the original predicate language. *)
 let rec simplify = function

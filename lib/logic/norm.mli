@@ -11,7 +11,13 @@
       sound in 3VL, and flipping [IS NULL]); a negated [EXISTS] stays as a
       [Not (Exists _)] literal.
 
-    All transformations preserve the three-valued truth value of the
+    The conversion engine interns literals to dense integers, deduplicates
+    clauses, and prunes subsumed clauses (a clause implied by a strictly
+    smaller clause of the same list is redundant — sound in Kleene 3VL by
+    absorption). Distribution is {e budgeted}: no conversion step may hold
+    more than [budget] clauses at once, so an adversarial predicate costs
+    bounded memory and surfaces as {!Exceeded} instead of an exponential
+    list. All transformations preserve the three-valued truth value of the
     predicate (property-tested). *)
 
 type literal = Sql.Ast.pred
@@ -23,17 +29,43 @@ type cnf = literal list list
 type dnf = literal list list
 (** Disjunction of conjunctions. [[]] is false; [[[]]] is true. *)
 
+(** A conversion that respects a clause budget, or the fact that it would
+    have blown it. Consumers must treat [Exceeded] as "no information" —
+    for Algorithm 1 that is a sound MAYBE (keep the DISTINCT). *)
+type 'a budgeted = Within of 'a | Exceeded of { budget : int }
+
+(** Default clause budget ([4096]) of the [_budgeted] entry points. *)
+val default_budget : int
+
 val expand : Sql.Ast.pred -> Sql.Ast.pred
 (** Expand [BETWEEN]/[IN] and push [NOT] to literals (NNF). *)
 
 val cnf_of_pred : Sql.Ast.pred -> cnf
 val dnf_of_pred : Sql.Ast.pred -> dnf
 
+val cnf_of_pred_budgeted : ?budget:int -> Sql.Ast.pred -> cnf budgeted
+val dnf_of_pred_budgeted : ?budget:int -> Sql.Ast.pred -> dnf budgeted
+
+val usable_clauses : ?budget:int -> Sql.Ast.pred -> cnf
+(** CNF clauses when the conversion fits the budget, [[]] otherwise.
+    For callers that mine the CNF for evidence (equality conjuncts, derived
+    FDs) and treat a missing clause as merely unknown — never for callers
+    that need an equivalent predicate back. *)
+
 val pred_of_cnf : cnf -> Sql.Ast.pred
 val pred_of_dnf : dnf -> Sql.Ast.pred
 
 (** DNF of a CNF remainder (used on Algorithm 1 line 11). *)
 val dnf_of_cnf : cnf -> dnf
+
+val dnf_of_cnf_budgeted : ?budget:int -> cnf -> dnf budgeted
+
+val dnf_seq_of_cnf : cnf -> literal list Seq.t
+(** The same conjuncts as {!dnf_of_cnf}, one at a time: the cartesian
+    product of the clauses enumerated by an odometer (rightmost clause
+    fastest), holding only the current index vector. Lets Algorithm 1
+    short-circuit on the first failing conjunct without materializing the
+    product. *)
 
 (** Remove obvious constants and duplicate conjuncts. *)
 val simplify : Sql.Ast.pred -> Sql.Ast.pred

@@ -12,7 +12,7 @@ let log2 x = if x < 2.0 then 1.0 else log x /. log 2.0
 let key_pinned cat (f : Sql.Ast.from_item) pred =
   let def = Catalog.find_exn cat f.Sql.Ast.table in
   let corr = Sql.Ast.from_name f in
-  let clauses = Logic.Norm.cnf_of_pred pred in
+  let clauses = Logic.Norm.usable_clauses pred in
   let eqs =
     List.filter_map
       (function [ lit ] -> Logic.Equalities.of_literal lit | _ -> None)

@@ -1,6 +1,7 @@
 type verdict =
   | Yes
   | No
+  | Maybe
   | Applied
   | Not_applied
   | Chosen
@@ -35,6 +36,7 @@ let node ~rule ?citation ?(inputs = []) ?(facts = []) ?(verdict = Info)
 let verdict_to_string = function
   | Yes -> "yes"
   | No -> "no"
+  | Maybe -> "maybe"
   | Applied -> "applied"
   | Not_applied -> "not-applied"
   | Chosen -> "chosen"

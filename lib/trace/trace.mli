@@ -23,6 +23,7 @@
 type verdict =
   | Yes          (** a uniqueness test succeeded *)
   | No           (** a uniqueness test failed *)
+  | Maybe        (** a uniqueness test gave up soundly (e.g. clause budget) *)
   | Applied      (** a rewrite rule fired *)
   | Not_applied  (** a rewrite rule was considered and refused *)
   | Chosen       (** the planner picked this strategy *)

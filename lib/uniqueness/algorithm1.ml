@@ -1,6 +1,6 @@
 module Attr = Schema.Attr
 
-type answer = Yes | No
+type answer = Yes | No | Maybe
 
 type trace_step = {
   line : string;
@@ -29,8 +29,8 @@ let pp_clause clause =
   | [] -> "FALSE"
   | lits -> String.concat " OR " (List.map Sql.Pretty.pred lits)
 
-let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
-    (q : Sql.Ast.query_spec) =
+let analyze ?(paper_strict = false) ?(budget = Logic.Norm.default_budget)
+    ?(trace = Trace.disabled) cat (q : Sql.Ast.query_spec) =
   let tctx = trace in
   let trace = ref [] in
   let step line detail = trace := { line; detail } :: !trace in
@@ -46,14 +46,40 @@ let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
   let finish answer reason closure =
     Trace.emitf tctx (fun () ->
         Trace.node ~rule:"algorithm1.verdict" ~citation:"Theorem 1 / Algorithm 1"
-          ~verdict:(match answer with Yes -> Trace.Yes | No -> Trace.No)
+          ~verdict:
+            (match answer with
+             | Yes -> Trace.Yes
+             | No -> Trace.No
+             | Maybe -> Trace.Maybe)
           ~facts:[ ("V", Format.asprintf "%a" Attr.pp_set closure) ]
           reason);
     { answer; reason; trace = List.rev !trace; closure }
   in
+  (* Budget exhaustion: the normalized predicate would need more than
+     [budget] clauses (or DNF conjuncts), so the test gives up without
+     materializing it. MAYBE is sound — it only ever keeps a DISTINCT that
+     might have been removable. *)
+  let budget_blown stage =
+    step stage
+      (Printf.sprintf
+         "normalization exceeded the %d-clause budget; give up soundly"
+         budget);
+    Trace.emitf tctx (fun () ->
+        Trace.node ~rule:"norm.budget"
+          ~inputs:[ ("budget", string_of_int budget) ]
+          "predicate normalization exceeded the clause budget; MAYBE keeps \
+           the DISTINCT, which is always sound");
+    finish Maybe
+      (Printf.sprintf
+         "predicate normalization exceeded the %d-clause budget (sound MAYBE)"
+         budget)
+      Attr.Set.empty
+  in
   let resolve = Fd.Derive.resolver cat q.from in
-  (* line 5: C := CR ∧ CS ∧ CR,S ∧ T in CNF *)
-  let cnf = Logic.Norm.cnf_of_pred q.where in
+  (* line 5: C := CR ∧ CS ∧ CR,S ∧ T in CNF, under the clause budget *)
+  match Logic.Norm.cnf_of_pred_budgeted ~budget q.where with
+  | Logic.Norm.Exceeded _ -> budget_blown "5"
+  | Logic.Norm.Within cnf ->
   let cnf_text =
     match cnf with
     | [] -> "T"
@@ -97,17 +123,26 @@ let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
       step "10" "C is not simply true; we proceed";
       tstep "10" "C is not simply true; we proceed"
     end;
-    (* line 11: convert C to DNF. After the deletions every clause is a
-       singleton, so the DNF has exactly one conjunct; the loop below still
-       follows the paper's structure. *)
-    let dnf = Logic.Norm.dnf_of_cnf kept in
+    (* line 11: convert C to DNF — lazily. After the deletions every clause
+       is a singleton, so the DNF has exactly one conjunct; the streaming
+       enumerator still follows the paper's structure, and an adversarial
+       remainder costs one conjunct at a time, never the whole product. *)
+    let dnf = Logic.Norm.dnf_seq_of_cnf kept in
+    match Seq.uncons dnf with
+    | None ->
+      (* predicate is unsatisfiable: the result is empty, duplicates are
+         impossible *)
+      step "11" "C is unsatisfiable; the result is empty";
+      tstep "11"
+        "C is unsatisfiable; the result is empty, so duplicates are \
+         impossible";
+      finish Yes "the selection predicate is unsatisfiable"
+        (Attr.set_of_list (Fd.Derive.projection_attrs cat q))
+    | Some (e1, dnf_rest) ->
     let dnf_text =
-      match dnf with
-      | [] -> "F"
-      | e :: _ ->
-        (match e with
-         | [] -> "T"
-         | _ -> String.concat " AND " (List.map Sql.Pretty.pred e))
+      match e1 with
+      | [] -> "T"
+      | _ -> String.concat " AND " (List.map Sql.Pretty.pred e1)
     in
     step "11" (Printf.sprintf "E1 <=> %s" dnf_text);
     tstep "11"
@@ -194,53 +229,53 @@ let analyze ?(paper_strict = false) ?(trace = Trace.disabled) cat
         "does V contain a candidate key of every table of the product?";
       (v2, missing)
     in
-    let rec loop = function
-      | [] ->
-        step "20" "Return YES and stop";
-        finish Yes "a candidate key of every table is functionally bound"
-          projection
-      | ei :: rest ->
-        let v, missing = analyze_conjunct ei in
-        if missing = [] then begin
-          step "17" "V contains a candidate key of every table; proceed";
-          match rest with
-          | [] ->
-            step "20" "Return YES and stop";
-            finish Yes "a candidate key of every table is functionally bound" v
-          | _ -> loop rest
-        end
-        else begin
-          let who = String.concat ", " (List.map fst missing) in
-          step "18" (Printf.sprintf "no candidate key of %s is in V; return NO" who);
-          finish No
-            (Printf.sprintf "no candidate key of table(s) %s is bound by the \
-                             projection and equality conditions" who)
-            v
-        end
+    (* lines 12-19, short-circuiting: the first conjunct missing a key
+       answers NO without forcing any further conjunct off the stream. *)
+    let rec loop count ei rest =
+      let v, missing = analyze_conjunct ei in
+      if missing = [] then begin
+        step "17" "V contains a candidate key of every table; proceed";
+        match Seq.uncons rest with
+        | None ->
+          step "20" "Return YES and stop";
+          finish Yes "a candidate key of every table is functionally bound" v
+        | Some (e', rest') ->
+          if count >= budget then budget_blown "11"
+          else loop (count + 1) e' rest'
+      end
+      else begin
+        let who = String.concat ", " (List.map fst missing) in
+        step "18" (Printf.sprintf "no candidate key of %s is in V; return NO" who);
+        finish No
+          (Printf.sprintf "no candidate key of table(s) %s is bound by the \
+                           projection and equality conditions" who)
+          v
+      end
     in
-    match dnf with
-    | [] ->
-      (* predicate is unsatisfiable: the result is empty, duplicates are
-         impossible *)
-      step "11" "C is unsatisfiable; the result is empty";
-      tstep "11" "C is unsatisfiable; the result is empty, so duplicates are \
-                  impossible";
-      finish Yes "the selection predicate is unsatisfiable" projection
-    | conjuncts -> loop conjuncts
+    loop 1 e1 dnf_rest
   end
 
-let distinct_is_redundant ?paper_strict ?cache ?(trace = Trace.disabled) cat q =
-  let run () = (analyze ?paper_strict ~trace cat q).answer = Yes in
+let distinct_is_redundant ?paper_strict ?budget ?cache ?(trace = Trace.disabled)
+    cat q =
+  (* Maybe maps to false: DISTINCT stays, which is always sound. *)
+  let run () = (analyze ?paper_strict ?budget ~trace cat q).answer = Yes in
   match cache with
   | None -> run ()
   | Some c ->
-    (* paper-strict mode answers differently, so it gets its own key space *)
-    let tag = if paper_strict = Some true then "alg1-strict" else "alg1" in
+    (* paper-strict mode and non-default budgets answer differently, so
+       they get their own key spaces *)
+    let tag =
+      (if paper_strict = Some true then "alg1-strict" else "alg1")
+      ^
+      match budget with
+      | Some b when b <> Logic.Norm.default_budget -> Printf.sprintf ":b%d" b
+      | Some _ | None -> ""
+    in
     Analysis_cache.cached_verdict c ~tag ~trace ~run cat q
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>answer: %s@,reason: %s@,@[<v 2>trace:@,%a@]@]"
-    (match r.answer with Yes -> "YES" | No -> "NO")
+    (match r.answer with Yes -> "YES" | No -> "NO" | Maybe -> "MAYBE")
     r.reason
     (Format.pp_print_list
        ~pp_sep:Format.pp_print_cut

@@ -19,7 +19,11 @@
     an empty predicate still performs the key-subset test on the projection
     alone; pass [~paper_strict:true] to reproduce the printed text. *)
 
-type answer = Yes | No
+(** [Maybe] is the sound give-up answer: normalizing the predicate would
+    exceed the clause budget, so the test keeps the DISTINCT rather than
+    materialize an exponential normal form. It never occurs with the
+    in-budget predicates the other answers cover. *)
+type answer = Yes | No | Maybe
 
 type trace_step = {
   line : string;   (** the algorithm line(s) this step corresponds to *)
@@ -39,6 +43,13 @@ type report = {
     deleted with the other non-equality conditions), which keeps the test
     sufficient.
 
+    [~budget] (default {!Logic.Norm.default_budget}) caps how many clauses
+    the CNF conversion may hold and how many DNF conjuncts the test may
+    inspect; blowing it answers {!Maybe} with a [norm.budget] trace node
+    instead of materializing an exponential normal form. The DNF is
+    consumed lazily off {!Logic.Norm.dnf_seq_of_cnf}, so a NO
+    short-circuits on the first failing conjunct.
+
     With [~trace], every algorithm line additionally emits a structured
     decision node ([algorithm1.lineN]) mirroring the textual report —
     closure steps carry the Type-1/Type-2 equality that fired, the line-17
@@ -49,19 +60,23 @@ type report = {
     @raise Fd.Derive.Unknown_table or [Unknown_column] on bad references. *)
 val analyze :
   ?paper_strict:bool ->
+  ?budget:int ->
   ?trace:Trace.t ->
   Catalog.t ->
   Sql.Ast.query_spec ->
   report
 
 (** [true] iff {!analyze} answers {!Yes}: [SELECT DISTINCT] and [SELECT ALL]
-    coincide, so an optimizer may drop the duplicate-elimination step.
+    coincide, so an optimizer may drop the duplicate-elimination step
+    ({!No} and {!Maybe} both keep it).
 
     With [~cache], the verdict is memoized under an [~tag:"alg1"] (or
-    ["alg1-strict"]) fingerprint — see {!Analysis_cache.cached_verdict} for
-    the hit/trace semantics. Caching never changes the answer. *)
+    ["alg1-strict"]; a non-default [~budget] is folded into the tag) —
+    see {!Analysis_cache.cached_verdict} for the hit/trace semantics.
+    Caching never changes the answer. *)
 val distinct_is_redundant :
   ?paper_strict:bool ->
+  ?budget:int ->
   ?cache:Analysis_cache.t ->
   ?trace:Trace.t ->
   Catalog.t ->

@@ -295,7 +295,8 @@ let search_space_of domains_per_table host_dom_sizes =
   in
   List.fold_left ( * ) tuple_space host_dom_sizes
 
-let check ?(max_cells = 2_000_000) cat (q : Sql.Ast.query_spec) =
+let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
+    (q : Sql.Ast.query_spec) =
   match unsupported_reason q with
   | Some reason -> Unsupported reason
   | None ->
@@ -340,18 +341,47 @@ let check ?(max_cells = 2_000_000) cat (q : Sql.Ast.query_spec) =
         let tuples =
           List.filter (tuple_valid schema def corr) (enumerate_tuples doms)
         in
+        (* Paired tuples must agree on the table's share of the projection,
+           so bucket the tuples by those values -- compare_total is zero
+           exactly when equal_null holds, the test the naive double loop
+           applied per pair -- and pair only within a bucket. The pair
+           order is exactly the naive loop's (the inner iteration merely
+           skips the non-agreeing tuples upfront), and the bucketed pair
+           count is charged against max_pairs *before* the quadratic work
+           runs: the max_cells budget only starts at the combination
+           search below, so without this guard a constant-rich predicate
+           can spend minutes here while every later stage is bounded. *)
+        let module VMap = Map.Make (struct
+          type t = Value.t list
+
+          let compare = List.compare Value.compare_total
+        end) in
+        let bucket_key t = List.map (fun i -> t.(i)) proj_idx in
+        let buckets =
+          VMap.map List.rev
+            (List.fold_left
+               (fun m t ->
+                 VMap.update (bucket_key t)
+                   (fun b -> Some (t :: Option.value ~default:[] b))
+                   m)
+               VMap.empty tuples)
+        in
+        let pair_work =
+          VMap.fold
+            (fun _ b acc ->
+              let n = List.length b in
+              acc + (n * n))
+            buckets 0
+        in
+        if pair_work > max_pairs then raise (Too_large pair_work);
         let pairs = ref [] in
         List.iter
           (fun t ->
             List.iter
               (fun t' ->
-                if
-                  pair_valid schema def corr t t'
-                  && List.for_all
-                       (fun i -> Value.equal_null t.(i) t'.(i))
-                       proj_idx
-                then pairs := (t, t') :: !pairs)
-              tuples)
+                if pair_valid schema def corr t t' then
+                  pairs := (t, t') :: !pairs)
+              (VMap.find (bucket_key t) buckets))
           tuples;
         (* try genuinely distinct pairs first: a counterexample needs at
            least one table where the two tuples differ, so this ordering

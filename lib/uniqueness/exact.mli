@@ -46,8 +46,16 @@ val unsupported_reason : Sql.Ast.query_spec -> string option
     (never raises) on queries outside the checker's class.
 
     @param max_cells safety bound on the enumeration size (product of domain
-    sizes over all cells); raises [Too_large] beyond it. Default [2_000_000]. *)
-val check : ?max_cells:int -> Catalog.t -> Sql.Ast.query_spec -> result
+    sizes over all cells); raises [Too_large] beyond it. Default [2_000_000].
+    @param max_pairs safety bound on the per-table tuple-pair construction
+    (quadratic in the table's valid-tuple count, and charged {e before} the
+    [max_cells] budget starts); raises [Too_large] beyond it. Default
+    [max_int], i.e. unguarded — callers that treat [Too_large] as a skip
+    (the differential fuzzer) pass a tight bound, since constant-rich
+    predicates can make the pair loop take minutes while staying under the
+    per-table tuple cap. *)
+val check :
+  ?max_cells:int -> ?max_pairs:int -> Catalog.t -> Sql.Ast.query_spec -> result
 
 exception Too_large of int
   (** the enumeration would exceed [max_cells] assignments *)

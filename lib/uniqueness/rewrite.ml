@@ -183,7 +183,7 @@ let has_aggregate = function
 (* Can the block [sub] (already name-qualified) match at most one tuple of
    each of its tables per outer row? Outer columns count as constants. *)
 let inner_block_unique cat ~outer_rels (sub : query_spec) =
-  let clauses = Logic.Norm.cnf_of_pred sub.where in
+  let clauses = Logic.Norm.usable_clauses sub.where in
   let eqs =
     List.filter_map
       (function [ lit ] -> Logic.Equalities.of_literal lit | _ -> None)

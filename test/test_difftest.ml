@@ -103,6 +103,24 @@ let test_campaign_deterministic () =
   let b = report_text (D.Runner.run campaign_config) in
   Alcotest.(check string) "identical reports" a b
 
+(* nested-OR cases blow the normalization clause budget, so the analyzers
+   answer the sound MAYBE; the oracles must stay clean on them, and the
+   knob's 0.0 default must leave the seeded stream untouched *)
+let test_campaign_nested_or_clean () =
+  let config =
+    { campaign_config with D.Runner.nested_or = 0.5; shrink = false }
+  in
+  let r = D.Runner.run config in
+  Alcotest.(check int) "no invalid generated cases" 0 r.D.Runner.skipped_cases;
+  Alcotest.(check int) "no discrepancies" 0
+    (List.length r.D.Runner.discrepancies);
+  let explicit_default =
+    report_text (D.Runner.run { campaign_config with D.Runner.nested_or = 0.0 })
+  in
+  Alcotest.(check string) "nested_or 0.0 is byte-identical to the default"
+    (report_text (D.Runner.run campaign_config))
+    explicit_default
+
 (* pool-consistency oracle: judging the campaign on 4 domains must merge
    back into the byte-identical report the sequential run produces, with
    the shared cache on as well as off *)
@@ -174,6 +192,8 @@ let () =
             test_campaign_clean;
           Alcotest.test_case "same seed, same report" `Quick
             test_campaign_deterministic;
+          Alcotest.test_case "nested-OR (budget MAYBE) campaign is clean"
+            `Quick test_campaign_nested_or_clean;
           Alcotest.test_case "4-domain pool, same report" `Quick
             test_campaign_pool_consistent;
         ] );

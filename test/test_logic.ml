@@ -73,6 +73,33 @@ let prop_dnf =
 
 let prop_simplify = prop_preserves eval "simplify preserves 3VL truth" Logic.Norm.simplify
 
+(* budgeted entry points: when the conversion fits the budget it must be
+   truth-preserving; a tiny budget must fall back soundly (we keep p) *)
+let prop_cnf_budgeted =
+  prop_preserves eval "budgeted CNF preserves truth when within budget"
+    (fun p ->
+      match Logic.Norm.cnf_of_pred_budgeted ~budget:32 p with
+      | Logic.Norm.Within cnf -> Logic.Norm.pred_of_cnf cnf
+      | Logic.Norm.Exceeded _ -> p)
+
+let prop_dnf_budgeted =
+  prop_preserves eval "budgeted DNF preserves truth when within budget"
+    (fun p ->
+      match Logic.Norm.dnf_of_pred_budgeted ~budget:32 p with
+      | Logic.Norm.Within dnf -> Logic.Norm.pred_of_dnf dnf
+      | Logic.Norm.Exceeded _ -> p)
+
+(* The odometer stream does no cross-conjunct dedup, so a random CNF's
+   full product can be astronomically large; cap it and keep p on
+   overflow, mirroring how Algorithm 1 consumes the stream. *)
+let prop_dnf_stream =
+  prop_preserves eval "streaming DNF of the CNF preserves truth" (fun p ->
+      match
+        Logic.Norm.dnf_of_cnf_budgeted ~budget:512 (Logic.Norm.cnf_of_pred p)
+      with
+      | Logic.Norm.Within dnf -> Logic.Norm.pred_of_dnf dnf
+      | Logic.Norm.Exceeded _ -> p)
+
 let prop_cnf_shape =
   QCheck2.Test.make ~name:"CNF clauses contain only literals" ~count:300
     ~print:G.pred_print G.pred_gen (fun p ->
@@ -83,6 +110,169 @@ let prop_cnf_shape =
           | Not _ -> false
           | _ -> true))
         (Logic.Norm.cnf_of_pred p))
+
+(* ---- the budgeted conversion engine ---- *)
+
+let mkattr s = Attr.of_string s
+
+let test_empty_in_list () =
+  (* IN over an empty list is vacuously false; its negation is vacuously
+     true — both polarities must normalize to the constant, not to an
+     empty disjunction that downstream code misreads *)
+  let c = Col (mkattr "R.A") in
+  (match Logic.Norm.expand (In_list (c, [])) with
+   | Pfalse -> ()
+   | p -> Alcotest.failf "positive empty IN-list: %s" (G.pred_print p));
+  match Logic.Norm.expand (Not (In_list (c, []))) with
+  | Ptrue -> ()
+  | p -> Alcotest.failf "negated empty IN-list: %s" (G.pred_print p)
+
+(* OR of [n] two-literal conjunctions with pairwise-distinct atoms: the CNF
+   is exactly 2^n distinct clauses, so n = 13 blows the 4096 default *)
+let wide_or n =
+  let col i = Col (mkattr (Printf.sprintf "R.C%d" i)) in
+  let disjunct i =
+    And
+      (Cmp (Eq, col (2 * i), Const (Value.Int i)),
+       Cmp (Eq, col ((2 * i) + 1), Const (Value.Int i)))
+  in
+  List.fold_left
+    (fun acc i -> Or (acc, disjunct i))
+    (disjunct 0)
+    (List.init (n - 1) (fun i -> i + 1))
+
+let test_budget_exceeded () =
+  let p = wide_or 13 in
+  (match Logic.Norm.cnf_of_pred_budgeted p with
+   | Logic.Norm.Exceeded { budget } ->
+     Alcotest.(check int) "default budget" Logic.Norm.default_budget budget
+   | Logic.Norm.Within _ -> Alcotest.fail "2^13 clauses must blow 4096");
+  Alcotest.(check bool) "evidence miners soundly see no clauses" true
+    (Logic.Norm.usable_clauses p = []);
+  (* a budget that fits materializes the full distribution: the atoms are
+     pairwise distinct, so neither dedup nor subsumption can shrink it *)
+  match Logic.Norm.cnf_of_pred_budgeted ~budget:10_000 p with
+  | Logic.Norm.Within cnf -> Alcotest.(check int) "8192 clauses" 8192 (List.length cnf)
+  | Logic.Norm.Exceeded _ -> Alcotest.fail "a 10k budget suffices for 2^13"
+
+let test_dnf_stream_odometer () =
+  let lit i = Cmp (Eq, Col (mkattr (Printf.sprintf "R.L%d" i)), Const (Value.Int i)) in
+  Alcotest.(check bool) "rightmost clause varies fastest" true
+    (Logic.Norm.dnf_of_cnf [ [ lit 0; lit 1 ]; [ lit 2 ] ]
+     = [ [ lit 0; lit 2 ]; [ lit 1; lit 2 ] ]);
+  Alcotest.(check bool) "an empty clause kills every conjunct" true
+    (Logic.Norm.dnf_of_cnf [ [ lit 0 ]; [] ] = []);
+  Alcotest.(check bool) "no clauses is TRUE: one empty conjunct" true
+    (Logic.Norm.dnf_of_cnf [] = [ [] ]);
+  Alcotest.(check bool) "a literal drawn twice appears once" true
+    (Logic.Norm.dnf_of_cnf [ [ lit 0 ]; [ lit 0 ] ] = [ [ lit 0 ] ]);
+  (match
+     Logic.Norm.dnf_of_cnf_budgeted ~budget:3 [ [ lit 0; lit 1 ]; [ lit 2; lit 3 ] ]
+   with
+   | Logic.Norm.Exceeded { budget = 3 } -> ()
+   | _ -> Alcotest.fail "4 conjuncts must exceed a budget of 3");
+  (* the stream never materializes the product: taking 4 of 2^20 is cheap *)
+  let big = List.init 20 (fun i -> [ lit (2 * i); lit ((2 * i) + 1) ]) in
+  let taken = List.of_seq (Seq.take 4 (Logic.Norm.dnf_seq_of_cnf big)) in
+  Alcotest.(check int) "lazy prefix" 4 (List.length taken)
+
+(* random predicates over rows drawn from the difftest instance generator:
+   the normal forms must agree with Eval on realistic data (NULLs, strings,
+   booleans, empty IN lists), not only the hand-rolled environments above *)
+let rand_pred_over rng cols =
+  let module R = Schema.Relschema in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let const_for = function
+    | R.Tint -> Value.Int (Random.State.int rng 4)
+    | R.Tstring -> Value.String (pick [ "a"; "b"; "c" ])
+    | R.Tbool -> Value.Bool (Random.State.bool rng)
+    | R.Tfloat -> Value.Float (float_of_int (Random.State.int rng 4))
+  in
+  let atom () =
+    let a, ty = pick cols in
+    let c = Col a in
+    match Random.State.int rng 6 with
+    | 0 -> Cmp (pick [ Eq; Ne; Lt; Le; Gt; Ge ], c, Const (const_for ty))
+    | 1 ->
+      (match List.filter (fun (_, ty') -> ty' = ty) cols with
+       | [] -> Cmp (Eq, c, Const (const_for ty))
+       | peers -> Cmp (Eq, c, Col (fst (pick peers))))
+    | 2 -> if Random.State.bool rng then Is_null c else Is_not_null c
+    | 3 ->
+      (* 0..2 members: exercises the empty IN-list edge *)
+      let n = Random.State.int rng 3 in
+      In_list (c, List.init n (fun _ -> const_for ty))
+    | 4 when ty = R.Tint ->
+      let lo = Random.State.int rng 3 in
+      Between (c, Const (Value.Int lo), Const (Value.Int (lo + Random.State.int rng 3)))
+    | _ -> Cmp (pick [ Eq; Ne; Lt; Le; Gt; Ge ], c, Const (const_for ty))
+  in
+  let rec go depth =
+    if depth = 0 then atom ()
+    else
+      match Random.State.int rng 4 with
+      | 0 -> And (go (depth - 1), go (depth - 1))
+      | 1 -> Or (go (depth - 1), go (depth - 1))
+      | 2 -> Not (go (depth - 1))
+      | _ -> atom ()
+  in
+  go 3
+
+let prop_normal_forms_on_instances =
+  QCheck2.Test.make
+    ~name:"normal forms agree with Eval on difftest instances" ~count:150
+    QCheck2.Gen.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let ddl = Difftest.Schema_gen.generate ~rng in
+      let cat = Difftest.Schema_gen.catalog_of_ddl ddl in
+      let tables = Difftest.Instance_gen.tables ~rng ~rows:5 cat in
+      List.for_all
+        (fun (name, rows) ->
+          let def = Catalog.find_exn cat name in
+          let cols =
+            List.map
+              (fun (c : Schema.Relschema.column) ->
+                (c.Schema.Relschema.attr, c.Schema.Relschema.ctype))
+              (Schema.Relschema.columns def.Catalog.tbl_schema)
+          in
+          let p = rand_pred_over rng cols in
+          let variants =
+            [ Logic.Norm.pred_of_cnf (Logic.Norm.cnf_of_pred p);
+              Logic.Norm.pred_of_dnf (Logic.Norm.dnf_of_pred p);
+              (match
+                 Logic.Norm.dnf_of_cnf_budgeted ~budget:512
+                   (Logic.Norm.cnf_of_pred p)
+               with
+              | Logic.Norm.Within dnf -> Logic.Norm.pred_of_dnf dnf
+              | Logic.Norm.Exceeded _ -> p);
+              (match Logic.Norm.cnf_of_pred_budgeted ~budget:16 p with
+               | Logic.Norm.Within cnf -> Logic.Norm.pred_of_cnf cnf
+               | Logic.Norm.Exceeded _ -> p);
+              (match Logic.Norm.dnf_of_pred_budgeted ~budget:16 p with
+               | Logic.Norm.Within dnf -> Logic.Norm.pred_of_dnf dnf
+               | Logic.Norm.Exceeded _ -> p) ]
+          in
+          List.for_all
+            (fun row ->
+              let binding =
+                List.fold_left2
+                  (fun m (a, _) v -> Attr.Map.add a v m)
+                  Attr.Map.empty cols (Array.to_list row)
+              in
+              let ev q =
+                Logic.Eval.eval_pred_simple
+                  ~lookup_col:(fun a ->
+                    match Attr.Map.find_opt a binding with
+                    | Some v -> v
+                    | None -> raise (Logic.Eval.Unbound_column a))
+                  ~lookup_host:(fun h -> raise (Logic.Eval.Unbound_host h))
+                  q
+              in
+              let reference = ev p in
+              List.for_all (fun q -> Truth.equal reference (ev q)) variants)
+            rows)
+        tables)
 
 (* ---- equalities ---- *)
 
@@ -154,6 +344,54 @@ let test_split () =
   Alcotest.(check int) "two equalities" 2 (List.length eqs);
   Alcotest.(check int) "one residual" 1 (List.length rest)
 
+(* ---- closure engines agree ---- *)
+
+(* Untraced + memo off runs the union-find engine; a live trace runs the
+   step-narrating sweep. Both must compute the same closure. *)
+let prop_uf_closure_matches_direct =
+  QCheck2.Test.make
+    ~name:"union-find closure equals the traced saturation closure"
+    ~count:500 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let attrs =
+        Array.init 12 (fun i -> attr (Printf.sprintf "R%d.C%d" (i mod 3) i))
+      in
+      let any () = attrs.(Random.State.int rng (Array.length attrs)) in
+      let eqs =
+        List.init
+          (Random.State.int rng 16)
+          (fun _ ->
+            if Random.State.int rng 4 = 0 then
+              Logic.Equalities.Type1 (any (), Logic.Equalities.Const (Value.Int 1))
+            else Logic.Equalities.Type2 (any (), any ()))
+      in
+      let seed_set =
+        Array.fold_left
+          (fun acc a -> if Random.State.bool rng then Attr.Set.add a acc else acc)
+          Attr.Set.empty attrs
+      in
+      let uf = Logic.Equalities.closure seed_set eqs in
+      let direct = Logic.Equalities.closure ~trace:(Trace.make ()) seed_set eqs in
+      Attr.Set.equal uf direct)
+
+let prop_saturate_engines_agree =
+  QCheck2.Test.make ~name:"linear closure engine equals the sweep fixpoint"
+    ~count:500 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let bits () =
+        Cache.Bitset.of_list
+          (List.init (Random.State.int rng 4) (fun _ -> Random.State.int rng 24))
+      in
+      let pairs =
+        List.init (Random.State.int rng 12) (fun _ -> (bits (), bits ()))
+      in
+      let s = bits () in
+      Cache.Bitset.equal
+        (Cache.Runtime.saturate_linear pairs s)
+        (Cache.Runtime.saturate_sweep pairs s))
+
 let () =
   Alcotest.run "logic"
     [
@@ -165,7 +403,20 @@ let () =
         ] );
       ( "normal-forms",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_expand; prop_cnf; prop_dnf; prop_simplify; prop_cnf_shape ] );
+          [ prop_expand; prop_cnf; prop_dnf; prop_simplify; prop_cnf_shape;
+            prop_cnf_budgeted; prop_dnf_budgeted; prop_dnf_stream;
+            prop_normal_forms_on_instances ] );
+      ( "budget-engine",
+        [
+          Alcotest.test_case "empty IN-list, both polarities" `Quick
+            test_empty_in_list;
+          Alcotest.test_case "budget blowout" `Quick test_budget_exceeded;
+          Alcotest.test_case "streaming DNF odometer" `Quick
+            test_dnf_stream_odometer;
+        ] );
+      ( "closure-engines",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_uf_closure_matches_direct; prop_saturate_engines_agree ] );
       ( "equalities",
         [
           Alcotest.test_case "classification" `Quick test_classify;

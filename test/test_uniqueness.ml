@@ -308,6 +308,46 @@ let prop_paper_strict_is_weaker =
 
 (* Soundness against the engine: if the analysis says YES then evaluating
    with ALL equals evaluating with DISTINCT on a random generated database. *)
+(* ---- the normalization clause budget (sound MAYBE) ---- *)
+
+let test_budget_maybe () =
+  (* a nested OR-of-ANDs whose CNF needs 2^14 clauses: Algorithm 1 must
+     give up soundly, leave a norm.budget node, and keep the DISTINCT *)
+  let rng = Random.State.make [| 42 |] in
+  let q = Difftest.Query_gen.nested_or_spec ~rng ~width:14 catalog in
+  let trace = Trace.make () in
+  let r = A1.analyze ~trace catalog q in
+  Alcotest.(check bool) "answers MAYBE" true (r.A1.answer = A1.Maybe);
+  let rec has_budget (n : Trace.node) =
+    n.Trace.rule = "norm.budget" || List.exists has_budget n.Trace.children
+  in
+  Alcotest.(check bool) "norm.budget node in the trace" true
+    (List.exists has_budget (Trace.nodes trace));
+  Alcotest.(check bool) "MAYBE keeps the DISTINCT" false
+    (A1.distinct_is_redundant catalog q)
+
+let test_budget_knob () =
+  (* Example 1's CNF has two clauses: a budget of 1 forces the give-up
+     path on a query the default budget answers YES *)
+  let q = parse example1 in
+  let r = A1.analyze ~budget:1 catalog q in
+  Alcotest.(check bool) "budget 1 gives up" true (r.A1.answer = A1.Maybe);
+  Alcotest.(check bool) "default budget still answers YES" true
+    (A1.distinct_is_redundant catalog q)
+
+let test_nested_or_generator_blows_budget () =
+  (* the generator's atoms are pairwise distinct by construction, so the
+     budget path fires on every generated catalog, not just the paper's *)
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 10 do
+    let ddl = Difftest.Schema_gen.generate ~rng in
+    let cat = Difftest.Schema_gen.catalog_of_ddl ddl in
+    let q = Difftest.Query_gen.nested_or_spec ~rng cat in
+    let r = A1.analyze cat q in
+    Alcotest.(check bool) "MAYBE on every nested-OR case" true
+      (r.A1.answer = A1.Maybe)
+  done
+
 let db_for_props =
   lazy (Workload.Generator.supplier_db ~suppliers:30 ~parts_per_supplier:4 ())
 
@@ -380,6 +420,11 @@ let () =
           Alcotest.test_case "three tables" `Quick test_three_tables;
           Alcotest.test_case "three tables, one unkeyed" `Quick
             test_three_tables_missing_one;
+          Alcotest.test_case "budget blowout answers MAYBE" `Quick
+            test_budget_maybe;
+          Alcotest.test_case "budget knob" `Quick test_budget_knob;
+          Alcotest.test_case "nested-OR generator blows the budget" `Quick
+            test_nested_or_generator_blows_budget;
         ] );
       ( "fd-analysis",
         [
