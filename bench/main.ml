@@ -1170,6 +1170,122 @@ let experiment_parallel () =
   close_out oc;
   Printf.printf "wrote BENCH_parallel.json\n"
 
+(* ------------------------------------------------------------ SYMBOLIC *)
+
+(* The symbolic bag-semantics oracle vs the exact bounded-model checker
+   (BENCH_symbolic.json): on the regression corpus plus a 1000-case
+   seeded fuzz stream, tally how each side decides, assert that the two
+   never disagree when both decide, and that the symbolic oracle settles
+   at least 30% of the cases the exact checker cannot (over budget,
+   truncated domains, unsupported shape). All figures are deterministic
+   functions of the seed, so the trajectory file diffs cleanly; the
+   asserts make the experiment its own CI check. *)
+let experiment_symbolic () =
+  section "SYMBOLIC  symbolic oracle vs exact checker (BENCH_symbolic.json)";
+  let module D = Difftest in
+  let module S = Symbolic.Equiv in
+  let corpus =
+    let dir = "test/corpus" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sexp")
+      |> List.sort String.compare
+      |> List.map (fun f -> D.Case.load (Filename.concat dir f))
+    else []
+  in
+  let rng = Random.State.make [| 7 |] in
+  let fuzz =
+    List.init 1000 (fun _ -> D.Case.generate ~rng ~instances:2 ~rows:4 ())
+  in
+  let exact_decided = ref 0 in
+  let exact_skipped = ref 0 in
+  let symbolic_of_exact_skips = ref 0 in
+  let symbolic_proved = ref 0 in
+  let symbolic_refuted = ref 0 in
+  let symbolic_unknown = ref 0 in
+  let both_decided = ref 0 in
+  let disagreements = ref 0 in
+  let out_of_class = ref 0 in
+  let judge (case : D.Case.t) =
+    match case.D.Case.query with
+    | Sql.Ast.Spec q when q.Sql.Ast.group_by = [] -> begin
+      let cat = D.Case.catalog case in
+      let exact =
+        match
+          Uniqueness.Exact.check ~max_cells:100_000 ~max_pairs:1_000_000 cat q
+        with
+        | Uniqueness.Exact.Unique -> `Unique
+        | Uniqueness.Exact.Duplicable _ -> `Duplicable
+        | Uniqueness.Exact.Unsupported _ -> `Skip
+        | exception Uniqueness.Exact.Too_large _ -> `Skip
+      in
+      let symbolic =
+        match S.distinct_redundant cat q with
+        | S.Proved -> incr symbolic_proved; `Unique
+        | S.Refuted _ -> incr symbolic_refuted; `Duplicable
+        | S.Unknown _ -> incr symbolic_unknown; `Skip
+      in
+      (match exact with
+       | `Skip ->
+         incr exact_skipped;
+         if symbolic <> `Skip then incr symbolic_of_exact_skips
+       | d ->
+         incr exact_decided;
+         if symbolic <> `Skip then begin
+           incr both_decided;
+           if symbolic <> d then incr disagreements
+         end)
+    end
+    | _ -> incr out_of_class
+  in
+  List.iter judge corpus;
+  List.iter judge fuzz;
+  let cases = List.length corpus + List.length fuzz in
+  let ratio =
+    if !exact_skipped = 0 then 1.0
+    else float_of_int !symbolic_of_exact_skips /. float_of_int !exact_skipped
+  in
+  Printf.printf
+    "%d cases (%d corpus + %d fuzz, seed 7), %d outside the DISTINCT class\n\n"
+    cases (List.length corpus) (List.length fuzz) !out_of_class;
+  Printf.printf "%-44s %8d\n" "exact checker decided" !exact_decided;
+  Printf.printf "%-44s %8d\n" "exact checker skipped (budget/unsupported)"
+    !exact_skipped;
+  Printf.printf "%-44s %8d\n" "  ... of which the symbolic oracle decides"
+    !symbolic_of_exact_skips;
+  Printf.printf "%-44s %7.1f%%\n" "  recovery ratio (must be >= 30%)"
+    (100.0 *. ratio);
+  Printf.printf "%-44s %8d / %8d / %8d\n"
+    "symbolic proved / refuted / unknown" !symbolic_proved !symbolic_refuted
+    !symbolic_unknown;
+  Printf.printf "%-44s %8d\n" "both decided" !both_decided;
+  Printf.printf "%-44s %8d (must be 0)\n" "disagreements" !disagreements;
+  assert (!disagreements = 0);
+  assert (ratio >= 0.30);
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "symbolic");
+        ("seed", Trace.Json.Int 7);
+        ("corpus_cases", Trace.Json.Int (List.length corpus));
+        ("fuzz_cases", Trace.Json.Int (List.length fuzz));
+        ("out_of_class", Trace.Json.Int !out_of_class);
+        ("exact_decided", Trace.Json.Int !exact_decided);
+        ("exact_skipped", Trace.Json.Int !exact_skipped);
+        ("symbolic_decides_exact_skips",
+         Trace.Json.Int !symbolic_of_exact_skips);
+        ("recovery_ratio", Trace.Json.Float ratio);
+        ("symbolic_proved", Trace.Json.Int !symbolic_proved);
+        ("symbolic_refuted", Trace.Json.Int !symbolic_refuted);
+        ("symbolic_unknown", Trace.Json.Int !symbolic_unknown);
+        ("both_decided", Trace.Json.Int !both_decided);
+        ("disagreements", Trace.Json.Int !disagreements) ]
+  in
+  let oc = open_out "BENCH_symbolic.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_symbolic.json\n"
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -1203,6 +1319,10 @@ let experiments =
     ("PARALLEL",
      "domain-pool scaling, sequential vs N domains (BENCH_parallel.json)",
      experiment_parallel);
+    ("SYMBOLIC",
+     "symbolic oracle vs exact checker, recovery ratio \
+      (BENCH_symbolic.json)",
+     experiment_symbolic);
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

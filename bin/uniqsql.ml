@@ -54,12 +54,14 @@ let parse_binding s =
     let name = String.uppercase_ascii (String.sub s 0 i) in
     let v = String.sub s (i + 1) (String.length s - i - 1) in
     let value =
-      match int_of_string_opt v with
-      | Some n -> Sqlval.Value.Int n
-      | None ->
-        (match float_of_string_opt v with
-         | Some f -> Sqlval.Value.Float f
-         | None -> Sqlval.Value.String v)
+      if String.uppercase_ascii v = "NULL" then Sqlval.Value.Null
+      else
+        match int_of_string_opt v with
+        | Some n -> Sqlval.Value.Int n
+        | None ->
+          (match float_of_string_opt v with
+           | Some f -> Sqlval.Value.Float f
+           | None -> Sqlval.Value.String v)
     in
     (name, value)
 
@@ -272,8 +274,21 @@ let run_cmd =
     Arg.(value & opt int 20
          & info [ "limit" ] ~docv:"N" ~doc:"Rows to display.")
   in
-  let run sql ddl views sets suppliers limit =
+  let logic_arg =
+    Arg.(value & opt string "3vl"
+         & info [ "logic" ] ~docv:"MODE"
+             ~doc:"Predicate logic: 3vl (SQL's three-valued Kleene logic, \
+                   the default) or 2vl (Libkin's two-valued collapse: atoms \
+                   over NULL are false, connectives are classical). The two \
+                   agree on null-free data.")
+  in
+  let run sql ddl views sets suppliers limit logic =
     wrap (fun () ->
+        let logic =
+          match Sqlval.Logic_mode.of_string logic with
+          | Some m -> m
+          | None -> failwith ("--logic expects 3vl or 2vl, got " ^ logic)
+        in
         (match ddl with
          | Some _ -> failwith "run only supports the built-in paper schema"
          | None -> ());
@@ -287,7 +302,8 @@ let run_cmd =
         let q =
           Uniqueness.Views.expand_query cat (Sql.Parser.parse_query sql)
         in
-        let r = Engine.Exec.run_query db ~hosts q in
+        let cfg = { (Engine.Exec.default_config ()) with Engine.Exec.logic } in
+        let r = Engine.Exec.run_query ~config:cfg db ~hosts q in
         let truncated =
           { r with Engine.Relation.rows =
               List.filteri (fun i _ -> i < limit) r.Engine.Relation.rows }
@@ -296,7 +312,8 @@ let run_cmd =
         Format.printf "(%d rows total)@." (Engine.Relation.cardinality r))
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
-    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg $ limit_arg)
+    Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg
+          $ limit_arg $ logic_arg)
 
 (* ---- fuzz ---- *)
 
@@ -307,7 +324,7 @@ let fuzz_cmd =
   in
   let count_arg =
     Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.count
-         & info [ "count" ] ~docv:"N" ~doc:"Number of random cases.")
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of random cases.")
   in
   let instances_arg =
     Arg.(value & opt int Difftest.Runner.default.Difftest.Runner.instances
@@ -353,14 +370,21 @@ let fuzz_cmd =
                    analyzers' sound MAYBE path. The default 0.0 leaves the \
                    seeded RNG stream byte-identical to earlier releases.")
   in
+  let oracle_arg =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:"Run only the named oracle group (repeatable). Groups: \
+                   uniqueness, rewrite, agreement, symbolic, logic, cache. \
+                   Default: all of them.")
+  in
   let run seed count instances rows cells no_shrink save replay use_cache
-      nested_or jobs =
+      nested_or oracles jobs =
     wrap (fun () ->
         setup_parallel jobs;
         match replay with
         | Some path ->
           let case = Difftest.Case.load path in
-          let findings = Difftest.Runner.replay case in
+          let findings = Difftest.Runner.replay ~only:oracles case in
           List.iter
             (fun f -> Format.printf "%a@." Difftest.Oracle.pp_finding f)
             findings;
@@ -369,7 +393,7 @@ let fuzz_cmd =
           let config =
             { Difftest.Runner.seed; count; instances; rows;
               exact_cells = cells; shrink = not no_shrink;
-              use_cache; nested_or }
+              use_cache; nested_or; oracles }
           in
           let report =
             Parallel.Pool.with_pool ~jobs (fun pool ->
@@ -401,13 +425,14 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
-             instances judged by the uniqueness, rewrite and agreement \
-             oracles. Generation is sequential on the seeded RNG and judging \
-             fans out over --jobs domains, so the report is byte-identical \
-             at any job count.")
+             instances judged by the uniqueness, rewrite, agreement, \
+             symbolic, logic and cache oracles (restrict with --oracle). \
+             Generation is sequential on the seeded RNG and judging fans \
+             out over --jobs domains, so the report is byte-identical at \
+             any job count.")
     Term.(const run $ seed_arg $ count_arg $ instances_arg $ rows_arg
           $ cells_arg $ no_shrink_arg $ save_arg $ replay_arg $ cache_arg
-          $ nested_or_arg $ jobs_arg)
+          $ nested_or_arg $ oracle_arg $ jobs_arg)
 
 (* ---- batch / serve ---- *)
 

@@ -137,6 +137,19 @@ let rewrite ?cache (c : Case.t) =
 
 (* ---- agreement ---- *)
 
+(* When the exact checker cannot decide a claimed case (unsupported shape
+   or oversized search space), the symbolic oracle gets a chance: a
+   symbolic proof confirms the analyzer ([Pass]), an engine-verified
+   refutation convicts it ([Fail]); only a double give-up skips. *)
+let symbolic_fallback cat q skip_reason =
+  match Symbolic.Equiv.distinct_redundant cat q with
+  | Symbolic.Equiv.Proved -> Pass
+  | Symbolic.Equiv.Refuted _ ->
+    Fail
+      "analyzer claims uniqueness, symbolic oracle refutes it with a \
+       verified instance"
+  | Symbolic.Equiv.Unknown r -> Skip (skip_reason ^ "; symbolic: " ^ r)
+
 let agreement ?(max_cells = 100_000) ?cache (c : Case.t) =
   match c.Case.query with
   | A.Setop _ ->
@@ -159,7 +172,7 @@ let agreement ?(max_cells = 100_000) ?cache (c : Case.t) =
                 with
                 | U.Exact.Unique -> Pass
                 | U.Exact.Unsupported reason ->
-                  Skip ("exact checker: " ^ reason)
+                  symbolic_fallback cat q ("exact checker: " ^ reason)
                 | U.Exact.Duplicable cex ->
                   Fail
                     (Printf.sprintf
@@ -169,10 +182,183 @@ let agreement ?(max_cells = 100_000) ?cache (c : Case.t) =
                           (List.map Sqlval.Value.to_string
                              (Array.to_list cex.U.Exact.row1))))
                 | exception U.Exact.Too_large n ->
-                  Skip (Printf.sprintf "search space too large (%d)" n))
+                  symbolic_fallback cat q
+                    (Printf.sprintf "search space too large (%d)" n))
         in
         { oracle = "agreement/" ^ name; verdict })
       (analyzers ?cache cat)
+
+(* ---- symbolic ---- *)
+
+(* The symbolic oracle's own contract, checked both ways on every case:
+   a [Proved] must agree with the engine on every generated instance, a
+   [Refuted] must reproduce on its own hinted instance (and no analyzer
+   may simultaneously claim uniqueness), and whenever the exact checker
+   also decides, the two verdicts must coincide. *)
+let symbolic ?(max_cells = 100_000) ?cache (c : Case.t) =
+  match c.Case.query with
+  | A.Setop _ ->
+    [ { oracle = "symbolic/unique"; verdict = Skip "set operation" };
+      { oracle = "symbolic/vs-exact"; verdict = Skip "set operation" } ]
+  | A.Spec q when q.A.group_by <> [] ->
+    [ { oracle = "symbolic/unique"; verdict = Skip "GROUP BY" };
+      { oracle = "symbolic/vs-exact"; verdict = Skip "GROUP BY" } ]
+  | A.Spec q ->
+    let cat = Case.catalog c in
+    let sym =
+      match Symbolic.Equiv.distinct_redundant cat q with
+      | v -> Ok v
+      | exception e -> Error (Printexc.to_string e)
+    in
+    let unique_finding =
+      { oracle = "symbolic/unique";
+        verdict =
+          (match sym with
+           | Error e -> Fail ("exception: " ^ e)
+           | Ok (Symbolic.Equiv.Unknown r) -> Skip r
+           | Ok Symbolic.Equiv.Proved ->
+             on_instances c (fun db hosts i ->
+                 let all_rows =
+                   Engine.Exec.run_query db ~hosts
+                     (A.Spec { q with A.distinct = A.All })
+                 in
+                 let distinct_rows =
+                   Engine.Exec.run_query db ~hosts
+                     (A.Spec { q with A.distinct = A.Distinct })
+                 in
+                 if Engine.Relation.equal_bags all_rows distinct_rows then
+                   None
+                 else
+                   Some
+                     (Printf.sprintf
+                        "symbolic Proved but instance %d has duplicates \
+                         (ALL %d rows, DISTINCT %d)"
+                        i
+                        (Engine.Relation.cardinality all_rows)
+                        (Engine.Relation.cardinality distinct_rows)))
+           | Ok (Symbolic.Equiv.Refuted hint) ->
+             guard (fun () ->
+                 match
+                   List.find_opt (fun (_, claims) -> claims q)
+                     (analyzers ?cache cat)
+                 with
+                 | Some (name, _) ->
+                   Fail
+                     (Printf.sprintf
+                        "%s claims uniqueness but the symbolic oracle \
+                         refuted it"
+                        name)
+                 | None ->
+                   let db = Engine.Database.create cat in
+                   List.iter
+                     (fun (t, rows) -> Engine.Database.load db t rows)
+                     hint.Symbolic.Equiv.instance;
+                   if Engine.Database.validate db <> [] then
+                     Fail "symbolic refutation instance violates constraints"
+                   else
+                     let run distinct =
+                       Engine.Exec.run_query db
+                         ~hosts:hint.Symbolic.Equiv.hosts
+                         (A.Spec { q with A.distinct })
+                     in
+                     if
+                       Engine.Relation.equal_bags (run A.All)
+                         (run A.Distinct)
+                     then
+                       Fail
+                         "symbolic refutation does not reproduce on its \
+                          own instance"
+                     else Pass)) }
+    in
+    let vs_exact =
+      { oracle = "symbolic/vs-exact";
+        verdict =
+          (match sym with
+           | Error e -> Fail ("exception: " ^ e)
+           | Ok sym ->
+             guard (fun () ->
+                 match
+                   U.Exact.check ~max_cells ~max_pairs:(10 * max_cells) cat q
+                 with
+                 | exception U.Exact.Too_large n ->
+                   Skip (Printf.sprintf "search space too large (%d)" n)
+                 | U.Exact.Unsupported reason ->
+                   Skip ("exact checker: " ^ reason)
+                 | U.Exact.Unique ->
+                   (match sym with
+                    | Symbolic.Equiv.Refuted _ ->
+                      Fail "exact says Unique, symbolic refuted"
+                    | Symbolic.Equiv.Proved -> Pass
+                    | Symbolic.Equiv.Unknown r -> Skip ("symbolic: " ^ r))
+                 | U.Exact.Duplicable _ ->
+                   (match sym with
+                    | Symbolic.Equiv.Proved ->
+                      Fail "exact found duplicates, symbolic proved unique"
+                    | Symbolic.Equiv.Refuted _ -> Pass
+                    | Symbolic.Equiv.Unknown r -> Skip ("symbolic: " ^ r)))) }
+    in
+    [ unique_finding; vs_exact ]
+
+(* ---- 3VL / 2VL logic agreement ---- *)
+
+(* Libkin: two-valued logic (atoms over NULL are plain false) agrees with
+   SQL's three-valued logic on null-free data; on nullable instances the
+   divergences are real and catalogued as skips, never failures. *)
+let logic_agreement (c : Case.t) =
+  let q = c.Case.query in
+  [ { oracle = "logic/2vl";
+      verdict =
+        guard (fun () ->
+            let divergent = ref 0 in
+            let nullable = ref 0 in
+            let bad = ref None in
+            List.iteri
+              (fun i inst ->
+                let db = Case.database c inst in
+                let run logic =
+                  let config =
+                    { (Engine.Exec.default_config ()) with
+                      Engine.Exec.logic }
+                  in
+                  Engine.Exec.run_query ~config db ~hosts:inst.Case.hosts q
+                in
+                let r3 = run Sqlval.Logic_mode.L3 in
+                let r2 = run Sqlval.Logic_mode.L2 in
+                let agree = Engine.Relation.equal_bags r3 r2 in
+                let has_null =
+                  List.exists
+                    (fun (_, rows) ->
+                      List.exists
+                        (fun row -> Array.exists Sqlval.Value.is_null row)
+                        rows)
+                    inst.Case.rows
+                  || List.exists
+                       (fun (_, v) -> Sqlval.Value.is_null v)
+                       inst.Case.hosts
+                in
+                if has_null then begin
+                  incr nullable;
+                  if not agree then incr divergent
+                end
+                else if (not agree) && !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "instance %d: 3VL and 2VL disagree on a null-free \
+                          instance (%d vs %d rows)"
+                         i
+                         (Engine.Relation.cardinality r3)
+                         (Engine.Relation.cardinality r2)))
+              c.Case.instances;
+            match !bad with
+            | Some msg -> Fail msg
+            | None ->
+              if !divergent > 0 then
+                Skip
+                  (Printf.sprintf "2VL diverges on %d/%d nullable \
+                                   instance(s)"
+                     !divergent !nullable)
+              else Pass) } ]
 
 (* ---- cache consistency ---- *)
 
@@ -275,9 +461,32 @@ let cache_consistency (c : Case.t) =
   in
   [ verdicts; apply_all_consistent ]
 
-let all ?max_cells ?cache c =
-  uniqueness ?cache c @ rewrite ?cache c @ agreement ?max_cells ?cache c
-  @ cache_consistency c
+let groups ?max_cells ?cache () =
+  [ ("uniqueness", fun c -> uniqueness ?cache c);
+    ("rewrite", fun c -> rewrite ?cache c);
+    ("agreement", fun c -> agreement ?max_cells ?cache c);
+    ("symbolic", fun c -> symbolic ?max_cells ?cache c);
+    ("logic", logic_agreement);
+    ("cache", cache_consistency) ]
+
+let group_names = List.map fst (groups ())
+
+let all ?max_cells ?cache ?(only = []) c =
+  let gs = groups ?max_cells ?cache () in
+  let gs =
+    if only = [] then gs
+    else begin
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name gs) then
+            invalid_arg
+              (Printf.sprintf "unknown oracle group %S (available: %s)" name
+                 (String.concat ", " (List.map fst gs))))
+        only;
+      List.filter (fun (name, _) -> List.mem name only) gs
+    end
+  in
+  List.concat_map (fun (_, f) -> f c) gs
 
 let failures fs =
   List.filter (fun f -> match f.verdict with Fail _ -> true | Pass | Skip _ -> false) fs

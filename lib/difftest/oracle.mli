@@ -1,5 +1,4 @@
-(** The three executable oracles, each judging a {!Case.t} against the
-    engine:
+(** The executable oracles, each judging a {!Case.t} against the engine:
 
     - {e uniqueness}: an analyzer that claims [DISTINCT] is redundant
       (Theorem 1) must see [SELECT ALL] and [SELECT DISTINCT] agree as
@@ -7,13 +6,23 @@
     - {e rewrite}: every [Uniqueness.Rewrite] rule that applies must
       preserve bag semantics on every instance;
     - {e agreement}: an analyzer YES must be confirmed by the exact
-      bounded-model checker ([Uniqueness.Exact]).
-
-    A fourth oracle, {e cache consistency}, asserts that the analysis cache
-    is semantically invisible: direct, cache-miss, and cache-hit verdicts
-    agree for every analyzer (with the closure memo forced on and off), and
-    the rewrite pipeline produces identical results and traces — modulo
-    [cache.hit] marker nodes — with and without a cache.
+      bounded-model checker ([Uniqueness.Exact]); when the exact checker
+      gives up (unsupported shape, oversized search space) the symbolic
+      oracle ({!Symbolic.Equiv}) decides instead, so analyzer claims on
+      EXISTS-heavy or constant-rich queries no longer skip silently;
+    - {e symbolic}: the symbolic oracle's own soundness contract —
+      [Proved] must agree with the engine on every generated instance,
+      [Refuted] must reproduce on its hinted instance, and whenever both
+      the symbolic and the exact checker decide, they must coincide;
+    - {e logic}: SQL's three-valued logic versus Libkin's two-valued
+      collapse ([--logic 2vl]) — the two must agree on null-free
+      instances (a theorem), and genuine divergences on nullable
+      instances are catalogued as skips;
+    - {e cache consistency}: the analysis cache is semantically
+      invisible — direct, cache-miss, and cache-hit verdicts agree for
+      every analyzer, and the rewrite pipeline produces identical results
+      and traces (modulo [cache.hit] marker nodes) with and without a
+      cache.
 
     A [Fail] verdict is a soundness discrepancy; [Skip] records why an
     oracle did not apply (outside the analyzer's class, rewrite not
@@ -38,11 +47,24 @@ type finding = {
 val uniqueness : ?cache:Analysis_cache.t -> Case.t -> finding list
 val rewrite : ?cache:Analysis_cache.t -> Case.t -> finding list
 val agreement : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
+val symbolic : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
+val logic_agreement : Case.t -> finding list
 val cache_consistency : Case.t -> finding list
 
-(** All four oracles; [max_cells] bounds the exact checker (default
-    [100_000]). *)
-val all : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
+(** The oracle group names accepted by [all ~only] (and the fuzzer's
+    [--oracle] flag): ["uniqueness"], ["rewrite"], ["agreement"],
+    ["symbolic"], ["logic"], ["cache"]. *)
+val group_names : string list
+
+(** All oracles; [max_cells] bounds the exact checker (default
+    [100_000]). [only] restricts to the named groups ([[]] = all);
+    @raise Invalid_argument on an unknown group name. *)
+val all :
+  ?max_cells:int ->
+  ?cache:Analysis_cache.t ->
+  ?only:string list ->
+  Case.t ->
+  finding list
 
 val failures : finding list -> finding list
 val pp_finding : Format.formatter -> finding -> unit

@@ -7,6 +7,7 @@ type config = {
   shrink : bool;
   use_cache : bool;
   nested_or : float;
+  oracles : string list;
 }
 
 let default =
@@ -17,7 +18,8 @@ let default =
     exact_cells = 100_000;
     shrink = true;
     use_cache = false;
-    nested_or = 0.0 }
+    nested_or = 0.0;
+    oracles = [] }
 
 type discrepancy = {
   case_index : int;
@@ -31,10 +33,29 @@ type report = {
   cases : int;
   skipped_cases : int;
   per_oracle : (string * (int * int * int)) list;
+  skip_reasons : ((string * string) * int) list;
   discrepancies : discrepancy list;
 }
 
-let replay ?max_cells c = Oracle.all ?max_cells c
+(* Collapse digit runs so counted skip reasons aggregate across cases
+   ("search space too large (51200)" and "(204800)" are one reason). *)
+let normalize_reason r =
+  let buf = Buffer.create (String.length r) in
+  let in_digits = ref false in
+  String.iter
+    (fun ch ->
+      if ch >= '0' && ch <= '9' then begin
+        if not !in_digits then Buffer.add_char buf 'N';
+        in_digits := true
+      end
+      else begin
+        in_digits := false;
+        Buffer.add_char buf ch
+      end)
+    r;
+  Buffer.contents buf
+
+let replay ?max_cells ?only c = Oracle.all ?max_cells ?only c
 
 (* does [oracle] still fail on [c]? — the predicate shrinking preserves *)
 let oracle_fails ~max_cells oracle c =
@@ -66,11 +87,15 @@ let run ?(log = fun _ -> ()) ?pool config =
   in
   let discrepancies = ref [] in
   let skipped_cases = ref 0 in
+  let skip_tally : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
   (* Judging a case draws no randomness, so it can run on any domain; only
      generation touches [rng] and stays on this one. *)
   let judge c =
     if not (Shrink.valid c) then `Invalid
-    else `Findings (Oracle.all ~max_cells:config.exact_cells ?cache c)
+    else
+      `Findings
+        (Oracle.all ~max_cells:config.exact_cells ?cache ~only:config.oracles
+           c)
   in
   let block_size = match pool with None -> 1 | Some p -> 32 * Parallel.Pool.jobs p in
   let next = ref 0 in
@@ -107,8 +132,11 @@ let run ?(log = fun _ -> ()) ?pool config =
               match f.Oracle.verdict with
               | Oracle.Pass ->
                 bump f.Oracle.oracle (fun (p, s, x) -> (p + 1, s, x))
-              | Oracle.Skip _ ->
-                bump f.Oracle.oracle (fun (p, s, x) -> (p, s + 1, x))
+              | Oracle.Skip reason ->
+                bump f.Oracle.oracle (fun (p, s, x) -> (p, s + 1, x));
+                let key = (f.Oracle.oracle, normalize_reason reason) in
+                Hashtbl.replace skip_tally key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt skip_tally key))
               | Oracle.Fail detail ->
                 bump f.Oracle.oracle (fun (p, s, x) -> (p, s, x + 1));
                 let case =
@@ -131,10 +159,18 @@ let run ?(log = fun _ -> ()) ?pool config =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let skip_reasons =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) skip_tally []
+    |> List.sort (fun ((o1, r1), _) ((o2, r2), _) ->
+           match String.compare o1 o2 with
+           | 0 -> String.compare r1 r2
+           | c -> c)
+  in
   { config;
     cases = config.count;
     skipped_cases = !skipped_cases;
     per_oracle;
+    skip_reasons;
     discrepancies = List.rev !discrepancies }
 
 let pp_report ppf r =
@@ -148,6 +184,13 @@ let pp_report ppf r =
     (fun (name, (p, s, x)) ->
       Format.fprintf ppf "%-28s %8d %8d %8d@." name p s x)
     r.per_oracle;
+  if r.skip_reasons <> [] then begin
+    Format.fprintf ppf "skips by reason:@.";
+    List.iter
+      (fun ((oracle, reason), n) ->
+        Format.fprintf ppf "  %6d  %-24s %s@." n oracle reason)
+      r.skip_reasons
+  end;
   let total_fail =
     List.fold_left (fun acc (_, (_, _, x)) -> acc + x) 0 r.per_oracle
   in

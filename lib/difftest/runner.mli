@@ -22,11 +22,15 @@ type config = {
           OR-of-ANDs shape ({!Query_gen.nested_or_spec}); 0.0 — the
           default — draws nothing from the RNG, so historical seeded
           reports are byte-identical *)
+  oracles : string list;
+      (** which oracle groups to run (the fuzzer's [--oracle] flag);
+          [[]] — the default — runs them all. Names as in
+          {!Oracle.group_names}. *)
 }
 
 val default : config
 (** seed 7, 1000 cases, 3 instances, ≤6 rows, 100k exact-checker cells,
-    shrinking on, cache off, no nested-OR cases *)
+    shrinking on, cache off, no nested-OR cases, all oracle groups *)
 
 type discrepancy = {
   case_index : int;
@@ -43,6 +47,11 @@ type report = {
           generators — always 0 unless the generator itself regresses) *)
   per_oracle : (string * (int * int * int)) list;
       (** oracle name -> (pass, skip, fail), sorted by name *)
+  skip_reasons : ((string * string) * int) list;
+      (** (oracle name, skip reason) -> count, sorted; digit runs in
+          reasons are collapsed to ["N"] so budget-dependent messages
+          aggregate. Every skip an oracle reports lands here — skips are
+          accounted, never silently dropped. *)
   discrepancies : discrepancy list;
 }
 
@@ -55,7 +64,8 @@ type report = {
     campaign's duration whenever the pool has more than one domain. *)
 val run : ?log:(int -> unit) -> ?pool:Parallel.Pool.t -> config -> report
 
-(** Re-judge a stored corpus case (all three oracles). *)
-val replay : ?max_cells:int -> Case.t -> Oracle.finding list
+(** Re-judge a stored corpus case ([only] as in {!Oracle.all};
+    default all groups). *)
+val replay : ?max_cells:int -> ?only:string list -> Case.t -> Oracle.finding list
 
 val pp_report : Format.formatter -> report -> unit

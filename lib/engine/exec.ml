@@ -9,6 +9,7 @@ type config = {
   distinct_impl : distinct_impl;
   enable_hash_join : bool;
   exists_impl : exists_impl;
+  logic : Sqlval.Logic_mode.t;
   stats : Stats.t;
 }
 
@@ -17,6 +18,7 @@ let default_config () =
     distinct_impl = Sort_distinct;
     enable_hash_join = true;
     exists_impl = Naive_exists;
+    logic = Sqlval.Logic_mode.default;
     stats = Stats.create ();
   }
 
@@ -113,7 +115,7 @@ let run ?config db ~hosts plan =
   (* Evaluate a predicate for the row in [frames] (innermost first). *)
   let rec eval_pred frames pred =
     stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
-    Logic.Eval.eval_pred
+    Logic.Eval.eval_pred ~logic:cfg.logic
       ~lookup_col:(lookup_in_frames frames)
       ~lookup_host
       ~eval_exists:(fun sub -> Truth.of_bool (exists_spec frames sub))

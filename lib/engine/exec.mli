@@ -26,6 +26,12 @@ type config = {
           push single-table conjuncts below the join (default); disable for
           the naive filter-over-product baseline used in ablations *)
   exists_impl : exists_impl;
+  logic : Sqlval.Logic_mode.t;
+      (** null semantics of predicate atoms: [L3] (SQL, default) or [L2]
+          (Libkin two-valued — atoms over NULL are plain false); applies to
+          every predicate evaluation in the plan, EXISTS subqueries
+          included. Duplicate elimination is unaffected (it always uses the
+          null-comparison total order). *)
   stats : Stats.t;
 }
 

@@ -97,6 +97,12 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
         ignore (Uniqueness.Fd_analysis.distinct_is_redundant ?cache ~trace cat spec))
       query
   in
+  let symbolic =
+    analysis_section "symbolic"
+      (fun ~trace spec ->
+        ignore (Symbolic.Equiv.distinct_redundant ~trace cat spec))
+      query
+  in
   let rewrite_trace = Trace.make () in
   let rewritten, _ =
     Uniqueness.Rewrite.apply_all ?cache ~trace:rewrite_trace cat query
@@ -121,6 +127,7 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
     sections =
       [ algorithm1;
         fd;
+        symbolic;
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
         { title = "planner"; nodes = Trace.nodes planner_trace } ]
       @ cache_section cache;

@@ -20,18 +20,26 @@ let eval_comparison op a b =
   | Gt -> Value.gt3 a b
   | Ge -> Value.ge3 a b
 
-let eval_pred ~lookup_col ~lookup_host ~eval_exists pred =
+let eval_pred ?(logic = Sqlval.Logic_mode.default) ~lookup_col ~lookup_host
+    ~eval_exists pred =
   let scalar s = eval_scalar ~lookup_col ~lookup_host s in
+  (* The logic mode acts on atoms only (under L2 a comparison over NULL is
+     plain false, Libkin-style); the connectives below then operate on
+     classical booleans and Kleene's tables coincide with the two-valued
+     ones. IS [NOT] NULL and EXISTS are two-valued in both logics. *)
+  let atom v = Sqlval.Logic_mode.collapse logic v in
   let rec go = function
     | Ptrue -> Truth.True
     | Pfalse -> Truth.False
-    | Cmp (op, a, b) -> eval_comparison op (scalar a) (scalar b)
+    | Cmp (op, a, b) -> atom (eval_comparison op (scalar a) (scalar b))
     | Between (a, lo, hi) ->
       let v = scalar a in
-      Truth.and_ (Value.ge3 v (scalar lo)) (Value.le3 v (scalar hi))
+      Truth.and_
+        (atom (Value.ge3 v (scalar lo)))
+        (atom (Value.le3 v (scalar hi)))
     | In_list (a, vs) ->
       let v = scalar a in
-      Truth.disj (List.map (fun w -> Value.eq3 v w) vs)
+      Truth.disj (List.map (fun w -> atom (Value.eq3 v w)) vs)
     | Is_null a -> Truth.of_bool (Value.is_null (scalar a))
     | Is_not_null a -> Truth.of_bool (not (Value.is_null (scalar a)))
     | And (p, q) -> Truth.and_ (go p) (go q)
@@ -41,7 +49,7 @@ let eval_pred ~lookup_col ~lookup_host ~eval_exists pred =
   in
   go pred
 
-let eval_pred_simple ~lookup_col ~lookup_host pred =
-  eval_pred ~lookup_col ~lookup_host
+let eval_pred_simple ?logic ~lookup_col ~lookup_host pred =
+  eval_pred ?logic ~lookup_col ~lookup_host
     ~eval_exists:(fun _ -> invalid_arg "eval_pred_simple: EXISTS subquery")
     pred

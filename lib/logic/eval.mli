@@ -19,7 +19,12 @@ val eval_scalar :
   Sql.Ast.scalar ->
   Sqlval.Value.t
 
+(** [?logic] selects the null semantics of {e atomic} predicates
+    ({!Sqlval.Logic_mode}): the default [L3] is SQL's three-valued logic;
+    [L2] collapses an unknown atom to false before any connective sees it
+    (Libkin two-valued logic). The two agree whenever no operand is null. *)
 val eval_pred :
+  ?logic:Sqlval.Logic_mode.t ->
   lookup_col:(Schema.Attr.t -> Sqlval.Value.t) ->
   lookup_host:(string -> Sqlval.Value.t) ->
   eval_exists:(Sql.Ast.query_spec -> Sqlval.Truth.t) ->
@@ -29,6 +34,7 @@ val eval_pred :
 (** Evaluate a predicate with no subqueries.
     @raise Invalid_argument on [EXISTS]. *)
 val eval_pred_simple :
+  ?logic:Sqlval.Logic_mode.t ->
   lookup_col:(Schema.Attr.t -> Sqlval.Value.t) ->
   lookup_host:(string -> Sqlval.Value.t) ->
   Sql.Ast.pred ->

@@ -1,0 +1,19 @@
+type t = L3 | L2
+
+let default = L3
+
+let to_string = function L3 -> "3vl" | L2 -> "2vl"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "3vl" | "3" -> Some L3
+  | "2vl" | "2" -> Some L2
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let collapse mode v =
+  match mode, v with
+  | L3, _ -> v
+  | L2, Truth.Unknown -> Truth.False
+  | L2, (Truth.True | Truth.False) -> v

@@ -1,0 +1,29 @@
+(** Evaluation logic for predicates over [NULL].
+
+    {!L3} is SQL's Kleene three-valued logic: a comparison with a null
+    operand is {!Truth.Unknown}, and [WHERE] keeps only definitely-true
+    rows. {!L2} is the two-valued alternative of Libkin & Peterfreund
+    ("Handling SQL Nulls with Two-Valued Logic"): every {e atomic}
+    predicate over a null operand evaluates to plain false, after which
+    the connectives act classically. The two logics agree on null-free
+    data; on nullable data they diverge exactly where a collapsed atom
+    sits under an odd number of negations (e.g. [NOT (X = :H)] with a
+    null [X] is unknown-hence-rejected in 3VL but {e true} in 2VL). *)
+
+type t =
+  | L3  (** SQL 3VL (default) *)
+  | L2  (** Libkin two-valued logic: atoms collapse unknown to false *)
+
+val default : t  (** {!L3} *)
+
+val to_string : t -> string
+
+(** Accepts ["3vl"], ["2vl"] (and bare ["3"]/["2"]), case-insensitive. *)
+val of_string : string -> t option
+
+val equal : t -> t -> bool
+
+(** [collapse mode v] — the atom-level interpretation: identity under
+    {!L3}; maps {!Truth.Unknown} to {!Truth.False} under {!L2}. Applied
+    to atoms only — connectives then never see an unknown. *)
+val collapse : t -> Truth.t -> Truth.t

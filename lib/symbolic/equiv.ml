@@ -1,0 +1,45 @@
+(* The symbolic equivalence oracle: canonical-form equality for full
+   queries, and the DISTINCT-redundancy instance the differential fuzzer
+   consumes. *)
+
+module A = Sql.Ast
+
+type counterexample_hint = Unique.counterexample_hint = {
+  instance : (string * Engine.Relation.row list) list;
+  hosts : (string * Sqlval.Value.t) list;
+}
+
+type verdict = Unique.verdict =
+  | Proved
+  | Refuted of counterexample_hint
+  | Unknown of string
+
+let verdict_to_string = function
+  | Proved -> "proved"
+  | Refuted _ -> "refuted"
+  | Unknown r -> "unknown (" ^ r ^ ")"
+
+let pp ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+let distinct_redundant ?trace cat spec = Unique.check ?trace cat spec
+
+let queries ?(trace = Trace.disabled) cat q1 q2 : verdict =
+  match Uexpr.of_query cat q1, Uexpr.of_query cat q2 with
+  | Error m, _ -> Unknown ("left: " ^ m)
+  | _, Error m -> Unknown ("right: " ^ m)
+  | Ok n1, Ok n2 ->
+    let same = Uexpr.equal n1 n2 in
+    Trace.emitf trace (fun () ->
+        Trace.node ~rule:"symbolic.equiv"
+          ~citation:
+            "canonical-form equality is a sound bag-semantics equivalence \
+             proof (cf. SPES)"
+          ~inputs:
+            [
+              ("left", Uexpr.to_string n1); ("right", Uexpr.to_string n2);
+            ]
+          ~verdict:(if same then Trace.Yes else Trace.Maybe)
+          (if same then "canonical forms coincide: equivalent"
+           else "canonical forms differ: no claim"));
+    if same then Proved
+    else Unknown "canonical forms differ"

@@ -1,0 +1,33 @@
+(** Symbolic equivalence verdicts over the σ/π/×/∩/− fragment.
+
+    The oracle is sound in both directions and never guesses:
+    - [Proved] claims semantic (bag) equivalence on {e every} valid
+      instance — it must never disagree with exhaustive enumeration;
+    - [Refuted] carries a concrete, engine-verified counterexample
+      instance;
+    - [Unknown] makes no claim and names the reason. *)
+
+type counterexample_hint = Unique.counterexample_hint = {
+  instance : (string * Engine.Relation.row list) list;
+  hosts : (string * Sqlval.Value.t) list;
+}
+
+type verdict = Unique.verdict =
+  | Proved
+  | Refuted of counterexample_hint
+  | Unknown of string
+
+val verdict_to_string : verdict -> string
+val pp : Format.formatter -> verdict -> unit
+
+(** Is the [DISTINCT] on this block redundant — does its [ALL] flavour
+    already produce a duplicate-free result on every valid instance?
+    The symbolic counterpart of {!Uniqueness.Exact.check} (enumeration)
+    and of Algorithm 1 (syntactic sufficient condition). *)
+val distinct_redundant :
+  ?trace:Trace.t -> Catalog.t -> Sql.Ast.query_spec -> verdict
+
+(** Canonical-form equality of two full queries: [Proved] when both
+    normalize ({!Uexpr}) to the same U-expression normal form. *)
+val queries :
+  ?trace:Trace.t -> Catalog.t -> Sql.Ast.query -> Sql.Ast.query -> verdict

@@ -1,0 +1,540 @@
+(* Symbolic normal forms for the sigma/pi/x/intersect/minus fragment.
+
+   A query is reduced to a U-expression-style canonical object (Zhou et
+   al., "A Symbolic Approach to Proving Query Equivalence Under Bag
+   Semantics"): a polynomial over tuple variables. Our fragment needs one
+   monomial shape — the SPJ term
+
+       delta? ( pi_proj ( sigma_where ( T_0 x T_1 x ... x T_{n-1} ) ) )
+
+   over anonymous tuple variables %0..%{n-1} — combined by INTERSECT
+   (flattened, sorted: a commutative-associative operator in both ALL and
+   DISTINCT flavours) and EXCEPT (kept binary and ordered). Canonical-form
+   equality is a sound equivalence proof: every normalization step below is
+   a bag-semantics-preserving rewrite, and the predicate normalizations are
+   exact in SQL's three-valued logic. *)
+
+module A = Sql.Ast
+module Attr = Schema.Attr
+module R = Schema.Relschema
+module Value = Sqlval.Value
+
+exception Unsupported of string
+
+(* ---- scalars over canonical tuple variables ---- *)
+
+type scal =
+  | Vcol of int * string  (* tuple variable index, bare column name *)
+  | Vconst of Value.t
+  | Vhost of string
+
+let scal_rank = function Vcol _ -> 0 | Vconst _ -> 1 | Vhost _ -> 2
+
+let compare_scal a b =
+  match a, b with
+  | Vcol (i, c), Vcol (j, d) ->
+    (match Int.compare i j with 0 -> String.compare c d | n -> n)
+  | Vconst x, Vconst y -> Value.compare_total x y
+  | Vhost x, Vhost y -> String.compare x y
+  | _ -> Int.compare (scal_rank a) (scal_rank b)
+
+(* Tuple variable %i is encoded in predicates as the relation qualifier
+   "%i" — a name no parser-produced correlation can carry. *)
+let attr_of_var i name = Attr.make ~rel:("%" ^ string_of_int i) ~name
+
+let var_of_attr (a : Attr.t) =
+  let r = a.Attr.rel in
+  if String.length r >= 2 && r.[0] = '%' then
+    Option.map
+      (fun i -> (i, a.Attr.name))
+      (int_of_string_opt (String.sub r 1 (String.length r - 1)))
+  else None
+
+let scal_to_scalar = function
+  | Vcol (i, c) -> A.Col (attr_of_var i c)
+  | Vconst v -> A.Const v
+  | Vhost h -> A.Host h
+
+let scal_of_scalar = function
+  | A.Col a ->
+    (match var_of_attr a with
+     | Some (i, c) -> Vcol (i, c)
+     | None -> raise (Unsupported ("free column " ^ Attr.to_string a)))
+  | A.Const v -> Vconst v
+  | A.Host h -> Vhost (String.uppercase_ascii h)
+  | A.Agg _ -> raise (Unsupported "aggregate in a predicate")
+
+(* ---- structural order on canonical predicates ---- *)
+
+let pred_rank = function
+  | A.Ptrue -> 0
+  | A.Pfalse -> 1
+  | A.Cmp _ -> 2
+  | A.Between _ -> 3
+  | A.In_list _ -> 4
+  | A.Is_null _ -> 5
+  | A.Is_not_null _ -> 6
+  | A.And _ -> 7
+  | A.Or _ -> 8
+  | A.Not _ -> 9
+  | A.Exists _ -> 10
+
+let compare_scalar a b =
+  match a, b with
+  | A.Col x, A.Col y -> Attr.compare x y
+  | A.Const x, A.Const y -> Value.compare_total x y
+  | A.Host x, A.Host y -> String.compare x y
+  | _ ->
+    let rank = function A.Col _ -> 0 | A.Const _ -> 1 | A.Host _ -> 2 | A.Agg _ -> 3 in
+    (match Int.compare (rank a) (rank b) with
+     | 0 -> Stdlib.compare a b  (* Agg vs Agg only *)
+     | n -> n)
+
+let rec compare_pred p q =
+  match p, q with
+  | A.Cmp (o1, a1, b1), A.Cmp (o2, a2, b2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = compare_scalar a1 a2 in
+      if c <> 0 then c else compare_scalar b1 b2
+  | A.Between (a1, l1, h1), A.Between (a2, l2, h2) ->
+    let c = compare_scalar a1 a2 in
+    if c <> 0 then c
+    else
+      let c = compare_scalar l1 l2 in
+      if c <> 0 then c else compare_scalar h1 h2
+  | A.In_list (a1, v1), A.In_list (a2, v2) ->
+    let c = compare_scalar a1 a2 in
+    if c <> 0 then c else List.compare Value.compare_total v1 v2
+  | A.Is_null a, A.Is_null b | A.Is_not_null a, A.Is_not_null b ->
+    compare_scalar a b
+  | A.And (a1, b1), A.And (a2, b2) | A.Or (a1, b1), A.Or (a2, b2) ->
+    let c = compare_pred a1 a2 in
+    if c <> 0 then c else compare_pred b1 b2
+  | A.Not a, A.Not b -> compare_pred a b
+  | A.Exists q1, A.Exists q2 -> Stdlib.compare q1 q2
+  | _ -> Int.compare (pred_rank p) (pred_rank q)
+
+(* ---- predicate canonicalization (3VL-exact rewrites only) ----
+
+   Negation normal form pushes NOT to the atoms (Kleene's De Morgan laws
+   are exact; [A.comparison_negate] is the documented 3VL-valid operator
+   negation), BETWEEN and IN expand to their comparison forms, and
+   AND/OR are flattened, sorted, and deduplicated (idempotence,
+   commutativity and associativity all hold in the 3VL lattice). An
+   EXISTS subquery is an opaque atom — [Not (Exists _)] is its own
+   negation normal form. *)
+
+let rec nnf p =
+  match p with
+  | A.Not q -> nnf_neg q
+  | A.And (a, b) -> A.And (nnf a, nnf b)
+  | A.Or (a, b) -> A.Or (nnf a, nnf b)
+  | A.Between (a, lo, hi) ->
+    A.And (A.Cmp (A.Ge, a, lo), A.Cmp (A.Le, a, hi))
+  | A.In_list (a, vs) ->
+    A.disj
+      (List.map
+         (fun v -> A.Cmp (A.Eq, a, A.Const v))
+         (List.sort_uniq Value.compare_total vs))
+  | A.Ptrue | A.Pfalse | A.Cmp _ | A.Is_null _ | A.Is_not_null _ | A.Exists _
+    -> p
+
+and nnf_neg p =
+  match p with
+  | A.Not q -> nnf q
+  | A.And (a, b) -> A.Or (nnf_neg a, nnf_neg b)
+  | A.Or (a, b) -> A.And (nnf_neg a, nnf_neg b)
+  | A.Ptrue -> A.Pfalse
+  | A.Pfalse -> A.Ptrue
+  | A.Cmp (op, a, b) -> A.Cmp (A.comparison_negate op, a, b)
+  | A.Between (a, lo, hi) ->
+    A.Or (A.Cmp (A.Lt, a, lo), A.Cmp (A.Gt, a, hi))
+  | A.In_list (a, vs) ->
+    A.conj
+      (List.map
+         (fun v -> A.Cmp (A.Ne, a, A.Const v))
+         (List.sort_uniq Value.compare_total vs))
+  | A.Is_null a -> A.Is_not_null a
+  | A.Is_not_null a -> A.Is_null a
+  | A.Exists _ -> A.Not p
+
+let rec flat_and p =
+  match p with
+  | A.And (a, b) -> flat_and a @ flat_and b
+  | A.Ptrue -> []
+  | _ -> [ p ]
+
+let rec flat_or p =
+  match p with
+  | A.Or (a, b) -> flat_or a @ flat_or b
+  | A.Pfalse -> []
+  | _ -> [ p ]
+
+let rec canon p =
+  match p with
+  | A.And _ ->
+    let kids = List.concat_map (fun k -> flat_and (canon k)) (flat_and p) in
+    if List.exists (fun k -> k = A.Pfalse) kids then A.Pfalse
+    else
+      (match List.sort_uniq compare_pred kids with
+       | [] -> A.Ptrue
+       | ks -> A.conj ks)
+  | A.Or _ ->
+    let kids = List.concat_map (fun k -> flat_or (canon k)) (flat_or p) in
+    if List.exists (fun k -> k = A.Ptrue) kids then A.Ptrue
+    else
+      (match List.sort_uniq compare_pred kids with
+       | [] -> A.Pfalse
+       | ks -> A.disj ks)
+  | A.Cmp (op, a, b) ->
+    if compare_scalar a b <= 0 then p
+    else
+      (match op with
+       | A.Eq | A.Ne -> A.Cmp (op, b, a)
+       | _ -> A.Cmp (A.comparison_flip op, b, a))
+  | _ -> p
+
+let canon_pred p = canon (nnf p)
+
+(* ---- terms and normal forms ---- *)
+
+type term = {
+  distinct : bool;
+  tables : string list;  (* table name of %0, %1, ..., canonically ordered *)
+  where : A.pred;  (* canonical, over %i-qualified columns *)
+  proj : scal list;  (* select-list order is semantic and preserved *)
+}
+
+type t =
+  | Term of term
+  | Inter of A.distinctness * t list  (* >= 2 operands, sorted *)
+  | Diff of A.distinctness * t * t
+
+let compare_term (x : term) (y : term) =
+  let c = Bool.compare x.distinct y.distinct in
+  if c <> 0 then c
+  else
+    let c = List.compare String.compare x.tables y.tables in
+    if c <> 0 then c
+    else
+      let c = compare_pred x.where y.where in
+      if c <> 0 then c else List.compare compare_scal x.proj y.proj
+
+let t_rank = function Term _ -> 0 | Inter _ -> 1 | Diff _ -> 2
+
+let rec compare a b =
+  match a, b with
+  | Term x, Term y -> compare_term x y
+  | Inter (d1, xs), Inter (d2, ys) ->
+    let c = Stdlib.compare d1 d2 in
+    if c <> 0 then c else List.compare compare xs ys
+  | Diff (d1, a1, b1), Diff (d2, a2, b2) ->
+    let c = Stdlib.compare d1 d2 in
+    if c <> 0 then c
+    else
+      let c = compare a1 a2 in
+      if c <> 0 then c else compare b1 b2
+  | _ -> Int.compare (t_rank a) (t_rank b)
+
+let equal a b = compare a b = 0
+
+(* ---- canonical variable order ----
+
+   Tuple variables are sorted by table name; within a group of identical
+   tables every renaming is a valid commutativity rewrite, so we try all
+   of them (bounded) and keep the lexicographically least (where, proj)
+   rendering. The bound only costs canonicity, never soundness. *)
+
+let max_permutations = 24
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = ref [] and seen = ref false in
+        List.iter
+          (fun y ->
+            if (not !seen) && y == x then seen := true else rest := y :: !rest)
+          l;
+        List.map (fun p -> x :: p) (permutations (List.rev !rest)))
+      l
+
+let rename_pred rename p =
+  A.map_cols
+    (fun a ->
+      match var_of_attr a with
+      | Some (i, c) -> attr_of_var rename.(i) c
+      | None -> a)
+    p
+
+let rename_scal rename = function
+  | Vcol (i, c) -> Vcol (rename.(i), c)
+  | s -> s
+
+let finalize ~distinct ~tables ~where ~proj =
+  let n = List.length tables in
+  let indexed = List.mapi (fun i t -> (i, t)) tables in
+  (* stable sort by table name: group boundaries *)
+  let sorted =
+    List.stable_sort (fun (_, t1) (_, t2) -> String.compare t1 t2) indexed
+  in
+  let groups =
+    List.fold_left
+      (fun acc (i, t) ->
+        match acc with
+        | (t', g) :: rest when String.equal t' t -> (t', i :: g) :: rest
+        | _ -> (t, [ i ]) :: acc)
+      [] sorted
+    |> List.rev_map (fun (t, g) -> (t, List.rev g))
+  in
+  let fact k = List.fold_left ( * ) 1 (List.init k (fun i -> i + 1)) in
+  let budget =
+    List.fold_left (fun acc (_, g) -> acc * fact (List.length g)) 1 groups
+  in
+  let orders =
+    if budget > max_permutations then [ List.map fst sorted ]
+    else
+      (* cartesian product of per-group permutations, concatenated in
+         group order *)
+      List.fold_left
+        (fun acc (_, g) ->
+          List.concat_map
+            (fun prefix -> List.map (fun p -> prefix @ p) (permutations g))
+            acc)
+        [ [] ] groups
+  in
+  let tables' = List.map (fun (_, t) -> t) sorted in
+  let candidates =
+    List.map
+      (fun order ->
+        (* order = old indices in new positions *)
+        let rename = Array.make n 0 in
+        List.iteri (fun pos old -> rename.(old) <- pos) order;
+        (canon_pred (rename_pred rename where), List.map (rename_scal rename) proj))
+      orders
+  in
+  let best =
+    match
+      List.sort
+        (fun (w1, p1) (w2, p2) ->
+          match compare_pred w1 w2 with
+          | 0 -> List.compare compare_scal p1 p2
+          | c -> c)
+        candidates
+    with
+    | best :: _ -> best
+    | [] -> assert false
+  in
+  { distinct; tables = tables'; where = fst best; proj = snd best }
+
+(* ---- translation from plans ---- *)
+
+type partial = {
+  p_distinct : bool;
+  p_tables : string list;
+  p_where : A.pred;
+  p_out : scal list;  (* aligned with [Relalg.Plan.schema] of the node *)
+}
+
+(* Rewrite a predicate over a plan node's output schema into tuple-variable
+   form. Columns of an EXISTS subquery's own FROM list stay as written
+   (the subquery is an opaque atom); everything else must resolve. *)
+let rewrite_pred schema out p =
+  let resolve_scalar inner_rels s =
+    match s with
+    | A.Col a ->
+      let is_inner =
+        a.Attr.rel <> ""
+        && List.exists
+             (fun r -> String.(equal (uppercase_ascii r) (uppercase_ascii a.Attr.rel)))
+             inner_rels
+      in
+      if is_inner then s
+      else
+        (match R.find_index schema a with
+         | Some i -> scal_to_scalar (List.nth out i)
+         | None ->
+           if inner_rels <> [] then s  (* unqualified inner reference *)
+           else raise (Unsupported ("unresolved column " ^ Attr.to_string a))
+         | exception Failure _ ->
+           raise (Unsupported ("ambiguous column " ^ Attr.to_string a)))
+    | A.Const _ | A.Host _ -> s
+    | A.Agg _ -> raise (Unsupported "aggregate in a predicate")
+  in
+  let rec go inner_rels p =
+    let s = resolve_scalar inner_rels in
+    match p with
+    | A.Ptrue | A.Pfalse -> p
+    | A.Cmp (op, a, b) -> A.Cmp (op, s a, s b)
+    | A.Between (a, lo, hi) -> A.Between (s a, s lo, s hi)
+    | A.In_list (a, vs) -> A.In_list (s a, vs)
+    | A.Is_null a -> A.Is_null (s a)
+    | A.Is_not_null a -> A.Is_not_null (s a)
+    | A.And (a, b) -> A.And (go inner_rels a, go inner_rels b)
+    | A.Or (a, b) -> A.Or (go inner_rels a, go inner_rels b)
+    | A.Not a -> A.Not (go inner_rels a)
+    | A.Exists q ->
+      let inner' = List.map A.from_name q.A.from @ inner_rels in
+      A.Exists { q with A.where = go inner' q.A.where }
+  in
+  go [] p
+
+let shift_partial n (p : partial) =
+  let shift_attr (a : Attr.t) =
+    match var_of_attr a with
+    | Some (i, c) -> attr_of_var (i + n) c
+    | None -> a
+  in
+  {
+    p with
+    p_where = A.map_cols shift_attr p.p_where;
+    p_out =
+      List.map (function Vcol (i, c) -> Vcol (i + n, c) | s -> s) p.p_out;
+  }
+
+let rec partial cat (plan : Relalg.Plan.t) : partial =
+  match plan with
+  | Relalg.Plan.Scan { table; corr = _ } ->
+    let def =
+      match Catalog.find cat table with
+      | Some d -> d
+      | None -> raise (Unsupported ("unknown table " ^ table))
+    in
+    {
+      p_distinct = false;
+      p_tables = [ String.uppercase_ascii def.Catalog.tbl_name ];
+      p_where = A.Ptrue;
+      p_out =
+        List.map
+          (fun (c : R.column) ->
+            Vcol (0, String.uppercase_ascii c.R.attr.Attr.name))
+          (R.columns def.Catalog.tbl_schema);
+    }
+  | Relalg.Plan.Select (p, sub) ->
+    let ps = partial cat sub in
+    let schema = Relalg.Plan.schema cat sub in
+    let p' = rewrite_pred schema ps.p_out p in
+    (* sigma commutes with delta and pushes through pi by substitution *)
+    { ps with p_where = A.And (ps.p_where, p') }
+  | Relalg.Plan.Project (d, items, sub) ->
+    let ps = partial cat sub in
+    if ps.p_distinct && d = A.All then
+      raise (Unsupported "ALL-projection over a DISTINCT input");
+    let schema = Relalg.Plan.schema cat sub in
+    let out =
+      List.map
+        (function
+          | Relalg.Plan.Pcol a ->
+            (match R.find_index schema a with
+             | Some i -> List.nth ps.p_out i
+             | None ->
+               raise (Unsupported ("unresolved column " ^ Attr.to_string a))
+             | exception Failure _ ->
+               raise (Unsupported ("ambiguous column " ^ Attr.to_string a)))
+          | Relalg.Plan.Pconst v -> Vconst v
+          | Relalg.Plan.Phost h -> Vhost (String.uppercase_ascii h))
+        items
+    in
+    { ps with p_out = out; p_distinct = ps.p_distinct || d = A.Distinct }
+  | Relalg.Plan.Product (a, b) ->
+    let pa = partial cat a in
+    let pb = partial cat b in
+    if pa.p_distinct || pb.p_distinct then
+      raise (Unsupported "product of a DISTINCT operand");
+    let pb = shift_partial (List.length pa.p_tables) pb in
+    {
+      p_distinct = false;
+      p_tables = pa.p_tables @ pb.p_tables;
+      p_where = A.And (pa.p_where, pb.p_where);
+      p_out = pa.p_out @ pb.p_out;
+    }
+  | Relalg.Plan.Intersect _ | Relalg.Plan.Except _ ->
+    raise (Unsupported "set operation below a select/project")
+  | Relalg.Plan.Aggregate _ -> raise (Unsupported "aggregation")
+
+let term_of_partial (p : partial) =
+  finalize ~distinct:p.p_distinct ~tables:p.p_tables ~where:p.p_where
+    ~proj:p.p_out
+
+let rec build cat (plan : Relalg.Plan.t) : t =
+  match plan with
+  | Relalg.Plan.Intersect (d, a, b) ->
+    let flatten = function Inter (d', xs) when d' = d -> xs | x -> [ x ] in
+    let ops = flatten (build cat a) @ flatten (build cat b) in
+    (match List.sort_uniq compare ops with
+     | [ one ] -> one  (* R /\ R = R under min-multiplicity and set flavors *)
+     | ops -> Inter (d, ops))
+  | Relalg.Plan.Except (d, a, b) -> Diff (d, build cat a, build cat b)
+  | _ -> Term (term_of_partial (partial cat plan))
+
+let of_plan cat plan =
+  match build cat plan with
+  | nf -> Ok nf
+  | exception Unsupported msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Not_found -> Error "unresolved reference"
+
+let of_query cat q =
+  match Relalg.Plan.of_query cat q with
+  | plan -> of_plan cat plan
+  | exception Invalid_argument msg | exception Failure msg -> Error msg
+  | exception Fd.Derive.Unknown_table t -> Error ("unknown table " ^ t)
+  | exception Fd.Derive.Unknown_column a ->
+    Error ("unknown column " ^ Attr.to_string a)
+
+let of_query_spec cat spec = of_query cat (A.Spec spec)
+
+let spec_term cat spec =
+  match of_query_spec cat spec with
+  | Ok (Term t) -> Ok t
+  | Ok _ -> Error "not a single SPJ term"
+  | Error _ as e -> e
+
+(* Re-normalizing a normal form must be the identity (tested); every
+   constructor above already stores canonical pieces, so this recomputes
+   the same fixpoint. *)
+let rec normalize = function
+  | Term t ->
+    Term
+      (finalize ~distinct:t.distinct ~tables:t.tables ~where:t.where
+         ~proj:t.proj)
+  | Inter (d, xs) ->
+    let flatten = function Inter (d', ys) when d' = d -> ys | x -> [ x ] in
+    let ops = List.concat_map (fun x -> flatten (normalize x)) xs in
+    (match List.sort_uniq compare ops with
+     | [ one ] -> one
+     | ops -> Inter (d, ops))
+  | Diff (d, a, b) -> Diff (d, normalize a, normalize b)
+
+(* ---- rendering ---- *)
+
+let scal_to_string = function
+  | Vcol (i, c) -> Printf.sprintf "%%%d.%s" i c
+  | Vconst v -> Value.to_string v
+  | Vhost h -> ":" ^ h
+
+let term_to_string t =
+  Printf.sprintf "%spi[%s] sigma[%s] (%s)"
+    (if t.distinct then "delta " else "")
+    (String.concat ", " (List.map scal_to_string t.proj))
+    (Sql.Pretty.pred t.where)
+    (String.concat " x "
+       (List.mapi (fun i tbl -> Printf.sprintf "%s %%%d" tbl i) t.tables))
+
+let rec to_string = function
+  | Term t -> term_to_string t
+  | Inter (d, xs) ->
+    "("
+    ^ String.concat
+        (match d with A.All -> " intersect_all " | A.Distinct -> " intersect ")
+        (List.map to_string xs)
+    ^ ")"
+  | Diff (d, a, b) ->
+    Printf.sprintf "(%s %s %s)" (to_string a)
+      (match d with A.All -> "except_all" | A.Distinct -> "except")
+      (to_string b)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1054 @@
+(* Symbolic duplicate-freedom: does the ALL-flavour of a query block ever
+   produce two equal rows?
+
+   The proof engine reasons about an arbitrary *pair* of satisfying variable
+   assignments (two "copies" of the canonical term whose projections are
+   equal under the null-comparison order) with a congruence closure:
+
+   - equality-true atoms merge value classes and mark them non-null;
+   - the equal projections merge the two copies' projected columns under
+     the null-comparison order (the order DISTINCT actually uses);
+   - candidate keys are the one and only row-identity rule: two occurrences
+     of the same table whose key columns are class-equal denote the same
+     stored row (SQL2 treats nulls-equal keys as duplicates, which
+     [Engine.Database.validate] enforces), so all their columns merge and
+     the occurrences merge in a row-level union-find.
+
+   If, for every pair of disjuncts of the (weakened) DNF of the selection
+   predicate, the closure either derives a contradiction or forces the two
+   copies to be the *same* assignment row-for-row, no duplicate pair can
+   exist on any valid instance: [Proved]. EXISTS and NOT EXISTS conjuncts
+   are weakened to TRUE first — a monotone weakening in negation normal
+   form, so [Proved] remains sound.
+
+   [Refuted] is sound by construction: a candidate instance is read off an
+   unclosed disjunct pair and only reported after the execution engine
+   confirms ALL and DISTINCT genuinely disagree on it. Everything else is
+   [Unknown]. *)
+
+module A = Sql.Ast
+module Attr = Schema.Attr
+module R = Schema.Relschema
+module Value = Sqlval.Value
+module Truth = Sqlval.Truth
+
+type counterexample_hint = {
+  instance : (string * Engine.Relation.row list) list;
+      (** table name -> rows, validated against the catalog *)
+  hosts : (string * Value.t) list;
+}
+
+type verdict =
+  | Proved
+  | Refuted of counterexample_hint
+  | Unknown of string
+
+(* ---- weakened DNF over closure atoms ---- *)
+
+type operand =
+  | Ocol of int * string
+  | Oconst of Value.t
+  | Ohost of string
+
+type atom =
+  | Acmp of A.comparison * operand * operand
+  | Anull of operand
+  | Anonnull of operand
+  | Aexists of A.query_spec  (* kept only to populate witness instances *)
+
+exception Budget
+
+let max_disjuncts = 32
+
+let operand_of_scalar s =
+  match Uexpr.scal_of_scalar s with
+  | Uexpr.Vcol (i, c) -> Ocol (i, c)
+  | Uexpr.Vconst v -> Oconst v
+  | Uexpr.Vhost h -> Ohost h
+
+(* The input is a canonical predicate ([Uexpr.canon_pred] output): BETWEEN
+   and IN are already expanded and NOT survives only around EXISTS. *)
+let rec dnf p : atom list list =
+  match p with
+  | A.Ptrue -> [ [] ]
+  | A.Pfalse -> []
+  | A.Or (a, b) ->
+    let l = dnf a @ dnf b in
+    if List.length l > max_disjuncts then raise Budget else l
+  | A.And (a, b) ->
+    let la = dnf a in
+    let lb = dnf b in
+    if List.length la * List.length lb > max_disjuncts then raise Budget
+    else List.concat_map (fun x -> List.map (fun y -> x @ y) lb) la
+  | A.Cmp (op, x, y) ->
+    [ [ Acmp (op, operand_of_scalar x, operand_of_scalar y) ] ]
+  | A.Is_null x -> [ [ Anull (operand_of_scalar x) ] ]
+  | A.Is_not_null x -> [ [ Anonnull (operand_of_scalar x) ] ]
+  | A.Exists q -> [ [ Aexists q ] ]
+  | A.Not (A.Exists _) -> [ [] ]  (* weakened to TRUE: sound for Proved *)
+  | A.Not _ | A.Between _ | A.In_list _ ->
+    raise (Uexpr.Unsupported "non-canonical predicate")
+
+(* ---- per-query static context ---- *)
+
+type ctx = {
+  cat : Catalog.t;
+  spec : A.query_spec;
+  tbls : Catalog.table_def array;  (* one per tuple variable *)
+  cols : R.column array array;  (* columns of each variable's table *)
+  col_index : (string, int) Hashtbl.t array;  (* UPPER column name -> pos *)
+  proj : Uexpr.scal list;
+  nvars : int;
+  ncols_total : int;  (* per copy *)
+  colbase : int array;  (* node id of column 0 of var v, copy 0 *)
+}
+
+let make_ctx cat (spec : A.query_spec) (term : Uexpr.term) =
+  let tbls =
+    Array.of_list
+      (List.map
+         (fun t ->
+           match Catalog.find cat t with
+           | Some d -> d
+           | None -> raise (Uexpr.Unsupported ("unknown table " ^ t)))
+         term.Uexpr.tables)
+  in
+  Array.iter
+    (fun d ->
+      if Catalog.is_view d then
+        raise (Uexpr.Unsupported ("view in FROM: " ^ d.Catalog.tbl_name)))
+    tbls;
+  let cols =
+    Array.map (fun d -> Array.of_list (R.columns d.Catalog.tbl_schema)) tbls
+  in
+  let col_index =
+    Array.map
+      (fun cs ->
+        let h = Hashtbl.create 8 in
+        Array.iteri
+          (fun i (c : R.column) ->
+            Hashtbl.replace h (String.uppercase_ascii c.R.attr.Attr.name) i)
+          cs;
+        h)
+      cols
+  in
+  let nvars = Array.length tbls in
+  let colbase = Array.make (max nvars 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun v cs ->
+      colbase.(v) <- !total;
+      total := !total + Array.length cs)
+    cols;
+  {
+    cat;
+    spec;
+    tbls;
+    cols;
+    col_index;
+    proj = term.Uexpr.proj;
+    nvars;
+    ncols_total = !total;
+    colbase;
+  }
+
+(* ---- the two-copy closure ---- *)
+
+type closure = {
+  parent : int array;
+  const_v : Value.t option array;
+  isnull : bool array;
+  nonnull : bool array;
+  ntype : R.col_type option array;
+  mutable ok : bool;
+  mutable orders : (A.comparison * int * int) list;  (* non-Eq true atoms *)
+  row_parent : int array;  (* occurrence-level union-find, 2 * nvars *)
+  host_nodes : (string * int) list;  (* uppercase host name -> node *)
+  exists0 : A.query_spec list;
+  exists1 : A.query_spec list;
+}
+
+let rec uf_find parent i =
+  if parent.(i) = i then i
+  else begin
+    let r = uf_find parent parent.(i) in
+    parent.(i) <- r;
+    r
+  end
+
+let close ctx d0 d1 =
+  (* node ids: [0, ncols_total) copy 0 columns, [ncols_total, 2*ncols_total)
+     copy 1 columns, then constants and hosts shared by both copies, in
+     first-appearance order over d0 then d1 (deterministic). *)
+  let consts = ref [] in
+  let hosts = ref [] in
+  let extra = ref 0 in
+  let scan_operand o =
+    match o with
+    | Ocol _ -> ()
+    | Oconst v ->
+      if not (List.exists (fun (v', _) -> Value.compare_total v v' = 0) !consts)
+      then begin
+        consts := (v, (2 * ctx.ncols_total) + !extra) :: !consts;
+        incr extra
+      end
+    | Ohost h ->
+      if not (List.mem_assoc h !hosts) then begin
+        hosts := (h, (2 * ctx.ncols_total) + !extra) :: !hosts;
+        incr extra
+      end
+  in
+  let scan_atom = function
+    | Acmp (_, a, b) -> scan_operand a; scan_operand b
+    | Anull a | Anonnull a -> scan_operand a
+    | Aexists _ -> ()
+  in
+  List.iter scan_atom d0;
+  List.iter scan_atom d1;
+  let n = (2 * ctx.ncols_total) + !extra in
+  let cl =
+    {
+      parent = Array.init n (fun i -> i);
+      const_v = Array.make n None;
+      isnull = Array.make n false;
+      nonnull = Array.make n false;
+      ntype = Array.make n None;
+      ok = true;
+      orders = [];
+      row_parent = Array.init (2 * ctx.nvars) (fun i -> i);
+      host_nodes = List.rev !hosts;
+      exists0 =
+        List.filter_map (function Aexists q -> Some q | _ -> None) d0;
+      exists1 =
+        List.filter_map (function Aexists q -> Some q | _ -> None) d1;
+    }
+  in
+  let find i = uf_find cl.parent i in
+  let check_class r =
+    if cl.isnull.(r) && (cl.nonnull.(r) || cl.const_v.(r) <> None) then
+      cl.ok <- false
+  in
+  let union i j =
+    let ri = find i in
+    let rj = find j in
+    if ri <> rj then begin
+      cl.parent.(rj) <- ri;
+      (match cl.const_v.(ri), cl.const_v.(rj) with
+       | Some a, Some b ->
+         if Value.compare_total a b <> 0 then cl.ok <- false
+       | None, Some b -> cl.const_v.(ri) <- Some b
+       | _ -> ());
+      cl.isnull.(ri) <- cl.isnull.(ri) || cl.isnull.(rj);
+      cl.nonnull.(ri) <- cl.nonnull.(ri) || cl.nonnull.(rj);
+      (match cl.ntype.(ri), cl.ntype.(rj) with
+       | None, Some t -> cl.ntype.(ri) <- Some t
+       | _ -> ());
+      check_class ri;
+      true
+    end
+    else false
+  in
+  let set_null i =
+    let r = find i in
+    cl.isnull.(r) <- true;
+    check_class r
+  in
+  let set_nonnull i =
+    let r = find i in
+    cl.nonnull.(r) <- true;
+    check_class r
+  in
+  let col_node copy v c =
+    match Hashtbl.find_opt ctx.col_index.(v) c with
+    | Some i -> (copy * ctx.ncols_total) + ctx.colbase.(v) + i
+    | None -> raise (Uexpr.Unsupported ("unknown column " ^ c))
+  in
+  (* typed column nodes; NOT NULL columns are non-null on every instance *)
+  for copy = 0 to 1 do
+    Array.iteri
+      (fun v cs ->
+        Array.iteri
+          (fun i (c : R.column) ->
+            let node = (copy * ctx.ncols_total) + ctx.colbase.(v) + i in
+            cl.ntype.(node) <- Some c.R.ctype;
+            if not c.R.nullable then cl.nonnull.(node) <- true)
+          cs)
+      ctx.cols
+  done;
+  List.iter
+    (fun (v, node) ->
+      if Value.is_null v then cl.isnull.(node) <- true
+      else begin
+        cl.const_v.(node) <- Some v;
+        cl.nonnull.(node) <- true;
+        cl.ntype.(node) <-
+          (match v with
+           | Value.Int _ -> Some R.Tint
+           | Value.Float _ -> Some R.Tfloat
+           | Value.String _ -> Some R.Tstring
+           | Value.Bool _ -> Some R.Tbool
+           | Value.Null -> None)
+      end)
+    (List.rev !consts);
+  let node_of copy = function
+    | Ocol (v, c) -> col_node copy v c
+    | Oconst v ->
+      (match
+         List.find_opt (fun (v', _) -> Value.compare_total v v' = 0) !consts
+       with
+       | Some (_, id) -> id
+       | None -> assert false)
+    | Ohost h -> List.assoc h cl.host_nodes
+  in
+  let apply copy = function
+    | Acmp (A.Eq, a, b) ->
+      let na = node_of copy a in
+      let nb = node_of copy b in
+      set_nonnull na;
+      set_nonnull nb;
+      ignore (union na nb)
+    | Acmp (op, a, b) ->
+      let na = node_of copy a in
+      let nb = node_of copy b in
+      set_nonnull na;
+      set_nonnull nb;
+      cl.orders <- (op, na, nb) :: cl.orders
+    | Anull a -> set_null (node_of copy a)
+    | Anonnull a -> set_nonnull (node_of copy a)
+    | Aexists _ -> ()
+  in
+  List.iter (apply 0) d0;
+  List.iter (apply 1) d1;
+  (* equal projections: the duplicate pair agrees column-wise under the
+     null-comparison order *)
+  List.iter
+    (function
+      | Uexpr.Vcol (v, c) -> ignore (union (col_node 0 v c) (col_node 1 v c))
+      | Uexpr.Vconst _ | Uexpr.Vhost _ -> ())
+    ctx.proj;
+  (* key-rule saturation with row-identity tracking *)
+  let merge_rows o1 o2 =
+    let r1 = uf_find cl.row_parent o1 in
+    let r2 = uf_find cl.row_parent o2 in
+    if r1 <> r2 then begin
+      cl.row_parent.(r2) <- r1;
+      let c1 = o1 / ctx.nvars in
+      let v1 = o1 mod ctx.nvars in
+      let c2 = o2 / ctx.nvars in
+      let v2 = o2 mod ctx.nvars in
+      Array.iteri
+        (fun i _ ->
+          ignore
+            (union
+               ((c1 * ctx.ncols_total) + ctx.colbase.(v1) + i)
+               ((c2 * ctx.ncols_total) + ctx.colbase.(v2) + i)))
+        ctx.cols.(v1);
+      ignore v2;
+      true
+    end
+    else false
+  in
+  let occ_table o = ctx.tbls.(o mod ctx.nvars).Catalog.tbl_name in
+  let occ_col o i =
+    let copy = o / ctx.nvars in
+    let v = o mod ctx.nvars in
+    (copy * ctx.ncols_total) + ctx.colbase.(v) + i
+  in
+  let changed = ref true in
+  while !changed && cl.ok do
+    changed := false;
+    for o1 = 0 to (2 * ctx.nvars) - 1 do
+      for o2 = o1 + 1 to (2 * ctx.nvars) - 1 do
+        if
+          String.equal (occ_table o1) (occ_table o2)
+          && uf_find cl.row_parent o1 <> uf_find cl.row_parent o2
+        then begin
+          let def = ctx.tbls.(o1 mod ctx.nvars) in
+          let keyed =
+            List.exists
+              (fun (k : Catalog.key) ->
+                List.for_all
+                  (fun kc ->
+                    match
+                      Hashtbl.find_opt
+                        ctx.col_index.(o1 mod ctx.nvars)
+                        (String.uppercase_ascii kc)
+                    with
+                    | Some i -> find (occ_col o1 i) = find (occ_col o2 i)
+                    | None -> false)
+                  k.Catalog.key_cols)
+              (Catalog.candidate_keys def)
+          in
+          if keyed && merge_rows o1 o2 then changed := true
+        end
+      done
+    done
+  done;
+  cl
+
+(* Is any order atom definitely violated? Only airtight contradictions may
+   mark a branch vacuous (a wrong contradiction would unsound-ify
+   [Proved]): a strict atom over one class, or two comparable constants
+   that falsify the atom. *)
+let comparable a b =
+  match a, b with
+  | Value.Int _, (Value.Int _ | Value.Float _)
+  | Value.Float _, (Value.Int _ | Value.Float _)
+  | Value.String _, Value.String _ -> true
+  | _ -> false
+
+let holds op a b =
+  let c = Value.compare_total a b in
+  match op with
+  | A.Eq -> c = 0
+  | A.Ne -> c <> 0
+  | A.Lt -> c < 0
+  | A.Le -> c <= 0
+  | A.Gt -> c > 0
+  | A.Ge -> c >= 0
+
+let consistent cl =
+  cl.ok
+  && List.for_all
+       (fun (op, a, b) ->
+         let ra = uf_find cl.parent a in
+         let rb = uf_find cl.parent b in
+         if ra = rb then
+           match op with A.Ne | A.Lt | A.Gt -> false | _ -> true
+         else
+           match cl.const_v.(ra), cl.const_v.(rb) with
+           | Some x, Some y when comparable x y -> holds op x y
+           | _ -> true)
+       cl.orders
+
+let identical ctx cl =
+  let ok = ref true in
+  for v = 0 to ctx.nvars - 1 do
+    if uf_find cl.row_parent v <> uf_find cl.row_parent (ctx.nvars + v) then
+      ok := false
+  done;
+  !ok
+
+(* ---- witness construction ---- *)
+
+(* Instances are well-typed: every cell holds a value of its column's
+   declared type (the difftest generators never produce anything else, and
+   [Database.validate] does not re-check it, so the witness must). A class
+   value lands in a column of another numeric type by value-preserving
+   coercion — compare_total equates [Int n] and [Float n.], which is the
+   equality DISTINCT and the closure use — and any other mismatch (an int
+   class forced into a BOOLEAN column by [C1 = :H AND C4 = :H]) makes the
+   candidate witness unrealizable over typed instances. *)
+exception Ill_typed
+
+let coerce_cell (col : R.column) (v : Value.t) =
+  match col.R.ctype, v with
+  | _, Value.Null -> Value.Null
+  | R.Tint, Value.Int _
+  | R.Tfloat, Value.Float _
+  | R.Tstring, Value.String _
+  | R.Tbool, Value.Bool _ -> v
+  | R.Tfloat, Value.Int n -> Value.Float (float_of_int n)
+  | R.Tint, Value.Float f when Float.is_integer f -> Value.Int (int_of_float f)
+  | _ -> raise Ill_typed
+
+let cell_compatible ty v =
+  match coerce_cell { R.attr = Attr.make ~rel:"" ~name:""; ctype = ty; nullable = true } v with
+  | _ -> true
+  | exception Ill_typed -> false
+
+(* Fill the unassigned columns of a synthesized row: key columns get fresh
+   non-null values (so synthesized parents do not collide), everything else
+   prefers NULL, which passes any CHECK (not definitely false) and can
+   never dangle. A key column whose fresh value falsifies a CHECK retries
+   small constants. *)
+let fill_row ~fresh (def : Catalog.table_def) (assigns : (string * Value.t) list)
+    =
+  let schema = def.Catalog.tbl_schema in
+  let key_cols =
+    List.concat_map
+      (fun (k : Catalog.key) -> List.map String.uppercase_ascii k.Catalog.key_cols)
+      def.Catalog.tbl_keys
+  in
+  let row =
+    Array.of_list
+      (List.map
+         (fun (c : R.column) ->
+           let name = String.uppercase_ascii c.R.attr.Attr.name in
+           match List.assoc_opt name assigns with
+           | Some v -> coerce_cell c v
+           | None ->
+             if List.mem name key_cols || not c.R.nullable then begin
+               let k = !fresh in
+               incr fresh;
+               match c.R.ctype with
+               | R.Tint -> Value.Int (8101 + (13 * k))
+               | R.Tfloat -> Value.Float (8101.5 +. (13. *. float_of_int k))
+               | R.Tstring -> Value.String (Printf.sprintf "W%d" k)
+               | R.Tbool -> Value.Bool (k mod 2 = 0)
+             end
+             else Value.Null)
+         (R.columns schema))
+  in
+  let check_ok row =
+    List.for_all
+      (fun pred ->
+        match
+          Logic.Eval.eval_pred_simple
+            ~lookup_col:(fun a ->
+              match R.find_index schema a with
+              | Some i -> row.(i)
+              | None -> Value.Null)
+            ~lookup_host:(fun _ -> Value.Null)
+            pred
+        with
+        | Truth.False -> false
+        | Truth.True | Truth.Unknown -> true
+        | exception _ -> true)
+      def.Catalog.tbl_checks
+  in
+  if check_ok row then row
+  else begin
+    (* retry the freshly generated cells with small constants *)
+    let cols = Array.of_list (R.columns schema) in
+    Array.iteri
+      (fun i (c : R.column) ->
+        let name = String.uppercase_ascii c.R.attr.Attr.name in
+        if (not (List.mem_assoc name assigns)) && c.R.ctype = R.Tint
+           && not (check_ok row)
+        then
+          let saved = row.(i) in
+          let found =
+            List.exists
+              (fun v ->
+                row.(i) <- Value.Int v;
+                check_ok row)
+              [ 0; 1; 2; 3; 4 ]
+          in
+          if not found then row.(i) <- saved)
+      cols;
+    row
+  end
+
+let add_row by_table name row =
+  let name = String.uppercase_ascii name in
+  let rows = try Hashtbl.find by_table name with Not_found -> [] in
+  if
+    not
+      (List.exists (fun r -> Engine.Relation.compare_rows r row = 0) rows)
+  then Hashtbl.replace by_table name (rows @ [ row ])
+
+(* Constants of the checks that mention column [name], and whether the
+   check mentions only that column (those are the ones a single value can
+   be screened against — columns not yet chosen read as NULL, which makes
+   any other check non-false anyway). *)
+let pred_attrs p =
+  let acc = ref [] in
+  ignore (A.map_cols (fun a -> acc := a :: !acc; a) p);
+  List.rev !acc
+
+let rec pred_consts p =
+  let of_scalar = function A.Const v -> [ v ] | _ -> [] in
+  match p with
+  | A.Ptrue | A.Pfalse -> []
+  | A.Cmp (_, a, b) -> of_scalar a @ of_scalar b
+  | A.Between (a, lo, hi) -> of_scalar a @ of_scalar lo @ of_scalar hi
+  | A.In_list (a, vs) -> of_scalar a @ vs
+  | A.Is_null a | A.Is_not_null a -> of_scalar a
+  | A.And (a, b) | A.Or (a, b) -> pred_consts a @ pred_consts b
+  | A.Not a -> pred_consts a
+  | A.Exists q -> pred_consts q.A.where
+
+let mentions name p =
+  List.exists
+    (fun (a : Attr.t) ->
+      String.equal (String.uppercase_ascii a.Attr.name) name)
+    (pred_attrs p)
+
+let single_col name p =
+  List.for_all
+    (fun (a : Attr.t) ->
+      String.equal (String.uppercase_ascii a.Attr.name) name)
+    (pred_attrs p)
+
+(* Does [v] in column [col] of [def] falsify a check that mentions only
+   that column? *)
+let column_value_ok (def : Catalog.table_def) (col : R.column) v =
+  let name = String.uppercase_ascii col.R.attr.Attr.name in
+  List.for_all
+    (fun check ->
+      (not (single_col name check))
+      || (not (mentions name check))
+      ||
+      match
+        Logic.Eval.eval_pred_simple
+          ~lookup_col:(fun (a : Attr.t) ->
+            if String.equal (String.uppercase_ascii a.Attr.name) name then v
+            else Value.Null)
+          ~lookup_host:(fun _ -> Value.Null)
+          check
+      with
+      | Truth.False -> false
+      | Truth.True | Truth.Unknown -> true
+      | exception _ -> true)
+    def.Catalog.tbl_checks
+
+let rotate k l =
+  match List.length l with
+  | 0 -> []
+  | len ->
+    let k = k mod len in
+    let rec split i = function
+      | rest when i = 0 -> rest @ []
+      | x :: rest -> split (i - 1) rest @ [ x ]
+      | [] -> []
+    in
+    split k l
+
+let witness_typed ctx cl : counterexample_hint option =
+  let n = Array.length cl.parent in
+  (* column occurrences of each class, for CHECK-aware fresh values *)
+  let node_col i =
+    if i < 2 * ctx.ncols_total then begin
+      let j = i mod ctx.ncols_total in
+      let v = ref 0 in
+      while !v < ctx.nvars - 1 && ctx.colbase.(!v + 1) <= j do incr v done;
+      Some (ctx.tbls.(!v), ctx.cols.(!v).(j - ctx.colbase.(!v)))
+    end
+    else None
+  in
+  let members = Array.make n [] in
+  for i = n - 1 downto 0 do
+    match node_col i with
+    | Some m -> members.(uf_find cl.parent i) <- m :: members.(uf_find cl.parent i)
+    | None -> ()
+  done;
+  let value = Array.make n Value.Null in
+  let assigned = Array.make n false in
+  let freshv = Array.make n false in
+  let fresh = ref 0 in
+  for i = 0 to n - 1 do
+    let r = uf_find cl.parent i in
+    if not assigned.(r) then begin
+      assigned.(r) <- true;
+      if cl.isnull.(r) then value.(r) <- Value.Null
+      else
+        match cl.const_v.(r) with
+        | Some v -> value.(r) <- v
+        | None ->
+          let k = !fresh in
+          incr fresh;
+          freshv.(r) <- true;
+          (* constants harvested from the checks constraining this class's
+             columns, rotated by the class counter so distinct classes
+             prefer distinct values *)
+          let harvested ty =
+            List.concat_map
+              (fun ((def : Catalog.table_def), (col : R.column)) ->
+                if col.R.ctype <> ty then []
+                else
+                  let name = String.uppercase_ascii col.R.attr.Attr.name in
+                  List.concat_map
+                    (fun check ->
+                      if mentions name check then pred_consts check else [])
+                    def.Catalog.tbl_checks)
+              members.(r)
+            |> List.filter (fun v -> not (Value.is_null v))
+            |> List.fold_left
+                 (fun acc v ->
+                   if
+                     List.exists
+                       (fun v' -> Value.compare_total v v' = 0)
+                       acc
+                   then acc
+                   else acc @ [ v ])
+                 []
+            |> rotate k
+          in
+          (* the class's type comes from its member columns when it has
+             any: a bool-or-string member mixed with anything else is a
+             typed-instance impossibility, numeric mixes take int values
+             (coerced per column at fill time), and host-only classes
+             fall back to the closure's recorded type *)
+          let member_types =
+            List.sort_uniq Stdlib.compare
+              (List.map (fun (_, (c : R.column)) -> c.R.ctype) members.(r))
+          in
+          let class_type =
+            match member_types with
+            | [] -> cl.ntype.(r)
+            | [ ty ] -> Some ty
+            | [ R.Tfloat; R.Tint ] | [ R.Tint; R.Tfloat ] -> Some R.Tint
+            | _ -> raise Ill_typed
+          in
+          let candidates =
+            match class_type with
+            | Some R.Tfloat ->
+              Value.Float (7001.5 +. (13. *. float_of_int k))
+              :: harvested R.Tfloat
+              @ [ Value.Float (1.5 +. float_of_int k) ]
+            | Some R.Tstring ->
+              harvested R.Tstring
+              @ [ Value.String (Printf.sprintf "V%d" k) ]
+            | Some R.Tbool ->
+              [ Value.Bool (k mod 2 = 0); Value.Bool (k mod 2 <> 0) ]
+            | Some R.Tint | None ->
+              Value.Int (7001 + (13 * k))
+              :: harvested R.Tint
+              @ [
+                  Value.Int (1 + k);
+                  Value.Int (2 + (3 * k));
+                  Value.Int (10 + k);
+                  Value.Int (100 + k);
+                ]
+          in
+          (* harvested check constants are filtered by the column the
+             check mentions, not by their own type — a string column's
+             check can surface an int constant — so screen candidates
+             against the class type before anything else *)
+          let candidates =
+            match class_type with
+            | None -> candidates
+            | Some ty -> List.filter (cell_compatible ty) candidates
+          in
+          let candidates =
+            if candidates = [] then raise Ill_typed else candidates
+          in
+          let ok v =
+            List.for_all
+              (fun (def, col) -> column_value_ok def col v)
+              members.(r)
+          in
+          value.(r) <-
+            (match List.find_opt ok candidates with
+             | Some v -> v
+             | None -> List.hd candidates)
+    end
+  done;
+  (* best-effort repair of integer order constraints over fresh classes *)
+  for _pass = 1 to 4 do
+    List.iter
+      (fun (op, a, b) ->
+        let ra = uf_find cl.parent a in
+        let rb = uf_find cl.parent b in
+        match value.(ra), value.(rb) with
+        | Value.Int x, Value.Int y when not (holds op value.(ra) value.(rb)) ->
+          if freshv.(rb) then
+            value.(rb) <-
+              Value.Int
+                (match op with
+                 | A.Lt | A.Le -> x + (if op = A.Lt then 1 else 0)
+                 | A.Gt | A.Ge -> x - (if op = A.Gt then 1 else 0)
+                 | A.Ne -> y + 17
+                 | A.Eq -> x)
+          else if freshv.(ra) then
+            value.(ra) <-
+              Value.Int
+                (match op with
+                 | A.Lt | A.Le -> y - (if op = A.Lt then 1 else 0)
+                 | A.Gt | A.Ge -> y + (if op = A.Gt then 1 else 0)
+                 | A.Ne -> x + 17
+                 | A.Eq -> y)
+        | _ -> ())
+      (List.rev cl.orders)
+  done;
+  let node_value i = value.(uf_find cl.parent i) in
+  let by_table : (string, Engine.Relation.row list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  (* base rows for every occurrence, in deterministic occurrence order *)
+  for o = 0 to (2 * ctx.nvars) - 1 do
+    let copy = o / ctx.nvars in
+    let v = o mod ctx.nvars in
+    let row =
+      Array.mapi
+        (fun i col ->
+          coerce_cell col
+            (node_value ((copy * ctx.ncols_total) + ctx.colbase.(v) + i)))
+        ctx.cols.(v)
+    in
+    add_row by_table ctx.tbls.(v).Catalog.tbl_name row
+  done;
+  (* host bindings: closure-constrained hosts get their class value, the
+     rest of the query's hosts default to 0 *)
+  let hosts0 =
+    List.map (fun (h, node) -> (h, node_value node)) cl.host_nodes
+  in
+  let hosts =
+    List.fold_left
+      (fun acc h ->
+        let h = String.uppercase_ascii h in
+        if List.mem_assoc h acc then acc else (h, Value.Int 0) :: acc)
+      hosts0
+      (A.hosts_of_query_spec ctx.spec)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let host_value h =
+    match List.assoc_opt (String.uppercase_ascii h) hosts with
+    | Some v -> v
+    | None -> Value.Int 0
+  in
+  (* populate positive EXISTS subqueries: for each inner table occurrence,
+     solve the equi-correlation conjuncts against this copy's assignment
+     and fill the rest *)
+  let freshfill = ref 1000 in
+  let populate_exists copy (q : A.query_spec) =
+    List.iter
+      (fun (f : A.from_item) ->
+        match Catalog.find ctx.cat f.A.table with
+        | None -> ()
+        | Some def when Catalog.is_view def -> ()
+        | Some def ->
+          let corr = A.from_name f in
+          let assigns =
+            List.filter_map
+              (fun conj ->
+                match conj with
+                | A.Cmp (A.Eq, x, y) ->
+                  let inner_col s =
+                    match s with
+                    | A.Col a
+                      when Uexpr.var_of_attr a = None
+                           && (String.equal
+                                 (String.uppercase_ascii a.Attr.rel)
+                                 (String.uppercase_ascii corr)
+                              || (a.Attr.rel = "" && List.length q.A.from = 1))
+                      -> Some (String.uppercase_ascii a.Attr.name)
+                    | _ -> None
+                  in
+                  let outer_value s =
+                    match s with
+                    | A.Const v -> Some v
+                    | A.Host h -> Some (host_value h)
+                    | A.Col a ->
+                      (match Uexpr.var_of_attr a with
+                       | Some (v, c) ->
+                         (match
+                            Hashtbl.find_opt ctx.col_index.(v)
+                              (String.uppercase_ascii c)
+                          with
+                          | Some i ->
+                            Some
+                              (node_value
+                                 ((copy * ctx.ncols_total)
+                                  + ctx.colbase.(v) + i))
+                          | None -> None)
+                       | None -> None)
+                    | A.Agg _ -> None
+                  in
+                  (match inner_col x, outer_value y with
+                   | Some c, Some v -> Some (c, v)
+                   | _ ->
+                     (match inner_col y, outer_value x with
+                      | Some c, Some v -> Some (c, v)
+                      | _ -> None))
+                | _ -> None)
+              (A.conjuncts q.A.where)
+          in
+          add_row by_table def.Catalog.tbl_name
+            (fill_row ~fresh:freshfill def assigns))
+      q.A.from
+  in
+  List.iter (populate_exists 0) cl.exists0;
+  List.iter (populate_exists 1) cl.exists1;
+  (* referential completion: synthesize missing foreign-key parents *)
+  let rec complete_fks rounds =
+    if rounds > 0 then begin
+      let added = ref false in
+      let tables_now =
+        Hashtbl.fold (fun t _ acc -> t :: acc) by_table []
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun tname ->
+          match Catalog.find ctx.cat tname with
+          | None -> ()
+          | Some def ->
+            let rows = try Hashtbl.find by_table tname with Not_found -> [] in
+            List.iter
+              (fun (fk : Catalog.foreign_key) ->
+                match Catalog.resolve_fk ctx.cat fk with
+                | exception Failure _ -> ()
+                | ref_cols ->
+                  (match Catalog.find ctx.cat fk.Catalog.fk_table with
+                   | None -> ()
+                   | Some parent ->
+                     let fk_pos =
+                       List.map
+                         (fun c ->
+                           R.index_of def.Catalog.tbl_schema
+                             (Attr.make ~rel:"" ~name:c))
+                         fk.Catalog.fk_cols
+                     in
+                     let ref_pos =
+                       List.map
+                         (fun c ->
+                           R.index_of parent.Catalog.tbl_schema
+                             (Attr.make ~rel:"" ~name:c))
+                         ref_cols
+                     in
+                     List.iter
+                       (fun row ->
+                         let vals = List.map (fun i -> row.(i)) fk_pos in
+                         if List.for_all (fun v -> not (Value.is_null v)) vals
+                         then begin
+                           let pname =
+                             String.uppercase_ascii parent.Catalog.tbl_name
+                           in
+                           let prows =
+                             try Hashtbl.find by_table pname
+                             with Not_found -> []
+                           in
+                           let present =
+                             List.exists
+                               (fun pr ->
+                                 List.for_all2
+                                   (fun i v ->
+                                     Value.compare_total pr.(i) v = 0)
+                                   ref_pos vals)
+                               prows
+                           in
+                           if not present then begin
+                             let assigns =
+                               List.map2
+                                 (fun c v -> (String.uppercase_ascii c, v))
+                                 ref_cols vals
+                             in
+                             add_row by_table parent.Catalog.tbl_name
+                               (fill_row ~fresh:freshfill parent assigns);
+                             added := true
+                           end
+                         end)
+                       rows))
+              def.Catalog.tbl_foreign_keys)
+        tables_now;
+      if !added then complete_fks (rounds - 1)
+    end
+  in
+  (match complete_fks 6 with () | exception _ -> ());
+  let instance =
+    Hashtbl.fold (fun t rows acc -> (t, rows) :: acc) by_table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* the candidate must be a valid instance and must actually exhibit the
+     duplicate: the engine has the final word *)
+  let db = Engine.Database.create ctx.cat in
+  match
+    List.iter (fun (t, rows) -> Engine.Database.load db t rows) instance
+  with
+  | exception _ -> None
+  | () ->
+    if Engine.Database.validate db <> [] then None
+    else
+      let run distinct =
+        Engine.Exec.run_query db ~hosts
+          (A.Spec { ctx.spec with A.distinct })
+      in
+      (match run A.All, run A.Distinct with
+       | exception _ -> None
+       | all, dist ->
+         if Engine.Relation.equal_bags all dist then None
+         else Some { instance; hosts })
+
+let witness ctx cl = try witness_typed ctx cl with Ill_typed -> None
+
+(* ---- the oracle ---- *)
+
+let max_witness_attempts = 4
+
+let check ?(trace = Trace.disabled) cat (spec : A.query_spec) : verdict =
+  if spec.A.group_by <> [] then Unknown "GROUP BY"
+  else
+    match Uexpr.spec_term cat spec with
+    | Error msg -> Unknown msg
+    | Ok term ->
+      (match
+         let ctx = make_ctx cat spec term in
+         let disjuncts = dnf term.Uexpr.where in
+         (ctx, disjuncts)
+       with
+       | exception Uexpr.Unsupported msg -> Unknown msg
+       | exception Budget ->
+         Unknown
+           (Printf.sprintf "DNF exceeds %d disjuncts" max_disjuncts)
+       | ctx, disjuncts ->
+         Trace.emitf trace (fun () ->
+             Trace.node ~rule:"symbolic.term"
+               ~citation:
+                 "U-expression normal form (cf. SPES, bag-semantics \
+                  equivalence)"
+               ~facts:
+                 [
+                   ("tables", String.concat "," term.Uexpr.tables);
+                   ("disjuncts", string_of_int (List.length disjuncts));
+                 ]
+               (Uexpr.term_to_string term));
+         let nd = List.length disjuncts in
+         if nd = 0 then begin
+           Trace.emitf trace (fun () ->
+               Trace.node ~rule:"symbolic.verdict" ~verdict:Trace.Yes
+                 "selection predicate unsatisfiable: empty result has no \
+                  duplicates");
+           Proved
+         end
+         else begin
+           let darr = Array.of_list disjuncts in
+           let open_states = ref [] in
+           let vacuous = ref 0 in
+           let ident = ref 0 in
+           for i = 0 to nd - 1 do
+             for j = i to nd - 1 do
+               let cl = close ctx darr.(i) darr.(j) in
+               if not (consistent cl) then incr vacuous
+               else if identical ctx cl then incr ident
+               else open_states := cl :: !open_states
+             done
+           done;
+           let open_states = List.rev !open_states in
+           Trace.emitf trace (fun () ->
+               Trace.node ~rule:"symbolic.closure"
+                 ~citation:
+                   "candidate keys as the sole row-identity rule (SQL2 \
+                    nulls-equal uniqueness)"
+                 ~facts:
+                   [
+                     ("disjunct pairs", string_of_int (nd * (nd + 1) / 2));
+                     ("contradictory", string_of_int !vacuous);
+                     ("forced identical", string_of_int !ident);
+                     ("open", string_of_int (List.length open_states));
+                   ]
+                 "two-copy congruence closure over every disjunct pair");
+           match open_states with
+           | [] ->
+             Trace.emitf trace (fun () ->
+                 Trace.node ~rule:"symbolic.verdict" ~verdict:Trace.Yes
+                   "every duplicate pair is contradictory or degenerate: \
+                    ALL = DISTINCT on all valid instances");
+             Proved
+           | _ ->
+             let rec try_witness n = function
+               | [] -> None
+               | _ when n = 0 -> None
+               | cl :: rest ->
+                 (match witness ctx cl with
+                  | Some hint -> Some hint
+                  | None -> try_witness (n - 1) rest)
+             in
+             (match try_witness max_witness_attempts open_states with
+              | Some hint ->
+                Trace.emitf trace (fun () ->
+                    Trace.node ~rule:"symbolic.verdict" ~verdict:Trace.No
+                      ~facts:
+                        (List.map
+                           (fun (t, rows) ->
+                             (t, string_of_int (List.length rows) ^ " row(s)"))
+                           hint.instance)
+                      "engine-verified duplicate witness constructed from \
+                       an open disjunct pair");
+                Refuted hint
+              | None ->
+                Trace.emitf trace (fun () ->
+                    Trace.node ~rule:"symbolic.verdict" ~verdict:Trace.Maybe
+                      "open disjunct pair but no engine-verified witness");
+                Unknown "open disjunct pair without a verified witness")
+         end)

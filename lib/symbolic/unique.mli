@@ -1,0 +1,33 @@
+(** Symbolic duplicate-freedom for a single query block.
+
+    [check cat spec] decides, symbolically, whether the [ALL]-flavour of
+    [spec]'s projection can ever produce duplicate rows on a valid instance
+    of [cat] — i.e. whether a [DISTINCT] on [spec] is redundant. The
+    decision procedure normalizes the block to a canonical SPJ term
+    ({!Uexpr}), takes a budgeted DNF of the selection predicate (EXISTS
+    atoms weakened to TRUE — a sound weakening for [Proved]), and runs a
+    two-copy congruence closure per disjunct pair in which candidate keys
+    are the sole row-identity rule.
+
+    Soundness contract, both directions:
+    - [Proved] — no valid instance and host binding makes ALL differ from
+      DISTINCT;
+    - [Refuted h] — [h] is a concrete instance, already validated against
+      the catalog's constraints and replayed on the execution engine, on
+      which they do differ;
+    - [Unknown] — no claim (budget, unsupported shape, or no verified
+      witness). *)
+
+type counterexample_hint = {
+  instance : (string * Engine.Relation.row list) list;
+      (** table name -> rows, validated against the catalog *)
+  hosts : (string * Sqlval.Value.t) list;
+}
+
+type verdict =
+  | Proved
+  | Refuted of counterexample_hint
+  | Unknown of string
+
+val check :
+  ?trace:Trace.t -> Catalog.t -> Sql.Ast.query_spec -> verdict

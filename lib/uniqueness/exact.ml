@@ -56,11 +56,20 @@ let unsupported_reason (q : Sql.Ast.query_spec) =
 (* ---- domain construction ---- *)
 
 (* Fresh values are shared per type so that cross-column equalities
-   (S.SNO = P.SNO) can be realized with fresh values. *)
-let fresh_of_type = function
-  | Schema.Relschema.Tint -> [ Value.Int 900001; Value.Int 900002 ]
-  | Schema.Relschema.Tfloat -> [ Value.Float 900001.5; Value.Float 900002.5 ]
-  | Schema.Relschema.Tstring -> [ Value.String "#V1"; Value.String "#V2" ]
+   (S.SNO = P.SNO) can be realized with fresh values. The pool must be as
+   large as the number of cells of that type a counterexample can populate:
+   a disequality chain (NOT C2 = C1 with the pair differing on C1) needs
+   three distinct values, which the historical two-value pool could not
+   represent — the search then claimed Unique unsoundly. [build_domains]
+   computes the need per type and flags the domains incomplete when it
+   exceeds [max_fresh]; an exhausted search over incomplete domains
+   reports [Unsupported], never [Unique]. *)
+let fresh_pool n = function
+  | Schema.Relschema.Tint -> List.init n (fun i -> Value.Int (900001 + i))
+  | Schema.Relschema.Tfloat ->
+    List.init n (fun i -> Value.Float (900001.5 +. float_of_int i))
+  | Schema.Relschema.Tstring ->
+    List.init n (fun i -> Value.String (Printf.sprintf "#V%d" (i + 1)))
   | Schema.Relschema.Tbool -> [ Value.Bool true; Value.Bool false ]
 
 (* Constants a scalar is compared against, per column, with neighbours for
@@ -101,7 +110,11 @@ let rec collect_constants acc (p : Sql.Ast.pred) =
    counterexamples (values can always be relabeled). *)
 type role = Rich | Pinned
 
-let max_domain = 9
+let max_domain = 16
+
+(* Fresh values the pool can afford per type; a query whose counterexamples
+   may need more distinct values than this is reported [Unsupported]. *)
+let max_fresh = 8
 
 let build_domains cat (q : Sql.Ast.query_spec) =
   let resolve = Fd.Derive.resolver cat q.from in
@@ -125,75 +138,206 @@ let build_domains cat (q : Sql.Ast.query_spec) =
   in
   let used_in_pred = pred_cols Attr.Set.empty q.where in
   (* per table occurrence: schema, check constants and check columns *)
-  List.map
-    (fun (f : Sql.Ast.from_item) ->
-      let def = Catalog.find_exn cat f.table in
-      let corr = Sql.Ast.from_name f in
-      let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
-      let requalify (a : Attr.t) = Attr.make ~rel:corr ~name:a.Attr.name in
-      let check_consts =
-        List.concat_map
-          (fun check ->
-            List.map
-              (fun (c, vs) ->
-                (* check predicates reference bare or table-qualified
-                   columns; requalify by correlation name *)
-                (requalify c, vs))
-              (collect_constants [] check))
-          def.Catalog.tbl_checks
-      in
-      let check_cols =
-        List.fold_left
-          (fun acc check ->
-            List.fold_left
-              (fun acc (c, _) -> Attr.Set.add (requalify c) acc)
-              (* also columns used without constants: approximate by
-                 collecting all column refs *)
-              acc
-              (collect_constants [] check))
-          Attr.Set.empty def.Catalog.tbl_checks
-      in
-      let key_cols =
-        List.fold_left
-          (fun acc k ->
-            List.fold_left
-              (fun acc a -> Attr.Set.add a acc)
-              acc
-              (Catalog.key_attrs ~corr k))
-          Attr.Set.empty def.Catalog.tbl_keys
-      in
-      let role a =
-        if Attr.Set.mem a key_cols || Attr.Set.mem a used_in_pred
-           || Attr.Set.mem a check_cols
-        then Rich
-        else Pinned
-      in
-      let domain (col : Schema.Relschema.column) =
-        let a = col.Schema.Relschema.attr in
-        match role a with
-        | Pinned -> [ List.hd (fresh_of_type col.Schema.Relschema.ctype) ]
-        | Rich ->
-          let consts =
-            List.concat_map
-              (fun (c, vs) -> if Attr.equal c a then vs else [])
-              (pred_consts @ check_consts)
-          in
-          let base = consts @ fresh_of_type col.Schema.Relschema.ctype in
-          let base = if col.Schema.Relschema.nullable then Value.Null :: base else base in
-          let dedup =
-            List.sort_uniq Value.compare_total base
-          in
-          if List.length dedup > max_domain then begin
-            let rec take n = function
-              | [] -> []
-              | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+  let occurrences =
+    List.map
+      (fun (f : Sql.Ast.from_item) ->
+        let def = Catalog.find_exn cat f.table in
+        let corr = Sql.Ast.from_name f in
+        let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
+        let requalify (a : Attr.t) = Attr.make ~rel:corr ~name:a.Attr.name in
+        let check_consts =
+          List.concat_map
+            (fun check ->
+              List.map
+                (fun (c, vs) ->
+                  (* check predicates reference bare or table-qualified
+                     columns; requalify by correlation name *)
+                  (requalify c, vs))
+                (collect_constants [] check))
+            def.Catalog.tbl_checks
+        in
+        let check_cols =
+          List.fold_left
+            (fun acc check ->
+              List.fold_left
+                (fun acc (c, _) -> Attr.Set.add (requalify c) acc)
+                (* also columns used without constants: approximate by
+                   collecting all column refs *)
+                acc
+                (collect_constants [] check))
+              Attr.Set.empty def.Catalog.tbl_checks
+        in
+        let key_cols =
+          List.fold_left
+            (fun acc k ->
+              List.fold_left
+                (fun acc a -> Attr.Set.add a acc)
+                acc
+                (Catalog.key_attrs ~corr k))
+            Attr.Set.empty def.Catalog.tbl_keys
+        in
+        let role a =
+          if Attr.Set.mem a key_cols || Attr.Set.mem a used_in_pred
+             || Attr.Set.mem a check_cols
+          then Rich
+          else Pinned
+        in
+        (corr, schema, def, check_consts, role))
+      q.from
+  in
+  let type_of_attr a =
+    List.find_map
+      (fun (_, schema, _, _, _) ->
+        match Schema.Relschema.find_index schema a with
+        | Some i ->
+          Some (List.nth (Schema.Relschema.columns schema) i).Schema.Relschema.ctype
+        | None -> None)
+      occurrences
+  in
+  (* How many distinct fresh values of each type a counterexample can be
+     forced to use: two per distinct column appearing in a
+     column-to-column or column-to-host atom that is strict under its
+     polarity (Ne, Lt, Gt, or a negated Eq/Le/Ge/Between) — those atoms
+     couple cells, so their values cannot be collapsed onto a shared
+     pair. Everything else
+     (equalities, comparisons against constants, key disagreement — each
+     key column can reuse the same two values) is realizable over the
+     two-value base pool. A disequality chain like [NOT C2 = C1] with
+     the pair differing on the key C1 needs three distinct values, which
+     the old fixed pool of two could not represent: the search then
+     exhausted its domains and claimed Unique unsoundly. *)
+  let strict_cols = ref Attr.Set.empty in
+  let count_col c = strict_cols := Attr.Set.add (resolve c) !strict_cols in
+  let strict_cc neg op a b =
+    let strict =
+      match op, neg with
+      | (Sql.Ast.Ne | Sql.Ast.Lt | Sql.Ast.Gt), false -> true
+      | (Sql.Ast.Eq | Sql.Ast.Le | Sql.Ast.Ge), true -> true
+      | _ -> false
+    in
+    match a, b with
+    | Sql.Ast.Col ca, Sql.Ast.Col cb when strict ->
+      count_col ca;
+      count_col cb
+    | (Sql.Ast.Col ca, Sql.Ast.Host _ | Sql.Ast.Host _, Sql.Ast.Col ca)
+      when strict ->
+      (* a host is one more shared cell coupled to the column: NOT C = :H
+         with C a key needs the host outside the column's pair *)
+      count_col ca
+    | _ -> ()
+  in
+  let rec count_pred neg (p : Sql.Ast.pred) =
+    match p with
+    | Sql.Ast.Ptrue | Sql.Ast.Pfalse -> ()
+    | Sql.Ast.Cmp (op, a, b) -> strict_cc neg op a b
+    | Sql.Ast.Between (a, lo, hi) ->
+      (* NOT BETWEEN is a strict disjunction a < lo OR a > hi *)
+      strict_cc neg Sql.Ast.Ge a lo;
+      strict_cc neg Sql.Ast.Le a hi
+    | Sql.Ast.In_list _ | Sql.Ast.Is_null _ | Sql.Ast.Is_not_null _ -> ()
+    | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) -> count_pred neg a; count_pred neg b
+    | Sql.Ast.Not a -> count_pred (not neg) a
+    | Sql.Ast.Exists _ -> ()
+  in
+  count_pred false q.where;
+  let cells = Hashtbl.create 4 in
+  Attr.Set.iter
+    (fun a ->
+      match type_of_attr a with
+      | Some ty ->
+        Hashtbl.replace cells ty
+          (2 + Option.value ~default:0 (Hashtbl.find_opt cells ty))
+      | None -> ())
+    !strict_cols;
+  let complete = ref true in
+  let pool_of_type ty =
+    (* two base values (key pairs, hosts) plus two per coupled column *)
+    let need = 2 + Option.value ~default:0 (Hashtbl.find_opt cells ty) in
+    let n =
+      match ty with
+      | Schema.Relschema.Tbool -> 2
+      | _ ->
+        if need > max_fresh then begin
+          complete := false;
+          max_fresh
+        end
+        else need
+    in
+    fresh_pool n ty
+  in
+  (* Constants transfer across equality-connected columns: with
+     C1 = C2 AND C2 = 5 the value 5 must be available in C1's domain
+     even though only C2 is compared against it. Hosts mediate equality
+     the same way — C1 = :H AND C3 = :H couples C1 and C3 — so they join
+     the union-find as pseudo-attributes. Any polarity: extra constants
+     only enlarge a domain, never unsoundly shrink it. *)
+  let all_attr_consts =
+    pred_consts
+    @ List.concat_map (fun (_, _, _, cc, _) -> cc) occurrences
+  in
+  let host_attr h = Attr.make ~rel:"%host" ~name:h in
+  let eq_pairs = ref [] in
+  let rec eq_atoms (p : Sql.Ast.pred) =
+    match p with
+    | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, Sql.Ast.Col b) ->
+      eq_pairs := (resolve a, resolve b) :: !eq_pairs
+    | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col a, Sql.Ast.Host h)
+    | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Host h, Sql.Ast.Col a) ->
+      eq_pairs := (resolve a, host_attr h) :: !eq_pairs
+    | Sql.Ast.And (a, b) | Sql.Ast.Or (a, b) -> eq_atoms a; eq_atoms b
+    | Sql.Ast.Not a -> eq_atoms a
+    | _ -> ()
+  in
+  eq_atoms q.where;
+  let eq_class =
+    (* tiny union-find over the attrs that appear in consts or eq atoms *)
+    let reps = Hashtbl.create 8 in
+    let rec find a =
+      match Hashtbl.find_opt reps a with
+      | Some b when not (Attr.equal a b) -> find b
+      | _ -> a
+    in
+    List.iter
+      (fun (a, b) ->
+        let ra = find a and rb = find b in
+        if not (Attr.equal ra rb) then Hashtbl.replace reps ra rb)
+      !eq_pairs;
+    find
+  in
+  let consts_for a =
+    let ra = eq_class a in
+    List.concat_map
+      (fun (c, vs) -> if Attr.equal (eq_class c) ra then vs else [])
+      all_attr_consts
+  in
+  let per_table =
+    List.map
+      (fun (corr, schema, def, _, role) ->
+        let domain (col : Schema.Relschema.column) =
+          let ty = col.Schema.Relschema.ctype in
+          match role col.Schema.Relschema.attr with
+          | Pinned -> [ List.hd (fresh_pool 1 ty) ]
+          | Rich ->
+            let base = consts_for col.Schema.Relschema.attr @ pool_of_type ty in
+            let base =
+              if col.Schema.Relschema.nullable then Value.Null :: base
+              else base
             in
-            take max_domain dedup
-          end
-          else dedup
-      in
-      (corr, schema, def, List.map domain (Schema.Relschema.columns schema)))
-    q.from
+            let dedup = List.sort_uniq Value.compare_total base in
+            if List.length dedup > max_domain then begin
+              complete := false;
+              let rec take n = function
+                | [] -> []
+                | x :: xs -> if n = 0 then [] else x :: take (n - 1) xs
+              in
+              take max_domain dedup
+            end
+            else dedup
+        in
+        (corr, schema, def, List.map domain (Schema.Relschema.columns schema)))
+      occurrences
+  in
+  (per_table, !complete)
 
 (* All tuples over the column domains. *)
 let enumerate_tuples domains =
@@ -300,7 +444,7 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
   match unsupported_reason q with
   | Some reason -> Unsupported reason
   | None ->
-  let per_table = build_domains cat q in
+  let per_table, domains_complete = build_domains cat q in
   let hosts, host_col_pairs = host_domains cat q in
   (* host domain: union of domains of the columns it is compared with *)
   let domain_of_attr a =
@@ -320,7 +464,17 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
             (List.concat_map domain_of_attr cols)
         in
         let dom = List.filter (fun v -> not (Value.is_null v)) dom in
-        (h, if dom = [] then [ Value.Int 0 ] else dom))
+        (* Host bindings are untyped (the fuzzer binds small ints against
+           bool and string columns alike) and cross-type comparisons are
+           definite under [compare_total], so a host can sit outside its
+           column's type entirely: NOT C = :H over a BOOLEAN key is
+           satisfied by every row when :H is an int. Two alien values —
+           below and above every generated constant and fresh value —
+           cover the "differs from / orders beyond everything" cases. *)
+        let dom =
+          dom @ [ Value.Int (-900_001); Value.Int 900_900_901 ]
+        in
+        (h, dom))
       hosts
   in
   (* guard the raw per-table enumeration ... *)
@@ -430,6 +584,19 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
       let tails = host_assignments rest in
       List.concat_map (fun v -> List.map (fun t -> (h, v) :: t) tails) dom
   in
+  (* A table with no candidate key can hold the same row twice, so a
+     chosen pair with t = t' still yields output duplicates there: the
+     instance materializes the row with multiplicity 2 and every product
+     row inherits it. Tables with a key need t <> t' (the set model is
+     complete for them: two distinct rows must disagree on the key, and
+     key columns are always Rich). *)
+  let keyless =
+    List.filter_map
+      (fun (corr, _, def, _) ->
+        if def.Catalog.tbl_keys = [] then Some corr else None)
+      per_table
+  in
+  let dup_ok corr = List.mem corr keyless in
   let found = ref None in
   (try
      List.iter
@@ -440,7 +607,10 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
              charge ();
              let chosen = List.rev acc in
              let some_diff =
-               List.exists (fun (_, (t, t')) -> not (rows_equal t t')) chosen
+               List.exists
+                 (fun (corr, (t, t')) ->
+                   (not (rows_equal t t')) || dup_ok corr)
+                 chosen
              in
              if some_diff then begin
                let r1 =
@@ -457,7 +627,9 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
                    List.map
                      (fun (corr, (t, t')) ->
                        ( corr,
-                         if rows_equal t t' then [ t ] else [ t; t' ] ))
+                         if rows_equal t t' then
+                           if dup_ok corr then [ t; t ] else [ t ]
+                         else [ t; t' ] ))
                      chosen
                  in
                  found :=
@@ -477,10 +649,17 @@ let check ?(max_cells = 2_000_000) ?(max_pairs = max_int) cat
          choose [] pairs_per_table)
        (host_assignments host_doms)
    with Exit -> ());
-  match !found with Some ce -> Duplicable ce | None -> Unique
+  match !found with
+  | Some ce -> Duplicable ce
+  | None ->
+    (* Only a completed search over complete domains proves uniqueness;
+       a capped fresh pool or truncated domain may have hidden the
+       counterexample. *)
+    if domains_complete then Unique
+    else Unsupported "domains truncated; search not exhaustive"
 
 let search_space cat q =
-  let per_table = build_domains cat q in
+  let per_table, _ = build_domains cat q in
   let hosts, _ = host_domains cat q in
   search_space_of per_table (List.map (fun _ -> 2) hosts)
 

@@ -142,6 +142,46 @@ let test_campaign_pool_consistent () =
   Alcotest.(check string) "jobs 1 = jobs 4 with the shared cache" seq_cached
     pooled_cached
 
+(* symbolic-oracle reproducibility: restricting a campaign to the
+   symbolic (and logic) oracle groups must be byte-identical across
+   sequential and pooled judging — the symbolic witness search is a
+   deterministic function of the case, with no RNG of its own *)
+let test_campaign_symbolic_reproducible () =
+  let config =
+    { campaign_config with D.Runner.oracles = [ "symbolic"; "logic" ] }
+  in
+  let sequential = report_text (D.Runner.run config) in
+  let pooled =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        report_text (D.Runner.run ~pool config))
+  in
+  Alcotest.(check string) "symbolic oracle: jobs 1 = jobs 4" sequential pooled;
+  Alcotest.(check string) "symbolic oracle: rerun is byte-identical"
+    sequential
+    (report_text (D.Runner.run config))
+
+(* the skip accounting must itself be deterministic and must never lose
+   a skip: the per-reason tallies have to sum to the report's skip
+   total, for every oracle restriction *)
+let test_skips_are_accounted () =
+  List.iter
+    (fun only ->
+      let config = { campaign_config with D.Runner.oracles = only } in
+      let r = D.Runner.run config in
+      let tallied =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 r.D.Runner.skip_reasons
+      in
+      let skips =
+        List.fold_left
+          (fun acc (_, (_, skip, _)) -> acc + skip)
+          0 r.D.Runner.per_oracle
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "skip reasons sum to skip total (%s)"
+           (String.concat "," only))
+        skips tallied)
+    [ []; [ "symbolic" ]; [ "agreement"; "symbolic" ] ]
+
 (* ---- regression corpus ---- *)
 
 let corpus_files () =
@@ -196,6 +236,10 @@ let () =
             `Quick test_campaign_nested_or_clean;
           Alcotest.test_case "4-domain pool, same report" `Quick
             test_campaign_pool_consistent;
+          Alcotest.test_case "symbolic oracle reproducible across jobs" `Quick
+            test_campaign_symbolic_reproducible;
+          Alcotest.test_case "skips are accounted by reason" `Quick
+            test_skips_are_accounted;
         ] );
       ( "corpus",
         [

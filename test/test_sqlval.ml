@@ -104,6 +104,111 @@ let test_to_string () =
     (Value.to_string (Value.String "O'Brien"));
   Alcotest.(check string) "int" "42" (Value.to_string (Value.Int 42))
 
+(* ---- Logic modes: SQL 3VL vs Libkin 2VL ---- *)
+
+module Logic_mode = Sqlval.Logic_mode
+module A = Sql.Ast
+module G = Testsupport.Gen_sql
+
+(* Predicates over host variables only, so a binding is just an assoc
+   list — enough for exhaustive atom-level truth tables. *)
+let eval_hosts ?logic hosts p =
+  Logic.Eval.eval_pred_simple ?logic
+    ~lookup_col:(fun a -> failwith ("unbound column " ^ Schema.Attr.to_string a))
+    ~lookup_host:(fun h -> List.assoc h hosts)
+    p
+
+let test_logic_mode_of_string () =
+  let mode = Alcotest.testable
+      (fun ppf m -> Format.pp_print_string ppf (Logic_mode.to_string m))
+      Logic_mode.equal
+  in
+  Alcotest.(check (option mode)) "3vl" (Some Logic_mode.L3)
+    (Logic_mode.of_string "3vl");
+  Alcotest.(check (option mode)) "2VL (case)" (Some Logic_mode.L2)
+    (Logic_mode.of_string "2VL");
+  Alcotest.(check (option mode)) "bare 2" (Some Logic_mode.L2)
+    (Logic_mode.of_string "2");
+  Alcotest.(check (option mode)) "bare 3" (Some Logic_mode.L3)
+    (Logic_mode.of_string "3");
+  Alcotest.(check (option mode)) "garbage" None (Logic_mode.of_string "4vl");
+  Alcotest.check truth "collapse L3 keeps unknown" Truth.Unknown
+    (Logic_mode.collapse Logic_mode.L3 Truth.Unknown);
+  Alcotest.check truth "collapse L2 drops unknown" Truth.False
+    (Logic_mode.collapse Logic_mode.L2 Truth.Unknown)
+
+(* x = y over the vocabulary {NULL, 1, 2}: a null operand is Unknown in
+   3VL and plain False in 2VL; on non-null operands the logics agree. *)
+let test_eq_two_logics () =
+  let vocab = [ Value.Null; Value.Int 1; Value.Int 2 ] in
+  let p = A.Cmp (A.Eq, A.Host "X", A.Host "Y") in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let hosts = [ ("X", x); ("Y", y) ] in
+          let name l =
+            Printf.sprintf "%s = %s (%s)" (Value.to_string x)
+              (Value.to_string y) l
+          in
+          let expect3 =
+            if Value.is_null x || Value.is_null y then Truth.Unknown
+            else Truth.of_bool (Value.equal_null x y)
+          in
+          let expect2 =
+            if Value.is_null x || Value.is_null y then Truth.False
+            else expect3
+          in
+          Alcotest.check truth (name "3vl") expect3
+            (eval_hosts ~logic:Logic_mode.L3 hosts p);
+          Alcotest.check truth (name "2vl") expect2
+            (eval_hosts ~logic:Logic_mode.L2 hosts p))
+        vocab)
+    vocab
+
+(* The signature divergence: NOT over a collapsed atom. NOT (x = NULL)
+   is Unknown-hence-rejected in 3VL but True in 2VL. *)
+let test_not_two_logics () =
+  let p = A.Not (A.Cmp (A.Eq, A.Host "X", A.Const Value.Null)) in
+  Alcotest.check truth "3VL: NOT (1 = NULL)" Truth.Unknown
+    (eval_hosts ~logic:Logic_mode.L3 [ ("X", Value.Int 1) ] p);
+  Alcotest.check truth "2VL: NOT (1 = NULL)" Truth.True
+    (eval_hosts ~logic:Logic_mode.L2 [ ("X", Value.Int 1) ] p);
+  (* null-free: the logics coincide *)
+  let q = A.Not (A.Cmp (A.Eq, A.Host "X", A.Const (Value.Int 2))) in
+  List.iter
+    (fun x ->
+      let hosts = [ ("X", Value.Int x) ] in
+      Alcotest.check truth
+        (Printf.sprintf "NOT (%d = 2): logics agree" x)
+        (eval_hosts ~logic:Logic_mode.L3 hosts q)
+        (eval_hosts ~logic:Logic_mode.L2 hosts q))
+    [ 1; 2 ]
+
+(* IN is a disjunction of equality atoms; each atom collapses
+   independently under 2VL (Libkin), so x IN (1, NULL) is False — not
+   Unknown — when x misses every non-null member. *)
+let test_in_two_logics () =
+  let p = A.In_list (A.Host "X", [ Value.Int 1; Value.Null ]) in
+  let eval logic x = eval_hosts ~logic [ ("X", x) ] p in
+  Alcotest.check truth "1 IN (1, NULL): 3vl" Truth.True
+    (eval Logic_mode.L3 (Value.Int 1));
+  Alcotest.check truth "1 IN (1, NULL): 2vl" Truth.True
+    (eval Logic_mode.L2 (Value.Int 1));
+  Alcotest.check truth "2 IN (1, NULL): 3vl" Truth.Unknown
+    (eval Logic_mode.L3 (Value.Int 2));
+  Alcotest.check truth "2 IN (1, NULL): 2vl" Truth.False
+    (eval Logic_mode.L2 (Value.Int 2));
+  Alcotest.check truth "NULL IN (1, NULL): 3vl" Truth.Unknown
+    (eval Logic_mode.L3 Value.Null);
+  Alcotest.check truth "NULL IN (1, NULL): 2vl" Truth.False
+    (eval Logic_mode.L2 Value.Null);
+  let np = A.Not p in
+  Alcotest.check truth "2 NOT IN (1, NULL): 3vl" Truth.Unknown
+    (eval_hosts ~logic:Logic_mode.L3 [ ("X", Value.Int 2) ] np);
+  Alcotest.check truth "2 NOT IN (1, NULL): 2vl" Truth.True
+    (eval_hosts ~logic:Logic_mode.L2 [ ("X", Value.Int 2) ] np)
+
 (* ---- properties ---- *)
 
 let truth_gen = QCheck2.Gen.oneofl all_truths
@@ -143,6 +248,59 @@ let prop_eq3_true_implies_equal_null =
     (fun (a, b) ->
       (not (Truth.equal (Value.eq3 a b) Truth.True)) || Value.equal_null a b)
 
+(* ---- logic-mode properties ---- *)
+
+(* Null-free agreement (the theorem the fuzzer's "logic" oracle checks
+   dynamically): replace every null in a random predicate and binding
+   with a non-null value; 3VL and 2VL must then coincide. *)
+let denull v = if Value.is_null v then Value.Int 0 else v
+
+let denull_scalar = function
+  | A.Const v -> A.Const (denull v)
+  | s -> s
+
+let rec denull_pred = function
+  | A.Ptrue -> A.Ptrue
+  | A.Pfalse -> A.Pfalse
+  | A.Cmp (op, a, b) -> A.Cmp (op, denull_scalar a, denull_scalar b)
+  | A.Between (a, lo, hi) ->
+    A.Between (denull_scalar a, denull_scalar lo, denull_scalar hi)
+  | A.In_list (a, vs) -> A.In_list (denull_scalar a, List.map denull vs)
+  | A.Is_null a -> A.Is_null (denull_scalar a)
+  | A.Is_not_null a -> A.Is_not_null (denull_scalar a)
+  | A.And (p, q) -> A.And (denull_pred p, denull_pred q)
+  | A.Or (p, q) -> A.Or (denull_pred p, denull_pred q)
+  | A.Not p -> A.Not (denull_pred p)
+  | A.Exists _ as p -> p
+
+let denull_env (env : G.env) =
+  {
+    G.cols = Schema.Attr.Map.map denull env.G.cols;
+    G.host_vals = List.map (fun (h, v) -> (h, denull v)) env.G.host_vals;
+  }
+
+let eval_env logic (env : G.env) p =
+  Logic.Eval.eval_pred_simple ~logic ~lookup_col:(G.lookup_col env)
+    ~lookup_host:(G.lookup_host env) p
+
+let prop_logics_agree_null_free =
+  QCheck2.Test.make ~name:"3VL = 2VL on null-free predicates" ~count:1000
+    ~print:G.pred_env_print G.pred_and_env_gen
+    (fun (p, env) ->
+      let p = denull_pred p and env = denull_env env in
+      Truth.equal
+        (eval_env Sqlval.Logic_mode.L3 env p)
+        (eval_env Sqlval.Logic_mode.L2 env p))
+
+(* Under 2VL no connective ever sees an Unknown, so no predicate —
+   nulls or not — evaluates to Unknown. *)
+let prop_2vl_is_two_valued =
+  QCheck2.Test.make ~name:"2VL never yields Unknown" ~count:1000
+    ~print:G.pred_env_print G.pred_and_env_gen
+    (fun (p, env) ->
+      not
+        (Truth.equal (eval_env Sqlval.Logic_mode.L2 env p) Truth.Unknown))
+
 let () =
   Alcotest.run "sqlval"
     [
@@ -162,6 +320,15 @@ let () =
           Alcotest.test_case "total order" `Quick test_compare_total;
           Alcotest.test_case "to_string" `Quick test_to_string;
         ] );
+      ( "logic-modes",
+        [
+          Alcotest.test_case "Logic_mode.of_string" `Quick
+            test_logic_mode_of_string;
+          Alcotest.test_case "= under both logics" `Quick test_eq_two_logics;
+          Alcotest.test_case "NOT under both logics" `Quick
+            test_not_two_logics;
+          Alcotest.test_case "IN under both logics" `Quick test_in_two_logics;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -171,5 +338,7 @@ let () =
             prop_not_involutive;
             prop_total_order_consistent_with_eq_null;
             prop_eq3_true_implies_equal_null;
+            prop_logics_agree_null_free;
+            prop_2vl_is_two_valued;
           ] );
     ]
