@@ -1286,6 +1286,180 @@ let experiment_symbolic () =
   close_out oc;
   Printf.printf "wrote BENCH_symbolic.json\n"
 
+(* ------------------------------------------------------ DISTINCT_SCALE *)
+
+(* End-to-end DISTINCT on bulk instances across the three streaming
+   strategies (plus the materializing sort baseline), sweeping duplicate
+   selectivity and physical-order coverage. The headline assertion is the
+   paper's Theorem 1 payoff made measurable: on a key-covered workload the
+   elided operator (a pass-through licensed by Algorithm 1) must not lose
+   to hash dedup. Row count is overridable for CI smoke via
+   DISTINCT_SCALE_ROWS (default 1,000,000). *)
+
+let experiment_distinct_scale () =
+  section
+    "DISTINCT_SCALE  streaming duplicate elimination at scale \
+     (BENCH_distinct_scale.json)";
+  let rows =
+    match Sys.getenv_opt "DISTINCT_SCALE_ROWS" with
+    | None -> 1_000_000
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some n when n > 0 -> n
+       | Some _ | None ->
+         failwith "DISTINCT_SCALE_ROWS must be a positive integer")
+  in
+  let repeats = 3 in
+  let cat = Workload.Datagen.catalog in
+  let key_q = parse Workload.Datagen.key_query in
+  let grp_q = parse Workload.Datagen.group_query in
+  let impl_name = function
+    | Engine.Exec.Sort_distinct -> "sort"
+    | Engine.Exec.Hash_distinct -> "hash-materializing"
+    | Engine.Exec.Stream_hash -> "stream-hash"
+    | Engine.Exec.Stream_sorted -> "stream-sorted"
+    | Engine.Exec.Stream_elided -> "elided"
+  in
+  let run_one db q impl =
+    let config =
+      { (Engine.Exec.default_config ()) with Engine.Exec.distinct_impl = impl }
+    in
+    let r, t =
+      timed ~repeats (fun () ->
+          Engine.Stats.reset config.Engine.Exec.stats;
+          Engine.Exec.run_query ~config db ~hosts:[] q)
+    in
+    (Engine.Relation.cardinality r, t, config.Engine.Exec.stats)
+  in
+  let measure db q impls =
+    List.map
+      (fun impl ->
+        let out, t, st = run_one db q impl in
+        Printf.printf "%20s %10d %12.1f %10.1f %12d %10d %10d  %s\n"
+          (impl_name impl) out t.median_ms t.spread_ms
+          st.Engine.Stats.dedup_state_peak st.Engine.Stats.distinct_elisions
+          st.Engine.Stats.sorted_fallbacks st.Engine.Stats.dedup_strategy;
+        (impl, out, t, st))
+      impls
+  in
+  let measurement_json (impl, out, (t : timing), (st : Engine.Stats.t)) =
+    Trace.Json.Obj
+      [ ("impl", Trace.Json.String (impl_name impl));
+        ("rows_out", Trace.Json.Int out);
+        ("median_ms", Trace.Json.Float t.median_ms);
+        ("spread_ms", Trace.Json.Float t.spread_ms);
+        ("dedup_rows_in", Trace.Json.Int st.Engine.Stats.dedup_rows_in);
+        ("dedup_state_peak", Trace.Json.Int st.Engine.Stats.dedup_state_peak);
+        ("distinct_elisions", Trace.Json.Int st.Engine.Stats.distinct_elisions);
+        ("sorted_fallbacks", Trace.Json.Int st.Engine.Stats.sorted_fallbacks);
+        ("dedup_strategy", Trace.Json.String st.Engine.Stats.dedup_strategy) ]
+  in
+  let header () =
+    Printf.printf "%20s %10s %12s %10s %12s %10s %10s  %s\n" "impl" "rows out"
+      "median (ms)" "spread" "state peak" "elisions" "fallbacks" "strategy"
+  in
+  (* -- key-covered workload: SELECT DISTINCT B.K, K the primary key ---- *)
+  Printf.printf "\nkey-covered: %s  (%d rows, key order)\n"
+    Workload.Datagen.key_query rows;
+  header ();
+  let db_key =
+    Workload.Datagen.bulk_db ~rows ~distinct_fraction:0.01
+      ~order:Workload.Datagen.Key_order ()
+  in
+  let choice = Optimizer.Distinct_plan.choose ~database:db_key cat key_q in
+  if choice.Optimizer.Distinct_plan.impl <> Engine.Exec.Stream_elided then
+    failwith "DISTINCT_SCALE: planner failed to elide the key-covered DISTINCT";
+  let key_measurements =
+    measure db_key key_q
+      [ Engine.Exec.Stream_elided; Engine.Exec.Stream_hash;
+        Engine.Exec.Stream_sorted; Engine.Exec.Sort_distinct ]
+  in
+  let ms_of impl ms =
+    let _, _, t, _ = List.find (fun (i, _, _, _) -> i = impl) ms in
+    t.median_ms
+  in
+  let elided_ms = ms_of Engine.Exec.Stream_elided key_measurements in
+  let hash_ms = ms_of Engine.Exec.Stream_hash key_measurements in
+  let elided_le_hash = elided_ms <= hash_ms in
+  Printf.printf "elided <= hash on key-covered workload: %b (%.1f vs %.1f ms)\n"
+    elided_le_hash elided_ms hash_ms;
+  if not elided_le_hash then
+    failwith
+      "DISTINCT_SCALE: elided dedup lost to hash dedup on a key-covered \
+       workload";
+  (* -- selectivity sweep on the duplicate-heavy projection ------------- *)
+  let selectivity_json =
+    List.map
+      (fun fraction ->
+        let cfg =
+          { Workload.Datagen.default with
+            Workload.Datagen.rows;
+            distinct_fraction = fraction;
+            order = Workload.Datagen.Group_order }
+        in
+        let n_groups = Workload.Datagen.groups cfg in
+        Printf.printf
+          "\nduplicate-heavy: %s  (%d rows, %d groups, group order)\n"
+          Workload.Datagen.group_query rows n_groups;
+        header ();
+        let db = Workload.Datagen.generate cfg in
+        let ms =
+          measure db grp_q
+            [ Engine.Exec.Stream_sorted; Engine.Exec.Stream_hash;
+              Engine.Exec.Sort_distinct ]
+        in
+        (* the covered sorted run must hold exactly one row of state *)
+        let _, _, _, sorted_stats =
+          List.find (fun (i, _, _, _) -> i = Engine.Exec.Stream_sorted) ms
+        in
+        if sorted_stats.Engine.Stats.sorted_fallbacks <> 0 then
+          failwith "DISTINCT_SCALE: sorted dedup fell back on a covered order";
+        if sorted_stats.Engine.Stats.dedup_state_peak > 1 then
+          failwith "DISTINCT_SCALE: sorted dedup held more than one row";
+        Trace.Json.Obj
+          [ ("distinct_fraction", Trace.Json.Float fraction);
+            ("groups", Trace.Json.Int n_groups);
+            ("measurements", Trace.Json.List (List.map measurement_json ms)) ])
+      [ 0.001; 0.1 ]
+  in
+  (* -- uncovered order: sorted must fall back to hash, correctly ------- *)
+  Printf.printf "\nuncovered: %s  (%d rows, key order — no covering order)\n"
+    Workload.Datagen.group_query rows;
+  header ();
+  let uncovered = measure db_key grp_q [ Engine.Exec.Stream_sorted ] in
+  let _, _, _, fb_stats = List.hd uncovered in
+  if fb_stats.Engine.Stats.sorted_fallbacks <> 1 then
+    failwith "DISTINCT_SCALE: expected exactly one sorted->hash fallback";
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "distinct_scale");
+        ("rows", Trace.Json.Int rows);
+        ("repeats", Trace.Json.Int repeats);
+        ( "key_covered",
+          Trace.Json.Obj
+            [ ( "query",
+                Trace.Json.String Workload.Datagen.key_query );
+              ( "planner_choice",
+                Trace.Json.String choice.Optimizer.Distinct_plan.name );
+              ("alg1_yes", Trace.Json.Bool choice.Optimizer.Distinct_plan.alg1_yes);
+              ( "measurements",
+                Trace.Json.List (List.map measurement_json key_measurements) );
+              ("elided_le_hash", Trace.Json.Bool elided_le_hash) ] );
+        ("selectivity_sweep", Trace.Json.List selectivity_json);
+        ( "uncovered_fallback",
+          Trace.Json.Obj
+            [ ("query", Trace.Json.String Workload.Datagen.group_query);
+              ( "sorted_fallbacks",
+                Trace.Json.Int fb_stats.Engine.Stats.sorted_fallbacks );
+              ( "measurements",
+                Trace.Json.List (List.map measurement_json uncovered) ) ] ) ]
+  in
+  let oc = open_out "BENCH_distinct_scale.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_distinct_scale.json\n"
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -1323,6 +1497,9 @@ let experiments =
      "symbolic oracle vs exact checker, recovery ratio \
       (BENCH_symbolic.json)",
      experiment_symbolic);
+    ( "DISTINCT_SCALE",
+      "streaming duplicate elimination at scale (BENCH_distinct_scale.json)",
+      experiment_distinct_scale );
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

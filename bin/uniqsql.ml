@@ -53,17 +53,7 @@ let parse_binding s =
   | Some i ->
     let name = String.uppercase_ascii (String.sub s 0 i) in
     let v = String.sub s (i + 1) (String.length s - i - 1) in
-    let value =
-      if String.uppercase_ascii v = "NULL" then Sqlval.Value.Null
-      else
-        match int_of_string_opt v with
-        | Some n -> Sqlval.Value.Int n
-        | None ->
-          (match float_of_string_opt v with
-           | Some f -> Sqlval.Value.Float f
-           | None -> Sqlval.Value.String v)
-    in
-    (name, value)
+    (name, Sqlval.Value.of_sql_atom v)
 
 (* common args *)
 let sql_arg =
@@ -282,7 +272,19 @@ let run_cmd =
                    over NULL are false, connectives are classical). The two \
                    agree on null-free data.")
   in
-  let run sql ddl views sets suppliers limit logic =
+  let distinct_arg =
+    Arg.(value & opt string "sort"
+         & info [ "distinct-impl" ] ~docv:"IMPL"
+             ~doc:"Duplicate-elimination strategy: sort (materializing \
+                   sort, default), hash (materializing hash set), \
+                   stream-hash (streaming hash set), stream-sorted \
+                   (one-row state when the verified physical order covers \
+                   the projection, hash fallback otherwise), elided \
+                   (pass-through; refused unless Algorithm 1 certifies the \
+                   query duplicate-free), or auto (planner picks elided > \
+                   sorted > hash and narrates why).")
+  in
+  let run sql ddl views sets suppliers limit logic distinct_impl =
     wrap (fun () ->
         let logic =
           match Sqlval.Logic_mode.of_string logic with
@@ -302,18 +304,58 @@ let run_cmd =
         let q =
           Uniqueness.Views.expand_query cat (Sql.Parser.parse_query sql)
         in
-        let cfg = { (Engine.Exec.default_config ()) with Engine.Exec.logic } in
+        let distinct_impl =
+          match distinct_impl with
+          | "sort" -> Engine.Exec.Sort_distinct
+          | "hash" -> Engine.Exec.Hash_distinct
+          | "stream-hash" -> Engine.Exec.Stream_hash
+          | "stream-sorted" -> Engine.Exec.Stream_sorted
+          | "elided" ->
+            (* the engine trusts this setting blindly, so the certificate
+               check lives here: no Algorithm 1 YES, no elision *)
+            let certified =
+              match q with
+              | Sql.Ast.Spec spec when spec.Sql.Ast.distinct = Sql.Ast.Distinct ->
+                Uniqueness.Algorithm1.distinct_is_redundant cat spec
+              | _ -> false
+            in
+            if not certified then
+              failwith
+                "--distinct-impl elided: Algorithm 1 did not certify this \
+                 query duplicate-free (use auto to fall back safely)";
+            Engine.Exec.Stream_elided
+          | "auto" ->
+            let choice = Optimizer.Distinct_plan.choose ~database:db cat q in
+            Format.printf "distinct strategy: %s — %s@."
+              choice.Optimizer.Distinct_plan.name
+              choice.Optimizer.Distinct_plan.reason;
+            choice.Optimizer.Distinct_plan.impl
+          | s -> failwith ("--distinct-impl expects sort, hash, stream-hash, \
+                            stream-sorted, elided or auto, got " ^ s)
+        in
+        let cfg =
+          { (Engine.Exec.default_config ()) with
+            Engine.Exec.logic; distinct_impl }
+        in
         let r = Engine.Exec.run_query ~config:cfg db ~hosts q in
         let truncated =
           { r with Engine.Relation.rows =
               List.filteri (fun i _ -> i < limit) r.Engine.Relation.rows }
         in
         print_endline (Engine.Relation.to_text truncated);
-        Format.printf "(%d rows total)@." (Engine.Relation.cardinality r))
+        Format.printf "(%d rows total)@." (Engine.Relation.cardinality r);
+        let st = cfg.Engine.Exec.stats in
+        if st.Engine.Stats.dedup_strategy <> "" then
+          Format.printf
+            "dedup: %s (rows in=%d out=%d, state peak=%d, elisions=%d, \
+             sorted fallbacks=%d)@."
+            st.Engine.Stats.dedup_strategy st.Engine.Stats.dedup_rows_in
+            st.Engine.Stats.dedup_rows_out st.Engine.Stats.dedup_state_peak
+            st.Engine.Stats.distinct_elisions st.Engine.Stats.sorted_fallbacks)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
     Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg
-          $ limit_arg $ logic_arg)
+          $ limit_arg $ logic_arg $ distinct_arg)
 
 (* ---- fuzz ---- *)
 
@@ -374,8 +416,8 @@ let fuzz_cmd =
     Arg.(value & opt_all string []
          & info [ "oracle" ] ~docv:"NAME"
              ~doc:"Run only the named oracle group (repeatable). Groups: \
-                   uniqueness, rewrite, agreement, symbolic, logic, cache. \
-                   Default: all of them.")
+                   uniqueness, rewrite, agreement, symbolic, logic, cache, \
+                   distinct. Default: all of them.")
   in
   let run seed count instances rows cells no_shrink save replay use_cache
       nested_or oracles jobs =
@@ -426,7 +468,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
              instances judged by the uniqueness, rewrite, agreement, \
-             symbolic, logic and cache oracles (restrict with --oracle). \
+             symbolic, logic, cache and distinct oracles (restrict with \
+             --oracle). \
              Generation is sequential on the seeded RNG and judging fans \
              out over --jobs domains, so the report is byte-identical at \
              any job count.")

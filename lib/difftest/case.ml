@@ -41,29 +41,7 @@ let value_to_atom v = Sexp.Atom (Value.to_string v)
 let value_of_atom s =
   match s with
   | Sexp.List _ -> failwith "corpus: expected a value atom"
-  | Sexp.Atom a ->
-    if a = "NULL" then Value.Null
-    else if a = "TRUE" then Value.Bool true
-    else if a = "FALSE" then Value.Bool false
-    else if String.length a >= 2 && a.[0] = '\'' then begin
-      (* SQL string literal: strip quotes, undouble '' *)
-      let body = String.sub a 1 (String.length a - 2) in
-      let b = Buffer.create (String.length body) in
-      let i = ref 0 in
-      while !i < String.length body do
-        Buffer.add_char b body.[!i];
-        if body.[!i] = '\'' then incr i;
-        incr i
-      done;
-      Value.String (Buffer.contents b)
-    end
-    else
-      match int_of_string_opt a with
-      | Some n -> Value.Int n
-      | None ->
-        (match float_of_string_opt a with
-         | Some f -> Value.Float f
-         | None -> failwith ("corpus: bad value atom " ^ a))
+  | Sexp.Atom a -> Value.of_sql_atom a
 
 let instance_to_sexp inst =
   Sexp.List

@@ -5,7 +5,7 @@ module Truth = Sqlval.Truth
 
 (* serialized key tuple; identical to the tag Database.validate uses, so a
    row accepted here is never reported as Duplicate_key there *)
-let key_tag vals = String.concat "\x00" (List.map Value.to_string vals)
+let key_tag = Engine.Relation.key_of_values
 
 let random_value rng (col : R.column) =
   if col.R.nullable && Random.State.float rng 1.0 < 0.25 then Value.Null

@@ -461,13 +461,98 @@ let cache_consistency (c : Case.t) =
   in
   [ verdicts; apply_all_consistent ]
 
+(* ---- distinct strategies ---- *)
+
+(* Operator-agreement oracle: every duplicate-elimination strategy is one
+   implementation of the same bag function, so on DISTINCT-forced runs the
+   materializing baseline (sort), the hash variants, and the sort-aware
+   streaming variant must return bag-equal results on every instance. The
+   planner half additionally pins the elision certificate: Distinct_plan
+   may pick the pass-through only when Algorithm 1 independently answers
+   YES, and whatever it picks must match the baseline. *)
+let distinct_strategies ?cache (c : Case.t) =
+  match c.Case.query with
+  | A.Setop _ ->
+    [ { oracle = "distinct/strategies"; verdict = Skip "set operation" };
+      { oracle = "distinct/planner"; verdict = Skip "set operation" } ]
+  | A.Spec q ->
+    let cat = Case.catalog c in
+    let dq = A.Spec { q with A.distinct = A.Distinct } in
+    let run impl db hosts =
+      let config =
+        { (Engine.Exec.default_config ()) with Engine.Exec.distinct_impl = impl }
+      in
+      Engine.Exec.run_query ~config db ~hosts dq
+    in
+    let strategies =
+      guard (fun () ->
+          on_instances c (fun db hosts i ->
+              let baseline = run Engine.Exec.Sort_distinct db hosts in
+              let check name impl =
+                let r = run impl db hosts in
+                if Engine.Relation.equal_bags baseline r then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "instance %d: %s disagrees with sort-distinct (%d vs \
+                        %d rows)"
+                       i name
+                       (Engine.Relation.cardinality r)
+                       (Engine.Relation.cardinality baseline))
+              in
+              List.fold_left
+                (fun acc (name, impl) ->
+                  match acc with Some _ -> acc | None -> check name impl)
+                None
+                [ ("hash-distinct", Engine.Exec.Hash_distinct);
+                  ("stream-hash", Engine.Exec.Stream_hash);
+                  ("stream-sorted", Engine.Exec.Stream_sorted) ]))
+    in
+    let planner =
+      guard (fun () ->
+          on_instances c (fun db hosts i ->
+              let choice =
+                Optimizer.Distinct_plan.choose ?cache ~database:db cat dq
+              in
+              let alg1_says_yes =
+                try U.Algorithm1.distinct_is_redundant ?cache cat
+                      { q with A.distinct = A.Distinct }
+                with _ -> false
+              in
+              if
+                choice.Optimizer.Distinct_plan.impl = Engine.Exec.Stream_elided
+                && not alg1_says_yes
+              then
+                Some
+                  (Printf.sprintf
+                     "instance %d: planner elided DISTINCT without an \
+                      Algorithm 1 YES certificate"
+                     i)
+              else begin
+                let baseline = run Engine.Exec.Sort_distinct db hosts in
+                let chosen = run choice.Optimizer.Distinct_plan.impl db hosts in
+                if Engine.Relation.equal_bags baseline chosen then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "instance %d: planned strategy %s disagrees with \
+                        sort-distinct (%d vs %d rows)"
+                       i choice.Optimizer.Distinct_plan.name
+                       (Engine.Relation.cardinality chosen)
+                       (Engine.Relation.cardinality baseline))
+              end))
+    in
+    [ { oracle = "distinct/strategies"; verdict = strategies };
+      { oracle = "distinct/planner"; verdict = planner } ]
+
 let groups ?max_cells ?cache () =
   [ ("uniqueness", fun c -> uniqueness ?cache c);
     ("rewrite", fun c -> rewrite ?cache c);
     ("agreement", fun c -> agreement ?max_cells ?cache c);
     ("symbolic", fun c -> symbolic ?max_cells ?cache c);
     ("logic", logic_agreement);
-    ("cache", cache_consistency) ]
+    ("cache", cache_consistency);
+    ("distinct", fun c -> distinct_strategies ?cache c) ]
 
 let group_names = List.map fst (groups ())
 

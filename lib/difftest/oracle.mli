@@ -22,7 +22,12 @@
       invisible — direct, cache-miss, and cache-hit verdicts agree for
       every analyzer, and the rewrite pipeline produces identical results
       and traces (modulo [cache.hit] marker nodes) with and without a
-      cache.
+      cache;
+    - {e distinct}: operator agreement — every duplicate-elimination
+      strategy (materializing sort/hash, streaming hash, sort-aware
+      streaming with its fallback) returns bag-equal results on every
+      instance, and [Optimizer.Distinct_plan] picks the elided
+      pass-through only when Algorithm 1 independently certifies YES.
 
     A [Fail] verdict is a soundness discrepancy; [Skip] records why an
     oracle did not apply (outside the analyzer's class, rewrite not
@@ -50,10 +55,11 @@ val agreement : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding l
 val symbolic : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding list
 val logic_agreement : Case.t -> finding list
 val cache_consistency : Case.t -> finding list
+val distinct_strategies : ?cache:Analysis_cache.t -> Case.t -> finding list
 
 (** The oracle group names accepted by [all ~only] (and the fuzzer's
     [--oracle] flag): ["uniqueness"], ["rewrite"], ["agreement"],
-    ["symbolic"], ["logic"], ["cache"]. *)
+    ["symbolic"], ["logic"], ["cache"], ["distinct"]. *)
 val group_names : string list
 
 (** All oracles; [max_cells] bounds the exact checker (default

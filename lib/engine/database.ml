@@ -1,9 +1,14 @@
 module Value = Sqlval.Value
 module Truth = Sqlval.Truth
 
+type entry = {
+  mutable rows : Relation.row list;
+  mutable order : string list;
+}
+
 type t = {
   cat : Catalog.t;
-  tables : (string, Relation.row list ref) Hashtbl.t;
+  tables : (string, entry) Hashtbl.t;
 }
 
 let canon = String.uppercase_ascii
@@ -11,7 +16,8 @@ let canon = String.uppercase_ascii
 let create cat =
   let tables = Hashtbl.create 8 in
   List.iter
-    (fun def -> Hashtbl.replace tables def.Catalog.tbl_name (ref []))
+    (fun def ->
+      Hashtbl.replace tables def.Catalog.tbl_name { rows = []; order = [] })
     (Catalog.tables cat);
   { cat; tables }
 
@@ -22,7 +28,7 @@ let cell t name =
   | Some c -> c
   | None -> failwith ("Database: unknown table " ^ name)
 
-let load t name rows =
+let check_arity t name rows =
   let def = Catalog.find_exn t.cat name in
   let arity = Schema.Relschema.arity def.Catalog.tbl_schema in
   List.iter
@@ -30,9 +36,56 @@ let load t name rows =
       if Array.length r <> arity then
         failwith (Printf.sprintf "Database.load %s: bad arity" name))
     rows;
-  cell t name := rows
+  def
 
-let insert t name row = cell t name := row :: !(cell t name)
+let load t name rows =
+  ignore (check_arity t name rows);
+  let c = cell t name in
+  c.rows <- rows;
+  c.order <- []
+
+let load_sorted t name rows ~order =
+  let def = check_arity t name rows in
+  if order = [] then failwith "Database.load_sorted: empty order";
+  let schema = def.Catalog.tbl_schema in
+  let idxs =
+    List.map
+      (fun col ->
+        match
+          Schema.Relschema.find_index schema
+            (Schema.Attr.make ~rel:def.Catalog.tbl_name ~name:col)
+        with
+        | Some i -> i
+        | None ->
+          failwith
+            (Printf.sprintf "Database.load_sorted %s: unknown column %s" name
+               col))
+      order
+  in
+  let key r = List.map (fun i -> r.(i)) idxs in
+  let rec verify = function
+    | a :: (b :: _ as rest) ->
+      if List.compare Value.compare_total (key a) (key b) > 0 then
+        failwith
+          (Printf.sprintf
+             "Database.load_sorted %s: rows not sorted on (%s)" name
+             (String.concat ", " order));
+      verify rest
+    | [] | [ _ ] -> ()
+  in
+  verify rows;
+  let c = cell t name in
+  c.rows <- rows;
+  c.order <- List.map String.uppercase_ascii order
+
+(* A bare insert can land anywhere, so any previously verified physical
+   order stops being trustworthy. *)
+let insert t name row =
+  let c = cell t name in
+  c.rows <- row :: c.rows;
+  c.order <- []
+
+let order t name = (cell t name).order
 
 let table t name =
   let def = Catalog.find_exn t.cat name in
@@ -42,9 +95,9 @@ let table t name =
          "Database: %s is a view and holds no rows; expand it first \
           (Uniqueness.Views.expand)"
          name);
-  Relation.make def.Catalog.tbl_schema !(cell t name)
+  Relation.make def.Catalog.tbl_schema (cell t name).rows
 
-let row_count t name = List.length !(cell t name)
+let row_count t name = List.length (cell t name).rows
 
 type violation =
   | Null_in_primary_key of string * Relation.row
@@ -58,7 +111,7 @@ let validate t =
     (fun def ->
       let name = def.Catalog.tbl_name in
       let schema = def.Catalog.tbl_schema in
-      let rows = !(cell t name) in
+      let rows = (cell t name).rows in
       let col_index cname =
         Schema.Relschema.index_of schema (Schema.Attr.make ~rel:name ~name:cname)
       in
@@ -73,7 +126,7 @@ let validate t =
               let key_vals = List.map (fun i -> row.(i)) idxs in
               if k.key_primary && List.exists Value.is_null key_vals then
                 violations := Null_in_primary_key (name, row) :: !violations;
-              let tag = String.concat "\x00" (List.map Value.to_string key_vals) in
+              let tag = Relation.key_of_values key_vals in
               if Hashtbl.mem seen tag then
                 violations := Duplicate_key (name, k.key_cols, row) :: !violations
               else Hashtbl.add seen tag ())
@@ -99,19 +152,16 @@ let validate t =
             List.iter
               (fun prow ->
                 let tag =
-                  String.concat "\x00"
-                    (List.map (fun i -> Value.to_string prow.(i)) ref_idx)
+                  Relation.key_of_values (List.map (fun i -> prow.(i)) ref_idx)
                 in
                 Hashtbl.replace parents tag ())
-              !(cell t fk.Catalog.fk_table);
+              (cell t fk.Catalog.fk_table).rows;
             let fk_idx = List.map col_index fk.Catalog.fk_cols in
             List.iter
               (fun row ->
                 let vals = List.map (fun i -> row.(i)) fk_idx in
                 if not (List.exists Value.is_null vals) then begin
-                  let tag =
-                    String.concat "\x00" (List.map Value.to_string vals)
-                  in
+                  let tag = Relation.key_of_values vals in
                   if not (Hashtbl.mem parents tag) then
                     violations :=
                       Dangling_reference (name, fk.Catalog.fk_cols, row)

@@ -1,16 +1,37 @@
-(** A database instance: catalog + one stored relation per table. *)
+(** A database instance: catalog + one stored relation per table.
+
+    Besides the rows themselves, each table remembers its {e verified
+    physical order}: the column list passed to {!load_sorted}, checked
+    against the data at load time. The streaming executor's sort-aware
+    duplicate elimination ({!Operator.sorted_unique}) is only sound when
+    equal rows are adjacent, so order provenance starts here — an
+    unverified claim of sortedness would silently drop or keep the wrong
+    rows. {!load} and {!insert} reset the order to the empty list. *)
 
 type t
 
 val create : Catalog.t -> t
 val catalog : t -> Catalog.t
 
-(** Replace the contents of a table.
+(** Replace the contents of a table; forgets any recorded physical order.
     @raise Failure if the table is not in the catalog or arity mismatches. *)
 val load : t -> string -> Relation.row list -> unit
 
-(** Insert a single row (no constraint checking — use {!validate}). *)
+(** [load_sorted t name rows ~order] replaces the contents of [name] and
+    records [order] (column names, uppercased) as its physical order,
+    after verifying that [rows] really are lexicographically nondecreasing
+    on those columns under the null-comparison total order.
+    @raise Failure on unknown table/column, arity mismatch, empty [order],
+    or when the data contradicts the claimed order. *)
+val load_sorted : t -> string -> Relation.row list -> order:string list -> unit
+
+(** Insert a single row (no constraint checking — use {!validate}).
+    Forgets any recorded physical order. *)
 val insert : t -> string -> Relation.row -> unit
+
+(** The verified physical order of a table: column names, outermost sort
+    column first; [[]] when nothing is known. *)
+val order : t -> string -> string list
 
 val table : t -> string -> Relation.t
 val row_count : t -> string -> int

@@ -1,7 +1,12 @@
 module Value = Sqlval.Value
 module Truth = Sqlval.Truth
 
-type distinct_impl = Sort_distinct | Hash_distinct
+type distinct_impl =
+  | Sort_distinct
+  | Hash_distinct
+  | Stream_hash
+  | Stream_sorted
+  | Stream_elided
 
 type exists_impl = Naive_exists | Indexed_exists
 
@@ -44,19 +49,41 @@ let lookup_in_frames frames a =
   in
   go frames
 
-let dedup_sorted ~compare rows =
-  match rows with
-  | [] -> []
-  | first :: rest ->
-    let out, _ =
-      List.fold_left
-        (fun (acc, prev) r -> if compare prev r = 0 then (acc, r) else (r :: acc, r))
-        ([ first ], first)
-        rest
-    in
-    List.rev out
+(* The longest prefix of [in_order] fully retained by the projection,
+   renamed to output attributes. Stops at the first order attribute the
+   projection drops: a retained column further down cannot extend a
+   lexicographic guarantee across a missing sort key. *)
+let project_order in_schema in_order items out_schema =
+  let pos_of a =
+    match Schema.Relschema.find_index in_schema a with
+    | Some i -> Some i
+    | None -> None
+    | exception Failure _ -> None
+  in
+  let mapping =
+    List.concat
+      (List.mapi
+         (fun j item ->
+           match item with
+           | Relalg.Plan.Pcol a ->
+             (match pos_of a with Some i -> [ (i, j) ] | None -> [])
+           | Relalg.Plan.Pconst _ | Relalg.Plan.Phost _ -> [])
+         items)
+  in
+  let out_cols = Array.of_list (Schema.Relschema.columns out_schema) in
+  let rec go = function
+    | [] -> []
+    | a :: rest ->
+      (match pos_of a with
+       | Some i ->
+         (match List.assoc_opt i mapping with
+          | Some j -> out_cols.(j).Schema.Relschema.attr :: go rest
+          | None -> [])
+       | None -> [])
+  in
+  go in_order
 
-let run ?config db ~hosts plan =
+let compile ?config db ~hosts plan : Operator.t =
   let cfg = match config with Some c -> c | None -> default_config () in
   let stats = cfg.stats in
   let cat = Database.catalog db in
@@ -65,10 +92,13 @@ let run ?config db ~hosts plan =
     | Some v -> v
     | None -> raise (Unbound_host h)
   in
-  (* (table, correlation) -> renamed schema + rows, built once per run:
-     correlated subqueries re-scan their tables once per outer row and must
-     not pay schema construction each time *)
-  let scan_cache : (string * string, Schema.Relschema.t * Relation.row list) Hashtbl.t =
+  (* (table, correlation) -> renamed schema + rows + verified order, built
+     once per run: correlated subqueries re-scan their tables once per outer
+     row and must not pay schema construction each time *)
+  let scan_cache :
+      ( string * string,
+        Schema.Relschema.t * Relation.row list * Schema.Attr.t list )
+      Hashtbl.t =
     Hashtbl.create 8
   in
   let scan_table table corr =
@@ -79,7 +109,12 @@ let run ?config db ~hosts plan =
       let def = Catalog.find_exn cat table in
       let schema = Schema.Relschema.rename_rel corr def.Catalog.tbl_schema in
       let rows = (Database.table db table).Relation.rows in
-      let v = (schema, rows) in
+      let order =
+        List.map
+          (fun c -> Schema.Attr.make ~rel:corr ~name:c)
+          (Database.order db table)
+      in
+      let v = (schema, rows, order) in
       Hashtbl.add scan_cache key v;
       v
   in
@@ -92,25 +127,6 @@ let run ?config db ~hosts plan =
     stats.Stats.sorts <- stats.Stats.sorts + 1;
     stats.Stats.sorted_rows <- stats.Stats.sorted_rows + List.length rows;
     Relation.sort_rows ~tick:tick_compare rows
-  in
-  let distinct rows =
-    match cfg.distinct_impl with
-    | Sort_distinct ->
-      dedup_sorted ~compare:Relation.compare_rows (sort_counting rows)
-    | Hash_distinct ->
-      let seen = Hashtbl.create (List.length rows) in
-      List.filter
-        (fun row ->
-          stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
-          let key =
-            String.concat "\x00" (Array.to_list (Array.map Value.to_string row))
-          in
-          if Hashtbl.mem seen key then false
-          else begin
-            Hashtbl.add seen key ();
-            true
-          end)
-        rows
   in
   (* Evaluate a predicate for the row in [frames] (innermost first). *)
   let rec eval_pred frames pred =
@@ -138,7 +154,7 @@ let run ?config db ~hosts plan =
     in
     let rec loop acc_frames = function
       | [] -> Truth.is_true (eval_pred (acc_frames @ outer_frames) sub.where)
-      | (schema, rows) :: rest ->
+      | (schema, rows, _) :: rest ->
         List.exists
           (fun row ->
             stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1;
@@ -149,7 +165,7 @@ let run ?config db ~hosts plan =
 
   and exists_indexed outer_frames (sub : Sql.Ast.query_spec) =
     let f = List.hd sub.from in
-    let schema, rows = scan_table f.Sql.Ast.table (Sql.Ast.from_name f) in
+    let schema, rows, _ = scan_table f.Sql.Ast.table (Sql.Ast.from_name f) in
     let inner a =
       match Schema.Relschema.find_index schema a with
       | Some i -> Some i
@@ -194,7 +210,7 @@ let run ?config db ~hosts plan =
               stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1;
               let vals = List.map (fun (i, _) -> row.(i)) key_conjs in
               if not (List.exists Value.is_null vals) then begin
-                let k = String.concat "\x00" (List.map Value.to_string vals) in
+                let k = Relation.key_of_values vals in
                 Hashtbl.replace ix k
                   (row :: Option.value ~default:[] (Hashtbl.find_opt ix k))
               end)
@@ -213,7 +229,7 @@ let run ?config db ~hosts plan =
       in
       (not (List.exists Value.is_null probe_vals))
       &&
-      let k = String.concat "\x00" (List.map Value.to_string probe_vals) in
+      let k = Relation.key_of_values probe_vals in
       let candidates = Option.value ~default:[] (Hashtbl.find_opt index k) in
       List.exists
         (fun row ->
@@ -224,181 +240,254 @@ let run ?config db ~hosts plan =
         candidates
     end
   in
-  let rec exec plan : Relation.t =
+  let count_output (op : Operator.t) =
+    {
+      op with
+      Operator.next =
+        (fun () ->
+          match op.Operator.next () with
+          | Some r ->
+            stats.Stats.rows_output <- stats.Stats.rows_output + 1;
+            Some r
+          | None -> None);
+    }
+  in
+  let rec compile_node plan : Operator.t =
     match plan with
     | Relalg.Plan.Scan { table; corr } ->
-      let schema, rows = scan_table table corr in
-      stats.Stats.rows_scanned <- stats.Stats.rows_scanned + List.length rows;
-      Relation.make schema rows
+      let schema, rows, order = scan_table table corr in
+      Operator.of_rows ~order
+        ~tick:(fun () -> stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1)
+        schema rows
     | Relalg.Plan.Select (pred, Relalg.Plan.Product (a, b))
       when cfg.enable_hash_join ->
       (* physical optimization: evaluate equi-join conjuncts with a hash
          join instead of filtering the materialized product (the "alternate
-         join methods" that motivate unnesting in the paper's section 5.2) *)
-      hash_join pred a b
-    | Relalg.Plan.Select (pred, sub) ->
-      let r = exec sub in
-      let rows =
-        List.filter
-          (fun row ->
-            Truth.is_true
-              (eval_pred [ { fr_schema = r.Relation.schema; fr_row = row } ] pred))
-          r.Relation.rows
+         join methods" that motivate unnesting in the paper's section 5.2).
+         Blocking, so it runs behind a deferred source. *)
+      let schema =
+        Schema.Relschema.product
+          (compile_node a).Operator.schema
+          (compile_node b).Operator.schema
       in
-      stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
-      Relation.make r.Relation.schema rows
+      Operator.of_lazy schema (fun () -> (hash_join pred a b).Relation.rows)
+    | Relalg.Plan.Select (pred, sub) ->
+      let op = compile_node sub in
+      let schema = op.Operator.schema in
+      count_output
+        (Operator.filter
+           (fun row ->
+             Truth.is_true
+               (eval_pred [ { fr_schema = schema; fr_row = row } ] pred))
+           op)
     | Relalg.Plan.Project (d, items, sub) ->
-      let r = exec sub in
+      let op = compile_node sub in
+      let in_schema = op.Operator.schema in
       let cells =
         List.map
           (function
             | Relalg.Plan.Pcol a ->
-              let i = Schema.Relschema.index_of r.Relation.schema a in
+              let i = Schema.Relschema.index_of in_schema a in
               fun (row : Relation.row) -> row.(i)
             | Relalg.Plan.Pconst v -> fun _ -> v
             | Relalg.Plan.Phost h ->
-              let v = lookup_host h in
-              fun _ -> v)
+              (* resolved lazily so that compiling a pipeline (a pure
+                 inspection step) never raises on an unbound host *)
+              let v = lazy (lookup_host h) in
+              fun _ -> Lazy.force v)
           items
       in
-      let out_schema = Relalg.Plan.project_schema r.Relation.schema items in
-      let rows =
-        List.map
+      let out_schema = Relalg.Plan.project_schema in_schema items in
+      let out_order = project_order in_schema op.Operator.order items out_schema in
+      let mapped =
+        Operator.map ~order:out_order out_schema
           (fun row -> Array.of_list (List.map (fun f -> f row) cells))
-          r.Relation.rows
+          op
       in
-      let rows =
-        match d with Sql.Ast.All -> rows | Sql.Ast.Distinct -> distinct rows
+      let deduped =
+        match d with Sql.Ast.All -> mapped | Sql.Ast.Distinct -> distinct mapped
       in
-      stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
-      Relation.make out_schema rows
+      count_output deduped
     | Relalg.Plan.Product (a, b) ->
-      let ra = exec a and rb = exec b in
-      let schema = Schema.Relschema.product ra.Relation.schema rb.Relation.schema in
-      let rows =
-        List.concat_map
-          (fun x ->
-            List.map
-              (fun y ->
-                stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
-                Array.append x y)
-              rb.Relation.rows)
-          ra.Relation.rows
-      in
-      Relation.make schema rows
+      Operator.product
+        ~tick:(fun () -> stats.Stats.product_pairs <- stats.Stats.product_pairs + 1)
+        (compile_node a) (compile_node b)
     | Relalg.Plan.Intersect (d, a, b) -> setop `Intersect d a b
     | Relalg.Plan.Except (d, a, b) -> setop `Except d a b
     | Relalg.Plan.Aggregate { group_by; output; input } ->
       aggregate group_by output input
+
+  and exec plan : Relation.t = Operator.to_relation (compile_node plan)
+
+  (* Duplicate elimination over the projected stream. The two materializing
+     strategies predate the operator pipeline and are kept for ablations;
+     the three [Stream_*] strategies are the paper's cost spectrum. *)
+  and distinct (op : Operator.t) : Operator.t =
+    let schema = op.Operator.schema in
+    match cfg.distinct_impl with
+    | Sort_distinct ->
+      (* output is fully sorted, so downstream order is all columns *)
+      Operator.of_lazy ~order:(Schema.Relschema.attrs schema) schema (fun () ->
+          let rows = Operator.to_rows op in
+          let n = List.length rows in
+          Stats.record_dedup stats ~strategy:"sort-unique" ~state:n;
+          stats.Stats.dedup_rows_in <- stats.Stats.dedup_rows_in + n;
+          let out = Relation.dedup_sorted ~tick:tick_compare (sort_counting rows) in
+          stats.Stats.dedup_rows_out <-
+            stats.Stats.dedup_rows_out + List.length out;
+          out)
+    | Hash_distinct ->
+      Operator.of_lazy ~order:op.Operator.order schema (fun () ->
+          let rows = Operator.to_rows op in
+          let seen = Relation.Row_tbl.create (max 16 (List.length rows)) in
+          Stats.record_dedup stats ~strategy:"hash-distinct" ~state:0;
+          stats.Stats.dedup_rows_in <- stats.Stats.dedup_rows_in + List.length rows;
+          let out =
+            List.filter
+              (fun row ->
+                stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+                if Relation.Row_tbl.mem seen row then false
+                else begin
+                  Relation.Row_tbl.add seen row ();
+                  true
+                end)
+              rows
+          in
+          stats.Stats.dedup_state_peak <-
+            max stats.Stats.dedup_state_peak (Relation.Row_tbl.length seen);
+          stats.Stats.dedup_rows_out <-
+            stats.Stats.dedup_rows_out + List.length out;
+          out)
+    | Stream_hash -> Operator.hash_unique ~stats op
+    | Stream_sorted ->
+      (match Operator.sorted_unique ~stats op with
+       | Some sorted -> sorted
+       | None ->
+         stats.Stats.sorted_fallbacks <- stats.Stats.sorted_fallbacks + 1;
+         Operator.hash_unique ~strategy:"sorted-unique->hash" ~stats op)
+    | Stream_elided -> Operator.elided_unique ~stats op
+
   and aggregate group_by output input =
-    let r = exec input in
-    let in_schema = r.Relation.schema in
-    let key_idx =
-      List.map (fun a -> Schema.Relschema.index_of in_schema a) group_by
-    in
-    (* sort-based grouping: group keys use the null-comparison total order,
-       so NULL keys fall into one group (SQL GROUP BY semantics) *)
-    let compare_keys a b =
-      let rec go = function
-        | [] -> 0
-        | i :: rest ->
-          (match Value.compare_total a.(i) b.(i) with
-           | 0 -> go rest
-           | c -> c)
-      in
-      tick_compare ();
-      go key_idx
-    in
-    let groups =
-      match group_by with
-      | [] -> [ r.Relation.rows ]  (* one global group, even when empty *)
-      | _ ->
-        stats.Stats.sorts <- stats.Stats.sorts + 1;
-        stats.Stats.sorted_rows <-
-          stats.Stats.sorted_rows + List.length r.Relation.rows;
-        let sorted = List.sort compare_keys r.Relation.rows in
-        let rec split = function
-          | [] -> []
-          | row :: rest ->
-            let rec take acc = function
-              | row' :: rest' when compare_keys row row' = 0 ->
-                take (row' :: acc) rest'
-              | remaining -> (List.rev acc, remaining)
+    let in_schema = (compile_node input).Operator.schema in
+    let out_schema = Relalg.Plan.aggregate_schema in_schema output in
+    Operator.of_lazy out_schema (fun () ->
+        let r = exec input in
+        let key_idx =
+          List.map (fun a -> Schema.Relschema.index_of in_schema a) group_by
+        in
+        (* sort-based grouping: group keys use the null-comparison total
+           order, so NULL keys fall into one group (SQL GROUP BY semantics) *)
+        let compare_keys a b =
+          let rec go = function
+            | [] -> 0
+            | i :: rest ->
+              (match Value.compare_total a.(i) b.(i) with
+               | 0 -> go rest
+               | c -> c)
+          in
+          tick_compare ();
+          go key_idx
+        in
+        let groups =
+          match group_by with
+          | [] -> [ r.Relation.rows ]  (* one global group, even when empty *)
+          | _ ->
+            stats.Stats.sorts <- stats.Stats.sorts + 1;
+            stats.Stats.sorted_rows <-
+              stats.Stats.sorted_rows + List.length r.Relation.rows;
+            let sorted = List.sort compare_keys r.Relation.rows in
+            let rec split = function
+              | [] -> []
+              | row :: rest ->
+                let rec take acc = function
+                  | row' :: rest' when compare_keys row row' = 0 ->
+                    take (row' :: acc) rest'
+                  | remaining -> (List.rev acc, remaining)
+                in
+                let group, remaining = take [ row ] rest in
+                group :: split remaining
             in
-            let group, remaining = take [ row ] rest in
-            group :: split remaining
+            split sorted
         in
-        split sorted
-    in
-    let compute_agg fn operand rows =
-      let operands =
-        match operand with
-        | None -> List.map (fun _ -> Value.Int 1) rows  (* star count *)
-        | Some i ->
-          List.filter
-            (fun v -> not (Value.is_null v))
-            (List.map (fun row -> row.(i)) rows)
-      in
-      match fn, operands with
-      | Sql.Ast.Count, vs -> Value.Int (List.length vs)
-      | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max | Sql.Ast.Avg), [] -> Value.Null
-      | Sql.Ast.Sum, vs ->
-        let all_int =
-          List.for_all (function Value.Int _ -> true | _ -> false) vs
-        in
-        if all_int then
-          Value.Int
-            (List.fold_left
-               (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
-               0 vs)
-        else
-          Value.Float
-            (List.fold_left
-               (fun acc v ->
-                 match v with
-                 | Value.Int i -> acc +. float_of_int i
-                 | Value.Float f -> acc +. f
-                 | _ -> acc)
-               0.0 vs)
-      | Sql.Ast.Min, v :: vs ->
-        List.fold_left (fun m w -> if Value.compare_total w m < 0 then w else m) v vs
-      | Sql.Ast.Max, v :: vs ->
-        List.fold_left (fun m w -> if Value.compare_total w m > 0 then w else m) v vs
-      | Sql.Ast.Avg, vs ->
-        let total =
-          List.fold_left
-            (fun acc v ->
-              match v with
-              | Value.Int i -> acc +. float_of_int i
-              | Value.Float f -> acc +. f
-              | _ -> acc)
-            0.0 vs
-        in
-        Value.Float (total /. float_of_int (List.length vs))
-    in
-    (* precompute operand/key positions per output column *)
-    let cells =
-      List.map
-        (fun out ->
-          match out with
-          | Relalg.Plan.Out_key a ->
-            let i = Schema.Relschema.index_of in_schema a in
-            fun rows ->
-              (match rows with
-               | row :: _ -> row.(i)
-               | [] -> Value.Null)
-          | Relalg.Plan.Out_agg (fn, operand) ->
-            let idx =
-              Option.map (fun a -> Schema.Relschema.index_of in_schema a) operand
+        let compute_agg fn operand rows =
+          let operands =
+            match operand with
+            | None -> List.map (fun _ -> Value.Int 1) rows  (* star count *)
+            | Some i ->
+              List.filter
+                (fun v -> not (Value.is_null v))
+                (List.map (fun row -> row.(i)) rows)
+          in
+          match fn, operands with
+          | Sql.Ast.Count, vs -> Value.Int (List.length vs)
+          | (Sql.Ast.Sum | Sql.Ast.Min | Sql.Ast.Max | Sql.Ast.Avg), [] ->
+            Value.Null
+          | Sql.Ast.Sum, vs ->
+            let all_int =
+              List.for_all (function Value.Int _ -> true | _ -> false) vs
             in
-            fun rows -> compute_agg fn idx rows)
-        output
-    in
-    let rows =
-      List.map (fun group -> Array.of_list (List.map (fun f -> f group) cells)) groups
-    in
-    stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
-    Relation.make (Relalg.Plan.aggregate_schema in_schema output) rows
+            if all_int then
+              Value.Int
+                (List.fold_left
+                   (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+                   0 vs)
+            else
+              Value.Float
+                (List.fold_left
+                   (fun acc v ->
+                     match v with
+                     | Value.Int i -> acc +. float_of_int i
+                     | Value.Float f -> acc +. f
+                     | _ -> acc)
+                   0.0 vs)
+          | Sql.Ast.Min, v :: vs ->
+            List.fold_left
+              (fun m w -> if Value.compare_total w m < 0 then w else m)
+              v vs
+          | Sql.Ast.Max, v :: vs ->
+            List.fold_left
+              (fun m w -> if Value.compare_total w m > 0 then w else m)
+              v vs
+          | Sql.Ast.Avg, vs ->
+            let total =
+              List.fold_left
+                (fun acc v ->
+                  match v with
+                  | Value.Int i -> acc +. float_of_int i
+                  | Value.Float f -> acc +. f
+                  | _ -> acc)
+                0.0 vs
+            in
+            Value.Float (total /. float_of_int (List.length vs))
+        in
+        (* precompute operand/key positions per output column *)
+        let cells =
+          List.map
+            (fun out ->
+              match out with
+              | Relalg.Plan.Out_key a ->
+                let i = Schema.Relschema.index_of in_schema a in
+                fun rows ->
+                  (match rows with
+                   | row :: _ -> row.(i)
+                   | [] -> Value.Null)
+              | Relalg.Plan.Out_agg (fn, operand) ->
+                let idx =
+                  Option.map
+                    (fun a -> Schema.Relschema.index_of in_schema a)
+                    operand
+                in
+                fun rows -> compute_agg fn idx rows)
+            output
+        in
+        let rows =
+          List.map
+            (fun group -> Array.of_list (List.map (fun f -> f group) cells))
+            groups
+        in
+        stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+        rows)
+
   and hash_join pred a b =
     (* flatten a left-deep product into its leaves and re-join them with
        predicate pushdown, hash equi-joins, and residual filters *)
@@ -497,7 +586,7 @@ let run ?config db ~hosts plan =
           let key_of row idxs =
             let vals = List.map (fun i -> row.(i)) idxs in
             if List.exists Value.is_null vals then None
-            else Some (String.concat "\x00" (List.map Value.to_string vals))
+            else Some (Relation.key_of_values vals)
           in
           let table = Hashtbl.create (List.length next.Relation.rows) in
           List.iter
@@ -540,67 +629,92 @@ let run ?config db ~hosts plan =
     stats.Stats.rows_output <-
       stats.Stats.rows_output + List.length result.Relation.rows;
     result
+
   and setop kind d a b =
-    let ra = exec a and rb = exec b in
-    if not (Schema.Relschema.union_compatible ra.Relation.schema rb.Relation.schema)
-    then failwith "Exec: set operation on non-union-compatible inputs";
-    let sa = sort_counting ra.Relation.rows
-    and sb = sort_counting rb.Relation.rows in
-    (* group both sorted inputs by row value and merge multiplicities:
-       INTERSECT ALL -> min(j, k); EXCEPT ALL -> max(j - k, 0) *)
-    let rec groups = function
-      | [] -> []
-      | r :: rest ->
-        let rec take n = function
-          | r' :: rest' when (tick_compare (); Relation.compare_rows r r' = 0) ->
-            take (n + 1) rest'
-          | remaining -> (n, remaining)
+    let schema = (compile_node a).Operator.schema in
+    (* merge output is fully sorted, so downstream order is all columns *)
+    Operator.of_lazy ~order:(Schema.Relschema.attrs schema) schema (fun () ->
+        let ra = exec a and rb = exec b in
+        if
+          not
+            (Schema.Relschema.union_compatible ra.Relation.schema
+               rb.Relation.schema)
+        then failwith "Exec: set operation on non-union-compatible inputs";
+        let sa = sort_counting ra.Relation.rows
+        and sb = sort_counting rb.Relation.rows in
+        (* group both sorted inputs by row value and merge multiplicities:
+           INTERSECT ALL -> min(j, k); EXCEPT ALL -> max(j - k, 0) *)
+        let rec groups = function
+          | [] -> []
+          | r :: rest ->
+            let rec take n = function
+              | r' :: rest' when (tick_compare (); Relation.compare_rows r r' = 0) ->
+                take (n + 1) rest'
+              | remaining -> (n, remaining)
+            in
+            let n, remaining = take 1 rest in
+            (r, n) :: groups remaining
         in
-        let n, remaining = take 1 rest in
-        (r, n) :: groups remaining
-    in
-    let ga = groups sa and gb = groups sb in
-    let rec merge ga gb =
-      match ga, gb with
-      | [], _ -> if kind = `Intersect then [] else []
-      | rest, [] -> if kind = `Intersect then [] else rest
-      | (ra', ja) :: ta, (rb', jb) :: tb ->
-        tick_compare ();
-        let c = Relation.compare_rows ra' rb' in
-        if c < 0 then
-          if kind = `Intersect then merge ta gb else (ra', ja) :: merge ta gb
-        else if c > 0 then merge ga tb
-        else
-          (* INTERSECT: min(j, k); INTERSECT DISTINCT: 1 if both present.
-             EXCEPT ALL: max(j − k, 0); EXCEPT DISTINCT: present in the left
-             and absent from the right — a single right match removes the
-             row entirely. *)
-          let m =
-            match kind, d with
-            | `Intersect, Sql.Ast.All -> min ja jb
-            | `Intersect, Sql.Ast.Distinct -> if ja > 0 && jb > 0 then 1 else 0
-            | `Except, Sql.Ast.All -> max (ja - jb) 0
-            | `Except, Sql.Ast.Distinct -> if jb = 0 then 1 else 0
-          in
-          let rest = merge ta tb in
-          if m > 0 then (ra', m) :: rest else rest
-    in
-    let merged = merge ga gb in
-    let rows =
-      List.concat_map
-        (fun (r, n) ->
-          match d with
-          | Sql.Ast.Distinct -> [ r ]
-          | Sql.Ast.All -> List.init n (fun _ -> r))
-        merged
-    in
-    stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
-    Relation.make ra.Relation.schema rows
+        let ga = groups sa and gb = groups sb in
+        let rec merge ga gb =
+          match ga, gb with
+          | [], _ -> if kind = `Intersect then [] else []
+          | rest, [] -> if kind = `Intersect then [] else rest
+          | (ra', ja) :: ta, (rb', jb) :: tb ->
+            tick_compare ();
+            let c = Relation.compare_rows ra' rb' in
+            if c < 0 then
+              if kind = `Intersect then merge ta gb else (ra', ja) :: merge ta gb
+            else if c > 0 then merge ga tb
+            else
+              (* INTERSECT: min(j, k); INTERSECT DISTINCT: 1 if both present.
+                 EXCEPT ALL: max(j − k, 0); EXCEPT DISTINCT: present in the
+                 left and absent from the right — a single right match
+                 removes the row entirely. *)
+              let m =
+                match kind, d with
+                | `Intersect, Sql.Ast.All -> min ja jb
+                | `Intersect, Sql.Ast.Distinct -> if ja > 0 && jb > 0 then 1 else 0
+                | `Except, Sql.Ast.All -> max (ja - jb) 0
+                | `Except, Sql.Ast.Distinct -> if jb = 0 then 1 else 0
+              in
+              let rest = merge ta tb in
+              if m > 0 then (ra', m) :: rest else rest
+        in
+        let merged = merge ga gb in
+        let rows =
+          List.concat_map
+            (fun (r, n) ->
+              match d with
+              | Sql.Ast.Distinct -> [ r ]
+              | Sql.Ast.All -> List.init n (fun _ -> r))
+            merged
+        in
+        stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
+        rows)
   in
-  exec plan
+  compile_node plan
+
+let run ?config db ~hosts plan = Operator.to_relation (compile ?config db ~hosts plan)
 
 let run_query ?config db ~hosts q =
   let plan = Relalg.Plan.of_query (Database.catalog db) q in
   run ?config db ~hosts plan
 
 let run_sql ?config db ~hosts s = run_query ?config db ~hosts (Sql.Parser.parse_query s)
+
+let distinct_stream db q =
+  match Relalg.Plan.of_query (Database.catalog db) q with
+  | Relalg.Plan.Project (Sql.Ast.Distinct, items, sub) ->
+    (* compile (never execute) the stream feeding the DISTINCT: project
+       with ALL so the probe sees the order arriving at the dedup point *)
+    let op = compile db ~hosts:[] (Relalg.Plan.Project (Sql.Ast.All, items, sub)) in
+    Some (op.Operator.schema, op.Operator.order)
+  | _ -> None
+  | exception Failure _ -> None
+  | exception Not_found -> None
+
+let sorted_covers db q =
+  match distinct_stream db q with
+  | Some (schema, order) -> Operator.order_covers schema order
+  | None -> false

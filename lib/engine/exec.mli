@@ -1,14 +1,35 @@
-(** Multiset plan executor with SQL 3VL semantics.
+(** Plan compiler and executor with SQL 3VL multiset semantics.
 
-    Duplicate elimination is sort-based by default — the expensive operation
-    the paper's optimization avoids — with a hash-based alternative for
-    ablation experiments. [EXISTS] subqueries run as correlated nested loops
-    with early exit, resolving free column references against enclosing
-    query blocks (innermost first). *)
+    Plans compile to pull-based {!Operator} pipelines. Scans, filters,
+    projections, and products stream; hash joins, aggregation, and set
+    operations are blocking and run behind deferred sources, so compiling a
+    plan never executes it — the planner compiles purely to inspect order
+    provenance ({!distinct_stream}).
+
+    Duplicate elimination comes in five flavors: two materializing
+    strategies kept for ablations ([Sort_distinct], the 1994-era default
+    whose sort is the cost the paper's optimization removes, and
+    [Hash_distinct]), and three streaming strategies forming the paper's
+    cost spectrum ([Stream_hash], [Stream_sorted], [Stream_elided]).
+    [EXISTS] subqueries run as correlated nested loops with early exit,
+    resolving free column references against enclosing query blocks
+    (innermost first). *)
 
 type distinct_impl =
-  | Sort_distinct  (** O(n log n) sort, then adjacent-duplicate removal *)
-  | Hash_distinct  (** hash set on serialized rows *)
+  | Sort_distinct
+      (** materialize, O(n log n) sort, adjacent-duplicate removal *)
+  | Hash_distinct  (** materialize, hash set keyed by whole rows *)
+  | Stream_hash
+      (** streaming {!Operator.hash_unique}: O(distinct rows) state *)
+  | Stream_sorted
+      (** streaming {!Operator.sorted_unique}: one-row state when the
+          stream order covers the projection; degrades to [Stream_hash]
+          (counted in {!Stats.t.sorted_fallbacks}) when it does not *)
+  | Stream_elided
+      (** {!Operator.elided_unique}: a pass-through standing where the
+          DISTINCT used to be. The engine does NOT re-check the
+          duplicate-free claim — select this only with an Algorithm 1 YES
+          certificate in hand (see [Optimizer.Distinct_plan]). *)
 
 type exists_impl =
   | Naive_exists
@@ -40,7 +61,17 @@ val default_config : unit -> config
 exception Unbound_column of Schema.Attr.t
 exception Unbound_host of string
 
-(** Run a plan. [hosts] binds host variables ([:NAME], uppercase names). *)
+(** Compile a plan to an operator pipeline without running it. [hosts]
+    binds host variables ([:NAME], uppercase names); unbound hosts only
+    raise once a row referencing them is pulled. *)
+val compile :
+  ?config:config ->
+  Database.t ->
+  hosts:(string * Sqlval.Value.t) list ->
+  Relalg.Plan.t ->
+  Operator.t
+
+(** Compile and drain. *)
 val run :
   ?config:config ->
   Database.t ->
@@ -63,3 +94,19 @@ val run_sql :
   hosts:(string * Sqlval.Value.t) list ->
   string ->
   Relation.t
+
+(** {1 Planner probes}
+
+    Used by [Optimizer.Distinct_plan] to pick a duplicate-elimination
+    strategy before running anything. *)
+
+(** Schema and verified order of the stream that would arrive at the
+    query's top-level DISTINCT, or [None] when the query does not plan to a
+    DISTINCT projection (aggregates, set operations, SELECT ALL). Pure:
+    compiles but never executes. *)
+val distinct_stream :
+  Database.t -> Sql.Ast.query -> (Schema.Relschema.t * Schema.Attr.t list) option
+
+(** Would [Stream_sorted] run without falling back? True when
+    {!Operator.order_covers} holds for the stream at the DISTINCT point. *)
+val sorted_covers : Database.t -> Sql.Ast.query -> bool

@@ -1,0 +1,232 @@
+module Value = Sqlval.Value
+
+type t = {
+  schema : Schema.Relschema.t;
+  order : Schema.Attr.t list;
+  next : unit -> Relation.row option;
+  rewind : unit -> unit;
+  close : unit -> unit;
+}
+
+let schema t = t.schema
+let order t = t.order
+let next t = t.next ()
+let rewind t = t.rewind ()
+let close t = t.close ()
+
+let no_op () = ()
+
+let of_lazy ?(order = []) ?(tick = no_op) schema produce =
+  (* Materialization is deferred to the first [next] so that building a
+     pipeline never runs it (the planner compiles plans purely to inspect
+     order provenance). *)
+  let source = ref None in
+  let cursor = ref [] in
+  let force () =
+    match !source with
+    | Some rows -> rows
+    | None ->
+      let rows = produce () in
+      source := Some rows;
+      cursor := rows;
+      rows
+  in
+  {
+    schema;
+    order;
+    next =
+      (fun () ->
+        ignore (force ());
+        match !cursor with
+        | [] -> None
+        | r :: rest ->
+          cursor := rest;
+          tick ();
+          Some r);
+    rewind = (fun () -> cursor := (match !source with Some rows -> rows | None -> []));
+    close = (fun () -> source := Some []; cursor := []);
+  }
+
+let of_rows ?order ?tick schema rows = of_lazy ?order ?tick schema (fun () -> rows)
+
+let filter pred op =
+  let rec pull () =
+    match op.next () with
+    | None -> None
+    | Some r -> if pred r then Some r else pull ()
+  in
+  { op with next = pull }
+
+let map ?(order = []) schema f op =
+  {
+    schema;
+    order;
+    next = (fun () -> Option.map f (op.next ()));
+    rewind = op.rewind;
+    close = op.close;
+  }
+
+let product ?(tick = no_op) left right =
+  let schema = Schema.Relschema.product left.schema right.schema in
+  (* Block nested loop: the right input is drained once into a buffer, then
+     replayed per left row, so a streaming right child is only evaluated
+     once. Output inherits the left order — for a fixed left row the block
+     of pairs is contiguous, which is exactly what lexicographic order on
+     left attributes requires. *)
+  let buffer = ref None in
+  let right_rows () =
+    match !buffer with
+    | Some rows -> rows
+    | None ->
+      let rec drain acc =
+        match right.next () with
+        | Some r -> drain (r :: acc)
+        | None -> List.rev acc
+      in
+      let rows = drain [] in
+      buffer := Some rows;
+      rows
+  in
+  let current = ref None in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | y :: rest ->
+      pending := rest;
+      (match !current with
+       | Some x ->
+         tick ();
+         Some (Array.append x y)
+       | None -> assert false)
+    | [] ->
+      (match left.next () with
+       | None -> None
+       | Some x ->
+         current := Some x;
+         pending := right_rows ();
+         pull ())
+  in
+  {
+    schema;
+    order = left.order;
+    next = pull;
+    rewind =
+      (fun () ->
+        left.rewind ();
+        current := None;
+        pending := []);
+    close =
+      (fun () ->
+        left.close ();
+        right.close ();
+        buffer := Some [];
+        current := None;
+        pending := []);
+  }
+
+let order_covers schema order =
+  let target = Schema.Relschema.attr_set schema in
+  let rec go covered = function
+    | _ when Schema.Attr.Set.equal covered target -> true
+    | [] -> false
+    | a :: rest ->
+      if Schema.Attr.Set.mem a target then
+        go (Schema.Attr.Set.add a covered) rest
+      else false
+  in
+  go Schema.Attr.Set.empty order
+
+let hash_unique ?(strategy = "hash-unique") ~stats op =
+  let seen = Relation.Row_tbl.create 256 in
+  Stats.record_dedup stats ~strategy ~state:0;
+  let rec pull () =
+    match op.next () with
+    | None -> None
+    | Some r ->
+      stats.Stats.dedup_rows_in <- stats.Stats.dedup_rows_in + 1;
+      stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+      if Relation.Row_tbl.mem seen r then pull ()
+      else begin
+        Relation.Row_tbl.add seen r ();
+        stats.Stats.dedup_state_peak <-
+          max stats.Stats.dedup_state_peak (Relation.Row_tbl.length seen);
+        stats.Stats.dedup_rows_out <- stats.Stats.dedup_rows_out + 1;
+        Some r
+      end
+  in
+  {
+    op with
+    next = pull;
+    rewind =
+      (fun () ->
+        Relation.Row_tbl.reset seen;
+        op.rewind ());
+    close =
+      (fun () ->
+        Relation.Row_tbl.reset seen;
+        op.close ());
+  }
+
+let sorted_unique ~stats op =
+  if not (order_covers op.schema op.order) then None
+  else begin
+    Stats.record_dedup stats ~strategy:"sorted-unique" ~state:1;
+    let prev = ref None in
+    let rec pull () =
+      match op.next () with
+      | None -> None
+      | Some r ->
+        stats.Stats.dedup_rows_in <- stats.Stats.dedup_rows_in + 1;
+        let duplicate =
+          match !prev with
+          | Some p ->
+            stats.Stats.comparisons <- stats.Stats.comparisons + 1;
+            Relation.equal_rows p r
+          | None -> false
+        in
+        if duplicate then pull ()
+        else begin
+          prev := Some r;
+          stats.Stats.dedup_rows_out <- stats.Stats.dedup_rows_out + 1;
+          Some r
+        end
+    in
+    Some
+      {
+        op with
+        next = pull;
+        rewind =
+          (fun () ->
+            prev := None;
+            op.rewind ());
+        close =
+          (fun () ->
+            prev := None;
+            op.close ());
+      }
+  end
+
+let elided_unique ~stats op =
+  stats.Stats.distinct_elisions <- stats.Stats.distinct_elisions + 1;
+  Stats.record_dedup stats ~strategy:"elided-unique" ~state:0;
+  let pull () =
+    match op.next () with
+    | None -> None
+    | Some r ->
+      stats.Stats.dedup_rows_in <- stats.Stats.dedup_rows_in + 1;
+      stats.Stats.dedup_rows_out <- stats.Stats.dedup_rows_out + 1;
+      Some r
+  in
+  { op with next = pull }
+
+let to_rows op =
+  let rec drain acc =
+    match op.next () with
+    | Some r -> drain (r :: acc)
+    | None -> List.rev acc
+  in
+  let rows = drain [] in
+  op.close ();
+  rows
+
+let to_relation op = Relation.make op.schema (to_rows op)

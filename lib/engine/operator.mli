@@ -1,0 +1,117 @@
+(** Pull-based (volcano-style) streaming operators.
+
+    An operator is a cursor over a stream of rows with a fixed schema and a
+    {e verified order}: the list of attributes the stream is known to be
+    lexicographically nondecreasing on (empty when nothing is known). Order
+    provenance starts at {!Database.load_sorted} and flows through the
+    pipeline — filters preserve it, projections keep the longest retained
+    prefix, products inherit the left input's order — so sort-aware
+    duplicate elimination ({!sorted_unique}) never has to trust an
+    unverified claim.
+
+    {2 Iterator contract}
+
+    - [next ()] returns the next row, or [None] at end of stream. After
+      [None], further calls keep returning [None].
+    - [rewind ()] restarts the stream from the beginning. Operators with
+      internal state (dedup tables, one-row windows) clear it. A rewound
+      blocking source replays its buffered result without recomputation.
+    - [close ()] releases buffers; the stream then behaves as exhausted.
+
+    The three duplicate-elimination strategies are the executable form of
+    the paper's argument: {!hash_unique} pays O(distinct rows) state on any
+    input, {!sorted_unique} pays O(1) state but only when the order covers
+    the schema, and {!elided_unique} pays nothing — it is inserted only when
+    Algorithm 1 proved the stream duplicate-free, which is the caller's
+    certificate to provide, not this module's to check. *)
+
+type t = {
+  schema : Schema.Relschema.t;
+  order : Schema.Attr.t list;
+      (** attributes the stream is sorted on (outermost first); [[]] when
+          unknown. Every listed attribute is a column of [schema]. *)
+  next : unit -> Relation.row option;
+  rewind : unit -> unit;
+  close : unit -> unit;
+}
+
+val schema : t -> Schema.Relschema.t
+val order : t -> Schema.Attr.t list
+val next : t -> Relation.row option
+val rewind : t -> unit
+val close : t -> unit
+
+(** {1 Sources} *)
+
+(** Deferred materialized source: [produce] runs on the first [next], never
+    at construction — compiling a pipeline to inspect its order provenance
+    must not execute it. [tick] is called once per emitted row (the
+    executor counts scanned rows with it). *)
+val of_lazy :
+  ?order:Schema.Attr.t list ->
+  ?tick:(unit -> unit) ->
+  Schema.Relschema.t ->
+  (unit -> Relation.row list) ->
+  t
+
+val of_rows :
+  ?order:Schema.Attr.t list ->
+  ?tick:(unit -> unit) ->
+  Schema.Relschema.t ->
+  Relation.row list ->
+  t
+
+(** {1 Streaming transforms} *)
+
+(** Keep rows satisfying the predicate; schema and order are preserved. *)
+val filter : (Relation.row -> bool) -> t -> t
+
+(** Per-row rewrite into a new schema (projection). The caller supplies the
+    output [order] — {!Exec} computes it as the longest prefix of the input
+    order fully retained by the projection, renamed to output attributes. *)
+val map :
+  ?order:Schema.Attr.t list ->
+  Schema.Relschema.t ->
+  (Relation.row -> Relation.row) ->
+  t ->
+  t
+
+(** Block nested-loop product: the right input is drained once into a
+    buffer and replayed per left row, so a streaming right child is
+    evaluated exactly once. Output inherits the left order (pairs for a
+    fixed left row are contiguous). [tick] counts one call per output
+    pair. *)
+val product : ?tick:(unit -> unit) -> t -> t -> t
+
+(** {1 Duplicate elimination} *)
+
+(** Does the stream order guarantee that equal rows are adjacent? True when
+    the attribute set of some prefix of [order] equals the attribute set of
+    the schema — then two rows equal on every column are equal on the full
+    sort key and land in the same run. *)
+val order_covers : Schema.Relschema.t -> Schema.Attr.t list -> bool
+
+(** Hash-set duplicate elimination: works on any input, holds one row per
+    distinct value ({!Stats.t.dedup_state_peak} tracks the high-water
+    mark). [strategy] overrides the name recorded in the stats narration
+    (the executor uses ["sorted-unique->hash"] for fallbacks). *)
+val hash_unique : ?strategy:string -> stats:Stats.t -> t -> t
+
+(** Sort-aware duplicate elimination with a one-row window, after ToyDBMS's
+    [OptimizedUnique]: sound only when {!order_covers} holds, hence returns
+    [None] otherwise and the caller chooses a fallback (recording it in
+    {!Stats.t.sorted_fallbacks}). *)
+val sorted_unique : stats:Stats.t -> t -> t option
+
+(** The paper's payoff: a pass-through standing where a DISTINCT used to
+    be. Inserted only when Algorithm 1 answered YES — the engine trusts the
+    planner's certificate (see [Optimizer.Distinct_plan]) and records the
+    elision in {!Stats.t.distinct_elisions}. *)
+val elided_unique : stats:Stats.t -> t -> t
+
+(** {1 Sinks} *)
+
+(** Drain the stream to a list and close the operator. *)
+val to_rows : t -> Relation.row list
+
+val to_relation : t -> Relation.t

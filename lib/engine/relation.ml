@@ -29,6 +29,44 @@ let compare_rows (a : row) (b : row) =
   in
   go 0
 
+let equal_rows a b = compare_rows a b = 0
+
+(* Must agree with [equal_rows]: Int 1 and Float 1.0 compare equal under
+   [Value.compare_total], so numeric values hash through their float form. *)
+let hash_value = function
+  | Value.Null -> 0x6e756c6c
+  | Value.Int i -> Hashtbl.hash (Float.of_int i)
+  | Value.Float f -> Hashtbl.hash f
+  | Value.String s -> Hashtbl.hash s
+  | Value.Bool b -> Hashtbl.hash b
+
+let hash_row (r : row) =
+  Array.fold_left (fun h v -> (h * 31) + hash_value v) 17 r
+
+module Row_tbl = Hashtbl.Make (struct
+  type t = row
+
+  let equal = equal_rows
+  let hash = hash_row
+end)
+
+let key_of_values vs = String.concat "\x00" (List.map Value.to_string vs)
+let key_of_row (r : row) = key_of_values (Array.to_list r)
+
+let dedup_sorted ?(tick = fun () -> ()) rows =
+  match rows with
+  | [] -> []
+  | first :: rest ->
+    let out, _ =
+      List.fold_left
+        (fun (acc, prev) r ->
+          tick ();
+          if compare_rows prev r = 0 then (acc, prev) else (r :: acc, r))
+        ([ first ], first)
+        rest
+    in
+    List.rev out
+
 let sort_rows ?(tick = fun () -> ()) rows =
   List.sort
     (fun a b ->

@@ -8,10 +8,16 @@ type t = {
   mutable comparisons : int;
   mutable hash_probes : int;
   mutable subquery_evals : int;
+  mutable dedup_rows_in : int;
+  mutable dedup_rows_out : int;
+  mutable dedup_state_peak : int;
+  mutable distinct_elisions : int;
+  mutable sorted_fallbacks : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
   mutable cache_contention : int;
+  mutable dedup_strategy : string;
 }
 
 let create () =
@@ -25,10 +31,16 @@ let create () =
     comparisons = 0;
     hash_probes = 0;
     subquery_evals = 0;
+    dedup_rows_in = 0;
+    dedup_rows_out = 0;
+    dedup_state_peak = 0;
+    distinct_elisions = 0;
+    sorted_fallbacks = 0;
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
     cache_contention = 0;
+    dedup_strategy = "";
   }
 
 let reset t =
@@ -41,10 +53,16 @@ let reset t =
   t.comparisons <- 0;
   t.hash_probes <- 0;
   t.subquery_evals <- 0;
+  t.dedup_rows_in <- 0;
+  t.dedup_rows_out <- 0;
+  t.dedup_state_peak <- 0;
+  t.distinct_elisions <- 0;
+  t.sorted_fallbacks <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.cache_evictions <- 0;
-  t.cache_contention <- 0
+  t.cache_contention <- 0;
+  t.dedup_strategy <- ""
 
 let add t u =
   t.rows_scanned <- t.rows_scanned + u.rows_scanned;
@@ -56,16 +74,28 @@ let add t u =
   t.comparisons <- t.comparisons + u.comparisons;
   t.hash_probes <- t.hash_probes + u.hash_probes;
   t.subquery_evals <- t.subquery_evals + u.subquery_evals;
+  t.dedup_rows_in <- t.dedup_rows_in + u.dedup_rows_in;
+  t.dedup_rows_out <- t.dedup_rows_out + u.dedup_rows_out;
+  t.dedup_state_peak <- max t.dedup_state_peak u.dedup_state_peak;
+  t.distinct_elisions <- t.distinct_elisions + u.distinct_elisions;
+  t.sorted_fallbacks <- t.sorted_fallbacks + u.sorted_fallbacks;
   t.cache_hits <- t.cache_hits + u.cache_hits;
   t.cache_misses <- t.cache_misses + u.cache_misses;
   t.cache_evictions <- t.cache_evictions + u.cache_evictions;
-  t.cache_contention <- t.cache_contention + u.cache_contention
+  t.cache_contention <- t.cache_contention + u.cache_contention;
+  if u.dedup_strategy <> "" then t.dedup_strategy <- u.dedup_strategy
 
 let record_cache t ~hits ~misses ~evictions ~contention =
   t.cache_hits <- hits;
   t.cache_misses <- misses;
   t.cache_evictions <- evictions;
   t.cache_contention <- contention
+
+let record_dedup t ~strategy ~state =
+  t.dedup_strategy <-
+    (if t.dedup_strategy = "" then strategy
+     else t.dedup_strategy ^ "," ^ strategy);
+  t.dedup_state_peak <- max t.dedup_state_peak state
 
 let fields t =
   [ ("rows_scanned", t.rows_scanned);
@@ -77,6 +107,11 @@ let fields t =
     ("comparisons", t.comparisons);
     ("hash_probes", t.hash_probes);
     ("subquery_evals", t.subquery_evals);
+    ("dedup_rows_in", t.dedup_rows_in);
+    ("dedup_rows_out", t.dedup_rows_out);
+    ("dedup_state_peak", t.dedup_state_peak);
+    ("distinct_elisions", t.distinct_elisions);
+    ("sorted_fallbacks", t.sorted_fallbacks);
     ("cache_hits", t.cache_hits);
     ("cache_misses", t.cache_misses);
     ("cache_evictions", t.cache_evictions);
@@ -85,10 +120,15 @@ let fields t =
 let pp ppf t =
   Format.fprintf ppf
     "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \
-     comparisons=%d hash_probes=%d subqueries=%d cache_hits=%d \
+     comparisons=%d hash_probes=%d subqueries=%d dedup_in=%d dedup_out=%d \
+     dedup_state_peak=%d elisions=%d sorted_fallbacks=%d%s cache_hits=%d \
      cache_misses=%d cache_evictions=%d cache_contention=%d"
     t.rows_scanned t.rows_output t.predicate_evals t.product_pairs t.sorts
-    t.sorted_rows t.comparisons t.hash_probes t.subquery_evals t.cache_hits
-    t.cache_misses t.cache_evictions t.cache_contention
+    t.sorted_rows t.comparisons t.hash_probes t.subquery_evals
+    t.dedup_rows_in t.dedup_rows_out t.dedup_state_peak t.distinct_elisions
+    t.sorted_fallbacks
+    (if t.dedup_strategy = "" then ""
+     else Printf.sprintf " dedup_strategy=%s" t.dedup_strategy)
+    t.cache_hits t.cache_misses t.cache_evictions t.cache_contention
 
 let to_string t = Format.asprintf "%a" pp t

@@ -1,7 +1,10 @@
 (** Execution counters. The benchmark harness reads these to report the
     cost structure the paper argues about (e.g. the sort performed by
     duplicate elimination, or the inner-loop rows saved by an early-exit
-    [EXISTS] strategy). *)
+    [EXISTS] strategy). The [dedup_*] family records what each
+    duplicate-elimination strategy paid: rows in/out, the peak size of the
+    dedup state (|distinct rows| for hash, 1 for sort-aware, 0 when the
+    operator was elided), and which strategy actually ran. *)
 
 type t = {
   mutable rows_scanned : int;       (** rows read from base tables *)
@@ -11,16 +14,30 @@ type t = {
   mutable sorts : int;              (** sort operations performed *)
   mutable sorted_rows : int;        (** total rows fed into sorts *)
   mutable comparisons : int;        (** row comparisons in sorts/merges *)
-  mutable hash_probes : int;        (** hash-table probes (hash distinct) *)
+  mutable hash_probes : int;        (** hash-table probes (hash dedup, joins) *)
   mutable subquery_evals : int;     (** EXISTS subquery evaluations *)
+  mutable dedup_rows_in : int;      (** rows entering duplicate elimination *)
+  mutable dedup_rows_out : int;     (** rows surviving duplicate elimination *)
+  mutable dedup_state_peak : int;   (** max rows held by any dedup operator *)
+  mutable distinct_elisions : int;  (** Elided_unique pass-throughs inserted *)
+  mutable sorted_fallbacks : int;
+      (** Sorted_unique requests degraded to hash because the input order
+          did not cover the projection *)
   mutable cache_hits : int;         (** analysis-cache verdict hits *)
   mutable cache_misses : int;       (** analysis-cache verdict misses *)
   mutable cache_evictions : int;    (** analysis-cache LRU evictions *)
   mutable cache_contention : int;   (** analysis-cache shard-lock contention *)
+  mutable dedup_strategy : string;
+      (** comma-joined names of the dedup strategies that ran, in plan
+          order (e.g. ["elided-unique"], ["sorted-unique->hash"]); [""]
+          when the plan eliminated no duplicates *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Sum counters ([dedup_state_peak] takes the max; a nonempty
+    [dedup_strategy] on the right-hand side wins). *)
 val add : t -> t -> unit
 
 (** Overwrite the analysis-cache counters with a fresh reading (they are
@@ -29,9 +46,15 @@ val add : t -> t -> unit
 val record_cache :
   t -> hits:int -> misses:int -> evictions:int -> contention:int -> unit
 
+(** Narrate one duplicate-elimination step: appends [strategy] to
+    [dedup_strategy] and folds [state] into [dedup_state_peak]. *)
+val record_dedup : t -> strategy:string -> state:int -> unit
+
 (** Counter name/value pairs in declaration order — the stable interchange
     form used to fold execution counters into explain reports (both the
-    JSON and tree renderings). *)
+    JSON and tree renderings). The string-valued strategy narration is not
+    included; read [dedup_strategy] directly. *)
 val fields : t -> (string * int) list
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

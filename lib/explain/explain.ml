@@ -111,6 +111,11 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
   let chosen =
     Optimizer.Planner.choose ?cache ~trace:planner_trace cat stats query
   in
+  let distinct_trace = Trace.make () in
+  let _ =
+    Optimizer.Distinct_plan.choose ?cache ~trace:distinct_trace ?database cat
+      query
+  in
   let executions =
     match database with
     | None -> []
@@ -129,7 +134,8 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
         fd;
         symbolic;
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
-        { title = "planner"; nodes = Trace.nodes planner_trace } ]
+        { title = "planner"; nodes = Trace.nodes planner_trace };
+        { title = "distinct-strategy"; nodes = Trace.nodes distinct_trace } ]
       @ cache_section cache;
     rewritten;
     chosen = chosen.Optimizer.Planner.name;

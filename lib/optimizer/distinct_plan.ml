@@ -1,0 +1,82 @@
+type choice = {
+  impl : Engine.Exec.distinct_impl;
+  name : string;
+  reason : string;
+  alg1_yes : bool;
+  order_covers : bool;
+}
+
+let applicable (q : Sql.Ast.query) =
+  match q with
+  | Sql.Ast.Spec spec -> spec.Sql.Ast.distinct = Sql.Ast.Distinct && spec.Sql.Ast.group_by = []
+  | Sql.Ast.Setop _ -> false
+
+let choose ?cache ?(trace = Trace.disabled) ?database cat (q : Sql.Ast.query) =
+  let alg1_yes =
+    match q with
+    | Sql.Ast.Spec spec when applicable q ->
+      (try Uniqueness.Algorithm1.distinct_is_redundant ?cache ~trace cat spec
+       with Fd.Derive.Unknown_table _ | Fd.Derive.Unknown_column _ -> false)
+    | Sql.Ast.Spec _ | Sql.Ast.Setop _ -> false
+  in
+  let order_covers =
+    (not alg1_yes)
+    && applicable q
+    &&
+    match database with
+    | Some db -> Engine.Exec.sorted_covers db q
+    | None -> false
+  in
+  let c =
+    if not (applicable q) then
+      {
+        impl = Engine.Exec.Stream_hash;
+        name = "none";
+        reason = "no top-level DISTINCT to plan (strategy unused)";
+        alg1_yes = false;
+        order_covers = false;
+      }
+    else if alg1_yes then
+      {
+        impl = Engine.Exec.Stream_elided;
+        name = "elided-unique";
+        reason =
+          "Algorithm 1 answered YES: the projection is duplicate-free, the \
+           operator is a pass-through";
+        alg1_yes;
+        order_covers = false;
+      }
+    else if order_covers then
+      {
+        impl = Engine.Exec.Stream_sorted;
+        name = "sorted-unique";
+        reason =
+          "verified physical order covers the projection: one-row dedup \
+           state suffices";
+        alg1_yes;
+        order_covers;
+      }
+    else
+      {
+        impl = Engine.Exec.Stream_hash;
+        name = "hash-unique";
+        reason =
+          "no duplicate-free proof and no covering order: hash dedup is the \
+           safe general strategy";
+        alg1_yes;
+        order_covers;
+      }
+  in
+  Trace.emitf trace (fun () ->
+      Trace.node ~rule:"planner.distinct"
+        ?citation:(if c.alg1_yes then Some "Theorem 1" else None)
+        ~verdict:Trace.Chosen
+        ~inputs:[ ("query", Sql.Pretty.query q) ]
+        ~facts:
+          [ ("strategy", c.name);
+            ("alg1", if c.alg1_yes then "YES" else "no");
+            ("order-covers", if c.order_covers then "yes" else "no");
+            ( "order-known",
+              if database = None then "no database given" else "consulted" ) ]
+        c.reason);
+  c

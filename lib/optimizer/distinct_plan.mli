@@ -1,0 +1,46 @@
+(** Duplicate-elimination strategy choice.
+
+    The engine deliberately cannot decide this itself: picking
+    [Stream_elided] requires an Algorithm 1 YES, and the uniqueness
+    analyzers live {e above} the engine in the dependency order. This
+    module is the certificate authority — it runs Algorithm 1 (Theorem 1),
+    consults the verified physical order when a database instance is at
+    hand, and hands the engine a [distinct_impl] it can trust blindly.
+
+    Preference order, cheapest state first:
+    + [Stream_elided] — Algorithm 1 proved the projection duplicate-free;
+      the operator is a pass-through (zero state, zero comparisons);
+    + [Stream_sorted] — the stream order arriving at the DISTINCT covers
+      the projection, so a one-row window suffices;
+    + [Stream_hash] — always sound, O(distinct rows) state.
+
+    With [~trace], the decision lands as a [planner.distinct] node whose
+    facts name the strategy and both evidence bits. *)
+
+type choice = {
+  impl : Engine.Exec.distinct_impl;
+  name : string;  (** ["elided-unique"], ["sorted-unique"], ["hash-unique"],
+                      or ["none"] when the query has no top-level DISTINCT *)
+  reason : string;
+  alg1_yes : bool;  (** Algorithm 1 certificate backing an elision *)
+  order_covers : bool;
+      (** [Engine.Exec.sorted_covers] held (only probed when a [~database]
+          is supplied and Algorithm 1 said no) *)
+}
+
+(** Is there a top-level DISTINCT to plan? False for set operations (they
+    deduplicate inside the merge), grouped queries (grouping already
+    collapses duplicates of the keys), and SELECT ALL. *)
+val applicable : Sql.Ast.query -> bool
+
+(** Pick a strategy. [~database] enables the sorted-unique probe — without
+    an instance there is no verified physical order to consult. Never
+    raises on analyzer errors (unknown tables/columns degrade to the hash
+    strategy). *)
+val choose :
+  ?cache:Analysis_cache.t ->
+  ?trace:Trace.t ->
+  ?database:Engine.Database.t ->
+  Catalog.t ->
+  Sql.Ast.query ->
+  choice

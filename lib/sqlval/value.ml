@@ -79,3 +79,34 @@ let to_string = function
   | Bool b -> if b then "TRUE" else "FALSE"
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* One parser for every CLI / corpus surface that reads a value from a
+   bare atom (uniqsql --set NAME=VALUE, the difftest corpus): NULL, TRUE
+   and FALSE case-insensitively, then integer, float, quoted SQL string
+   (with '' undoubling), and finally a bare string. Inverse of
+   [to_string] except that bare strings parse without quotes. *)
+let of_sql_atom a =
+  match String.uppercase_ascii a with
+  | "NULL" -> Null
+  | "TRUE" -> Bool true
+  | "FALSE" -> Bool false
+  | _ ->
+    if String.length a >= 2 && a.[0] = '\'' && a.[String.length a - 1] = '\''
+    then begin
+      let body = String.sub a 1 (String.length a - 2) in
+      let b = Buffer.create (String.length body) in
+      let i = ref 0 in
+      while !i < String.length body do
+        Buffer.add_char b body.[!i];
+        if body.[!i] = '\'' then incr i;
+        incr i
+      done;
+      String (Buffer.contents b)
+    end
+    else
+      match int_of_string_opt a with
+      | Some n -> Int n
+      | None ->
+        (match float_of_string_opt a with
+         | Some f -> Float f
+         | None -> String a)

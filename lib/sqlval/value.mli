@@ -47,3 +47,10 @@ val to_string : t -> string
 
 (** Type name used in error messages ("int", "string", ...). *)
 val type_name : t -> string
+
+(** Parse a value from a bare atom, the shared reader of
+    [uniqsql --set NAME=VALUE] bindings and the difftest corpus:
+    [NULL] / [TRUE] / [FALSE] case-insensitively, then integer, float,
+    quoted SQL string (['it''s'] undoubles), and finally a bare string.
+    Inverse of {!to_string} except that bare strings parse unquoted. *)
+val of_sql_atom : string -> t

@@ -1,0 +1,47 @@
+module Value = Sqlval.Value
+
+type order = Key_order | Group_order
+
+type config = {
+  seed : int;
+  rows : int;
+  distinct_fraction : float;
+  order : order;
+}
+
+let default =
+  { seed = 7; rows = 100_000; distinct_fraction = 0.01; order = Key_order }
+
+let ddl = "CREATE TABLE BULK (K INT NOT NULL, GRP INT, VAL INT, PRIMARY KEY (K))"
+let catalog = Catalog.add_ddl Catalog.empty ddl
+
+let groups cfg =
+  max 1 (int_of_float (float_of_int cfg.rows *. cfg.distinct_fraction))
+
+let generate cfg =
+  let rng = Random.State.make [| 0x42554c4b; cfg.seed |] in
+  let n_groups = groups cfg in
+  let rows =
+    List.init cfg.rows (fun i ->
+        [| Value.Int (i + 1);
+           Value.Int (Random.State.int rng n_groups);
+           Value.Int (Random.State.int rng 1_000_000) |])
+  in
+  let db = Engine.Database.create catalog in
+  (match cfg.order with
+   | Key_order ->
+     (* K is assigned increasing, so the natural order is the key order *)
+     Engine.Database.load_sorted db "BULK" rows ~order:[ "K" ]
+   | Group_order ->
+     let sorted =
+       List.sort (fun a b -> Value.compare_total a.(1) b.(1)) rows
+     in
+     Engine.Database.load_sorted db "BULK" sorted ~order:[ "GRP" ]);
+  db
+
+let key_query = "SELECT DISTINCT B.K FROM BULK B"
+let group_query = "SELECT DISTINCT B.GRP FROM BULK B"
+
+let bulk_db ?(seed = default.seed) ?(distinct_fraction = default.distinct_fraction)
+    ?(order = default.order) ~rows () =
+  generate { seed; rows; distinct_fraction; order }

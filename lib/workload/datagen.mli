@@ -1,0 +1,58 @@
+(** Bulk single-table instances for duplicate-elimination experiments.
+
+    One table, [BULK (K INT NOT NULL PRIMARY KEY, GRP INT, VAL INT)],
+    loaded through {!Engine.Database.load_sorted} so the physical order is
+    verified and visible to the executor's order provenance:
+
+    - [K] is a dense unique key (1..rows) — projecting it is the
+      key-covered workload where Algorithm 1 answers YES and the elided
+      strategy applies ({!key_query});
+    - [GRP] draws from a pool of [rows * distinct_fraction] values —
+      projecting it is the duplicate-heavy workload where duplicate
+      elimination does real work ({!group_query}), with the duplicate
+      selectivity dialed by [distinct_fraction].
+
+    Generation is deterministic in [seed] (and independent of [order]: both
+    physical orders hold the same bag of rows). *)
+
+type order =
+  | Key_order    (** rows loaded sorted on [K] (the natural assignment) *)
+  | Group_order  (** rows loaded sorted on [GRP] — the regime where
+                     sort-aware dedup of {!group_query} needs one row of
+                     state *)
+
+type config = {
+  seed : int;
+  rows : int;
+  distinct_fraction : float;
+      (** |distinct GRP| / rows; clamped so at least one group exists *)
+  order : order;
+}
+
+val default : config
+
+(** The [BULK] DDL and its parsed catalog. *)
+val ddl : string
+
+val catalog : Catalog.t
+
+(** Number of distinct [GRP] values a config draws from. *)
+val groups : config -> int
+
+(** Build and load a database instance (order verified at load). *)
+val generate : config -> Engine.Database.t
+
+(** [SELECT DISTINCT B.K FROM BULK B] — key-covered: Algorithm 1 YES. *)
+val key_query : string
+
+(** [SELECT DISTINCT B.GRP FROM BULK B] — duplicate-heavy: Algorithm 1 no,
+    covered by the physical order only under {!Group_order}. *)
+val group_query : string
+
+val bulk_db :
+  ?seed:int ->
+  ?distinct_fraction:float ->
+  ?order:order ->
+  rows:int ->
+  unit ->
+  Engine.Database.t

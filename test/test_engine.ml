@@ -297,6 +297,280 @@ let test_generator_deterministic () =
   Alcotest.(check bool) "same rows" true
     (Relation.equal_bags (DB.table a "SUPPLIER") (DB.table b "SUPPLIER"))
 
+(* ---- streaming operators ---- *)
+
+module Operator = Engine.Operator
+module Stats = Engine.Stats
+module Attr = Schema.Attr
+module Relschema = Schema.Relschema
+
+let attr ?(rel = "T") n = Attr.make ~rel ~name:n
+
+let int_schema ?rel names =
+  Relschema.make
+    (List.map
+       (fun n ->
+         { Relschema.attr = attr ?rel n;
+           ctype = Relschema.Tint;
+           nullable = false })
+       names)
+
+let test_order_covers () =
+  let s_ab = int_schema [ "A"; "B" ] in
+  let s_a = int_schema [ "A" ] in
+  let covers s o = Operator.order_covers s o in
+  Alcotest.(check bool) "[A;B] covers {A,B}" true
+    (covers s_ab [ attr "A"; attr "B" ]);
+  Alcotest.(check bool) "[B;A] covers {A,B}" true
+    (covers s_ab [ attr "B"; attr "A" ]);
+  Alcotest.(check bool) "[A] does not cover {A,B}" false
+    (covers s_ab [ attr "A" ]);
+  Alcotest.(check bool) "empty order covers nothing" false (covers s_a []);
+  Alcotest.(check bool) "prefix [A] of [A;B] covers {A}" true
+    (covers s_a [ attr "A"; attr "B" ]);
+  Alcotest.(check bool) "foreign attr breaks the prefix" false
+    (covers s_a [ attr "Z"; attr "A" ])
+
+let test_product_order_inherits_left () =
+  let l =
+    Operator.of_rows ~order:[ attr "A" ] (int_schema [ "A" ])
+      [ [| v_int 1 |]; [| v_int 2 |] ]
+  in
+  let r =
+    Operator.of_rows (int_schema ~rel:"U" [ "C" ]) [ [| v_int 7 |]; [| v_int 8 |] ]
+  in
+  let p = Operator.product l r in
+  Alcotest.(check (list string)) "order inherited from left outer" [ "A" ]
+    (List.map (fun (a : Attr.t) -> a.Attr.name) (Operator.order p));
+  Alcotest.(check int) "all pairs produced" 4 (List.length (Operator.to_rows p))
+
+let test_sorted_unique_refuses_uncovered () =
+  let stats = Stats.create () in
+  let op =
+    Operator.of_rows ~order:[ attr "A" ] (int_schema [ "A"; "B" ])
+      [ [| v_int 1; v_int 1 |] ]
+  in
+  (match Operator.sorted_unique ~stats op with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sorted_unique accepted a non-covering order");
+  let no_order = Operator.of_rows (int_schema [ "A" ]) [ [| v_int 1 |] ] in
+  match Operator.sorted_unique ~stats no_order with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sorted_unique accepted an unknown order"
+
+let test_sorted_unique_one_row_state () =
+  let stats = Stats.create () in
+  let op =
+    Operator.of_rows ~order:[ attr "A" ] (int_schema [ "A" ])
+      (List.map (fun i -> [| v_int i |]) [ 1; 1; 2; 2; 2; 3 ])
+  in
+  match Operator.sorted_unique ~stats op with
+  | None -> Alcotest.fail "covering order refused"
+  | Some u ->
+    let drained = Operator.to_rows u in
+    Alcotest.(check (list (list int))) "adjacent duplicates dropped"
+      [ [ 1 ]; [ 2 ]; [ 3 ] ]
+      (List.map
+         (fun r -> Array.to_list (Array.map (function Value.Int i -> i | _ -> -1) r))
+         drained);
+    Alcotest.(check int) "one row of state" 1 stats.Stats.dedup_state_peak;
+    Alcotest.(check int) "rows in" 6 stats.Stats.dedup_rows_in;
+    Alcotest.(check int) "rows out" 3 stats.Stats.dedup_rows_out
+
+let test_elided_unique_is_pass_through () =
+  let stats = Stats.create () in
+  let rows = [ [| v_int 1 |]; [| v_int 1 |]; [| v_int 2 |] ] in
+  let u =
+    Operator.elided_unique ~stats (Operator.of_rows (int_schema [ "A" ]) rows)
+  in
+  Alcotest.(check int) "nothing dropped" 3 (List.length (Operator.to_rows u));
+  Alcotest.(check int) "one elision recorded" 1 stats.Stats.distinct_elisions;
+  Alcotest.(check int) "no state held" 0 stats.Stats.dedup_state_peak
+
+let test_hash_unique_rewind () =
+  let stats = Stats.create () in
+  let u =
+    Operator.hash_unique ~stats
+      (Operator.of_rows (int_schema [ "A" ])
+         [ [| v_int 1 |]; [| v_int 1 |]; [| v_int 2 |] ])
+  in
+  (* drain by hand: to_rows would close the operator, and rewind after
+     close is not part of the contract *)
+  let drain op =
+    let n = ref 0 in
+    let rec go () =
+      match Operator.next op with Some _ -> incr n; go () | None -> ()
+    in
+    go ();
+    !n
+  in
+  Alcotest.(check int) "first drain" 2 (drain u);
+  Operator.rewind u;
+  Alcotest.(check int) "drain after rewind" 2 (drain u);
+  Operator.close u
+
+(* ---- duplicate-elimination strategies under the full executor ---- *)
+
+let naive_distinct rows =
+  let seen = Relation.Row_tbl.create 64 in
+  List.filter
+    (fun r ->
+      if Relation.Row_tbl.mem seen r then false
+      else begin
+        Relation.Row_tbl.add seen r ();
+        true
+      end)
+    rows
+
+(* Every strategy must agree with a naive dedup of the SELECT ALL rows, on
+   seeded random schemas/queries/instances from the difftest generator. *)
+let test_strategies_agree_with_naive () =
+  let rng = Random.State.make [| 0x0b5e55ed |] in
+  for _ = 1 to 40 do
+    let c = Difftest.Case.generate ~rng () in
+    match c.Difftest.Case.query with
+    | Sql.Ast.Setop _ -> ()
+    | Sql.Ast.Spec q ->
+      let all_q = Sql.Ast.Spec { q with Sql.Ast.distinct = Sql.Ast.All } in
+      let dq = Sql.Ast.Spec { q with Sql.Ast.distinct = Sql.Ast.Distinct } in
+      List.iter
+        (fun inst ->
+          let db = Difftest.Case.database c inst in
+          let hosts = inst.Difftest.Case.hosts in
+          let bag = Exec.run_query db ~hosts all_q in
+          let expect =
+            Relation.make bag.Relation.schema (naive_distinct bag.Relation.rows)
+          in
+          List.iter
+            (fun impl ->
+              let config =
+                { (Exec.default_config ()) with Exec.distinct_impl = impl }
+              in
+              let r = Exec.run_query ~config db ~hosts dq in
+              Alcotest.(check bool) "strategy agrees with naive dedup" true
+                (Relation.equal_bags expect r))
+            [ Exec.Sort_distinct; Exec.Hash_distinct; Exec.Stream_hash;
+              Exec.Stream_sorted ])
+        c.Difftest.Case.instances
+  done
+
+let test_stream_sorted_fallback () =
+  let q = Sql.Parser.parse_query Workload.Datagen.group_query in
+  (* key order does not cover the GRP projection: fall back to hash *)
+  let db = Workload.Datagen.bulk_db ~rows:2000 () in
+  let cfg =
+    { (Exec.default_config ()) with Exec.distinct_impl = Exec.Stream_sorted }
+  in
+  let r = Exec.run_query ~config:cfg db ~hosts:[] q in
+  Alcotest.(check int) "fell back exactly once" 1
+    cfg.Exec.stats.Stats.sorted_fallbacks;
+  Alcotest.(check string) "fallback strategy named" "sorted-unique->hash"
+    cfg.Exec.stats.Stats.dedup_strategy;
+  let baseline = Exec.run_query db ~hosts:[] q in
+  Alcotest.(check bool) "fallback result correct" true
+    (Relation.equal_bags baseline r);
+  (* group order covers it: no fallback, one row of state *)
+  let dbg =
+    Workload.Datagen.bulk_db ~rows:2000 ~order:Workload.Datagen.Group_order ()
+  in
+  let cfg2 =
+    { (Exec.default_config ()) with Exec.distinct_impl = Exec.Stream_sorted }
+  in
+  let r2 = Exec.run_query ~config:cfg2 dbg ~hosts:[] q in
+  Alcotest.(check int) "no fallback on covering order" 0
+    cfg2.Exec.stats.Stats.sorted_fallbacks;
+  Alcotest.(check int) "one row of state" 1
+    cfg2.Exec.stats.Stats.dedup_state_peak;
+  Alcotest.(check bool) "covered result correct" true
+    (Relation.equal_bags baseline r2)
+
+(* The planner may pick the elided pass-through only with an Algorithm 1
+   certificate: checked deterministically on the key-covered bulk workload,
+   then as a property over seeded random cases. *)
+let test_elided_only_when_certified () =
+  let cat = Workload.Datagen.catalog in
+  let key_q = Sql.Parser.parse_query Workload.Datagen.key_query in
+  let grp_q = Sql.Parser.parse_query Workload.Datagen.group_query in
+  let db = Workload.Datagen.bulk_db ~rows:2000 () in
+  let choice = Optimizer.Distinct_plan.choose ~database:db cat key_q in
+  Alcotest.(check bool) "key projection elided" true
+    (choice.Optimizer.Distinct_plan.impl = Exec.Stream_elided);
+  Alcotest.(check bool) "elision carries the certificate" true
+    choice.Optimizer.Distinct_plan.alg1_yes;
+  let cfg =
+    { (Exec.default_config ()) with Exec.distinct_impl = Exec.Stream_elided }
+  in
+  let r = Exec.run_query ~config:cfg db ~hosts:[] key_q in
+  Alcotest.(check int) "pass-through kept every row" 2000
+    (Relation.cardinality r);
+  Alcotest.(check int) "elision counted" 1
+    cfg.Exec.stats.Stats.distinct_elisions;
+  let grp_choice = Optimizer.Distinct_plan.choose ~database:db cat grp_q in
+  Alcotest.(check bool) "duplicate-heavy projection not elided" true
+    (grp_choice.Optimizer.Distinct_plan.impl <> Exec.Stream_elided);
+  (* property: on random cases, an elided plan implies an Algorithm 1 YES *)
+  let rng = Random.State.make [| 0xce57 |] in
+  for _ = 1 to 40 do
+    let c = Difftest.Case.generate ~rng () in
+    match c.Difftest.Case.query with
+    | Sql.Ast.Setop _ -> ()
+    | Sql.Ast.Spec q ->
+      let ccat = Difftest.Case.catalog c in
+      let dq = Sql.Ast.Spec { q with Sql.Ast.distinct = Sql.Ast.Distinct } in
+      List.iter
+        (fun inst ->
+          let db = Difftest.Case.database c inst in
+          let choice = Optimizer.Distinct_plan.choose ~database:db ccat dq in
+          if choice.Optimizer.Distinct_plan.impl = Exec.Stream_elided then begin
+            let yes =
+              try
+                Uniqueness.Algorithm1.distinct_is_redundant ccat
+                  { q with Sql.Ast.distinct = Sql.Ast.Distinct }
+              with _ -> false
+            in
+            Alcotest.(check bool) "elision independently certified" true yes
+          end)
+        c.Difftest.Case.instances
+  done
+
+(* ---- bulk instance generator and order provenance ---- *)
+
+let test_datagen_valid_and_deterministic () =
+  let db = Workload.Datagen.bulk_db ~rows:2000 () in
+  Alcotest.(check int) "bulk rows" 2000 (DB.row_count db "BULK");
+  Alcotest.(check int) "valid instance" 0 (List.length (DB.validate db));
+  Alcotest.(check (list string)) "key order recorded" [ "K" ]
+    (DB.order db "BULK");
+  let db2 = Workload.Datagen.bulk_db ~rows:2000 () in
+  Alcotest.(check bool) "deterministic by seed" true
+    (Relation.equal_bags (DB.table db "BULK") (DB.table db2 "BULK"));
+  let dbg =
+    Workload.Datagen.bulk_db ~rows:2000 ~order:Workload.Datagen.Group_order ()
+  in
+  Alcotest.(check (list string)) "group order recorded" [ "GRP" ]
+    (DB.order dbg "BULK");
+  Alcotest.(check bool) "same bag under either physical order" true
+    (Relation.equal_bags (DB.table db "BULK") (DB.table dbg "BULK"))
+
+let test_load_sorted_verifies () =
+  let cat =
+    Catalog.add_ddl Catalog.empty
+      "CREATE TABLE T (A INT NOT NULL, B INT, PRIMARY KEY (A))"
+  in
+  let db = DB.create cat in
+  let sorted = [ [| v_int 1; v_int 9 |]; [| v_int 2; v_int 3 |] ] in
+  DB.load_sorted db "T" sorted ~order:[ "A" ];
+  Alcotest.(check (list string)) "order recorded" [ "A" ] (DB.order db "T");
+  (match DB.load_sorted db "T" (List.rev sorted) ~order:[ "A" ] with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "unsorted load accepted");
+  (match DB.load_sorted db "T" sorted ~order:[ "NOPE" ] with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "unknown order column accepted");
+  DB.load_sorted db "T" sorted ~order:[ "A" ];
+  DB.insert db "T" [| v_int 0; v_int 0 |];
+  Alcotest.(check (list string)) "insert resets order" [] (DB.order db "T")
+
 let () =
   Alcotest.run "engine"
     [
@@ -347,5 +621,32 @@ let () =
             test_generator_scales_past_499;
           Alcotest.test_case "deterministic by seed" `Quick
             test_generator_deterministic;
+          Alcotest.test_case "bulk generator valid and deterministic" `Quick
+            test_datagen_valid_and_deterministic;
+          Alcotest.test_case "load_sorted verifies its order claim" `Quick
+            test_load_sorted_verifies;
+        ] );
+      ( "operator",
+        [
+          Alcotest.test_case "order_covers" `Quick test_order_covers;
+          Alcotest.test_case "product inherits left order" `Quick
+            test_product_order_inherits_left;
+          Alcotest.test_case "sorted_unique refuses uncovered order" `Quick
+            test_sorted_unique_refuses_uncovered;
+          Alcotest.test_case "sorted_unique holds one row of state" `Quick
+            test_sorted_unique_one_row_state;
+          Alcotest.test_case "elided_unique is a pass-through" `Quick
+            test_elided_unique_is_pass_through;
+          Alcotest.test_case "hash_unique rewinds cleanly" `Quick
+            test_hash_unique_rewind;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "strategies agree with naive dedup" `Quick
+            test_strategies_agree_with_naive;
+          Alcotest.test_case "stream-sorted falls back when uncovered" `Quick
+            test_stream_sorted_fallback;
+          Alcotest.test_case "elision requires an Algorithm 1 certificate"
+            `Quick test_elided_only_when_certified;
         ] );
     ]
