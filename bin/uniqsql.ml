@@ -8,13 +8,18 @@
      uniqsql run      "SELECT ..."            # execute on a generated instance
      uniqsql fuzz --seed 7 --count 5000       # differential soundness fuzzing
      uniqsql batch FILE [FILE ...]            # many queries, one shared cache
-     uniqsql serve                            # stdin line-by-line, shared cache
+     uniqsql serve --socket /run/u.sock       # concurrent server (and/or --stdin)
+     uniqsql loadgen --socket /run/u.sock     # seeded load generator for serve
 
    The schema defaults to the paper's supplier database (Figure 1); pass
    --ddl FILE (semicolon-separated CREATE TABLE statements) to use your
    own. Host variables are bound with --set NAME=VALUE. batch, serve and
    fuzz accept --jobs N to fan analyses out over N domains (lib/parallel)
-   with byte-identical output. *)
+   with byte-identical output. serve adds framing ("." block terminators
+   on socket connections), bounded admission (--max-inflight, fast
+   "overloaded" replies), per-class latency histograms via the stats
+   command, and graceful drain on shutdown/SIGTERM — operator guide in
+   doc/SERVING.md. *)
 
 open Cmdliner
 
@@ -485,45 +490,8 @@ let capacity_arg =
            ~doc:"Verdict-cache capacity (LRU-bounded).")
 
 let pp_cache_stats cache =
-  let c = Analysis_cache.counters cache in
-  let m = Cache.Runtime.counters () in
-  Format.printf
-    "cache: verdict_hits=%d verdict_misses=%d verdict_evictions=%d \
-     entries=%d closure_memo_hits=%d closure_memo_misses=%d@."
-    c.Cache.Lru.c_hits c.Cache.Lru.c_misses c.Cache.Lru.c_evictions
-    (Analysis_cache.length cache) m.Cache.Lru.c_hits m.Cache.Lru.c_misses
-
-(* One line of output per query: the two analyzer verdicts (where they
-   apply) and the rewritten form, all served through the shared cache.
-   A bad query reports its error and the session continues. Returns the
-   reply as a string so it can be computed on any domain and printed in
-   input order by the submitting one. *)
-let process_query cache cat label sql =
-  let buf = Buffer.create 256 in
-  let ppf = Format.formatter_of_buffer buf in
-  (match Sql.Parser.parse_query sql with
-   | exception Sql.Parser.Parse_error msg ->
-     Format.fprintf ppf "%s parse error: %s@." label msg
-   | exception Sql.Lexer.Lex_error (msg, off) ->
-     Format.fprintf ppf "%s lex error at byte %d: %s@." label off msg
-   | q ->
-     (try
-        (match q with
-         | Sql.Ast.Spec s when s.Sql.Ast.group_by = [] ->
-           let alg1 =
-             Uniqueness.Algorithm1.distinct_is_redundant ~cache cat s
-           in
-           let fd = Uniqueness.Fd_analysis.distinct_is_redundant ~cache cat s in
-           Format.fprintf ppf "%s unique(alg1)=%b unique(fd)=%b" label alg1 fd
-         | _ -> Format.fprintf ppf "%s unique=n/a" label);
-        let final, outcomes = Uniqueness.Rewrite.apply_all ~cache cat q in
-        Format.fprintf ppf " rewrites=%d" (List.length outcomes);
-        if outcomes <> [] then
-          Format.fprintf ppf " final=%s" (Sql.Pretty.query final);
-        Format.fprintf ppf "@."
-      with e -> Format.fprintf ppf "%s error: %s@." label (Printexc.to_string e)));
-  Format.pp_print_flush ppf ();
-  Buffer.contents buf
+  print_endline (Serve.Reply.cache_stats_line cache);
+  flush stdout
 
 let split_statements text =
   String.split_on_char ';' text
@@ -547,27 +515,26 @@ let batch_cmd =
             ~shards:(if jobs > 1 then 16 else 1) ()
         in
         Cache.Runtime.with_enabled true (fun () ->
-            let work =
-              List.concat
-                (List.mapi
-                   (fun pass path ->
-                     let stmts = split_statements (read_file path) in
-                     List.mapi
-                       (fun i sql ->
-                         ( Printf.sprintf "[%d:%s:%d]" (pass + 1)
-                             (Filename.basename path) (i + 1),
-                           sql ))
-                       stmts)
-                   files)
-            in
-            (* Replies print in statement order whatever the job count;
-               with jobs = 1 the pool is a no-op and this is the
-               historical sequential loop. *)
+            (* One cache epoch per file pass: within a pass the shared
+               caches are frozen and worker domains fill thread-local
+               deltas (zero lock traffic); the merge at the pass boundary
+               is what lets the next pass hit. Epoch accounting makes the
+               trailing cache: counter line — not just the replies —
+               byte-identical at any job count. *)
             Parallel.Pool.with_pool ~jobs (fun pool ->
-                Parallel.Pool.map pool
-                  (fun (label, sql) -> process_query cache cat label sql)
-                  work)
-            |> List.iter print_string);
+                List.iteri
+                  (fun pass path ->
+                    let items =
+                      List.mapi
+                        (fun i sql ->
+                          ( Printf.sprintf "[%d:%s:%d]" (pass + 1)
+                              (Filename.basename path) (i + 1),
+                            sql ))
+                        (split_statements (read_file path))
+                    in
+                    Serve.Reply.run_batch pool cache cat items
+                    |> List.iter (fun (text, _) -> print_string text))
+                  files));
         pp_cache_stats cache)
   in
   Cmd.v
@@ -578,8 +545,36 @@ let batch_cmd =
              sharing the (sharded) cache; the replies still print in order.")
     Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ jobs_arg $ files_arg)
 
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix-domain socket at PATH (created at \
+                 startup, unlinked on shutdown). Socket replies are \
+                 framed: each reply block ends with a line holding a \
+                 single dot. Without this option the server reads stdin \
+                 only, as before.")
+
+let stdin_flag =
+  Arg.(value & flag
+       & info [ "stdin" ]
+           ~doc:"With --socket, also serve stdin as an unframed \
+                 connection (the default is socket-only so the server \
+                 can run in the background).")
+
+let max_inflight_arg =
+  Arg.(value & opt int 1024
+       & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission bound: at most N requests queue for analysis; \
+                 beyond it the server replies '<label> overloaded' \
+                 immediately instead of buffering without bound.")
+
+let max_batch_arg =
+  Arg.(value & opt int 64
+       & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Requests dispatched per cache epoch (one pool batch).")
+
 let serve_cmd =
-  let run ddl views capacity jobs =
+  let run ddl views capacity jobs socket stdin_too max_inflight max_batch =
     wrap (fun () ->
         setup_parallel jobs;
         let cat = catalog_of_ddl ddl views in
@@ -587,69 +582,174 @@ let serve_cmd =
           Analysis_cache.create ~capacity
             ~shards:(if jobs > 1 then 16 else 1) ()
         in
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        List.iter
+          (fun s -> Sys.set_signal s (Sys.Signal_handle on_signal))
+          [ Sys.sigterm; Sys.sigint ];
+        let cfg =
+          { (Serve.Server.default_config ()) with
+            Serve.Server.socket_path = socket;
+            use_stdin = (socket = None || stdin_too);
+            jobs;
+            max_inflight;
+            max_batch;
+            stop }
+        in
         Cache.Runtime.with_enabled true (fun () ->
-            Parallel.Pool.with_pool ~jobs (fun pool ->
-                (* stdin is read sequentially; analyses run on the pool; a
-                   FIFO window of futures keeps replies in input order.
-                   Finished replies at the window's front print eagerly
-                   (Pool.ready); reading only blocks once ~2*jobs analyses
-                   are in flight. With jobs = 1 every async runs inline and
-                   each reply prints before the next line is read — the
-                   historical behaviour. *)
-                let window : string Parallel.Pool.future Queue.t =
-                  Queue.create ()
-                in
-                let pop () = print_string (Parallel.Pool.await pool (Queue.take window)) in
-                let drain_ready () =
-                  while
-                    (not (Queue.is_empty window))
-                    && Parallel.Pool.ready (Queue.peek window)
-                  do
-                    pop ()
-                  done;
-                  flush stdout
-                in
-                let drain_all () =
-                  while not (Queue.is_empty window) do pop () done;
-                  flush stdout
-                in
-                let rec loop n =
-                  match In_channel.input_line stdin with
-                  | None -> drain_all ()
-                  | Some line ->
-                    let line = String.trim line in
-                    if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
-                    then loop n
-                    else if line = ".stats" then begin
-                      (* counters must reflect every query received so far *)
-                      drain_all ();
-                      pp_cache_stats cache;
-                      Format.print_flush ();
-                      loop n
-                    end
-                    else begin
-                      let label = Printf.sprintf "[%d]" n in
-                      Queue.add
-                        (Parallel.Pool.async pool (fun () ->
-                             process_query cache cat label line))
-                        window;
-                      if Queue.length window > 2 * jobs then pop ();
-                      drain_ready ();
-                      loop (n + 1)
-                    end
-                in
-                loop 1));
+            Serve.Server.run cfg cat cache);
         pp_cache_stats cache)
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Read queries from stdin, one per line, analyzing each through \
-             one long-lived shared analysis cache. Blank lines and -- \
-             comments are skipped; the line .stats prints the cache \
-             counters; EOF ends the session (printing them once more). \
-             With --jobs N analyses overlap on N domains while replies \
-             still leave in input order.")
-    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ jobs_arg)
+       ~doc:"Serve analysis requests over stdin and/or a Unix socket \
+             (--socket), one query per line, through one long-lived \
+             shared analysis cache. Blank lines and -- comments are \
+             skipped; 'stats' (or .stats) reports served/rejected \
+             counts, pool steal statistics, cache counters, and \
+             per-class p50/p95/p99 latency; 'shutdown' (or SIGTERM, or \
+             stdin EOF when no socket is configured) drains in-flight \
+             requests and exits, printing the cache counters once more. \
+             Admitted requests dispatch in arrival order in batches of \
+             --max-batch per cache epoch over --jobs domains; replies \
+             leave in request order per connection and are byte-identical \
+             at any job count. See doc/SERVING.md.")
+    Term.(const run $ ddl_arg $ view_arg $ capacity_arg $ jobs_arg
+          $ socket_arg $ stdin_flag $ max_inflight_arg $ max_batch_arg)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let socket_req_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Server socket to connect to.")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Workload-shuffle seed (same seed, same request stream).")
+  in
+  let window_arg =
+    Arg.(value & opt int 64
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Max requests in flight on the connection (pipelining \
+                   depth). Keep below the server's --max-inflight to \
+                   avoid overload rejections.")
+  in
+  let files_arg =
+    Arg.(value & opt_all file [ "examples/workload.sql" ]
+         & info [ "file" ] ~docv:"FILE"
+             ~doc:"Query files (semicolon-separated statements) forming \
+                   the traffic mix; repeatable.")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet" ]
+             ~doc:"Suppress reply echo (stdout); keep the summary (stderr).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Send a shutdown command after the load, stopping the \
+                   server (graceful drain).")
+  in
+  let run socket count seed window files quiet do_shutdown =
+    wrap (fun () ->
+        if count < 1 then failwith "--count must be >= 1";
+        if window < 1 then failwith "--window must be >= 1";
+        (* The wire protocol is one request per line, so multi-line
+           statements are flattened: -- comment lines dropped (they would
+           comment out the rest of the flattened line), newlines joined
+           with spaces. *)
+        let flatten stmt =
+          String.split_on_char '\n' stmt
+          |> List.map String.trim
+          |> List.filter (fun l ->
+                 l <> ""
+                 && not (String.length l >= 2 && String.sub l 0 2 = "--"))
+          |> String.concat " "
+        in
+        let statements =
+          List.concat_map (fun f -> split_statements (read_file f)) files
+          |> List.map flatten
+          |> List.filter (fun s -> s <> "")
+        in
+        if statements = [] then failwith "no statements in the given files";
+        let pool = Array.of_list statements in
+        let rng = Random.State.make [| seed |] in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        let ic = Unix.in_channel_of_descr fd in
+        let hist = Engine.Histogram.create () in
+        let sent_at : float Queue.t = Queue.create () in
+        let send_one () =
+          let sql = pool.(Random.State.int rng (Array.length pool)) in
+          let line = sql ^ "\n" in
+          Queue.add (Unix.gettimeofday ()) sent_at;
+          let n = String.length line in
+          let rec go off =
+            if off < n then go (off + Unix.write_substring fd line off (n - off))
+          in
+          go 0
+        in
+        (* One framed reply block: payload lines up to the "." terminator. *)
+        let read_block () =
+          let buf = Buffer.create 128 in
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> failwith "server closed the connection mid-reply"
+            | Some "." -> Buffer.contents buf
+            | Some l ->
+              Buffer.add_string buf l;
+              Buffer.add_char buf '\n';
+              go ()
+          in
+          go ()
+        in
+        let receive_one () =
+          let block = read_block () in
+          Engine.Histogram.record_span hist ~start:(Queue.take sent_at)
+            ~stop:(Unix.gettimeofday ());
+          if not quiet then print_string block
+        in
+        let t0 = Unix.gettimeofday () in
+        let sent = ref 0 and received = ref 0 in
+        while !received < count do
+          while !sent < count && !sent - !received < window do
+            send_one ();
+            incr sent
+          done;
+          receive_one ();
+          incr received
+        done;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if do_shutdown then begin
+          let msg = "shutdown\n" in
+          ignore (Unix.write_substring fd msg 0 (String.length msg));
+          (* the draining acknowledgement *)
+          ignore (read_block ())
+        end;
+        Unix.close fd;
+        let s = Engine.Histogram.summary hist in
+        Format.eprintf
+          "loadgen: %d replies in %.3fs (%.0f q/s) latency %a@." count elapsed
+          (float_of_int count /. elapsed)
+          Engine.Histogram.pp_summary s;
+        flush stdout)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running 'uniqsql serve --socket' server with a \
+             seeded stream of pipelined requests drawn from query files, \
+             echo the replies in order (diffable across server --jobs \
+             values), and report client-side throughput and p50/p95/p99 \
+             latency on stderr.")
+    Term.(const run $ socket_req_arg $ count_arg $ seed_arg $ window_arg
+          $ files_arg $ quiet_arg $ shutdown_arg)
 
 let () =
   let doc = "uniqueness-based semantic query optimization (Paulley & Larson, ICDE 1994)" in
@@ -658,4 +758,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ analyze_cmd; rewrite_cmd; explain_cmd; check_cmd; run_cmd;
-            fuzz_cmd; batch_cmd; serve_cmd ]))
+            fuzz_cmd; batch_cmd; serve_cmd; loadgen_cmd ]))

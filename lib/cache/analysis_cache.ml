@@ -207,12 +207,19 @@ end
 
 (* One shard (the default) is byte-for-byte the historical unsharded LRU;
    the parallel CLI modes create the cache with more shards so worker
-   domains hit different locks. *)
-type t = { verdicts : (string, bool) Cache.Sharded.t }
+   domains hit different locks — though under the epoch discipline those
+   locks are only taken at merge time, never on the query path. *)
+type t = {
+  verdicts : (string, bool) Cache.Sharded.t;
+  epoch_slot : (string, bool) Cache.Epoch.slot;
+}
 
 let default_capacity = 1024
 let create ?(capacity = default_capacity) ?shards () =
-  { verdicts = Cache.Sharded.create ?shards ~capacity () }
+  {
+    verdicts = Cache.Sharded.create ?shards ~capacity ();
+    epoch_slot = Cache.Epoch.make_slot ();
+  }
 
 let counters t = Cache.Sharded.counters t.verdicts
 let contention t = Cache.Sharded.contention t.verdicts
@@ -228,9 +235,18 @@ let hit_node key verdict =
     ~verdict:Trace.Info
     "verdict served from the analysis cache"
 
+let lookup t key =
+  if Cache.Epoch.active () then
+    Cache.Epoch.find t.epoch_slot ~peek:(Cache.Sharded.peek t.verdicts) key
+  else Cache.Sharded.find t.verdicts key
+
+let store t key v =
+  if Cache.Epoch.active () then Cache.Epoch.store t.epoch_slot key v
+  else Cache.Sharded.add t.verdicts key v
+
 let cached_verdict t ~tag ?(trace = Trace.disabled) ~run cat q =
   let key = Fingerprint.query_key ~tag cat q in
-  match Cache.Sharded.find t.verdicts key with
+  match lookup t key with
   | Some v when not (Trace.enabled trace) -> v
   | Some v ->
     (* A traced request must still produce the full provenance tree, so the
@@ -242,5 +258,27 @@ let cached_verdict t ~tag ?(trace = Trace.disabled) ~run cat q =
     fresh
   | None ->
     let v = run () in
-    Cache.Sharded.add t.verdicts key v;
+    store t key v;
     v
+
+let merge_epoch t =
+  let d = Cache.Epoch.drain t.epoch_slot in
+  List.iter (fun (k, v) -> Cache.Sharded.add t.verdicts k v) d.Cache.Epoch.pairs;
+  Cache.Sharded.add_counters t.verdicts ~hits:d.Cache.Epoch.hits
+    ~misses:d.Cache.Epoch.misses
+
+(* The single entry point for epoch-scoped parallel analysis: freeze the
+   caches, run [f] (typically a [Pool.map] batch), then — back on the
+   sole running domain — merge the verdict and closure deltas in sorted
+   key order and unfreeze. Nested calls flatten into the outer epoch. *)
+let epoch t f =
+  if Cache.Epoch.active () then f ()
+  else begin
+    Cache.Epoch.enter ();
+    Fun.protect
+      ~finally:(fun () ->
+        merge_epoch t;
+        Cache.Runtime.merge_epoch ();
+        Cache.Epoch.leave ())
+      f
+  end

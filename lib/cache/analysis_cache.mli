@@ -54,6 +54,17 @@ val cached_verdict :
   Sql.Ast.query_spec ->
   bool
 
+(** [epoch t f] — run [f] (typically one [Parallel.Pool.map] batch) with
+    the verdict cache {e and} the {!Cache.Runtime} closure memo frozen:
+    lookups peek the shared tables lock-free, new entries accumulate in
+    per-domain deltas ({!Cache.Epoch}), and at the end — when the calling
+    domain is again the only one running — both deltas are merged in
+    sorted key order with deterministic hit/miss accounting. Counters and
+    cache contents after the epoch are identical at any [--jobs] for the
+    same workload. Nested calls flatten into the outer epoch; [jobs = 1]
+    callers may use it unconditionally (same answers, same counters). *)
+val epoch : t -> (unit -> 'a) -> 'a
+
 (** Hit/miss/eviction counters since creation (or {!reset_counters}),
     aggregated over shards. *)
 val counters : t -> Cache.Lru.counters

@@ -65,6 +65,19 @@ let find t k =
    invariants only). *)
 let mem t k = Hashtbl.mem t.table k
 
+(* Value lookup that touches neither recency nor counters: the epoch
+   layer reads frozen tables through this (lock-free — a plain Hashtbl
+   read is safe exactly because nothing mutates during an epoch), and
+   accounts hits/misses deterministically itself via [add_counters]. *)
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some e -> Some e.value
+
+let add_counters t ~hits ~misses =
+  t.hits <- t.hits + hits;
+  t.misses <- t.misses + misses
+
 let add t k v =
   (match Hashtbl.find_opt t.table k with
    | Some e ->

@@ -26,6 +26,15 @@ val find : ('k, 'v) t -> 'k -> 'v option
 (** Presence test that touches neither recency nor the counters. *)
 val mem : ('k, 'v) t -> 'k -> bool
 
+(** Value lookup that touches neither recency nor the counters. The epoch
+    layer ({!Epoch}) reads frozen tables through this and accounts the
+    hits/misses itself with {!add_counters} at the merge. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
+(** Credit externally-accounted lookups (epoch merges) to this table's
+    hit/miss counters. *)
+val add_counters : ('k, 'v) t -> hits:int -> misses:int -> unit
+
 (** Insert or overwrite; evicts the least-recently-used entry on
     overflow. *)
 val add : ('k, 'v) t -> 'k -> 'v -> unit

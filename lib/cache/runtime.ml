@@ -41,8 +41,23 @@ let shard_count () = Sharded.shard_count !table
 
 let clear () = rebuild ()
 
-let find_closure key = Sharded.find !table key
-let store_closure key v = Sharded.add !table key v
+(* During an epoch the global table is frozen: lookups peek it lock-free
+   and new closures land in the domain-local delta, merged (sorted by
+   key, deterministically accounted) by [merge_epoch] at the barrier. *)
+let epoch_slot : (string, Bitset.t) Epoch.slot = Epoch.make_slot ()
+
+let find_closure key =
+  if Epoch.active () then Epoch.find epoch_slot ~peek:(Sharded.peek !table) key
+  else Sharded.find !table key
+
+let store_closure key v =
+  if Epoch.active () then Epoch.store epoch_slot key v
+  else Sharded.add !table key v
+
+let merge_epoch () =
+  let d = Epoch.drain epoch_slot in
+  List.iter (fun (k, v) -> Sharded.add !table k v) d.Epoch.pairs;
+  Sharded.add_counters !table ~hits:d.Epoch.hits ~misses:d.Epoch.misses
 let counters () = Sharded.counters !table
 let contention () = Sharded.contention !table
 let shard_counters () = Sharded.shard_counters !table

@@ -32,8 +32,19 @@ val shard_count : unit -> int
 (** Drop all memoized closures (e.g. between benchmark passes). *)
 val clear : unit -> unit
 
+(** Lookup/store in the memo table. While an {!Epoch} is active, lookups
+    peek the frozen table lock-free (falling back to the domain-local
+    delta) and stores land in the delta; otherwise they go straight to
+    the shared table. *)
 val find_closure : string -> Bitset.t option
+
 val store_closure : string -> Bitset.t -> unit
+
+(** Merge every domain's epoch delta of closures into the shared table
+    (sorted key order) and credit the deterministic hit/miss counts.
+    Call at the epoch boundary, single-domain — [Analysis_cache.epoch]
+    does this automatically. *)
+val merge_epoch : unit -> unit
 
 (** Hit/miss/eviction counters of the memo table, aggregated over shards. *)
 val counters : unit -> Lru.counters

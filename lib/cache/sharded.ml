@@ -53,6 +53,16 @@ let find t k = with_shard t (shard_of t k) (fun s -> Lru.find s k)
 let add t k v = with_shard t (shard_of t k) (fun s -> Lru.add s k v)
 let mem t k = with_shard t (shard_of t k) (fun s -> Lru.mem s k)
 
+(* Lock-free, non-mutating: safe only under the epoch freeze contract —
+   no writer between [Epoch.enter] and the merge. *)
+let peek t k = Lru.peek t.shards.(shard_of t k) k
+
+(* Epoch-merge accounting lands on shard 0: per-shard split of hits and
+   misses is meaningless for lookups that never took a shard lock, and
+   [counters] aggregates anyway. *)
+let add_counters t ~hits ~misses =
+  with_shard t 0 (fun s -> Lru.add_counters s ~hits ~misses)
+
 let fold_shards t f init =
   let acc = ref init in
   Array.iteri (fun i _ -> acc := with_shard t i (fun s -> f !acc s)) t.shards;

@@ -33,6 +33,16 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Presence test (touches neither recency nor counters). *)
 val mem : ('k, 'v) t -> 'k -> bool
 
+(** Lock-free value lookup that touches neither recency nor counters.
+    Safe {e only} while the table is frozen (between {!Epoch.enter} and
+    the epoch merge) — it reads the shard without its mutex. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
+(** Credit epoch-accounted hits/misses to the table (recorded on shard 0;
+    {!counters} aggregates over shards, so totals are unaffected by the
+    placement). *)
+val add_counters : ('k, 'v) t -> hits:int -> misses:int -> unit
+
 val length : ('k, 'v) t -> int
 val clear : ('k, 'v) t -> unit
 

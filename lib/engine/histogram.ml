@@ -1,0 +1,107 @@
+(* Log-bucketed latency histograms for the serve front end.
+
+   Fixed geometric buckets (~19% growth per bucket, so quantile error is
+   bounded by one bucket width) from 1 µs up to ~100 s; anything slower
+   lands in the last bucket. Fixed boundaries — rather than per-histogram
+   adaptive ones — make merged histograms and cross-run comparisons
+   meaningful, and keep [record] a handful of float ops with no
+   allocation.
+
+   Not domain-safe: the serve event loop records on one domain only, and
+   the bench merges per-phase histograms after the barrier. *)
+
+let growth = 1.1892  (* 2^(1/4): four buckets per doubling *)
+let n_buckets = 160  (* growth^160 ≈ 1.2e12 ≥ 1e8 µs = 100 s, with slack *)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum_us : float;
+  mutable max_us : float;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; sum_us = 0.; max_us = 0. }
+
+let log_growth = log growth
+
+let bucket_of_us us =
+  if us <= 1. then 0
+  else min (n_buckets - 1) (int_of_float (log us /. log_growth) + 1)
+
+(* Upper bound of bucket [i]: the latency reported for quantiles that land
+   in it (conservative — never under-reports). *)
+let bound_of_bucket i =
+  if i = 0 then 1. else growth ** float_of_int i
+
+let record t ~us =
+  let us = if us < 0. then 0. else us in
+  t.buckets.(bucket_of_us us) <- t.buckets.(bucket_of_us us) + 1;
+  t.count <- t.count + 1;
+  t.sum_us <- t.sum_us +. us;
+  if us > t.max_us then t.max_us <- us
+
+let record_span t ~start ~stop = record t ~us:((stop -. start) *. 1e6)
+
+let count t = t.count
+
+let merge ~into src =
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum_us <- into.sum_us +. src.sum_us;
+  if src.max_us > into.max_us then into.max_us <- src.max_us
+
+let clear t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum_us <- 0.;
+  t.max_us <- 0.
+
+(* Smallest bucket bound below which at least [q] of the samples fall.
+   The true max is kept exactly, so p100 never exceeds it. *)
+let quantile_us t q =
+  if t.count = 0 then 0.
+  else begin
+    let target =
+      int_of_float (ceil (q *. float_of_int t.count)) |> max 1 |> min t.count
+    in
+    let rec go i acc =
+      if i >= n_buckets then t.max_us
+      else
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then min (bound_of_bucket i) t.max_us else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+type summary = {
+  s_count : int;
+  s_mean_us : float;
+  s_p50_us : float;
+  s_p95_us : float;
+  s_p99_us : float;
+  s_max_us : float;
+}
+
+let summary t =
+  {
+    s_count = t.count;
+    s_mean_us = (if t.count = 0 then 0. else t.sum_us /. float_of_int t.count);
+    s_p50_us = quantile_us t 0.50;
+    s_p95_us = quantile_us t 0.95;
+    s_p99_us = quantile_us t 0.99;
+    s_max_us = t.max_us;
+  }
+
+let summary_fields s =
+  [ ("count", float_of_int s.s_count);
+    ("mean_us", s.s_mean_us);
+    ("p50_us", s.s_p50_us);
+    ("p95_us", s.s_p95_us);
+    ("p99_us", s.s_p99_us);
+    ("max_us", s.s_max_us) ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "count=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus"
+    s.s_count s.s_mean_us s.s_p50_us s.s_p95_us s.s_p99_us s.s_max_us

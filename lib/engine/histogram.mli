@@ -1,0 +1,48 @@
+(** Log-bucketed latency histograms (p50/p95/p99) for the serve front end.
+
+    Fixed geometric buckets — four per doubling, so a reported quantile
+    overstates the true one by at most ~19% — spanning 1 µs to ~100 s.
+    Fixed boundaries make {!merge}d histograms and cross-run comparisons
+    meaningful. Recording is a few float operations, no allocation.
+
+    Not domain-safe: record from one domain (the serve event loop), merge
+    per-phase histograms after a barrier. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one sample, in microseconds (negative clamps to 0; anything
+    over ~100 s lands in the last bucket but keeps the exact max). *)
+val record : t -> us:float -> unit
+
+(** [record_span t ~start ~stop] — record [stop - start] seconds (as from
+    [Unix.gettimeofday]) converted to µs. *)
+val record_span : t -> start:float -> stop:float -> unit
+
+val count : t -> int
+
+(** Add [src]'s buckets and totals into [into] ([src] is unchanged). *)
+val merge : into:t -> t -> unit
+
+val clear : t -> unit
+
+(** [quantile_us t q] — smallest bucket upper bound covering fraction [q]
+    of the samples, capped at the exact observed max; 0 when empty. *)
+val quantile_us : t -> float -> float
+
+type summary = {
+  s_count : int;
+  s_mean_us : float;
+  s_p50_us : float;
+  s_p95_us : float;
+  s_p99_us : float;
+  s_max_us : float;
+}
+
+val summary : t -> summary
+
+(** Fields in a stable order, for JSON emission. *)
+val summary_fields : summary -> (string * float) list
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -84,7 +84,30 @@ let cache_section cache =
                   ("closure_memo_misses", string_of_int m.Cache.Lru.c_misses) ]
               "analysis-cache counters for this session" ] } ]
 
-let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
+(* One node per request class; the serve front end renders the same
+   section in its [stats] reply, so operators read one format in both
+   places. *)
+let latency_section summaries =
+  {
+    title = "latency";
+    nodes =
+      List.map
+        (fun (cls, s) ->
+          Trace.node ~rule:"latency.class"
+            ~inputs:[ ("class", cls) ]
+            ~facts:
+              (List.map
+                 (fun (k, v) ->
+                   ( k,
+                     if k = "count" then Printf.sprintf "%.0f" v
+                     else Printf.sprintf "%.1f" v ))
+                 (Engine.Histogram.summary_fields s))
+            "request-latency histogram summary (microseconds)")
+        summaries;
+  }
+
+let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache ?latency cat
+    query =
   let algorithm1 =
     analysis_section "algorithm1"
       (fun ~trace spec ->
@@ -136,7 +159,10 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache cat query =
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
         { title = "planner"; nodes = Trace.nodes planner_trace };
         { title = "distinct-strategy"; nodes = Trace.nodes distinct_trace } ]
-      @ cache_section cache;
+      @ cache_section cache
+      @ (match latency with
+        | None -> []
+        | Some summaries -> [ latency_section summaries ]);
     rewritten;
     chosen = chosen.Optimizer.Planner.name;
     chosen_query = chosen.Optimizer.Planner.query;

@@ -48,15 +48,26 @@ type report = {
     sections, an extra ["cache"] section reports the hit/miss/eviction
     counters, and each execution's {!Engine.Stats.fields} carries them as
     [cache_hits]/[cache_misses]/[cache_evictions]. Verdicts, rewrites, and
-    the chosen strategy are unchanged by caching. *)
+    the chosen strategy are unchanged by caching.
+
+    With [~latency], a ["latency"] section renders the given per-class
+    histogram summaries (the serve front end passes its p50/p95/p99
+    request-latency data; see {!latency_section}). *)
 val explain :
   ?stats:Optimizer.Cost.table_stats ->
   ?database:Engine.Database.t ->
   ?hosts:(string * Sqlval.Value.t) list ->
   ?cache:Analysis_cache.t ->
+  ?latency:(string * Engine.Histogram.summary) list ->
   Catalog.t ->
   Sql.Ast.query ->
   report
+
+(** A ["latency"] section: one node per request class carrying the
+    count/mean/p50/p95/p99/max facts (microseconds) of an
+    {!Engine.Histogram.summary}. [uniqsql serve]'s [stats] command renders
+    exactly this section, so the two surfaces read identically. *)
+val latency_section : (string * Engine.Histogram.summary) list -> section
 
 (** Human-readable tree rendering (deterministic; snapshot-tested). *)
 val pp : Format.formatter -> report -> unit

@@ -1,10 +1,19 @@
-(* One shared FIFO of thunks, [jobs - 1] worker domains pulling from it,
-   and the submitting domain pulling too whenever it would otherwise block
-   in [await]. Every completed task signals [progress]; workers sleep on
-   [wakeup]. The deterministic ordering guarantees live entirely in the
-   callers ([map] concatenates chunk results in submission order, [await]
-   is per-future), so the scheduler itself is free to run tasks in any
-   order on any domain. *)
+(* Work-stealing scheduler: one deque of tasks per domain (index 0 is the
+   submitting domain), owners pop their own deque, idle domains steal half
+   of a victim's deque. Chunked [map] submits coarse per-chunk tasks dealt
+   round-robin over the deques, so the common case runs with no migration
+   at all and stealing only pays for skewed chunk costs.
+
+   The deterministic ordering guarantees live entirely in the callers
+   ([map] assembles chunk results by index, [await] is per-future), so the
+   scheduler is free to run tasks in any order on any domain.
+
+   Liveness discipline (the worker-exception regression of PR 8): every
+   task, stolen or not, runs through [execute], which stores the outcome —
+   value or exception — into the future and decrements [pending] under the
+   global mutex with a [progress] broadcast, with no raise possible in
+   between. A helper awaiting a chunk therefore always wakes up, even when
+   the chunk's task raised on a thief domain. *)
 
 type 'a cell =
   | Pending
@@ -13,12 +22,25 @@ type 'a cell =
 
 type 'a future = { mutable cell : 'a cell }
 
+type task = unit -> unit
+
+type deque = {
+  dq_mutex : Mutex.t;
+  dq_tasks : task Queue.t;
+}
+
 type shared = {
-  mutex : Mutex.t;
-  wakeup : Condition.t;  (* workers: the queue may be non-empty / shutdown *)
+  mutex : Mutex.t;  (* guards [queued], [pending], [stop] and both conditions *)
+  wakeup : Condition.t;  (* workers: tasks may be queued / shutdown *)
   progress : Condition.t;  (* awaiters: some task completed *)
-  queue : (unit -> unit) Queue.t;
+  deques : deque array;
+  mutable queued : int;  (* tasks sitting in some deque, not yet taken *)
+  mutable pending : int;  (* tasks submitted, not yet completed *)
   mutable stop : bool;
+  submitted : int Atomic.t;
+  steals : int Atomic.t;  (* successful steal operations *)
+  stolen_tasks : int Atomic.t;  (* tasks that migrated in those steals *)
+  rr : int Atomic.t;  (* round-robin cursor for submissions *)
 }
 
 type t = {
@@ -27,28 +49,140 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+type stats = {
+  tasks : int;
+  steals : int;
+  stolen_tasks : int;
+}
+
 let jobs t = t.n_jobs
 
-let worker shared =
-  let rec loop () =
+let stats t =
+  match t.shared with
+  | None -> { tasks = 0; steals = 0; stolen_tasks = 0 }
+  | Some s ->
+    { tasks = Atomic.get s.submitted;
+      steals = Atomic.get s.steals;
+      stolen_tasks = Atomic.get s.stolen_tasks }
+
+(* ---- deque primitives --------------------------------------------- *)
+
+(* Take one task from the caller's own deque. *)
+let take_own shared i =
+  let d = shared.deques.(i) in
+  Mutex.lock d.dq_mutex;
+  let task = Queue.take_opt d.dq_tasks in
+  Mutex.unlock d.dq_mutex;
+  (match task with
+  | Some _ ->
     Mutex.lock shared.mutex;
-    let rec next () =
-      match Queue.take_opt shared.queue with
-      | Some task -> Some task
-      | None ->
-        if shared.stop then None
-        else begin
-          Condition.wait shared.wakeup shared.mutex;
-          next ()
-        end
-    in
-    let task = next () in
-    Mutex.unlock shared.mutex;
-    match task with
-    | None -> ()
+    shared.queued <- shared.queued - 1;
+    Mutex.unlock shared.mutex
+  | None -> ());
+  task
+
+(* Steal the front half of [victim]'s deque into [thief]'s, returning one
+   of the stolen tasks to run immediately. A contended victim mutex is
+   skipped rather than waited on — some other domain is already busy
+   there. *)
+let steal_from shared ~thief ~victim =
+  let v = shared.deques.(victim) in
+  if not (Mutex.try_lock v.dq_mutex) then None
+  else begin
+    let n = Queue.length v.dq_tasks in
+    if n = 0 then begin
+      Mutex.unlock v.dq_mutex;
+      None
+    end
+    else begin
+      let want = (n + 1) / 2 in
+      let grabbed = ref [] in
+      for _ = 1 to want do
+        grabbed := Queue.pop v.dq_tasks :: !grabbed
+      done;
+      Mutex.unlock v.dq_mutex;
+      match List.rev !grabbed with
+      | [] -> None
+      | first :: rest ->
+        if rest <> [] then begin
+          let mine = shared.deques.(thief) in
+          Mutex.lock mine.dq_mutex;
+          List.iter (fun t -> Queue.add t mine.dq_tasks) rest;
+          Mutex.unlock mine.dq_mutex
+        end;
+        (* [first] leaves the queued population; the rest just moved. *)
+        Mutex.lock shared.mutex;
+        shared.queued <- shared.queued - 1;
+        Mutex.unlock shared.mutex;
+        Atomic.incr shared.steals;
+        ignore (Atomic.fetch_and_add shared.stolen_tasks want);
+        Some first
+    end
+  end
+
+let try_steal shared i =
+  let n = Array.length shared.deques in
+  let rec go k =
+    if k = n then None
+    else
+      let victim = (i + k) mod n in
+      if victim = i then go (k + 1)
+      else
+        match steal_from shared ~thief:i ~victim with
+        | Some _ as r -> r
+        | None -> go (k + 1)
+  in
+  go 1
+
+let next_task shared i =
+  match take_own shared i with
+  | Some _ as r -> r
+  | None -> try_steal shared i
+
+(* ---- execution ----------------------------------------------------- *)
+
+(* Tasks never let an exception escape into a worker loop: the outcome —
+   value or exception + backtrace — is stored in the future and re-raised
+   by whoever awaits it. *)
+let run_to_cell f =
+  match f () with
+  | v -> Value v
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+(* Run [f], publish its outcome, account the completion. Nothing between
+   the outcome capture and the [progress] broadcast can raise, so a task
+   that raises — including one that was just stolen — still wakes every
+   helper awaiting it (the PR 4 pool could lose that wakeup). *)
+let execute shared fut f =
+  let outcome = run_to_cell f in
+  Mutex.lock shared.mutex;
+  fut.cell <- outcome;
+  shared.pending <- shared.pending - 1;
+  Condition.broadcast shared.progress;
+  Mutex.unlock shared.mutex
+
+(* ---- worker loop ---------------------------------------------------- *)
+
+let worker shared i =
+  let rec loop () =
+    match next_task shared i with
     | Some run ->
       run ();
       loop ()
+    | None ->
+      Mutex.lock shared.mutex;
+      let rec idle () =
+        if shared.queued > 0 then begin
+          Mutex.unlock shared.mutex;
+          loop ()
+        end
+        else if shared.stop then Mutex.unlock shared.mutex
+        else begin
+          Condition.wait shared.wakeup shared.mutex;
+          idle ()
+        end
+      in
+      idle ()
   in
   loop ()
 
@@ -61,41 +195,46 @@ let create ~jobs =
         mutex = Mutex.create ();
         wakeup = Condition.create ();
         progress = Condition.create ();
-        queue = Queue.create ();
+        deques =
+          Array.init jobs (fun _ ->
+              { dq_mutex = Mutex.create (); dq_tasks = Queue.create () });
+        queued = 0;
+        pending = 0;
         stop = false;
+        submitted = Atomic.make 0;
+        steals = Atomic.make 0;
+        stolen_tasks = Atomic.make 0;
+        rr = Atomic.make 0;
       }
     in
     let domains =
-      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker shared))
+      List.init (jobs - 1) (fun k ->
+          Domain.spawn (fun () -> worker shared (k + 1)))
     in
     { n_jobs = jobs; shared = Some shared; domains }
   end
 
-(* Tasks never let an exception escape into the worker loop: the outcome —
-   value or exception + backtrace — is stored in the future and re-raised
-   by whoever awaits it. The cell write happens under the pool mutex, which
-   is also the publication point for cross-domain visibility. *)
-let run_to_cell f =
-  match f () with
-  | v -> Value v
-  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+(* Submission deals tasks round-robin over the deques, so a coarse [map]
+   starts balanced and stealing only has to fix cost skew, not placement. *)
+let submit shared run =
+  let i = Atomic.fetch_and_add shared.rr 1 mod Array.length shared.deques in
+  let d = shared.deques.(i) in
+  Mutex.lock d.dq_mutex;
+  Queue.add run d.dq_tasks;
+  Mutex.unlock d.dq_mutex;
+  Atomic.incr shared.submitted;
+  Mutex.lock shared.mutex;
+  shared.queued <- shared.queued + 1;
+  shared.pending <- shared.pending + 1;
+  Condition.signal shared.wakeup;
+  Mutex.unlock shared.mutex
 
 let async t f =
   match t.shared with
   | None -> { cell = run_to_cell f }
   | Some shared ->
     let fut = { cell = Pending } in
-    let run () =
-      let outcome = run_to_cell f in
-      Mutex.lock shared.mutex;
-      fut.cell <- outcome;
-      Condition.broadcast shared.progress;
-      Mutex.unlock shared.mutex
-    in
-    Mutex.lock shared.mutex;
-    Queue.add run shared.queue;
-    Condition.signal shared.wakeup;
-    Mutex.unlock shared.mutex;
+    submit shared (fun () -> execute shared fut f);
     fut
 
 (* Advisory, lock-free: the cell only ever moves Pending -> completed, so
@@ -111,49 +250,61 @@ let await t fut =
   match t.shared with
   | None -> finish fut.cell
   | Some shared ->
+    (* Help instead of idling: run queued tasks (possibly the very one we
+       wait for, possibly by stealing it back from a loaded deque), and
+       only sleep on [progress] when every deque is dry. *)
     let rec wait () =
-      Mutex.lock shared.mutex;
       match fut.cell with
-      | Value _ | Raised _ ->
-        let c = fut.cell in
-        Mutex.unlock shared.mutex;
-        finish c
+      | Value _ | Raised _ -> finish fut.cell
       | Pending -> (
-        (* Help instead of idling: run a queued task (possibly the very one
-           we are waiting for), then look again. *)
-        match Queue.take_opt shared.queue with
+        match next_task shared 0 with
         | Some run ->
-          Mutex.unlock shared.mutex;
           run ();
           wait ()
         | None ->
-          Condition.wait shared.progress shared.mutex;
-          let c = fut.cell in
+          Mutex.lock shared.mutex;
+          (match fut.cell with
+          | Value _ | Raised _ -> ()
+          | Pending ->
+            if shared.queued = 0 then Condition.wait shared.progress shared.mutex);
           Mutex.unlock shared.mutex;
-          (match c with Pending -> wait () | done_ -> finish done_))
+          wait ())
     in
     wait ()
 
-let map t f xs =
+let default_chunks_per_domain = 2
+
+let chunk_list ~chunk_size xs =
+  let rec chunks acc cur len = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if len = chunk_size then chunks (List.rev cur :: acc) [ x ] 1 rest
+      else chunks acc (x :: cur) (len + 1) rest
+  in
+  chunks [] [] 0 xs
+
+let map ?chunks t f xs =
   match t.shared with
   | None -> List.map f xs
   | Some _ ->
     let n = List.length xs in
     if n = 0 then []
     else begin
-      (* Several chunks per domain, so a slow chunk is backfilled by idle
-         workers instead of setting the critical path. *)
-      let chunk_size = max 1 (1 + ((n - 1) / (t.n_jobs * 4))) in
-      let rec chunks acc cur len = function
-        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-        | x :: rest ->
-          if len = chunk_size then chunks (List.rev cur :: acc) [ x ] 1 rest
-          else chunks acc (x :: cur) (len + 1) rest
+      (* Coarse chunks: a couple per domain (overridable), dealt round-
+         robin; work stealing backfills skew, so unlike the fine-grained
+         PR 4 pool there is no need to over-split just to keep stragglers
+         short. *)
+      let n_chunks =
+        match chunks with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool.map: chunks must be >= 1"
+        | None -> t.n_jobs * default_chunks_per_domain
       in
+      let chunk_size = max 1 (1 + ((n - 1) / n_chunks)) in
       let futures =
         List.map
           (fun chunk -> async t (fun () -> List.map f chunk))
-          (chunks [] [] 0 xs)
+          (chunk_list ~chunk_size xs)
       in
       (* Await in submission order: results concatenate deterministically
          and the first failing chunk (in that order) re-raises here. *)

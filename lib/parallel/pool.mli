@@ -1,4 +1,4 @@
-(** A fixed-size pool of worker domains with a work-sharing scheduler.
+(** A fixed-size pool of worker domains with a work-stealing scheduler.
 
     The analysis pipeline is embarrassingly parallel across queries — the
     shape Graefe's Volcano exchange operator exploits — so the pool's only
@@ -11,18 +11,23 @@
     - {e Exceptions travel to the submitter.} An exception raised inside a
       worker is captured with its backtrace and re-raised by {!map} /
       {!await} on the submitting domain (the first failing item in
-      submission order wins). Workers never die; the pool stays usable.
+      submission order wins). Workers never die; the pool stays usable —
+      and a task that raises after being {e stolen} still wakes every
+      domain awaiting its chunk (outcome publication and completion
+      accounting are a single atomic step).
     - {e [jobs = 1] degenerates to the sequential path.} No domain is
       spawned, no mutex is taken, {!map} is [List.map]: single-core
       behaviour and performance are exactly those of the code before the
       pool existed.
 
-    Scheduling is chunked work-sharing: {!map} splits its input into
-    contiguous chunks (several per worker) pushed to one shared FIFO; idle
-    workers — and the submitting domain itself while it waits — pull the
-    next chunk, so an expensive item delays only its own chunk, not the
-    whole batch. Hand-rolled on [Domain]/[Mutex]/[Condition]; no external
-    dependency.
+    Scheduling is coarse-chunk work stealing: {!map} splits its input into
+    a few contiguous chunks per domain, dealt round-robin onto per-domain
+    deques. Owners pop their own deque with no cross-domain traffic; a
+    domain that runs dry steals the front {e half} of the first non-empty
+    victim deque (round-robin scan, [try_lock] so a contended victim is
+    skipped, not waited on). The submitting domain helps — and steals —
+    while it waits in {!await}. Hand-rolled on [Domain]/[Mutex]/
+    [Condition]; no external dependency.
 
     The pool is not reentrant: do not call {!map}, {!async} or {!await}
     from inside a task running on this pool. *)
@@ -37,14 +42,29 @@ val create : jobs:int -> t
 (** Total domains working for this pool (the [~jobs] it was created with). *)
 val jobs : t -> int
 
+(** Scheduler counters, cumulative since {!create}. [tasks] is the number
+    of tasks submitted; [steals] counts successful steal operations;
+    [stolen_tasks] counts tasks that migrated in those steals (steal-half
+    moves several at once). All zero when [jobs = 1]. *)
+type stats = {
+  tasks : int;
+  steals : int;
+  stolen_tasks : int;
+}
+
+val stats : t -> stats
+
 (** [map t f xs] — [List.map f xs], evaluated in parallel chunks. Results
     arrive in submission order; the first exception (in submission order) is
     re-raised on the calling domain after the batch has drained. The pool is
-    reusable immediately afterwards, including after an exception. *)
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+    reusable immediately afterwards, including after an exception.
+    [?chunks] overrides the number of chunks the input is split into
+    (default: a couple per domain); tests use [~chunks] to force skew and
+    steal traffic. @raise Invalid_argument when [chunks < 1]. *)
+val map : ?chunks:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 
-(** A single submitted task (used by [uniqsql serve] to keep a sliding
-    window of in-flight queries while stdin is read sequentially). *)
+(** A single submitted task (used by [uniqsql serve] to keep a bounded
+    set of in-flight requests while connections are multiplexed). *)
 type 'a future
 
 (** [async t f] — submit [f] for execution on any domain of the pool. With
@@ -54,13 +74,13 @@ val async : t -> (unit -> 'a) -> 'a future
 (** [ready fut] — has the task completed? Advisory and non-blocking: a
     [false] may be stale (the task just finished on another domain), a
     [true] is definitive. Lets [uniqsql serve] emit finished replies
-    eagerly without blocking on the next stdin line. *)
+    eagerly without blocking on the next request. *)
 val ready : 'a future -> bool
 
 (** [await t fut] — block until [fut] is done and return its result, or
     re-raise (with backtrace) the exception its task raised. While waiting,
-    the calling domain executes other queued tasks of the pool rather than
-    idling. *)
+    the calling domain executes (and steals) other queued tasks of the
+    pool rather than idling. *)
 val await : t -> 'a future -> 'a
 
 (** Join the worker domains. Queued tasks are finished first; the pool must

@@ -1,0 +1,45 @@
+(** The analysis payload behind one serve/batch request.
+
+    {!process} turns one SQL text into one reply line (verdicts, rewrite
+    count, rewritten form — or a parse/analysis error) exactly as the
+    [batch] command prints it; {!run_batch} fans a whole batch out over a
+    {!Parallel.Pool} inside one {!Analysis_cache.epoch}, which is the
+    serving pipeline's unit of parallelism. Replies depend only on the
+    catalog and the SQL text — never on cache state or scheduling — so
+    serve output is byte-identical at any [--jobs]. *)
+
+(** Latency-accounting class of a request: [Analyze] — a plain SELECT
+    block both uniqueness analyzers judge; [Rewrite] — any other query
+    that parses (set operations, GROUP BY); [Error] — it didn't parse or
+    the analysis raised. *)
+type request_class = Analyze | Rewrite | Error
+
+val class_name : request_class -> string
+
+(** In display order: analyze, rewrite, error. *)
+val all_classes : request_class list
+
+(** [process cache cat ~label sql] — the reply (newline-terminated, with
+    [label] prefixed) and the request's class. Never raises: errors
+    become error replies. Safe to run on any pool domain. *)
+val process :
+  Analysis_cache.t ->
+  Catalog.t ->
+  label:string ->
+  string ->
+  string * request_class
+
+(** [run_batch pool cache cat items] — analyze [(label, sql)] items on
+    the pool inside one cache epoch; results in request order. Must be
+    called from the pool's submitting domain. *)
+val run_batch :
+  Parallel.Pool.t ->
+  Analysis_cache.t ->
+  Catalog.t ->
+  (string * string) list ->
+  (string * request_class) list
+
+(** The [cache: ...] counter line (no trailing newline) the batch/serve
+    front ends print — verdict hits/misses/evictions/entries plus closure
+    memo hits/misses. *)
+val cache_stats_line : Analysis_cache.t -> string

@@ -1,0 +1,216 @@
+(* End-to-end tests of the socket serve front end: a real server runs in
+   its own domain, a real client connects over a Unix socket, and the
+   framed line protocol is exercised the way an operator's tooling would
+   — pipelined requests, byte-identical replies across --jobs levels,
+   deterministic `overloaded` admission rejection, the `stats` command,
+   and the draining shutdown handshake. *)
+
+module Server = Serve.Server
+module Reply = Serve.Reply
+
+let catalog = Workload.Paper_schema.catalog ()
+
+let socket_path tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "uniqsql_test_%d_%s.sock" (Unix.getpid ()) tag)
+
+(* ---- a tiny blocking client ---- *)
+
+let connect path =
+  (* the server binds asynchronously in its own domain; retry briefly *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* One write: on a fresh AF_UNIX stream the whole burst reaches the
+   server's next read as a single chunk, which is what makes the
+   admission test deterministic. *)
+let send_lines fd lines = write_all fd (String.concat "\n" lines ^ "\n")
+
+(* Read reply blocks — each terminated by a "." line — until [n] blocks
+   have arrived or the peer closes. Returns the blocks in arrival order,
+   each with its terminator stripped. *)
+let read_blocks fd n =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let count_terminators s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l = ".")
+    |> List.length
+  in
+  let rec fill () =
+    if count_terminators (Buffer.contents buf) < n then
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> ()
+      | got ->
+        Buffer.add_subbytes buf chunk 0 got;
+        fill ()
+  in
+  fill ();
+  let rec split acc cur = function
+    | [] -> List.rev acc
+    | "." :: rest -> split (String.concat "\n" (List.rev cur) :: acc) [] rest
+    | l :: rest -> split acc (l :: cur) rest
+  in
+  (* drop the trailing "" from the final newline *)
+  let lines =
+    match List.rev (String.split_on_char '\n' (Buffer.contents buf)) with
+    | "" :: rest -> List.rev rest
+    | all -> List.rev all
+  in
+  split [] [] lines
+
+(* ---- server lifecycle ---- *)
+
+let with_server ?(jobs = 2) ?(max_inflight = 1024) ?(max_batch = 64)
+    ?(test_delay_s = 0.) tag k =
+  let path = socket_path tag in
+  let cfg =
+    {
+      (Server.default_config ()) with
+      Server.socket_path = Some path;
+      use_stdin = false;
+      jobs;
+      max_inflight;
+      max_batch;
+      test_delay_s;
+    }
+  in
+  let cache = Analysis_cache.create ~shards:8 () in
+  let dom =
+    Domain.spawn (fun () ->
+        Cache.Mode.with_parallel (jobs > 1) @@ fun () ->
+        Cache.Runtime.with_enabled true @@ fun () ->
+        Server.run cfg catalog cache)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set cfg.Server.stop true;
+      Domain.join dom;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> k path)
+
+let queries =
+  [ "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO = 's1'";
+    "SELECT DISTINCT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = \
+     P.SNO";
+    "SELECT S.SNO FROM SUPPLIER S UNION SELECT P.SNO FROM PARTS P";
+    "THIS IS NOT SQL";
+    "SELECT DISTINCT S.SNO FROM SUPPLIER S WHERE S.SNO = 's1'" ]
+
+(* what the reply to query [i] (1-based label) must say, computed through
+   the same pure payload the server uses *)
+let expected_replies () =
+  let cache = Analysis_cache.create () in
+  List.mapi
+    (fun i sql ->
+      let text, _cls =
+        Reply.process cache catalog ~label:(Printf.sprintf "[%d]" (i + 1)) sql
+      in
+      (* framed blocks carry the text without its trailing newline *)
+      String.sub text 0 (String.length text - 1))
+    queries
+
+let test_pipelined_replies () =
+  with_server "pipe" @@ fun path ->
+  let fd = connect path in
+  send_lines fd queries;
+  let blocks = read_blocks fd (List.length queries) in
+  Unix.close fd;
+  Alcotest.(check (list string))
+    "framed replies in request order, matching the batch payload"
+    (expected_replies ()) blocks
+
+(* replies must be byte-identical whatever --jobs the server runs *)
+let test_byte_identical_across_jobs () =
+  let transcript jobs tag =
+    with_server ~jobs tag @@ fun path ->
+    let fd = connect path in
+    send_lines fd queries;
+    let blocks = read_blocks fd (List.length queries) in
+    Unix.close fd;
+    blocks
+  in
+  Alcotest.(check (list string))
+    "jobs=1 and jobs=2 reply streams identical" (transcript 1 "j1")
+    (transcript 2 "j2")
+
+(* admission control: a burst written in one chunk against a stalled
+   single-request dispatcher admits exactly max_inflight requests and
+   fast-rejects the rest *)
+let test_overloaded_rejection_and_stats () =
+  with_server ~jobs:1 ~max_inflight:2 ~max_batch:1 ~test_delay_s:0.05
+    "admit"
+  @@ fun path ->
+  let fd = connect path in
+  let burst = List.init 6 (fun _ -> List.nth queries 0) in
+  send_lines fd burst;
+  let blocks = read_blocks fd 6 in
+  let overloaded, analyzed =
+    List.partition (String.ends_with ~suffix:" overloaded") blocks
+  in
+  Alcotest.(check int) "exactly max_inflight admitted" 2
+    (List.length analyzed);
+  Alcotest.(check int) "the rest rejected fast" 4 (List.length overloaded);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "admitted replies carry verdicts" true
+        (String.length b > 0
+        && String.index_opt b '=' <> None))
+    analyzed;
+  (* stats drains first, then reports: everything above is accounted *)
+  send_lines fd [ "stats" ];
+  (match read_blocks fd 1 with
+  | [ stats ] ->
+    let has s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "serve counters present" true
+      (has stats "served=2 rejected=4");
+    Alcotest.(check bool) "pool line present" true (has stats "pool: tasks=");
+    Alcotest.(check bool) "cache line present" true
+      (has stats "cache: verdict_hits=");
+    Alcotest.(check bool) "latency section present" true
+      (has stats "latency")
+  | blocks ->
+    Alcotest.fail
+      (Printf.sprintf "expected one stats block, got %d" (List.length blocks)));
+  (* graceful shutdown: the server acknowledges, drains, and closes *)
+  send_lines fd [ "shutdown" ];
+  (match read_blocks fd 1 with
+  | [ d ] -> Alcotest.(check string) "drain acknowledged" "draining" d
+  | _ -> Alcotest.fail "expected a draining block");
+  let eof = Bytes.create 1 in
+  Alcotest.(check int) "connection closed after drain" 0
+    (Unix.read fd eof 0 1);
+  Unix.close fd
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "pipelined framed replies" `Quick
+            test_pipelined_replies;
+          Alcotest.test_case "byte-identical across jobs" `Quick
+            test_byte_identical_across_jobs;
+          Alcotest.test_case "overloaded + stats + shutdown" `Quick
+            test_overloaded_rejection_and_stats ] ) ]
