@@ -611,7 +611,7 @@ let experiment_ab1 () =
   Printf.printf "  hash join  : %8.2f ms\n" (run_cfg (Engine.Exec.default_config ()) qj);
   Printf.printf "  product    : %8.2f ms\n"
     (run_cfg
-       (cfg_with (fun c -> { c with Engine.Exec.enable_hash_join = false }))
+       (cfg_with (fun c -> { c with Engine.Exec.join_impl = Engine.Exec.Nested_join }))
        qj);
   (* EXISTS implementation: naive nested loop vs hash index probe *)
   let qe =
@@ -1751,6 +1751,161 @@ let experiment_distinct_scale () =
   close_out oc;
   Printf.printf "wrote BENCH_distinct_scale.json\n"
 
+(* ---------------------------------------------------------- JOIN_SCALE *)
+
+(* End-to-end joins on a star-schema instance: FACT (pk ID) referencing
+   DIM1/DIM2 (pk K), dimension cardinality ~sqrt(10 * rows) so the
+   FROM-order plan (dimensions first) pays a DIM1 x DIM2 product about
+   10x the fact scan. Two headline assertions, both measured wall-clock:
+   the unique-build hash join (build columns cover the dimension key,
+   certified by Algorithm 1) must not lose to the generic bucket-list
+   build on the same join order, and the cost-ordered plan must not lose
+   to FROM-clause order. Row count is overridable for CI smoke via
+   JOIN_SCALE_ROWS (default 1,000,000). *)
+
+let experiment_join_scale () =
+  section
+    "JOIN_SCALE  uniqueness-driven streaming joins at scale \
+     (BENCH_join_scale.json)";
+  let rows =
+    match Sys.getenv_opt "JOIN_SCALE_ROWS" with
+    | None -> 1_000_000
+    | Some s ->
+      (match int_of_string_opt s with
+       | Some n when n > 0 -> n
+       | Some _ | None -> failwith "JOIN_SCALE_ROWS must be a positive integer")
+  in
+  (* small (CI smoke) scales are noisier: take more repeats *)
+  let repeats = if rows <= 100_000 then 5 else 3 in
+  let db = Workload.Datagen.star_db ~rows () in
+  let cat = Engine.Database.catalog db in
+  let q = parse Workload.Datagen.star_query in
+  Printf.printf "\n%s\n(%d fact rows, %d rows per dimension)\n"
+    Workload.Datagen.star_query rows (Workload.Datagen.star_dims rows);
+  (* the planner must reorder (fact first) and certify both dimension
+     builds unique — that is the configuration the paper's machinery
+     promises, and what the measurements below exercise *)
+  let choice = Optimizer.Join_plan.choose ~database:db cat q in
+  (match choice.Optimizer.Join_plan.impl with
+  | Engine.Exec.Planned_join _ when choice.Optimizer.Join_plan.unique_builds >= 1
+    -> ()
+  | _ ->
+    failwith
+      "JOIN_SCALE: planner failed to produce a unique-build join plan");
+  Printf.printf "planner: %s\n" choice.Optimizer.Join_plan.reason;
+  let bucket_impl =
+    (* same planner-chosen order with the certificates withheld: isolates
+       the unique-build payoff from the ordering payoff *)
+    match choice.Optimizer.Join_plan.impl with
+    | Engine.Exec.Planned_join order ->
+      Engine.Exec.Planned_join
+        { order with
+          Engine.Exec.jo_steps =
+            List.map
+              (fun s -> { s with Engine.Exec.js_unique_build = false })
+              order.Engine.Exec.jo_steps }
+    | impl -> impl
+  in
+  (* At CI scale the full result relations are retained for the bag-equality
+     cross-check. At bench scale only cardinalities are kept: holding each
+     plan's million-row result alive would grow the live heap measurement
+     by measurement, taxing later plans with major-GC marking the earlier
+     plans never paid. [Gc.compact] between plans levels the floor. *)
+  let keep_rows = rows <= 100_000 in
+  let run_one name impl =
+    let config =
+      { (Engine.Exec.default_config ()) with Engine.Exec.join_impl = impl }
+    in
+    Gc.compact ();
+    let r, t =
+      timed ~repeats (fun () ->
+          Engine.Stats.reset config.Engine.Exec.stats;
+          Engine.Exec.run_query ~config db ~hosts:[] q)
+    in
+    let st = config.Engine.Exec.stats in
+    let card = Engine.Relation.cardinality r in
+    let rel = if keep_rows then Some r else None in
+    Printf.printf "%20s %10d %12.1f %10.1f %12d %12d %8d %8d  %s\n" name card
+      t.median_ms t.spread_ms st.Engine.Stats.join_build_rows
+      st.Engine.Stats.join_probe_rows st.Engine.Stats.unique_builds
+      st.Engine.Stats.probe_early_exits st.Engine.Stats.join_strategy;
+    (name, rel, card, t, st)
+  in
+  Printf.printf "%20s %10s %12s %10s %12s %12s %8s %8s  %s\n" "plan" "rows out"
+    "median (ms)" "spread" "build rows" "probe rows" "uniques" "early" "strategy";
+  let from_order = run_one "from-order" Engine.Exec.Hash_join in
+  let cost_bucket = run_one "cost-ordered-bucket" bucket_impl in
+  let cost_unique =
+    run_one "cost-ordered-unique" choice.Optimizer.Join_plan.impl
+  in
+  let card (_, _, c, _, _) = c in
+  if card from_order <> card cost_unique || card from_order <> card cost_bucket
+  then failwith "JOIN_SCALE: join plans disagree on output cardinality";
+  if keep_rows then begin
+    let rel (_, r, _, _, _) = Option.get r in
+    if
+      not
+        (Engine.Relation.equal_bags (rel from_order) (rel cost_unique)
+        && Engine.Relation.equal_bags (rel from_order) (rel cost_bucket))
+    then failwith "JOIN_SCALE: join plans disagree on output bags"
+  end;
+  let ms (_, _, _, (t : timing), _) = t.median_ms in
+  let unique_le_hash = ms cost_unique <= ms cost_bucket in
+  let cost_ordered_le_from_order = ms cost_unique <= ms from_order in
+  Printf.printf
+    "unique build <= generic hash build (same order): %b (%.1f vs %.1f ms)\n"
+    unique_le_hash (ms cost_unique) (ms cost_bucket);
+  Printf.printf "cost-ordered <= FROM order: %b (%.1f vs %.1f ms)\n"
+    cost_ordered_le_from_order (ms cost_unique) (ms from_order);
+  if not unique_le_hash then
+    failwith
+      "JOIN_SCALE: unique-build join lost to the generic hash build on a \
+       key-covered workload";
+  if not cost_ordered_le_from_order then
+    failwith "JOIN_SCALE: cost-ordered join lost to FROM-clause order";
+  let measurement_json (name, _, card, (t : timing), (st : Engine.Stats.t)) =
+    Trace.Json.Obj
+      [ ("plan", Trace.Json.String name);
+        ("rows_out", Trace.Json.Int card);
+        ("median_ms", Trace.Json.Float t.median_ms);
+        ("spread_ms", Trace.Json.Float t.spread_ms);
+        ("join_build_rows", Trace.Json.Int st.Engine.Stats.join_build_rows);
+        ("join_probe_rows", Trace.Json.Int st.Engine.Stats.join_probe_rows);
+        ("unique_builds", Trace.Json.Int st.Engine.Stats.unique_builds);
+        ("probe_early_exits", Trace.Json.Int st.Engine.Stats.probe_early_exits);
+        ("product_pairs", Trace.Json.Int st.Engine.Stats.product_pairs);
+        ("join_strategy", Trace.Json.String st.Engine.Stats.join_strategy) ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("bench", Trace.Json.String "join_scale");
+        ("rows", Trace.Json.Int rows);
+        ("dim_rows", Trace.Json.Int (Workload.Datagen.star_dims rows));
+        ("repeats", Trace.Json.Int repeats);
+        ("query", Trace.Json.String Workload.Datagen.star_query);
+        ( "planner",
+          Trace.Json.Obj
+            [ ("strategy", Trace.Json.String choice.Optimizer.Join_plan.name);
+              ("reason", Trace.Json.String choice.Optimizer.Join_plan.reason);
+              ( "unique_builds",
+                Trace.Json.Int choice.Optimizer.Join_plan.unique_builds );
+              ("est_cost", Trace.Json.Float choice.Optimizer.Join_plan.est_cost);
+              ( "from_order_cost",
+                Trace.Json.Float choice.Optimizer.Join_plan.from_order_cost ) ] );
+        ( "measurements",
+          Trace.Json.List
+            (List.map measurement_json [ from_order; cost_bucket; cost_unique ])
+        );
+        ("unique_le_hash", Trace.Json.Bool unique_le_hash);
+        ( "cost_ordered_le_from_order",
+          Trace.Json.Bool cost_ordered_le_from_order ) ]
+  in
+  let oc = open_out "BENCH_join_scale.json" in
+  output_string oc (Trace.Json.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_join_scale.json\n"
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -1795,6 +1950,9 @@ let experiments =
     ( "DISTINCT_SCALE",
       "streaming duplicate elimination at scale (BENCH_distinct_scale.json)",
       experiment_distinct_scale );
+    ( "JOIN_SCALE",
+      "uniqueness-driven streaming joins at scale (BENCH_join_scale.json)",
+      experiment_join_scale );
     ("W1", "Bechamel micro-benchmarks", experiment_w1) ]
 
 let () =

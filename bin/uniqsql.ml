@@ -289,7 +289,16 @@ let run_cmd =
                    query duplicate-free), or auto (planner picks elided > \
                    sorted > hash and narrates why).")
   in
-  let run sql ddl views sets suppliers limit logic distinct_impl =
+  let join_arg =
+    Arg.(value & opt string "hash"
+         & info [ "join-impl" ] ~docv:"IMPL"
+             ~doc:"Join strategy: nested (filter over the block-nested \
+                   product, the ablation baseline), hash (streaming hash \
+                   joins in FROM order, default), or auto (cost-based \
+                   planner picks the join order, certifies unique builds \
+                   via Algorithm 1, and narrates why).")
+  in
+  let run sql ddl views sets suppliers limit logic distinct_impl join_impl =
     wrap (fun () ->
         let logic =
           match Sqlval.Logic_mode.of_string logic with
@@ -338,9 +347,20 @@ let run_cmd =
           | s -> failwith ("--distinct-impl expects sort, hash, stream-hash, \
                             stream-sorted, elided or auto, got " ^ s)
         in
+        let join_impl =
+          match join_impl with
+          | "nested" -> Engine.Exec.Nested_join
+          | "hash" -> Engine.Exec.Hash_join
+          | "auto" ->
+            let choice = Optimizer.Join_plan.choose ~database:db cat q in
+            Format.printf "join strategy: %s — %s@."
+              choice.Optimizer.Join_plan.name choice.Optimizer.Join_plan.reason;
+            choice.Optimizer.Join_plan.impl
+          | s -> failwith ("--join-impl expects nested, hash or auto, got " ^ s)
+        in
         let cfg =
           { (Engine.Exec.default_config ()) with
-            Engine.Exec.logic; distinct_impl }
+            Engine.Exec.logic; distinct_impl; join_impl }
         in
         let r = Engine.Exec.run_query ~config:cfg db ~hosts q in
         let truncated =
@@ -356,11 +376,18 @@ let run_cmd =
              sorted fallbacks=%d)@."
             st.Engine.Stats.dedup_strategy st.Engine.Stats.dedup_rows_in
             st.Engine.Stats.dedup_rows_out st.Engine.Stats.dedup_state_peak
-            st.Engine.Stats.distinct_elisions st.Engine.Stats.sorted_fallbacks)
+            st.Engine.Stats.distinct_elisions st.Engine.Stats.sorted_fallbacks;
+        if st.Engine.Stats.join_strategy <> "" then
+          Format.printf
+            "join: %s (build rows=%d, probe rows=%d, unique builds=%d, \
+             early exits=%d)@."
+            st.Engine.Stats.join_strategy st.Engine.Stats.join_build_rows
+            st.Engine.Stats.join_probe_rows st.Engine.Stats.unique_builds
+            st.Engine.Stats.probe_early_exits)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
     Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg
-          $ limit_arg $ logic_arg $ distinct_arg)
+          $ limit_arg $ logic_arg $ distinct_arg $ join_arg)
 
 (* ---- fuzz ---- *)
 
@@ -422,7 +449,7 @@ let fuzz_cmd =
          & info [ "oracle" ] ~docv:"NAME"
              ~doc:"Run only the named oracle group (repeatable). Groups: \
                    uniqueness, rewrite, agreement, symbolic, logic, cache, \
-                   distinct. Default: all of them.")
+                   distinct, join. Default: all of them.")
   in
   let run seed count instances rows cells no_shrink save replay use_cache
       nested_or oracles jobs =
@@ -473,8 +500,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
              instances judged by the uniqueness, rewrite, agreement, \
-             symbolic, logic, cache and distinct oracles (restrict with \
-             --oracle). \
+             symbolic, logic, cache, distinct and join oracles (restrict \
+             with --oracle). \
              Generation is sequential on the seeded RNG and judging fans \
              out over --jobs domains, so the report is byte-identical at \
              any job count.")

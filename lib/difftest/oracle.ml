@@ -545,6 +545,97 @@ let distinct_strategies ?cache (c : Case.t) =
     [ { oracle = "distinct/strategies"; verdict = strategies };
       { oracle = "distinct/planner"; verdict = planner } ]
 
+(* ---- join strategies ---- *)
+
+(* Operator-agreement oracle for joins: every join implementation is one
+   bag function, so the streaming hash join (FROM order) and the planned
+   cost-ordered join must bag-equal the nested product-and-filter
+   baseline on every instance. The planner half pins the unique-build
+   certificate: each [Planned_join] step may set [js_unique_build] only
+   when the synthetic DISTINCT spec it carries ([cert_spec]) gets an
+   independent Algorithm 1 YES — the mirror of the distinct oracle's
+   elision rule. *)
+let join_strategies ?cache (c : Case.t) =
+  let skip why =
+    [ { oracle = "join/strategies"; verdict = Skip why };
+      { oracle = "join/planner"; verdict = Skip why } ]
+  in
+  match c.Case.query with
+  | A.Setop _ -> skip "set operation"
+  | A.Spec q when List.length q.A.from < 2 -> skip "single-table query"
+  | A.Spec _ ->
+    let cat = Case.catalog c in
+    let query = c.Case.query in
+    let run impl db hosts =
+      let config =
+        { (Engine.Exec.default_config ()) with Engine.Exec.join_impl = impl }
+      in
+      Engine.Exec.run_query ~config db ~hosts query
+    in
+    let strategies =
+      guard (fun () ->
+          on_instances c (fun db hosts i ->
+              let baseline = run Engine.Exec.Nested_join db hosts in
+              let choice =
+                Optimizer.Join_plan.choose ?cache ~database:db cat query
+              in
+              let check name impl =
+                let r = run impl db hosts in
+                if Engine.Relation.equal_bags baseline r then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "instance %d: %s disagrees with nested-join (%d vs %d \
+                        rows)"
+                       i name
+                       (Engine.Relation.cardinality r)
+                       (Engine.Relation.cardinality baseline))
+              in
+              List.fold_left
+                (fun acc (name, impl) ->
+                  match acc with Some _ -> acc | None -> check name impl)
+                None
+                [ ("hash-join", Engine.Exec.Hash_join);
+                  ( "planned:" ^ choice.Optimizer.Join_plan.name,
+                    choice.Optimizer.Join_plan.impl ) ]))
+    in
+    let planner =
+      guard (fun () ->
+          on_instances c (fun db _hosts i ->
+              let choice =
+                Optimizer.Join_plan.choose ?cache ~database:db cat query
+              in
+              let bad_step st =
+                if not st.Optimizer.Join_plan.unique_build then None
+                else
+                  match st.Optimizer.Join_plan.cert_spec with
+                  | None ->
+                    Some
+                      (Printf.sprintf
+                         "instance %d: unique build on %s carries no \
+                          certificate spec"
+                         i st.Optimizer.Join_plan.leaf_name)
+                  | Some spec ->
+                    let certified =
+                      try U.Algorithm1.distinct_is_redundant ?cache cat spec
+                      with _ -> false
+                    in
+                    if certified then None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "instance %d: unique build on %s without an \
+                            Algorithm 1 YES certificate"
+                           i st.Optimizer.Join_plan.leaf_name)
+              in
+              List.fold_left
+                (fun acc st ->
+                  match acc with Some _ -> acc | None -> bad_step st)
+                None choice.Optimizer.Join_plan.steps))
+    in
+    [ { oracle = "join/strategies"; verdict = strategies };
+      { oracle = "join/planner"; verdict = planner } ]
+
 let groups ?max_cells ?cache () =
   [ ("uniqueness", fun c -> uniqueness ?cache c);
     ("rewrite", fun c -> rewrite ?cache c);
@@ -552,7 +643,8 @@ let groups ?max_cells ?cache () =
     ("symbolic", fun c -> symbolic ?max_cells ?cache c);
     ("logic", logic_agreement);
     ("cache", cache_consistency);
-    ("distinct", fun c -> distinct_strategies ?cache c) ]
+    ("distinct", fun c -> distinct_strategies ?cache c);
+    ("join", fun c -> join_strategies ?cache c) ]
 
 let group_names = List.map fst (groups ())
 

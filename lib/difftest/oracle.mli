@@ -27,7 +27,13 @@
       strategy (materializing sort/hash, streaming hash, sort-aware
       streaming with its fallback) returns bag-equal results on every
       instance, and [Optimizer.Distinct_plan] picks the elided
-      pass-through only when Algorithm 1 independently certifies YES.
+      pass-through only when Algorithm 1 independently certifies YES;
+    - {e join}: operator agreement — the streaming hash join (FROM
+      order) and [Optimizer.Join_plan]'s cost-ordered plan return
+      bag-equal results against the nested product-and-filter baseline
+      on every instance, and every planned unique-build step carries a
+      synthetic DISTINCT spec that Algorithm 1 independently certifies
+      (the join mirror of the distinct elision rule).
 
     A [Fail] verdict is a soundness discrepancy; [Skip] records why an
     oracle did not apply (outside the analyzer's class, rewrite not
@@ -56,10 +62,11 @@ val symbolic : ?max_cells:int -> ?cache:Analysis_cache.t -> Case.t -> finding li
 val logic_agreement : Case.t -> finding list
 val cache_consistency : Case.t -> finding list
 val distinct_strategies : ?cache:Analysis_cache.t -> Case.t -> finding list
+val join_strategies : ?cache:Analysis_cache.t -> Case.t -> finding list
 
 (** The oracle group names accepted by [all ~only] (and the fuzzer's
     [--oracle] flag): ["uniqueness"], ["rewrite"], ["agreement"],
-    ["symbolic"], ["logic"], ["cache"], ["distinct"]. *)
+    ["symbolic"], ["logic"], ["cache"], ["distinct"], ["join"]. *)
 val group_names : string list
 
 (** All oracles; [max_cells] bounds the exact checker (default

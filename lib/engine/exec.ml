@@ -10,20 +10,37 @@ type distinct_impl =
 
 type exists_impl = Naive_exists | Indexed_exists
 
+type join_step = {
+  js_leaf : int;
+  js_unique_build : bool;
+}
+
+type join_order = {
+  jo_first : int;
+  jo_steps : join_step list;
+}
+
+type join_impl =
+  | Nested_join
+  | Hash_join
+  | Planned_join of join_order
+
 type config = {
   distinct_impl : distinct_impl;
-  enable_hash_join : bool;
+  join_impl : join_impl;
   exists_impl : exists_impl;
   logic : Sqlval.Logic_mode.t;
+  scan_cache_capacity : int;
   stats : Stats.t;
 }
 
 let default_config () =
   {
     distinct_impl = Sort_distinct;
-    enable_hash_join = true;
+    join_impl = Hash_join;
     exists_impl = Naive_exists;
     logic = Sqlval.Logic_mode.default;
+    scan_cache_capacity = 64;
     stats = Stats.create ();
   }
 
@@ -92,18 +109,32 @@ let compile ?config db ~hosts plan : Operator.t =
     | Some v -> v
     | None -> raise (Unbound_host h)
   in
-  (* (table, correlation) -> renamed schema + rows + verified order, built
-     once per run: correlated subqueries re-scan their tables once per outer
-     row and must not pay schema construction each time *)
+  (* Both executor-private caches are scoped to this [compile] call — one
+     statement — and bounded: a long-lived serve session compiles thousands
+     of statements, and even within one statement a pathological query can
+     name arbitrarily many table occurrences / subquery shapes. Overflow
+     evicts least-recently-used and is counted in
+     [Stats.scan_cache_evictions]; eviction only costs a re-scan, never
+     correctness. *)
+  let add_counting_evictions cache k v =
+    let before = (Cache.Lru.counters cache).Cache.Lru.c_evictions in
+    Cache.Lru.add cache k v;
+    let after = (Cache.Lru.counters cache).Cache.Lru.c_evictions in
+    stats.Stats.scan_cache_evictions <-
+      stats.Stats.scan_cache_evictions + (after - before)
+  in
+  (* (table, correlation) -> renamed schema + rows + verified order:
+     correlated subqueries re-scan their tables once per outer row and must
+     not pay schema construction each time *)
   let scan_cache :
       ( string * string,
         Schema.Relschema.t * Relation.row list * Schema.Attr.t list )
-      Hashtbl.t =
-    Hashtbl.create 8
+      Cache.Lru.t =
+    Cache.Lru.create ~capacity:(max 1 cfg.scan_cache_capacity)
   in
   let scan_table table corr =
     let key = (String.uppercase_ascii table, corr) in
-    match Hashtbl.find_opt scan_cache key with
+    match Cache.Lru.find scan_cache key with
     | Some v -> v
     | None ->
       let def = Catalog.find_exn cat table in
@@ -115,12 +146,13 @@ let compile ?config db ~hosts plan : Operator.t =
           (Database.order db table)
       in
       let v = (schema, rows, order) in
-      Hashtbl.add scan_cache key v;
+      add_counting_evictions scan_cache key v;
       v
   in
   (* memoized per-subquery hash indexes for Indexed_exists *)
-  let exists_index_cache : (string, (string, Relation.row list) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 4
+  let exists_index_cache :
+      (string, (string, Relation.row list) Hashtbl.t) Cache.Lru.t =
+    Cache.Lru.create ~capacity:(max 1 cfg.scan_cache_capacity)
   in
   let tick_compare () = stats.Stats.comparisons <- stats.Stats.comparisons + 1 in
   let sort_counting rows =
@@ -201,7 +233,7 @@ let compile ?config db ~hosts plan : Operator.t =
         ^ Sql.Pretty.query_spec sub
       in
       let index =
-        match Hashtbl.find_opt exists_index_cache cache_key with
+        match Cache.Lru.find exists_index_cache cache_key with
         | Some ix -> ix
         | None ->
           let ix = Hashtbl.create (List.length rows) in
@@ -215,7 +247,7 @@ let compile ?config db ~hosts plan : Operator.t =
                   (row :: Option.value ~default:[] (Hashtbl.find_opt ix k))
               end)
             rows;
-          Hashtbl.add exists_index_cache cache_key ix;
+          add_counting_evictions exists_index_cache cache_key ix;
           ix
       in
       stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
@@ -259,18 +291,23 @@ let compile ?config db ~hosts plan : Operator.t =
       Operator.of_rows ~order
         ~tick:(fun () -> stats.Stats.rows_scanned <- stats.Stats.rows_scanned + 1)
         schema rows
-    | Relalg.Plan.Select (pred, Relalg.Plan.Product (a, b))
-      when cfg.enable_hash_join ->
-      (* physical optimization: evaluate equi-join conjuncts with a hash
-         join instead of filtering the materialized product (the "alternate
-         join methods" that motivate unnesting in the paper's section 5.2).
-         Blocking, so it runs behind a deferred source. *)
-      let schema =
-        Schema.Relschema.product
-          (compile_node a).Operator.schema
-          (compile_node b).Operator.schema
-      in
-      Operator.of_lazy schema (fun () -> (hash_join pred a b).Relation.rows)
+    | Relalg.Plan.Select (pred, (Relalg.Plan.Product _ as prod)) ->
+      (match cfg.join_impl with
+       | Nested_join ->
+         (* ablation baseline: filter the block-nested product stream *)
+         Stats.record_join stats ~strategy:"nested";
+         let op = compile_node prod in
+         let schema = op.Operator.schema in
+         count_output
+           (Operator.filter
+              (fun row ->
+                Truth.is_true
+                  (eval_pred [ { fr_schema = schema; fr_row = row } ] pred))
+              op)
+       | Hash_join | Planned_join _ ->
+         (* the streaming join tree: the "alternate join methods" that
+            motivate unnesting in the paper's section 5.2 *)
+         compile_join pred (Relalg.Plan.flatten_product prod))
     | Relalg.Plan.Select (pred, sub) ->
       let op = compile_node sub in
       let schema = op.Operator.schema in
@@ -488,14 +525,17 @@ let compile ?config db ~hosts plan : Operator.t =
         stats.Stats.rows_output <- stats.Stats.rows_output + List.length rows;
         rows)
 
-  and hash_join pred a b =
-    (* flatten a left-deep product into its leaves and re-join them with
-       predicate pushdown, hash equi-joins, and residual filters *)
-    let rec flatten = function
-      | Relalg.Plan.Product (x, y) -> flatten x @ flatten y
-      | p -> [ p ]
-    in
-    let inputs = List.map exec (flatten (Relalg.Plan.Product (a, b))) in
+  and compile_join pred leaves : Operator.t =
+    (* Streaming join tree over the flattened product leaves: single-leaf
+       conjuncts are pushed below the joins, cross-leaf equalities drive
+       streaming hash joins — in FROM order under [Hash_join], or in the
+       planner-chosen order with unique-build certificates under
+       [Planned_join] (the engine trusts [Optimizer.Join_plan]'s
+       certificate blindly; the analyzers live above the engine) — and
+       whatever remains, EXISTS correlations included, runs as a residual
+       filter over the joined stream. Output column order under a
+       reordered plan differs from the FROM-order product, which is safe:
+       parents resolve columns by qualified name, never by position. *)
     let rec contains_exists = function
       | Sql.Ast.Exists _ -> true
       | Sql.Ast.And (x, y) | Sql.Ast.Or (x, y) ->
@@ -532,31 +572,60 @@ let compile ?config db ~hosts plan : Operator.t =
       remaining := no;
       yes
     in
-    let filter_rel rel preds =
+    let filter_op op preds =
       match preds with
-      | [] -> rel
+      | [] -> op
       | _ ->
         let p = Sql.Ast.conj preds in
-        let rows =
-          List.filter
-            (fun row ->
-              Truth.is_true
-                (eval_pred [ { fr_schema = rel.Relation.schema; fr_row = row } ] p))
-            rel.Relation.rows
-        in
-        Relation.make rel.Relation.schema rows
+        let schema = op.Operator.schema in
+        Operator.filter
+          (fun row ->
+            Truth.is_true
+              (eval_pred [ { fr_schema = schema; fr_row = row } ] p))
+          op
     in
-    let join accr next =
-      let combined =
-        Schema.Relschema.product accr.Relation.schema next.Relation.schema
-      in
+    (* push single-leaf conjuncts below the joins; FROM order keeps the
+       attribution deterministic regardless of the join order chosen *)
+    let ops =
+      Array.of_list
+        (List.map
+           (fun leaf ->
+             let op = compile_node leaf in
+             filter_op op (take (evaluable op.Operator.schema)))
+           leaves)
+    in
+    let n = Array.length ops in
+    let from_order = List.init n Fun.id in
+    let visit_order, unique_of =
+      match cfg.join_impl with
+      | Nested_join | Hash_join -> (from_order, fun _ -> false)
+      | Planned_join { jo_first; jo_steps } ->
+        let idxs = jo_first :: List.map (fun s -> s.js_leaf) jo_steps in
+        (* a plan for a different leaf count/set cannot be trusted *)
+        if List.sort compare idxs <> from_order then
+          (from_order, fun _ -> false)
+        else
+          ( idxs,
+            fun i ->
+              List.exists
+                (fun s -> s.js_leaf = i && s.js_unique_build)
+                jo_steps )
+    in
+    let product_tick () =
+      stats.Stats.product_pairs <- stats.Stats.product_pairs + 1
+    in
+    let join acc leaf_idx =
+      let build = ops.(leaf_idx) in
       let as_equi c =
         match c with
         | Sql.Ast.Cmp (Sql.Ast.Eq, Sql.Ast.Col x, Sql.Ast.Col y) ->
-          if safe_mem accr.Relation.schema x && safe_mem next.Relation.schema y
+          if
+            safe_mem acc.Operator.schema x
+            && safe_mem build.Operator.schema y
           then Some (x, y)
           else if
-            safe_mem accr.Relation.schema y && safe_mem next.Relation.schema x
+            safe_mem acc.Operator.schema y
+            && safe_mem build.Operator.schema x
           then Some (y, x)
           else None
         | _ -> None
@@ -564,73 +633,84 @@ let compile ?config db ~hosts plan : Operator.t =
       let equis =
         List.filter_map as_equi (take (fun c -> as_equi c <> None))
       in
-      let rows =
+      let joined =
         match equis with
         | [] ->
-          (* no usable equi-join condition: nested-loop product *)
-          List.concat_map
-            (fun x ->
-              List.map
-                (fun y ->
-                  stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
-                  Array.append x y)
-                next.Relation.rows)
-            accr.Relation.rows
+          (* no usable equi-join condition: block nested-loop product *)
+          Stats.record_join stats ~strategy:"product";
+          Operator.product ~tick:product_tick acc build
         | _ ->
-          let acc_idx =
-            List.map (fun (x, _) -> Schema.Relschema.index_of accr.Relation.schema x) equis
+          let probe_key =
+            List.map
+              (fun (x, _) -> Schema.Relschema.index_of acc.Operator.schema x)
+              equis
           in
-          let next_idx =
-            List.map (fun (_, y) -> Schema.Relschema.index_of next.Relation.schema y) equis
+          let build_key =
+            List.map
+              (fun (_, y) ->
+                Schema.Relschema.index_of build.Operator.schema y)
+              equis
           in
-          let key_of row idxs =
-            let vals = List.map (fun i -> row.(i)) idxs in
-            if List.exists Value.is_null vals then None
-            else Some (Relation.key_of_values vals)
-          in
-          let table = Hashtbl.create (List.length next.Relation.rows) in
-          List.iter
-            (fun row ->
-              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
-              match key_of row next_idx with
-              | Some k ->
-                Hashtbl.replace table k
-                  (row :: Option.value ~default:[] (Hashtbl.find_opt table k))
-              | None -> ())
-            next.Relation.rows;
-          List.concat_map
-            (fun x ->
-              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
-              match key_of x acc_idx with
-              | Some k ->
-                List.rev_map
-                  (fun y ->
-                    stats.Stats.product_pairs <- stats.Stats.product_pairs + 1;
-                    Array.append x y)
-                  (Option.value ~default:[] (Hashtbl.find_opt table k))
-              | None -> [])
-            accr.Relation.rows
+          let unique_build = unique_of leaf_idx in
+          Stats.record_join stats
+            ~strategy:
+              (if unique_build then "unique-hash-join" else "hash-join");
+          Operator.hash_join ~tick:product_tick ~stats ~unique_build
+            ~probe_key ~build_key acc build
       in
-      let joined = Relation.make combined rows in
-      filter_rel joined (take (evaluable combined))
+      filter_op joined (take (evaluable joined.Operator.schema))
     in
     let result =
-      List.fold_left
-        (fun acc next ->
-          let next = filter_rel next (take (evaluable next.Relation.schema)) in
-          match acc with None -> Some next | Some accr -> Some (join accr next))
-        None inputs
+      match visit_order with
+      | [] -> failwith "Exec.compile_join: empty product"
+      | first :: rest -> List.fold_left join ops.(first) rest
     in
-    let result =
-      match result with
-      | Some r -> filter_rel r !remaining
-      | None -> failwith "Exec.hash_join: empty product"
-    in
-    stats.Stats.rows_output <-
-      stats.Stats.rows_output + List.length result.Relation.rows;
-    result
+    count_output (filter_op result !remaining)
 
   and setop kind d a b =
+    match d with
+    | Sql.Ast.Distinct ->
+      (* DISTINCT set operations stream: dedup the left input with a hash
+         set, then keep (INTERSECT) or drop (EXCEPT) the rows present in
+         the right via a hash semi-join keyed on the whole row. Set
+         operations equate NULLs, so the semi-join keys use the
+         null-comparison total order ([~null_equal]). Order provenance is
+         the left input's — the merge-based ALL path below still claims the
+         full sort it performs. *)
+      let left = compile_node a in
+      let right = compile_node b in
+      let schema = left.Operator.schema in
+      let all_cols s = List.init (List.length (Schema.Relschema.columns s)) Fun.id in
+      let checked = ref false in
+      let check_compat () =
+        if not !checked then begin
+          checked := true;
+          if
+            not
+              (Schema.Relschema.union_compatible schema right.Operator.schema)
+          then failwith "Exec: set operation on non-union-compatible inputs"
+        end
+      in
+      Stats.record_join stats
+        ~strategy:
+          (match kind with
+           | `Intersect -> "semi-join"
+           | `Except -> "anti-semi-join");
+      let semi =
+        Operator.semi_join
+          ~anti:(kind = `Except)
+          ~null_equal:true ~stats ~probe_key:(all_cols schema)
+          ~build_key:(all_cols right.Operator.schema)
+          (Operator.hash_unique ~stats left)
+          right
+      in
+      count_output
+        { semi with
+          Operator.next =
+            (fun () ->
+              check_compat ();
+              semi.Operator.next ()) }
+    | Sql.Ast.All ->
     let schema = (compile_node a).Operator.schema in
     (* merge output is fully sorted, so downstream order is all columns *)
     Operator.of_lazy ~order:(Schema.Relschema.attrs schema) schema (fun () ->

@@ -1,10 +1,12 @@
 (** Plan compiler and executor with SQL 3VL multiset semantics.
 
     Plans compile to pull-based {!Operator} pipelines. Scans, filters,
-    projections, and products stream; hash joins, aggregation, and set
-    operations are blocking and run behind deferred sources, so compiling a
-    plan never executes it — the planner compiles purely to inspect order
-    provenance ({!distinct_stream}).
+    projections, products, hash joins, and DISTINCT set operations stream
+    (a join's build side and a set operation's right side are drained on
+    the first pull, never at compile time); aggregation and ALL set
+    operations are blocking and run behind deferred sources. Compiling a
+    plan therefore never executes it — the planner compiles purely to
+    inspect order provenance ({!distinct_stream}).
 
     Duplicate elimination comes in five flavors: two materializing
     strategies kept for ablations ([Sort_distinct], the 1994-era default
@@ -40,12 +42,42 @@ type exists_impl =
           on the correlated columns once and probe per outer row — what an
           engine with an index on the correlation key does *)
 
+(** One step of a planner-chosen join order: which FROM-list leaf joins
+    next, and whether its build side may run in unique mode (one flat row
+    per key, early-exit probes) — legal only when the leaf's join columns
+    cover a derived candidate key. *)
+type join_step = {
+  js_leaf : int;  (** index into the FROM-order flattened product leaves *)
+  js_unique_build : bool;
+      (** certificate that the build join columns cover a candidate key of
+          the (filtered) leaf; the engine does NOT re-check it — provide
+          only with an Algorithm 1 / FD-closure YES in hand (see
+          [Optimizer.Join_plan]) *)
+}
+
+type join_order = {
+  jo_first : int;  (** leaf the probe pipeline starts from *)
+  jo_steps : join_step list;
+      (** remaining leaves in join order; together with [jo_first] this
+          must be a permutation of [0 .. n-1] over the n product leaves,
+          else the engine falls back to FROM order *)
+}
+
+type join_impl =
+  | Nested_join
+      (** filter over the block-nested product stream — the ablation
+          baseline every other implementation must bag-equal *)
+  | Hash_join
+      (** streaming hash joins in FROM-clause order with single-leaf
+          conjunct pushdown (default) *)
+  | Planned_join of join_order
+      (** streaming hash joins in the planner-chosen order, with
+          unique-build certificates per step *)
+
 type config = {
   distinct_impl : distinct_impl;
-  enable_hash_join : bool;
-      (** evaluate equi-join conjuncts over products with a hash join and
-          push single-table conjuncts below the join (default); disable for
-          the naive filter-over-product baseline used in ablations *)
+  join_impl : join_impl;
+      (** how [Select] over a product executes; see {!join_impl} *)
   exists_impl : exists_impl;
   logic : Sqlval.Logic_mode.t;
       (** null semantics of predicate atoms: [L3] (SQL, default) or [L2]
@@ -53,6 +85,11 @@ type config = {
           every predicate evaluation in the plan, EXISTS subqueries
           included. Duplicate elimination is unaffected (it always uses the
           null-comparison total order). *)
+  scan_cache_capacity : int;
+      (** bound on the executor's per-statement scan and EXISTS-index
+          caches (entries; default 64). Overflow evicts LRU and counts in
+          {!Stats.t.scan_cache_evictions}; eviction costs a re-scan, never
+          correctness. *)
   stats : Stats.t;
 }
 

@@ -124,6 +124,150 @@ let product ?(tick = no_op) left right =
         pending := []);
   }
 
+(* Join keys follow WHERE-equality semantics: a NULL in any key column
+   means the row can match nothing (unknown, not equal), so it is dropped
+   from both the build table and the probe. [semi_join ~null_equal:true]
+   switches to the null-comparison total order used by set operations. *)
+let join_key ~null_equal row idxs =
+  let vals = List.map (fun i -> row.(i)) idxs in
+  if (not null_equal) && List.exists Value.is_null vals then None
+  else Some (Relation.key_of_values vals)
+
+let hash_join ?(tick = no_op) ~stats ?(unique_build = false) ~probe_key
+    ~build_key probe build =
+  let schema = Schema.Relschema.product probe.schema build.schema in
+  (* The build side is drained exactly once, on the first probe pull —
+     compiling the pipeline stays pure. Unique mode stores one flat row per
+     key (the planner certified the build join columns cover a candidate
+     key, so a bucket can never hold two rows) and each matching probe
+     early-exits with that row instead of walking a list. *)
+  let table = ref None in
+  let force_table () =
+    match !table with
+    | Some tbl -> tbl
+    | None ->
+      if unique_build then
+        stats.Stats.unique_builds <- stats.Stats.unique_builds + 1;
+      let tbl = Hashtbl.create 256 in
+      let rec drain () =
+        match build.next () with
+        | None -> ()
+        | Some row ->
+          stats.Stats.join_build_rows <- stats.Stats.join_build_rows + 1;
+          (match join_key ~null_equal:false row build_key with
+           | None -> ()
+           | Some k ->
+             if unique_build then Hashtbl.replace tbl k [ row ]
+             else
+               Hashtbl.replace tbl k
+                 (row :: Option.value ~default:[] (Hashtbl.find_opt tbl k)));
+          drain ()
+      in
+      drain ();
+      table := Some tbl;
+      tbl
+  in
+  let current = ref None in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | y :: rest ->
+      pending := rest;
+      (match !current with
+       | Some x ->
+         tick ();
+         Some (Array.append x y)
+       | None -> assert false)
+    | [] ->
+      (match probe.next () with
+       | None -> None
+       | Some x ->
+         let tbl = force_table () in
+         stats.Stats.join_probe_rows <- stats.Stats.join_probe_rows + 1;
+         stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+         (match join_key ~null_equal:false x probe_key with
+          | None -> pull ()
+          | Some k ->
+            (match Hashtbl.find_opt tbl k with
+             | None -> pull ()
+             | Some [ y ] when unique_build ->
+               stats.Stats.probe_early_exits <-
+                 stats.Stats.probe_early_exits + 1;
+               tick ();
+               Some (Array.append x y)
+             | Some bucket ->
+               current := Some x;
+               (* buckets are built by consing, so reverse back to build
+                  order before replaying *)
+               pending := List.rev bucket;
+               pull ())))
+  in
+  {
+    schema;
+    order = probe.order;
+    next = pull;
+    rewind =
+      (fun () ->
+        probe.rewind ();
+        current := None;
+        pending := []);
+    close =
+      (fun () ->
+        probe.close ();
+        build.close ();
+        table := Some (Hashtbl.create 1);
+        current := None;
+        pending := []);
+  }
+
+let semi_join ?(anti = false) ?(null_equal = false) ~stats ~probe_key
+    ~build_key probe build =
+  (* Output schema and order are the probe's: the operator only decides,
+     per probe row, whether a build match exists ([anti] inverts). *)
+  let table = ref None in
+  let force_table () =
+    match !table with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 256 in
+      let rec drain () =
+        match build.next () with
+        | None -> ()
+        | Some row ->
+          stats.Stats.join_build_rows <- stats.Stats.join_build_rows + 1;
+          (match join_key ~null_equal row build_key with
+           | None -> ()
+           | Some k -> Hashtbl.replace tbl k ());
+          drain ()
+      in
+      drain ();
+      table := Some tbl;
+      tbl
+  in
+  let rec pull () =
+    match probe.next () with
+    | None -> None
+    | Some x ->
+      let tbl = force_table () in
+      stats.Stats.join_probe_rows <- stats.Stats.join_probe_rows + 1;
+      stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+      let matched =
+        match join_key ~null_equal x probe_key with
+        | None -> false
+        | Some k -> Hashtbl.mem tbl k
+      in
+      if matched <> anti then Some x else pull ()
+  in
+  {
+    probe with
+    next = pull;
+    close =
+      (fun () ->
+        probe.close ();
+        build.close ();
+        table := Some (Hashtbl.create 1));
+  }
+
 let order_covers schema order =
   let target = Schema.Relschema.attr_set schema in
   let rec go covered = function

@@ -83,6 +83,54 @@ val map :
     pair. *)
 val product : ?tick:(unit -> unit) -> t -> t -> t
 
+(** {1 Joins}
+
+    Streaming hash joins in the volcano mold: the build input is drained
+    into a hash table exactly once, on the first probe pull (construction
+    stays pure), and the probe input streams. Output order is inherited
+    from the probe side — for a fixed probe row its matches are emitted
+    contiguously, which preserves any lexicographic guarantee on probe
+    attributes. Join keys use WHERE-equality semantics: a NULL key column
+    matches nothing on either side. *)
+
+(** Equi-join [probe ⋈ build]; output schema is the product
+    [probe × build] with rows [probe_row @ build_row]. [probe_key] /
+    [build_key] are column indices into the respective schemas (parallel
+    lists, one entry per equality). With [~unique_build:true] the table
+    stores one flat row per key instead of a bucket list and every
+    matching probe early-exits with that single row — sound only when the
+    build join columns cover a candidate key of the build input; the
+    certificate is the caller's to provide (see [Optimizer.Join_plan]),
+    not this module's to check. Counts {!Stats.t.join_build_rows},
+    {!Stats.t.join_probe_rows}, {!Stats.t.unique_builds} and
+    {!Stats.t.probe_early_exits}; [tick] fires once per output row. *)
+val hash_join :
+  ?tick:(unit -> unit) ->
+  stats:Stats.t ->
+  ?unique_build:bool ->
+  probe_key:int list ->
+  build_key:int list ->
+  t ->
+  t ->
+  t
+
+(** Hash semi-join: emit the probe rows with at least one build match
+    ([~anti:true] inverts — emit the rows with none). Schema and order are
+    the probe's; the build side only ever contributes a key-set bit. With
+    [~null_equal:true] keys use the null-comparison total order (NULL
+    matches NULL) — the set-operation regime — instead of WHERE-equality
+    semantics, under which a NULL probe key matches nothing (so a semi
+    drops the row and an anti keeps it). *)
+val semi_join :
+  ?anti:bool ->
+  ?null_equal:bool ->
+  stats:Stats.t ->
+  probe_key:int list ->
+  build_key:int list ->
+  t ->
+  t ->
+  t
+
 (** {1 Duplicate elimination} *)
 
 (** Does the stream order guarantee that equal rows are adjacent? True when

@@ -13,11 +13,17 @@ type t = {
   mutable dedup_state_peak : int;
   mutable distinct_elisions : int;
   mutable sorted_fallbacks : int;
+  mutable join_build_rows : int;
+  mutable join_probe_rows : int;
+  mutable unique_builds : int;
+  mutable probe_early_exits : int;
+  mutable scan_cache_evictions : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
   mutable cache_contention : int;
   mutable dedup_strategy : string;
+  mutable join_strategy : string;
 }
 
 let create () =
@@ -36,11 +42,17 @@ let create () =
     dedup_state_peak = 0;
     distinct_elisions = 0;
     sorted_fallbacks = 0;
+    join_build_rows = 0;
+    join_probe_rows = 0;
+    unique_builds = 0;
+    probe_early_exits = 0;
+    scan_cache_evictions = 0;
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
     cache_contention = 0;
     dedup_strategy = "";
+    join_strategy = "";
   }
 
 let reset t =
@@ -58,11 +70,17 @@ let reset t =
   t.dedup_state_peak <- 0;
   t.distinct_elisions <- 0;
   t.sorted_fallbacks <- 0;
+  t.join_build_rows <- 0;
+  t.join_probe_rows <- 0;
+  t.unique_builds <- 0;
+  t.probe_early_exits <- 0;
+  t.scan_cache_evictions <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.cache_evictions <- 0;
   t.cache_contention <- 0;
-  t.dedup_strategy <- ""
+  t.dedup_strategy <- "";
+  t.join_strategy <- ""
 
 let add t u =
   t.rows_scanned <- t.rows_scanned + u.rows_scanned;
@@ -79,11 +97,17 @@ let add t u =
   t.dedup_state_peak <- max t.dedup_state_peak u.dedup_state_peak;
   t.distinct_elisions <- t.distinct_elisions + u.distinct_elisions;
   t.sorted_fallbacks <- t.sorted_fallbacks + u.sorted_fallbacks;
+  t.join_build_rows <- t.join_build_rows + u.join_build_rows;
+  t.join_probe_rows <- t.join_probe_rows + u.join_probe_rows;
+  t.unique_builds <- t.unique_builds + u.unique_builds;
+  t.probe_early_exits <- t.probe_early_exits + u.probe_early_exits;
+  t.scan_cache_evictions <- t.scan_cache_evictions + u.scan_cache_evictions;
   t.cache_hits <- t.cache_hits + u.cache_hits;
   t.cache_misses <- t.cache_misses + u.cache_misses;
   t.cache_evictions <- t.cache_evictions + u.cache_evictions;
   t.cache_contention <- t.cache_contention + u.cache_contention;
-  if u.dedup_strategy <> "" then t.dedup_strategy <- u.dedup_strategy
+  if u.dedup_strategy <> "" then t.dedup_strategy <- u.dedup_strategy;
+  if u.join_strategy <> "" then t.join_strategy <- u.join_strategy
 
 let record_cache t ~hits ~misses ~evictions ~contention =
   t.cache_hits <- hits;
@@ -96,6 +120,11 @@ let record_dedup t ~strategy ~state =
     (if t.dedup_strategy = "" then strategy
      else t.dedup_strategy ^ "," ^ strategy);
   t.dedup_state_peak <- max t.dedup_state_peak state
+
+let record_join t ~strategy =
+  t.join_strategy <-
+    (if t.join_strategy = "" then strategy
+     else t.join_strategy ^ "," ^ strategy)
 
 let fields t =
   [ ("rows_scanned", t.rows_scanned);
@@ -112,6 +141,11 @@ let fields t =
     ("dedup_state_peak", t.dedup_state_peak);
     ("distinct_elisions", t.distinct_elisions);
     ("sorted_fallbacks", t.sorted_fallbacks);
+    ("join_build_rows", t.join_build_rows);
+    ("join_probe_rows", t.join_probe_rows);
+    ("unique_builds", t.unique_builds);
+    ("probe_early_exits", t.probe_early_exits);
+    ("scan_cache_evictions", t.scan_cache_evictions);
     ("cache_hits", t.cache_hits);
     ("cache_misses", t.cache_misses);
     ("cache_evictions", t.cache_evictions);
@@ -121,14 +155,19 @@ let pp ppf t =
   Format.fprintf ppf
     "scanned=%d output=%d pred_evals=%d pairs=%d sorts=%d sorted_rows=%d \
      comparisons=%d hash_probes=%d subqueries=%d dedup_in=%d dedup_out=%d \
-     dedup_state_peak=%d elisions=%d sorted_fallbacks=%d%s cache_hits=%d \
-     cache_misses=%d cache_evictions=%d cache_contention=%d"
+     dedup_state_peak=%d elisions=%d sorted_fallbacks=%d%s join_build=%d \
+     join_probe=%d unique_builds=%d early_exits=%d%s scan_evictions=%d \
+     cache_hits=%d cache_misses=%d cache_evictions=%d cache_contention=%d"
     t.rows_scanned t.rows_output t.predicate_evals t.product_pairs t.sorts
     t.sorted_rows t.comparisons t.hash_probes t.subquery_evals
     t.dedup_rows_in t.dedup_rows_out t.dedup_state_peak t.distinct_elisions
     t.sorted_fallbacks
     (if t.dedup_strategy = "" then ""
      else Printf.sprintf " dedup_strategy=%s" t.dedup_strategy)
-    t.cache_hits t.cache_misses t.cache_evictions t.cache_contention
+    t.join_build_rows t.join_probe_rows t.unique_builds t.probe_early_exits
+    (if t.join_strategy = "" then ""
+     else Printf.sprintf " join_strategy=%s" t.join_strategy)
+    t.scan_cache_evictions t.cache_hits t.cache_misses t.cache_evictions
+    t.cache_contention
 
 let to_string t = Format.asprintf "%a" pp t

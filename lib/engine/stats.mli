@@ -4,13 +4,17 @@
     [EXISTS] strategy). The [dedup_*] family records what each
     duplicate-elimination strategy paid: rows in/out, the peak size of the
     dedup state (|distinct rows| for hash, 1 for sort-aware, 0 when the
-    operator was elided), and which strategy actually ran. *)
+    operator was elided), and which strategy actually ran. The [join_*]
+    family does the same for hash joins: rows drained into build tables,
+    rows streamed through probes, how many builds ran in the one-flat-row
+    unique mode, and how many probes that mode answered without a bucket
+    walk. *)
 
 type t = {
   mutable rows_scanned : int;       (** rows read from base tables *)
   mutable rows_output : int;        (** rows in operator results *)
   mutable predicate_evals : int;    (** selection predicate evaluations *)
-  mutable product_pairs : int;      (** tuples materialized by products *)
+  mutable product_pairs : int;      (** tuples materialized by products/joins *)
   mutable sorts : int;              (** sort operations performed *)
   mutable sorted_rows : int;        (** total rows fed into sorts *)
   mutable comparisons : int;        (** row comparisons in sorts/merges *)
@@ -23,6 +27,18 @@ type t = {
   mutable sorted_fallbacks : int;
       (** Sorted_unique requests degraded to hash because the input order
           did not cover the projection *)
+  mutable join_build_rows : int;    (** rows drained into join build tables *)
+  mutable join_probe_rows : int;    (** rows streamed through join probes *)
+  mutable unique_builds : int;
+      (** joins whose build side ran in unique mode: one flat row per key
+          (a planner certificate that the build join columns cover a
+          candidate key — see [Optimizer.Join_plan]) *)
+  mutable probe_early_exits : int;
+      (** probes answered by the unique-build fast path: a single row
+          returned with no bucket list to walk *)
+  mutable scan_cache_evictions : int;
+      (** entries evicted from the executor's bounded per-statement scan /
+          EXISTS-index caches *)
   mutable cache_hits : int;         (** analysis-cache verdict hits *)
   mutable cache_misses : int;       (** analysis-cache verdict misses *)
   mutable cache_evictions : int;    (** analysis-cache LRU evictions *)
@@ -31,13 +47,17 @@ type t = {
       (** comma-joined names of the dedup strategies that ran, in plan
           order (e.g. ["elided-unique"], ["sorted-unique->hash"]); [""]
           when the plan eliminated no duplicates *)
+  mutable join_strategy : string;
+      (** comma-joined names of the join strategies compiled, in plan order
+          (e.g. ["hash-join,unique-hash-join"], ["nested"]); [""] when the
+          plan joined nothing *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
 (** Sum counters ([dedup_state_peak] takes the max; a nonempty
-    [dedup_strategy] on the right-hand side wins). *)
+    [dedup_strategy]/[join_strategy] on the right-hand side wins). *)
 val add : t -> t -> unit
 
 (** Overwrite the analysis-cache counters with a fresh reading (they are
@@ -50,10 +70,13 @@ val record_cache :
     [dedup_strategy] and folds [state] into [dedup_state_peak]. *)
 val record_dedup : t -> strategy:string -> state:int -> unit
 
+(** Narrate one join step: appends [strategy] to [join_strategy]. *)
+val record_join : t -> strategy:string -> unit
+
 (** Counter name/value pairs in declaration order — the stable interchange
     form used to fold execution counters into explain reports (both the
-    JSON and tree renderings). The string-valued strategy narration is not
-    included; read [dedup_strategy] directly. *)
+    JSON and tree renderings). The string-valued strategy narrations are
+    not included; read [dedup_strategy]/[join_strategy] directly. *)
 val fields : t -> (string * int) list
 
 val pp : Format.formatter -> t -> unit

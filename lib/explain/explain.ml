@@ -139,6 +139,11 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache ?latency cat
     Optimizer.Distinct_plan.choose ?cache ~trace:distinct_trace ?database cat
       query
   in
+  let join_trace = Trace.make () in
+  let _ =
+    Optimizer.Join_plan.choose ?cache ~trace:join_trace ?database ~stats cat
+      query
+  in
   let executions =
     match database with
     | None -> []
@@ -158,7 +163,8 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache ?latency cat
         symbolic;
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
         { title = "planner"; nodes = Trace.nodes planner_trace };
-        { title = "distinct-strategy"; nodes = Trace.nodes distinct_trace } ]
+        { title = "distinct-strategy"; nodes = Trace.nodes distinct_trace };
+        { title = "join-strategy"; nodes = Trace.nodes join_trace } ]
       @ cache_section cache
       @ (match latency with
         | None -> []

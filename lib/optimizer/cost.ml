@@ -54,6 +54,37 @@ let rec selectivity (p : Sql.Ast.pred) =
   | Sql.Ast.Not a -> 1.0 -. selectivity a
   | Sql.Ast.Exists _ -> 0.5
 
+(* Single-leaf access estimate: scan the table, apply the pushed-down
+   predicate. Key-pinning equalities cut the cardinality to one row. *)
+let restrict cat stats (f : Sql.Ast.from_item) pred =
+  let card = float_of_int (max 1 (stats f.Sql.Ast.table)) in
+  let sel =
+    if key_pinned cat f pred then 1.0 /. card
+    else max (selectivity pred) 1e-9
+  in
+  { cost = card; card = card *. sel }
+
+(* One streaming hash-join (or product) step, mirroring the engine: drain
+   the inner (build) side into a hash table, stream the outer (probe)
+   side, emit matches. With a unique-build certificate the build side's
+   join columns cover a candidate key, so each probe row matches at most
+   one build row: output cardinality is capped at the outer side. *)
+let join_step ~outer ~inner ~equis ~unique_build =
+  let card =
+    if equis = 0 then outer.card *. inner.card
+    else if unique_build then outer.card
+    else outer.card *. inner.card *. (0.1 ** float_of_int equis)
+  in
+  let cost =
+    if equis = 0 then
+      (* block nested-loop product: every pair is touched *)
+      outer.cost +. inner.cost +. (outer.card *. inner.card)
+    else
+      (* build (insert inner rows) + probe (hash each outer row) + emit *)
+      outer.cost +. inner.cost +. inner.card +. outer.card +. card
+  in
+  { cost; card = max card 0.0 }
+
 let rec query_spec cat stats (q : Sql.Ast.query_spec) =
   (* separate EXISTS conjuncts (correlated probes) from the flat predicate *)
   let conjs = Sql.Ast.conjuncts q.Sql.Ast.where in

@@ -19,3 +19,33 @@ type estimate = {
 
 val query : Catalog.t -> table_stats -> Sql.Ast.query -> estimate
 val query_spec : Catalog.t -> table_stats -> Sql.Ast.query_spec -> estimate
+
+(** {1 Join-planning primitives}
+
+    Building blocks for [Optimizer.Join_plan]'s greedy order enumeration;
+    {!query_spec} remains the single-shot whole-query estimate. *)
+
+(** Does [pred] contain equalities pinning a full candidate key of the
+    table occurrence? Then its selectivity is [1/|T|] rather than the
+    generic per-atom heuristic. *)
+val key_pinned : Catalog.t -> Sql.Ast.from_item -> Sql.Ast.pred -> bool
+
+(** Coarse selectivity of a predicate (equality 0.1, range 0.3, ...). *)
+val selectivity : Sql.Ast.pred -> float
+
+(** Estimate for one FROM-list leaf under its pushed-down single-table
+    conjuncts: cost = one scan of the table, cardinality = [|T| / |T|]
+    when the conjuncts pin a candidate key, [|T| * selectivity]
+    otherwise. *)
+val restrict :
+  Catalog.t -> table_stats -> Sql.Ast.from_item -> Sql.Ast.pred -> estimate
+
+(** One streaming join step, mirroring [Engine.Operator.hash_join]:
+    [equis = 0] is a block nested-loop product (cost includes every
+    pair); otherwise cost = build the inner side + probe with every
+    outer row + emit the output. Cardinality: [outer * inner] for a
+    product, [outer] under a unique-build certificate (each probe row
+    matches at most one build row), [outer * inner * 0.1^equis]
+    otherwise. *)
+val join_step :
+  outer:estimate -> inner:estimate -> equis:int -> unique_build:bool -> estimate

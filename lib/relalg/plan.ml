@@ -210,6 +210,10 @@ let of_query_spec cat (q : Sql.Ast.query_spec) =
          agg)
   end
 
+let rec flatten_product = function
+  | Product (a, b) -> flatten_product a @ flatten_product b
+  | p -> [ p ]
+
 let rec of_query cat = function
   | Sql.Ast.Spec q -> of_query_spec cat q
   | Sql.Ast.Setop (Sql.Ast.Intersect, d, a, b) ->

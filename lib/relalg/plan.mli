@@ -47,6 +47,12 @@ type t =
     @raise Fd.Derive.Unknown_table / [Unknown_column] on resolution errors. *)
 val of_query : Catalog.t -> Sql.Ast.query -> t
 
+(** The leaves of a left-deep product tree in FROM-clause order; [[p]]
+    when [p] is not a product. [of_query_spec] builds products left-deep,
+    so this recovers exactly the FROM-list scans (plus any pushed
+    selections) — the unit the join planner enumerates over. *)
+val flatten_product : t -> t list
+
 val of_query_spec : Catalog.t -> Sql.Ast.query_spec -> t
 
 (** The output schema of a plan. *)

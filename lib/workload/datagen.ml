@@ -45,3 +45,43 @@ let group_query = "SELECT DISTINCT B.GRP FROM BULK B"
 let bulk_db ?(seed = default.seed) ?(distinct_fraction = default.distinct_fraction)
     ?(order = default.order) ~rows () =
   generate { seed; rows; distinct_fraction; order }
+
+(* ---- star schema (join experiments) ---- *)
+
+let star_ddl =
+  [ "CREATE TABLE DIM1 (K INT NOT NULL, ATTR INT, PRIMARY KEY (K))";
+    "CREATE TABLE DIM2 (K INT NOT NULL, ATTR INT, PRIMARY KEY (K))";
+    "CREATE TABLE FACT (ID INT NOT NULL, FK1 INT NOT NULL, FK2 INT NOT \
+     NULL, VAL INT, PRIMARY KEY (ID), FOREIGN KEY (FK1) REFERENCES DIM1, \
+     FOREIGN KEY (FK2) REFERENCES DIM2)" ]
+
+let star_catalog = List.fold_left Catalog.add_ddl Catalog.empty star_ddl
+
+(* Dimension cardinality sqrt(10 * rows): the DIM1 x DIM2 product is then
+   ~10x the fact scan at every scale, so FROM-order (dimensions first)
+   pays an unambiguous product penalty that cost-based ordering avoids. *)
+let star_dims rows = max 2 (int_of_float (sqrt (10.0 *. float_of_int rows)))
+
+let star_db ?(seed = default.seed) ~rows () =
+  let rng = Random.State.make [| 0x53544152; seed |] in
+  let dims = star_dims rows in
+  let dim_rows =
+    List.init dims (fun i ->
+        [| Value.Int (i + 1); Value.Int (Random.State.int rng 1_000) |])
+  in
+  let fact_rows =
+    List.init rows (fun i ->
+        [| Value.Int (i + 1);
+           Value.Int (1 + Random.State.int rng dims);
+           Value.Int (1 + Random.State.int rng dims);
+           Value.Int (Random.State.int rng 1_000_000) |])
+  in
+  let db = Engine.Database.create star_catalog in
+  Engine.Database.load_sorted db "DIM1" dim_rows ~order:[ "K" ];
+  Engine.Database.load_sorted db "DIM2" dim_rows ~order:[ "K" ];
+  Engine.Database.load_sorted db "FACT" fact_rows ~order:[ "ID" ];
+  db
+
+let star_query =
+  "SELECT F.ID, D1.ATTR, D2.ATTR FROM DIM1 D1, DIM2 D2, FACT F WHERE F.FK1 \
+   = D1.K AND F.FK2 = D2.K"

@@ -56,3 +56,28 @@ val bulk_db :
   rows:int ->
   unit ->
   Engine.Database.t
+
+(** {1 Star schema}
+
+    Join-experiment instances: [FACT (ID pk, FK1, FK2, VAL)] referencing
+    [DIM1 (K pk, ATTR)] and [DIM2 (K pk, ATTR)]. Both dimensions hold
+    {!star_dims} rows (about [sqrt (10 * rows)]), so the [DIM1 x DIM2]
+    product is ~10x the fact scan at every scale: {!star_query} lists the
+    dimensions first, making FROM-order execution pay that product while
+    a cost-ordered plan starts at [FACT] and hash-joins each dimension
+    with a unique build (its key [K] is the join column). Deterministic
+    in [seed]. *)
+
+val star_ddl : string list
+
+val star_catalog : Catalog.t
+
+(** Rows per dimension table for a given fact row count. *)
+val star_dims : int -> int
+
+val star_db : ?seed:int -> rows:int -> unit -> Engine.Database.t
+
+(** [SELECT F.ID, D1.ATTR, D2.ATTR FROM DIM1 D1, DIM2 D2, FACT F WHERE
+    F.FK1 = D1.K AND F.FK2 = D2.K] — FROM order forces a dimension
+    product first; join-key columns cover each dimension's key. *)
+val star_query : string

@@ -170,7 +170,7 @@ let test_hash_join_agrees_with_naive () =
   List.iter
     (fun q ->
       let naive =
-        { (Exec.default_config ()) with Exec.enable_hash_join = false }
+        { (Exec.default_config ()) with Exec.join_impl = Exec.Nested_join }
       in
       let a = run db q in
       let b = run ~config:naive db q in
@@ -409,6 +409,210 @@ let test_hash_unique_rewind () =
   Alcotest.(check int) "drain after rewind" 2 (drain u);
   Operator.close u
 
+(* ---- streaming join operators ---- *)
+
+let ints_of r =
+  Array.to_list (Array.map (function Value.Int i -> i | _ -> -999) r)
+
+let test_operator_hash_join () =
+  let stats = Stats.create () in
+  let probe =
+    Operator.of_rows ~order:[ attr "A" ] (int_schema [ "A" ])
+      [ [| v_int 1 |]; [| v_int 2 |]; [| v_int 9 |]; [| Value.Null |] ]
+  in
+  let build =
+    Operator.of_rows (int_schema ~rel:"U" [ "K"; "V" ])
+      [ [| v_int 1; v_int 10 |]; [| v_int 1; v_int 11 |];
+        [| v_int 2; v_int 20 |]; [| Value.Null; v_int 30 |] ]
+  in
+  let j =
+    Operator.hash_join ~stats ~probe_key:[ 0 ] ~build_key:[ 0 ] probe build
+  in
+  Alcotest.(check (list string)) "order inherited from probe" [ "A" ]
+    (List.map (fun (a : Attr.t) -> a.Attr.name) (Operator.order j));
+  Alcotest.(check int) "build side untouched before the first pull" 0
+    stats.Stats.join_build_rows;
+  Alcotest.(check (list (list int)))
+    "bucket replay in build order, null keys dropped both sides"
+    [ [ 1; 1; 10 ]; [ 1; 1; 11 ]; [ 2; 2; 20 ] ]
+    (List.map ints_of (Operator.to_rows j));
+  Alcotest.(check int) "build rows counted" 4 stats.Stats.join_build_rows;
+  Alcotest.(check int) "probe rows counted" 4 stats.Stats.join_probe_rows;
+  Alcotest.(check int) "no unique builds" 0 stats.Stats.unique_builds;
+  Alcotest.(check int) "no early exits" 0 stats.Stats.probe_early_exits
+
+let test_operator_hash_join_unique () =
+  let stats = Stats.create () in
+  let probe =
+    Operator.of_rows (int_schema [ "A" ])
+      [ [| v_int 1 |]; [| v_int 1 |]; [| v_int 2 |]; [| v_int 9 |] ]
+  in
+  let build =
+    Operator.of_rows (int_schema ~rel:"U" [ "K" ])
+      [ [| v_int 1 |]; [| v_int 2 |]; [| v_int 3 |] ]
+  in
+  let j =
+    Operator.hash_join ~stats ~unique_build:true ~probe_key:[ 0 ]
+      ~build_key:[ 0 ] probe build
+  in
+  Alcotest.(check (list (list int))) "one flat row per key"
+    [ [ 1; 1 ]; [ 1; 1 ]; [ 2; 2 ] ]
+    (List.map ints_of (Operator.to_rows j));
+  Alcotest.(check int) "unique build recorded" 1 stats.Stats.unique_builds;
+  Alcotest.(check int) "early exit on every matching probe" 3
+    stats.Stats.probe_early_exits
+
+let test_operator_hash_join_rewind () =
+  let stats = Stats.create () in
+  let probe =
+    Operator.of_rows (int_schema [ "A" ]) [ [| v_int 1 |]; [| v_int 2 |] ]
+  in
+  let build =
+    Operator.of_rows (int_schema ~rel:"U" [ "K" ])
+      [ [| v_int 1 |]; [| v_int 2 |] ]
+  in
+  let j =
+    Operator.hash_join ~stats ~probe_key:[ 0 ] ~build_key:[ 0 ] probe build
+  in
+  let drain op =
+    let n = ref 0 in
+    let rec go () =
+      match Operator.next op with Some _ -> incr n; go () | None -> ()
+    in
+    go ();
+    !n
+  in
+  Alcotest.(check int) "first drain" 2 (drain j);
+  Operator.rewind j;
+  Alcotest.(check int) "drain after rewind" 2 (drain j);
+  Alcotest.(check int) "build table kept across rewind" 2
+    stats.Stats.join_build_rows;
+  Operator.close j
+
+let test_operator_semi_join () =
+  let mk_probe () =
+    Operator.of_rows (int_schema [ "A" ])
+      [ [| v_int 1 |]; [| v_int 2 |]; [| v_int 3 |]; [| Value.Null |] ]
+  in
+  let mk_build () =
+    Operator.of_rows (int_schema ~rel:"U" [ "K" ])
+      [ [| v_int 2 |]; [| v_int 3 |]; [| v_int 4 |]; [| Value.Null |] ]
+  in
+  let stats = Stats.create () in
+  let semi =
+    Operator.semi_join ~stats ~probe_key:[ 0 ] ~build_key:[ 0 ] (mk_probe ())
+      (mk_build ())
+  in
+  Alcotest.(check (list (list int)))
+    "semi keeps matches; null keys match nothing"
+    [ [ 2 ]; [ 3 ] ]
+    (List.map ints_of (Operator.to_rows semi));
+  let stats = Stats.create () in
+  let anti_eq =
+    Operator.semi_join ~anti:true ~null_equal:true ~stats ~probe_key:[ 0 ]
+      ~build_key:[ 0 ] (mk_probe ()) (mk_build ())
+  in
+  Alcotest.(check (list (list int)))
+    "anti under the setop total order: NULL = NULL, so only 1 survives"
+    [ [ 1 ] ]
+    (List.map ints_of (Operator.to_rows anti_eq))
+
+(* ---- planned join orders and the bounded scan cache ---- *)
+
+let test_planned_join_orders_agree () =
+  let db =
+    Workload.Generator.supplier_db ~suppliers:25 ~parts_per_supplier:3 ()
+  in
+  let q =
+    "SELECT S.SNAME, P.PNO, A.ANO FROM SUPPLIER S, PARTS P, AGENTS A WHERE \
+     S.SNO = P.SNO AND A.SNO = S.SNO AND P.COLOR = 'RED'"
+  in
+  let baseline = run db q in
+  let perms =
+    [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ];
+      [ 2; 1; 0 ] ]
+  in
+  List.iter
+    (fun perm ->
+      let impl =
+        Exec.Planned_join
+          {
+            Exec.jo_first = List.hd perm;
+            jo_steps =
+              List.map
+                (fun l -> { Exec.js_leaf = l; js_unique_build = false })
+                (List.tl perm);
+          }
+      in
+      let cfg = { (Exec.default_config ()) with Exec.join_impl = impl } in
+      let r = run ~config:cfg db q in
+      Alcotest.(check bool)
+        (Printf.sprintf "order [%s] agrees with FROM order"
+           (String.concat ";" (List.map string_of_int perm)))
+        true
+        (Relation.equal_bags baseline r))
+    perms;
+  (* a plan that is not a permutation of the leaves must fall back to FROM
+     order, never misbehave *)
+  let bogus =
+    Exec.Planned_join
+      {
+        Exec.jo_first = 0;
+        jo_steps = [ { Exec.js_leaf = 0; js_unique_build = true } ];
+      }
+  in
+  let cfg = { (Exec.default_config ()) with Exec.join_impl = bogus } in
+  let r = run ~config:cfg db q in
+  Alcotest.(check bool) "bogus plan falls back to FROM order" true
+    (Relation.equal_bags baseline r);
+  Alcotest.(check int) "fallback grants no unique builds" 0
+    cfg.Exec.stats.Stats.unique_builds
+
+let test_planned_unique_build_execution () =
+  (* star schema: FACT first, both dimension builds certified unique (K is
+     each dimension's primary key) *)
+  let db = Workload.Datagen.star_db ~rows:500 () in
+  let q = Sql.Parser.parse_query Workload.Datagen.star_query in
+  let baseline = Exec.run_query db ~hosts:[] q in
+  let impl =
+    Exec.Planned_join
+      {
+        Exec.jo_first = 2;
+        jo_steps =
+          [ { Exec.js_leaf = 0; js_unique_build = true };
+            { Exec.js_leaf = 1; js_unique_build = true } ];
+      }
+  in
+  let cfg = { (Exec.default_config ()) with Exec.join_impl = impl } in
+  let r = Exec.run_query ~config:cfg db ~hosts:[] q in
+  Alcotest.(check bool) "unique-build plan agrees with FROM order" true
+    (Relation.equal_bags baseline r);
+  Alcotest.(check int) "two unique builds" 2 cfg.Exec.stats.Stats.unique_builds;
+  Alcotest.(check int) "every probe early-exits" 1000
+    cfg.Exec.stats.Stats.probe_early_exits;
+  Alcotest.(check bool) "strategy recorded" true
+    (cfg.Exec.stats.Stats.join_strategy = "unique-hash-join,unique-hash-join")
+
+let test_scan_cache_bounded () =
+  let db =
+    Workload.Generator.supplier_db ~suppliers:10 ~parts_per_supplier:2 ()
+  in
+  let q =
+    "SELECT S.SNO FROM SUPPLIER S, PARTS P, AGENTS A WHERE S.SNO = P.SNO \
+     AND A.SNO = S.SNO"
+  in
+  let baseline = run db q in
+  let cfg = { (Exec.default_config ()) with Exec.scan_cache_capacity = 1 } in
+  let r = run ~config:cfg db q in
+  Alcotest.(check bool) "capacity-1 cache still correct" true
+    (Relation.equal_bags baseline r);
+  Alcotest.(check bool) "evictions counted" true
+    (cfg.Exec.stats.Stats.scan_cache_evictions > 0);
+  let cfg2 = Exec.default_config () in
+  ignore (run ~config:cfg2 db q);
+  Alcotest.(check int) "no evictions at the default capacity" 0
+    cfg2.Exec.stats.Stats.scan_cache_evictions
+
 (* ---- duplicate-elimination strategies under the full executor ---- *)
 
 let naive_distinct rows =
@@ -639,6 +843,23 @@ let () =
             test_elided_unique_is_pass_through;
           Alcotest.test_case "hash_unique rewinds cleanly" `Quick
             test_hash_unique_rewind;
+          Alcotest.test_case "hash_join streams buckets in build order" `Quick
+            test_operator_hash_join;
+          Alcotest.test_case "hash_join unique build early-exits" `Quick
+            test_operator_hash_join_unique;
+          Alcotest.test_case "hash_join rewinds keeping its table" `Quick
+            test_operator_hash_join_rewind;
+          Alcotest.test_case "semi_join and anti variants" `Quick
+            test_operator_semi_join;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "every planned order agrees" `Quick
+            test_planned_join_orders_agree;
+          Alcotest.test_case "unique builds execute correctly" `Quick
+            test_planned_unique_build_execution;
+          Alcotest.test_case "scan cache is bounded and correct" `Quick
+            test_scan_cache_bounded;
         ] );
       ( "dedup",
         [

@@ -86,6 +86,129 @@ let test_key_equality_selectivity () =
   Alcotest.(check bool) "key lookup estimates ~1 row" true
     (e.Optimizer.Cost.card <= 2.0)
 
+(* ---- join-planning primitives ---- *)
+
+let spec_of s =
+  match parse s with
+  | Sql.Ast.Spec q -> q
+  | Sql.Ast.Setop _ -> assert false
+
+let test_restrict_key_pinned () =
+  let q =
+    spec_of "SELECT P.PNAME FROM PARTS P WHERE P.SNO = 1 AND P.PNO = 2"
+  in
+  let f = List.hd q.Sql.Ast.from in
+  let e = Optimizer.Cost.restrict catalog stats f q.Sql.Ast.where in
+  Alcotest.(check bool) "full key pinned: about one row" true
+    (e.Optimizer.Cost.card <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "cost is the scan" true
+    (e.Optimizer.Cost.cost = 10_000.0);
+  let q2 = spec_of "SELECT P.PNAME FROM PARTS P WHERE P.COLOR = 'RED'" in
+  let e2 = Optimizer.Cost.restrict catalog stats (List.hd q2.Sql.Ast.from) q2.Sql.Ast.where in
+  Alcotest.(check bool) "non-key equality keeps 0.1 selectivity" true
+    (abs_float (e2.Optimizer.Cost.card -. 1_000.0) < 1e-6)
+
+let test_join_step_estimates () =
+  let outer = { Optimizer.Cost.cost = 100.0; card = 100.0 } in
+  let inner = { Optimizer.Cost.cost = 50.0; card = 50.0 } in
+  let unique =
+    Optimizer.Cost.join_step ~outer ~inner ~equis:1 ~unique_build:true
+  in
+  Alcotest.(check (float 1e-9)) "unique build caps card at the outer side"
+    100.0 unique.Optimizer.Cost.card;
+  let generic =
+    Optimizer.Cost.join_step ~outer ~inner ~equis:1 ~unique_build:false
+  in
+  Alcotest.(check (float 1e-9)) "generic equality keeps 0.1 per edge" 500.0
+    generic.Optimizer.Cost.card;
+  let product =
+    Optimizer.Cost.join_step ~outer ~inner ~equis:0 ~unique_build:false
+  in
+  Alcotest.(check (float 1e-9)) "no equality: full product" 5_000.0
+    product.Optimizer.Cost.card;
+  Alcotest.(check bool) "product pays every pair" true
+    (product.Optimizer.Cost.cost > generic.Optimizer.Cost.cost)
+
+let test_join_plan_star () =
+  (* DIM1, DIM2, FACT in FROM order: the plan must start at FACT and
+     certify both dimension builds unique (K is each dimension's key) *)
+  let cat = Workload.Datagen.star_catalog in
+  let st : Optimizer.Cost.table_stats = function
+    | "FACT" -> 10_000
+    | "DIM1" | "DIM2" -> 100
+    | t -> failwith ("no stats for " ^ t)
+  in
+  let c =
+    Optimizer.Join_plan.choose ~stats:st cat
+      (parse Workload.Datagen.star_query)
+  in
+  Alcotest.(check string) "cost-ordered" "cost-ordered"
+    c.Optimizer.Join_plan.name;
+  Alcotest.(check int) "starts at FACT" 2 c.Optimizer.Join_plan.first;
+  Alcotest.(check int) "both dimension builds unique" 2
+    c.Optimizer.Join_plan.unique_builds;
+  Alcotest.(check bool) "cheaper than FROM order" true
+    (c.Optimizer.Join_plan.est_cost < c.Optimizer.Join_plan.from_order_cost);
+  (* every unique step carries a spec that Algorithm 1 re-certifies *)
+  List.iter
+    (fun (s : Optimizer.Join_plan.step) ->
+      if s.Optimizer.Join_plan.unique_build then
+        match s.Optimizer.Join_plan.cert_spec with
+        | None -> Alcotest.fail "unique step without a certificate spec"
+        | Some spec ->
+          Alcotest.(check bool) "certificate re-derives" true
+            (Uniqueness.Algorithm1.distinct_is_redundant cat spec))
+    c.Optimizer.Join_plan.steps
+
+let test_join_plan_filtered_probe () =
+  (* Example 1's join: the filtered PARTS side probes, SUPPLIER (keyed on
+     SNO) is the unique build *)
+  let c = Optimizer.Join_plan.choose ~stats catalog (parse example1) in
+  Alcotest.(check int) "one unique build" 1
+    c.Optimizer.Join_plan.unique_builds;
+  (match c.Optimizer.Join_plan.steps with
+  | [ s ] ->
+    Alcotest.(check string) "SUPPLIER is the build side" "S"
+      s.Optimizer.Join_plan.leaf_name;
+    Alcotest.(check bool) "its build is unique" true
+      s.Optimizer.Join_plan.unique_build
+  | _ -> Alcotest.fail "expected exactly one join step");
+  (* single-table and set-operation queries have nothing to plan *)
+  let none =
+    Optimizer.Join_plan.choose ~stats catalog
+      (parse "SELECT P.PNO FROM PARTS P")
+  in
+  Alcotest.(check string) "nothing to plan" "none"
+    none.Optimizer.Join_plan.name
+
+let test_join_plan_estimates_match_measured () =
+  (* On an FK-clean instance, the unique-build step's estimated
+     cardinality (outer side) is exact: every PARTS row finds its
+     SUPPLIER *)
+  let db =
+    Workload.Generator.supplier_db ~suppliers:30 ~parts_per_supplier:3 ()
+  in
+  let cat = Engine.Database.catalog db in
+  let q =
+    parse "SELECT S.SNO, P.PNO FROM SUPPLIER S, PARTS P WHERE S.SNO = P.SNO"
+  in
+  let c = Optimizer.Join_plan.choose ~database:db cat q in
+  Alcotest.(check int) "SUPPLIER build is unique" 1
+    c.Optimizer.Join_plan.unique_builds;
+  let est_card =
+    match List.rev c.Optimizer.Join_plan.steps with
+    | last :: _ -> last.Optimizer.Join_plan.est.Optimizer.Cost.card
+    | [] -> nan
+  in
+  let cfg =
+    { (Engine.Exec.default_config ()) with
+      Engine.Exec.join_impl = c.Optimizer.Join_plan.impl }
+  in
+  let r = Engine.Exec.run_query ~config:cfg db ~hosts:[] q in
+  Alcotest.(check int) "estimate equals the measured row count"
+    (Engine.Relation.cardinality r)
+    (int_of_float est_card)
+
 let () =
   Alcotest.run "optimizer"
     [
@@ -109,5 +232,18 @@ let () =
             test_distinct_costs_extra;
           Alcotest.test_case "key equality selectivity" `Quick
             test_key_equality_selectivity;
+          Alcotest.test_case "restrict honors key pinning" `Quick
+            test_restrict_key_pinned;
+          Alcotest.test_case "join_step cardinalities" `Quick
+            test_join_step_estimates;
+        ] );
+      ( "join-plan",
+        [
+          Alcotest.test_case "star schema: fact first, dims unique" `Quick
+            test_join_plan_star;
+          Alcotest.test_case "filtered side probes, keyed side builds" `Quick
+            test_join_plan_filtered_probe;
+          Alcotest.test_case "estimates match measured rows on FK data" `Quick
+            test_join_plan_estimates_match_measured;
         ] );
     ]
