@@ -298,7 +298,17 @@ let run_cmd =
                    planner picks the join order, certifies unique builds \
                    via Algorithm 1, and narrates why).")
   in
-  let run sql ddl views sets suppliers limit logic distinct_impl join_impl =
+  let sort_arg =
+    Arg.(value & opt string "sort"
+         & info [ "sort-impl" ] ~docv:"IMPL"
+             ~doc:"ORDER BY strategy: sort (materializing stable sort, \
+                   default), elided (pass-through; refused unless the \
+                   order-dependency planner certifies the stream already \
+                   sorted), or auto (planner elides when certified, sorts \
+                   otherwise, certifies merge joins, and narrates why).")
+  in
+  let run sql ddl views sets suppliers limit logic distinct_impl join_impl
+      sort_impl =
     wrap (fun () ->
         let logic =
           match Sqlval.Logic_mode.of_string logic with
@@ -358,9 +368,40 @@ let run_cmd =
             choice.Optimizer.Join_plan.impl
           | s -> failwith ("--join-impl expects nested, hash or auto, got " ^ s)
         in
+        let sort_impl, join_impl =
+          match sort_impl with
+          | "sort" -> (Engine.Exec.Materialize_sort, join_impl)
+          | "elided" | "auto" ->
+            (* the engine trusts the flag blindly, so the certificate check
+               lives in Order_plan: probe under the configuration that will
+               actually run (join strategy changes arrival order) *)
+            let config =
+              { (Engine.Exec.default_config ()) with
+                Engine.Exec.logic; distinct_impl; join_impl }
+            in
+            let choice =
+              Optimizer.Order_plan.choose ~database:db ~config cat q
+            in
+            if sort_impl = "elided"
+               && Sql.Ast.(match q with
+                           | Spec s -> s.order_by <> []
+                           | Setop _ -> false)
+               && choice.Optimizer.Order_plan.impl <> Engine.Exec.Elided_sort
+            then
+              failwith
+                "--sort-impl elided: the order-dependency planner did not \
+                 certify the stream sorted on the requested keys (use auto \
+                 to fall back safely)";
+            Format.printf "order strategy: %s — %s@."
+              choice.Optimizer.Order_plan.name
+              choice.Optimizer.Order_plan.reason;
+            ( choice.Optimizer.Order_plan.impl,
+              choice.Optimizer.Order_plan.join_impl )
+          | s -> failwith ("--sort-impl expects sort, elided or auto, got " ^ s)
+        in
         let cfg =
           { (Engine.Exec.default_config ()) with
-            Engine.Exec.logic; distinct_impl; join_impl }
+            Engine.Exec.logic; distinct_impl; join_impl; sort_impl }
         in
         let r = Engine.Exec.run_query ~config:cfg db ~hosts q in
         let truncated =
@@ -383,11 +424,17 @@ let run_cmd =
              early exits=%d)@."
             st.Engine.Stats.join_strategy st.Engine.Stats.join_build_rows
             st.Engine.Stats.join_probe_rows st.Engine.Stats.unique_builds
-            st.Engine.Stats.probe_early_exits)
+            st.Engine.Stats.probe_early_exits;
+        if st.Engine.Stats.sorts > 0 || st.Engine.Stats.sort_elisions > 0
+           || st.Engine.Stats.merge_joins > 0 then
+          Format.printf
+            "order: sorts=%d (rows=%d), elisions=%d, merge joins=%d@."
+            st.Engine.Stats.sorts st.Engine.Stats.sorted_rows
+            st.Engine.Stats.sort_elisions st.Engine.Stats.merge_joins)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query on a generated supplier database.")
     Term.(const run $ sql_arg $ ddl_arg $ view_arg $ set_arg $ size_arg
-          $ limit_arg $ logic_arg $ distinct_arg $ join_arg)
+          $ limit_arg $ logic_arg $ distinct_arg $ join_arg $ sort_arg)
 
 (* ---- fuzz ---- *)
 
@@ -449,7 +496,7 @@ let fuzz_cmd =
          & info [ "oracle" ] ~docv:"NAME"
              ~doc:"Run only the named oracle group (repeatable). Groups: \
                    uniqueness, rewrite, agreement, symbolic, logic, cache, \
-                   distinct, join. Default: all of them.")
+                   distinct, join, order. Default: all of them.")
   in
   let run seed count instances rows cells no_shrink save replay use_cache
       nested_or oracles jobs =
@@ -500,8 +547,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential soundness fuzzing: random schemas, queries and \
              instances judged by the uniqueness, rewrite, agreement, \
-             symbolic, logic, cache, distinct and join oracles (restrict \
-             with --oracle). \
+             symbolic, logic, cache, distinct, join and order oracles \
+             (restrict with --oracle). \
              Generation is sequential on the seeded RNG and judging fans \
              out over --jobs domains, so the report is byte-identical at \
              any job count.")

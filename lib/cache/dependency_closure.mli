@@ -1,0 +1,45 @@
+(** Generic dependency-closure engine.
+
+    Every dependency class in the system — functional dependencies
+    ([lib/fd]), bound-column equalities ([lib/logic]), and order
+    dependencies ([lib/od]) — computes the same fixpoint: saturate a
+    seed attribute set under implication pairs until nothing new is
+    acquired. The interned bitset representation, the linear/sweep
+    saturation engines, and the memo table in {!Runtime} are shared;
+    only the encoding of a dependency as saturation pairs differs per
+    class. This functor owns the shared plumbing so each client
+    supplies just its encoding and a one-byte tag namespacing its memo
+    keys. *)
+
+module type CLIENT = sig
+  type dep
+
+  (** Namespaces memo keys so distinct classes never alias (['F'] =
+      FDs, ['E'] = equalities, ['O'] = order dependencies). *)
+  val tag : char
+
+  (** Encode one dependency as saturation pairs [(lhs, rhs)]: whenever
+      the accumulator covers [lhs] it acquires [rhs]. An empty [lhs]
+      fires unconditionally. *)
+  val encode : dep -> (Bitset.t * Bitset.t) list
+end
+
+module type S = sig
+  type dep
+
+  val pairs : dep list -> (Bitset.t * Bitset.t) list
+
+  (** Closure of the interned seed under the deps: memoized through
+      {!Runtime.memo_closure} when the cache is enabled, a bare
+      {!Runtime.saturate} otherwise. Engine choice (linear vs sweep)
+      follows {!Runtime.set_engine}. *)
+  val closure_bits : dep list -> Bitset.t -> Bitset.t
+
+  (** Same fixpoint at the {!Schema.Attr.Set} level. *)
+  val closure : dep list -> Schema.Attr.Set.t -> Schema.Attr.Set.t
+
+  (** [subsumes deps xs ys]: does the closure of [xs] cover [ys]? *)
+  val subsumes : dep list -> Schema.Attr.Set.t -> Schema.Attr.Set.t -> bool
+end
+
+module Make (C : CLIENT) : S with type dep = C.dep

@@ -636,6 +636,188 @@ let join_strategies ?cache (c : Case.t) =
     [ { oracle = "join/strategies"; verdict = strategies };
       { oracle = "join/planner"; verdict = planner } ]
 
+(* ---- order strategies ---- *)
+
+(* Operator-agreement oracle for ORDER BY and merge joins, stricter than
+   the bag oracles above: ordering is a claim about the row LIST, so
+   every strategy must be list-equal — same rows, same positions — to
+   the materializing stable-sort baseline. Variants attach ORDER BY over
+   the case's own select columns (the first column, then the full list),
+   which keeps the keys inside the select list as the grammar requires.
+   The strategies half runs the planner's auto choice and a deliberately
+   blind all-merge join plan (the engine must re-derive key arrangements
+   from verified stream orders and fall back to hash joins when they do
+   not cover). The planner half re-derives every elision certificate at
+   the data level: when [Order_plan] certifies an elision, the stream
+   reaching the elided sort must itself arrive sorted on the requested
+   keys under [Value.compare_total] — the strongest independent check of
+   the ordering claim, trusting no planner code. *)
+let order_strategies (c : Case.t) =
+  let skip why =
+    [ { oracle = "order/strategies"; verdict = Skip why };
+      { oracle = "order/planner"; verdict = Skip why } ]
+  in
+  match c.Case.query with
+  | A.Setop _ -> skip "set operation"
+  | A.Spec q ->
+    let items = match q.A.select with A.Cols items -> items | A.Star -> [] in
+    let has_star =
+      List.exists
+        (function
+          | A.Col a -> String.equal a.Schema.Attr.name "*"
+          | _ -> false)
+        items
+    in
+    let keyable =
+      if has_star then []
+      else
+        List.filter
+          (function
+            | A.Col _ -> true
+            | A.Const _ | A.Host _ | A.Agg _ -> false)
+          items
+    in
+    (match keyable with
+     | [] -> skip "no plain column in the select list to order by"
+     | first :: _ ->
+       let variants =
+         if List.length keyable > 1 then [ [ first ]; keyable ]
+         else [ [ first ] ]
+       in
+       let cat = Case.catalog c in
+       let run ~sort_impl ~join_impl db hosts oq =
+         let config =
+           { (Engine.Exec.default_config ()) with
+             Engine.Exec.sort_impl; join_impl }
+         in
+         Engine.Exec.run_query ~config db ~hosts oq
+       in
+       let equal_lists a b =
+         List.length a.Engine.Relation.rows = List.length b.Engine.Relation.rows
+         && List.for_all2 Engine.Relation.equal_rows a.Engine.Relation.rows
+              b.Engine.Relation.rows
+       in
+       (* a malformed-by-construction plan: FROM order, merge everywhere;
+          the engine's arrangement re-derivation is what keeps it safe *)
+       let all_merge_plan =
+         let n = List.length q.A.from in
+         if n < 2 then None
+         else
+           Some
+             (Engine.Exec.Planned_join
+                {
+                  jo_first = 0;
+                  jo_steps =
+                    List.init (n - 1) (fun k ->
+                        {
+                          Engine.Exec.js_leaf = k + 1;
+                          js_unique_build = false;
+                          js_merge = true;
+                        });
+                })
+       in
+       let for_variants check =
+         on_instances c (fun db hosts i ->
+             let rec go = function
+               | [] -> None
+               | keys :: rest ->
+                 (match check db hosts i keys with
+                  | None -> go rest
+                  | some -> some)
+             in
+             go variants)
+       in
+       let strategies =
+         guard (fun () ->
+             for_variants (fun db hosts i keys ->
+                 let oq = A.Spec { q with A.order_by = keys } in
+                 let baseline =
+                   run ~sort_impl:Engine.Exec.Materialize_sort
+                     ~join_impl:Engine.Exec.Hash_join db hosts oq
+                 in
+                 let choice =
+                   Optimizer.Order_plan.choose ~database:db cat oq
+                 in
+                 let planned =
+                   run ~sort_impl:choice.Optimizer.Order_plan.impl
+                     ~join_impl:choice.Optimizer.Order_plan.join_impl db hosts
+                     oq
+                 in
+                 if not (equal_lists baseline planned) then
+                   Some
+                     (Printf.sprintf
+                        "instance %d: planned order strategy %s is not \
+                         list-equal to the materializing sort"
+                        i choice.Optimizer.Order_plan.name)
+                 else
+                   match all_merge_plan with
+                   | None -> None
+                   | Some impl ->
+                     let merged =
+                       run ~sort_impl:Engine.Exec.Materialize_sort
+                         ~join_impl:impl db hosts oq
+                     in
+                     if equal_lists baseline merged then None
+                     else
+                       Some
+                         (Printf.sprintf
+                            "instance %d: blind all-merge join plan is not \
+                             list-equal to FROM-order hash joins"
+                            i)))
+       in
+       let planner =
+         guard (fun () ->
+             for_variants (fun db hosts i keys ->
+                 let oq = A.Spec { q with A.order_by = keys } in
+                 let choice =
+                   Optimizer.Order_plan.choose ~database:db cat oq
+                 in
+                 if
+                   choice.Optimizer.Order_plan.impl <> Engine.Exec.Elided_sort
+                 then None
+                 else begin
+                   (* positions of the keys among the select items — each
+                      non-star item contributes exactly one output column *)
+                   let key_idxs =
+                     List.map
+                       (fun k ->
+                         let rec find j = function
+                           | [] -> raise Not_found
+                           | it :: rest -> if it = k then j else find (j + 1) rest
+                         in
+                         find 0 items)
+                       keys
+                   in
+                   let elided =
+                     run ~sort_impl:Engine.Exec.Elided_sort
+                       ~join_impl:choice.Optimizer.Order_plan.join_impl db
+                       hosts oq
+                   in
+                   let cmp a b =
+                     List.fold_left
+                       (fun acc j ->
+                         if acc <> 0 then acc
+                         else Sqlval.Value.compare_total a.(j) b.(j))
+                       0 key_idxs
+                   in
+                   let rec sorted = function
+                     | x :: (y :: _ as rest) ->
+                       cmp x y <= 0 && sorted rest
+                     | _ -> true
+                   in
+                   if sorted elided.Engine.Relation.rows then None
+                   else
+                     Some
+                       (Printf.sprintf
+                          "instance %d: Order_plan certified an elision but \
+                           the stream does not arrive sorted on the \
+                           requested keys"
+                          i)
+                 end))
+       in
+       [ { oracle = "order/strategies"; verdict = strategies };
+         { oracle = "order/planner"; verdict = planner } ])
+
 let groups ?max_cells ?cache () =
   [ ("uniqueness", fun c -> uniqueness ?cache c);
     ("rewrite", fun c -> rewrite ?cache c);
@@ -644,7 +826,8 @@ let groups ?max_cells ?cache () =
     ("logic", logic_agreement);
     ("cache", cache_consistency);
     ("distinct", fun c -> distinct_strategies ?cache c);
-    ("join", fun c -> join_strategies ?cache c) ]
+    ("join", fun c -> join_strategies ?cache c);
+    ("order", order_strategies) ]
 
 let group_names = List.map fst (groups ())
 

@@ -33,7 +33,15 @@
       bag-equal results against the nested product-and-filter baseline
       on every instance, and every planned unique-build step carries a
       synthetic DISTINCT spec that Algorithm 1 independently certifies
-      (the join mirror of the distinct elision rule).
+      (the join mirror of the distinct elision rule);
+    - {e order}: list-level operator agreement — with ORDER BY variants
+      attached over the case's own select columns, the planner's chosen
+      sort strategy (and its merge-certified join plan) and a
+      deliberately blind all-merge join plan must be {e list-equal} to
+      the materializing stable-sort baseline, and every
+      [Optimizer.Order_plan] elision certificate is re-derived at the
+      data level: the stream reaching the elided sort must itself arrive
+      sorted on the requested keys.
 
     A [Fail] verdict is a soundness discrepancy; [Skip] records why an
     oracle did not apply (outside the analyzer's class, rewrite not
@@ -63,10 +71,12 @@ val logic_agreement : Case.t -> finding list
 val cache_consistency : Case.t -> finding list
 val distinct_strategies : ?cache:Analysis_cache.t -> Case.t -> finding list
 val join_strategies : ?cache:Analysis_cache.t -> Case.t -> finding list
+val order_strategies : Case.t -> finding list
 
 (** The oracle group names accepted by [all ~only] (and the fuzzer's
     [--oracle] flag): ["uniqueness"], ["rewrite"], ["agreement"],
-    ["symbolic"], ["logic"], ["cache"], ["distinct"], ["join"]. *)
+    ["symbolic"], ["logic"], ["cache"], ["distinct"], ["join"],
+    ["order"]. *)
 val group_names : string list
 
 (** All oracles; [max_cells] bounds the exact checker (default

@@ -199,7 +199,8 @@ let generic_spec ~rng cat =
          | ints -> [ A.Agg (A.Sum, Some (A.Col (pick rng ints).attr)) ])
       | _ -> []
     in
-    { A.distinct; select = A.Cols (group @ agg); from; where; group_by = group }
+    { A.distinct; select = A.Cols (group @ agg); from; where; group_by = group;
+      order_by = [] }
   end
   else
     let select =

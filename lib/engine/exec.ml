@@ -10,9 +10,19 @@ type distinct_impl =
 
 type exists_impl = Naive_exists | Indexed_exists
 
+(* ORDER BY implementation: the materializing sort is the ablation
+   baseline; the elided pass-through is legal only under an
+   [Optimizer.Order_plan] certificate (stream provenance + order
+   dependencies prove the stream already sorted). The engine trusts the
+   certificate blindly — the analyzers live above the engine. *)
+type sort_impl = Materialize_sort | Elided_sort
+
 type join_step = {
   js_leaf : int;
   js_unique_build : bool;
+  js_merge : bool;
+      (* certified: both inputs' verified orders cover the join keys, so
+         the streaming merge join is legal *)
 }
 
 type join_order = {
@@ -28,6 +38,7 @@ type join_impl =
 type config = {
   distinct_impl : distinct_impl;
   join_impl : join_impl;
+  sort_impl : sort_impl;
   exists_impl : exists_impl;
   logic : Sqlval.Logic_mode.t;
   scan_cache_capacity : int;
@@ -38,6 +49,7 @@ let default_config () =
   {
     distinct_impl = Sort_distinct;
     join_impl = Hash_join;
+    sort_impl = Materialize_sort;
     exists_impl = Naive_exists;
     logic = Sqlval.Logic_mode.default;
     scan_cache_capacity = 64;
@@ -69,7 +81,11 @@ let lookup_in_frames frames a =
 (* The longest prefix of [in_order] fully retained by the projection,
    renamed to output attributes. Stops at the first order attribute the
    projection drops: a retained column further down cannot extend a
-   lexicographic guarantee across a missing sort key. *)
+   lexicographic guarantee across a missing sort key. When the projection
+   duplicates an input column, every output copy is emitted (the later,
+   renamed copies carry the same values, so a stream sorted on the first
+   copy is sorted on all of them) — without this, [Operator.order_covers]
+   could never certify a select list with a repeated column. *)
 let project_order in_schema in_order items out_schema =
   let pos_of a =
     match Schema.Relschema.find_index in_schema a with
@@ -93,9 +109,15 @@ let project_order in_schema in_order items out_schema =
     | a :: rest ->
       (match pos_of a with
        | Some i ->
-         (match List.assoc_opt i mapping with
-          | Some j -> out_cols.(j).Schema.Relschema.attr :: go rest
-          | None -> [])
+         (match
+            List.filter_map
+              (fun (i', j) -> if i' = i then Some j else None)
+              mapping
+          with
+          | [] -> []
+          | js ->
+            List.map (fun j -> out_cols.(j).Schema.Relschema.attr) js
+            @ go rest)
        | None -> [])
   in
   go in_order
@@ -353,6 +375,18 @@ let compile ?config db ~hosts plan : Operator.t =
     | Relalg.Plan.Except (d, a, b) -> setop `Except d a b
     | Relalg.Plan.Aggregate { group_by; output; input } ->
       aggregate group_by output input
+    | Relalg.Plan.Sort (keys, sub) ->
+      let op = compile_node sub in
+      (* no [count_output]: the child already counted these rows, the sort
+         only re-sequences them *)
+      (match cfg.sort_impl with
+       | Materialize_sort -> Operator.sort ~stats keys op
+       | Elided_sort ->
+         (* pass-through under an Order_plan certificate: the stream's
+            verified order already implies the requested one. Rows were
+            already counted by the child. *)
+         stats.Stats.sort_elisions <- stats.Stats.sort_elisions + 1;
+         op)
 
   and exec plan : Relation.t = Operator.to_relation (compile_node plan)
 
@@ -596,20 +630,22 @@ let compile ?config db ~hosts plan : Operator.t =
     in
     let n = Array.length ops in
     let from_order = List.init n Fun.id in
-    let visit_order, unique_of =
+    let visit_order, unique_of, merge_of =
       match cfg.join_impl with
-      | Nested_join | Hash_join -> (from_order, fun _ -> false)
+      | Nested_join | Hash_join -> (from_order, (fun _ -> false), fun _ -> false)
       | Planned_join { jo_first; jo_steps } ->
         let idxs = jo_first :: List.map (fun s -> s.js_leaf) jo_steps in
         (* a plan for a different leaf count/set cannot be trusted *)
         if List.sort compare idxs <> from_order then
-          (from_order, fun _ -> false)
+          (from_order, (fun _ -> false), fun _ -> false)
         else
           ( idxs,
-            fun i ->
+            (fun i ->
               List.exists
                 (fun s -> s.js_leaf = i && s.js_unique_build)
-                jo_steps )
+                jo_steps),
+            fun i ->
+              List.exists (fun s -> s.js_leaf = i && s.js_merge) jo_steps )
     in
     let product_tick () =
       stats.Stats.product_pairs <- stats.Stats.product_pairs + 1
@@ -633,6 +669,34 @@ let compile ?config db ~hosts plan : Operator.t =
       let equis =
         List.filter_map as_equi (take (fun c -> as_equi c <> None))
       in
+      (* A merge join compares the key vector lexicographically, so the
+         equi list must be arranged to follow both streams' verified order
+         prefixes pairwise — (probe key i, build key i) at order position i
+         on each side. Returns the arranged list, or None when no such
+         arrangement exists (the planner's certificate is then dropped, a
+         malformed plan never changes answers). *)
+      let arrange_for_merge equis =
+        let rec go acc_order build_order remaining arranged =
+          match remaining with
+          | [] -> Some (List.rev arranged)
+          | _ ->
+            (match acc_order, build_order with
+             | pa :: ra, pb :: rb ->
+               (match
+                  List.find_opt
+                    (fun (x, y) ->
+                      Schema.Attr.equal x pa && Schema.Attr.equal y pb)
+                    remaining
+                with
+                | Some e ->
+                  go ra rb
+                    (List.filter (fun e' -> e' != e) remaining)
+                    (e :: arranged)
+                | None -> None)
+             | _ -> None)
+        in
+        go acc.Operator.order build.Operator.order equis []
+      in
       let joined =
         match equis with
         | [] ->
@@ -640,23 +704,30 @@ let compile ?config db ~hosts plan : Operator.t =
           Stats.record_join stats ~strategy:"product";
           Operator.product ~tick:product_tick acc build
         | _ ->
-          let probe_key =
-            List.map
-              (fun (x, _) -> Schema.Relschema.index_of acc.Operator.schema x)
-              equis
+          let keys_of equis =
+            ( List.map
+                (fun (x, _) -> Schema.Relschema.index_of acc.Operator.schema x)
+                equis,
+              List.map
+                (fun (_, y) -> Schema.Relschema.index_of build.Operator.schema y)
+                equis )
           in
-          let build_key =
-            List.map
-              (fun (_, y) ->
-                Schema.Relschema.index_of build.Operator.schema y)
-              equis
-          in
-          let unique_build = unique_of leaf_idx in
-          Stats.record_join stats
-            ~strategy:
-              (if unique_build then "unique-hash-join" else "hash-join");
-          Operator.hash_join ~tick:product_tick ~stats ~unique_build
-            ~probe_key ~build_key acc build
+          (match
+             if merge_of leaf_idx then arrange_for_merge equis else None
+           with
+           | Some arranged ->
+             let probe_key, build_key = keys_of arranged in
+             Stats.record_join stats ~strategy:"merge-join";
+             Operator.merge_join ~tick:product_tick ~stats ~probe_key
+               ~build_key acc build
+           | None ->
+             let probe_key, build_key = keys_of equis in
+             let unique_build = unique_of leaf_idx in
+             Stats.record_join stats
+               ~strategy:
+                 (if unique_build then "unique-hash-join" else "hash-join");
+             Operator.hash_join ~tick:product_tick ~stats ~unique_build
+               ~probe_key ~build_key acc build)
       in
       filter_op joined (take (evaluable joined.Operator.schema))
     in
@@ -784,7 +855,12 @@ let run_query ?config db ~hosts q =
 let run_sql ?config db ~hosts s = run_query ?config db ~hosts (Sql.Parser.parse_query s)
 
 let distinct_stream db q =
-  match Relalg.Plan.of_query (Database.catalog db) q with
+  match
+    (* the DISTINCT happens below any ORDER BY; probe the stream feeding it *)
+    match Relalg.Plan.of_query (Database.catalog db) q with
+    | Relalg.Plan.Sort (_, p) -> p
+    | p -> p
+  with
   | Relalg.Plan.Project (Sql.Ast.Distinct, items, sub) ->
     (* compile (never execute) the stream feeding the DISTINCT: project
        with ALL so the probe sees the order arriving at the dedup point *)
@@ -798,3 +874,19 @@ let sorted_covers db q =
   match distinct_stream db q with
   | Some (schema, order) -> Operator.order_covers schema order
   | None -> false
+
+(* Probe for the order planner: compile (never execute) the stream feeding
+   a query's ORDER BY and report the requested sort keys plus the stream's
+   verified order provenance at that point. [config] must match the
+   configuration the query will actually run under — join strategy and
+   DISTINCT implementation both change the stream's arrival order, and a
+   certificate issued against one configuration is not transferable to
+   another. *)
+let order_stream ?config db q =
+  match Relalg.Plan.of_query (Database.catalog db) q with
+  | Relalg.Plan.Sort (keys, sub) ->
+    let op = compile ?config db ~hosts:[] sub in
+    Some (keys, op.Operator.schema, op.Operator.order)
+  | _ -> None
+  | exception Failure _ -> None
+  | exception Not_found -> None

@@ -53,6 +53,15 @@ type join_step = {
           the (filtered) leaf; the engine does NOT re-check it — provide
           only with an Algorithm 1 / FD-closure YES in hand (see
           [Optimizer.Join_plan]) *)
+  js_merge : bool;
+      (** certificate that both inputs' verified stream orders cover the
+          step's join keys pairwise, so the streaming {!Operator.merge_join}
+          is legal. The engine re-derives only the key arrangement (which
+          permutation of the equi list follows both order prefixes) and
+          falls back to a hash join when none exists; the soundness of the
+          ordering claim itself is the planner's (see
+          [Optimizer.Order_plan]). Takes precedence over
+          [js_unique_build]. *)
 }
 
 type join_order = {
@@ -74,10 +83,24 @@ type join_impl =
       (** streaming hash joins in the planner-chosen order, with
           unique-build certificates per step *)
 
+(** How a plan's [Sort] node (an [ORDER BY]) executes. *)
+type sort_impl =
+  | Materialize_sort
+      (** {!Operator.sort}: drain and stable-sort — the O(n log n)
+          ablation baseline (default) *)
+  | Elided_sort
+      (** pass-through standing where the sort used to be. The engine does
+          NOT re-check the ordering claim — select this only with an
+          [Optimizer.Order_plan] certificate in hand (stream provenance +
+          order dependencies prove the stream already sorted). Counted in
+          {!Stats.t.sort_elisions}. *)
+
 type config = {
   distinct_impl : distinct_impl;
   join_impl : join_impl;
       (** how [Select] over a product executes; see {!join_impl} *)
+  sort_impl : sort_impl;
+      (** how [Sort] nodes execute; see {!sort_impl} *)
   exists_impl : exists_impl;
   logic : Sqlval.Logic_mode.t;
       (** null semantics of predicate atoms: [L3] (SQL, default) or [L2]
@@ -147,3 +170,17 @@ val distinct_stream :
 (** Would [Stream_sorted] run without falling back? True when
     {!Operator.order_covers} holds for the stream at the DISTINCT point. *)
 val sorted_covers : Database.t -> Sql.Ast.query -> bool
+
+(** Requested sort keys, schema, and verified order of the stream feeding
+    the query's [ORDER BY], or [None] when the query has no [Sort] node.
+    Pure: compiles but never executes. [config] must match the
+    configuration the query will actually run under — join strategy and
+    DISTINCT implementation both change the stream's arrival order, and an
+    elision certificate issued against one configuration is not
+    transferable to another (pass a copy with fresh [stats]: compiling
+    narrates strategy choices into the config's stats). *)
+val order_stream :
+  ?config:config ->
+  Database.t ->
+  Sql.Ast.query ->
+  (Schema.Attr.t list * Schema.Relschema.t * Schema.Attr.t list) option

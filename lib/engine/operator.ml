@@ -268,6 +268,172 @@ let semi_join ?(anti = false) ?(null_equal = false) ~stats ~probe_key
         table := Some (Hashtbl.create 1));
   }
 
+(* Materializing ORDER BY — the ablation baseline the planner elides when
+   order provenance already proves the stream sorted. The comparator is
+   [Value.compare_total] per key column, so NULLs sort first and the
+   result agrees byte-for-byte with [Database.load_sorted] verification
+   and [merge_join]. The sort is stable: on an input already sorted on
+   the keys it is the identity, which is what makes the elided strategy
+   list-equal to this baseline (equal-key rows keep arrival order in
+   both). *)
+let sort ~stats keys op =
+  let idxs = List.map (Schema.Relschema.index_of op.schema) keys in
+  let compare_keys (a : Relation.row) (b : Relation.row) =
+    stats.Stats.comparisons <- stats.Stats.comparisons + 1;
+    let rec go = function
+      | [] -> 0
+      | i :: rest ->
+        (match Value.compare_total a.(i) b.(i) with 0 -> go rest | c -> c)
+    in
+    go idxs
+  in
+  of_lazy ~order:keys op.schema (fun () ->
+      let rows =
+        let rec drain acc =
+          match op.next () with Some r -> drain (r :: acc) | None -> List.rev acc
+        in
+        let rows = drain [] in
+        op.close ();
+        rows
+      in
+      stats.Stats.sorts <- stats.Stats.sorts + 1;
+      stats.Stats.sorted_rows <- stats.Stats.sorted_rows + List.length rows;
+      List.stable_sort compare_keys rows)
+
+(* Streaming sort-merge join: legal only when the planner certified both
+   inputs' verified orders cover the join keys as a prefix (the engine
+   trusts the certificate blindly, like [hash_join]'s unique-build mode).
+   Matches [hash_join] semantics exactly — NULL join keys match nothing
+   and are dropped from both sides — and emits probe-major, build rows in
+   build order within a key group, so its output is list-equal to a hash
+   join over the same (ordered) inputs. One key group of the build side
+   is the only buffered state. *)
+let merge_join ?(tick = no_op) ~stats ~probe_key ~build_key probe build =
+  stats.Stats.merge_joins <- stats.Stats.merge_joins + 1;
+  let schema = Schema.Relschema.product probe.schema build.schema in
+  let key_vals row idxs =
+    let vals = List.map (fun i -> row.(i)) idxs in
+    if List.exists Value.is_null vals then None else Some vals
+  in
+  let compare_keys a b =
+    stats.Stats.comparisons <- stats.Stats.comparisons + 1;
+    List.compare Value.compare_total a b
+  in
+  (* lookahead: the next build row not yet assigned to a group *)
+  let build_ahead = ref None in
+  let build_done = ref false in
+  let next_build () =
+    match !build_ahead with
+    | Some r ->
+      build_ahead := None;
+      Some r
+    | None ->
+      if !build_done then None
+      else begin
+        let rec pull () =
+          match build.next () with
+          | None ->
+            build_done := true;
+            None
+          | Some r ->
+            stats.Stats.join_build_rows <- stats.Stats.join_build_rows + 1;
+            (match key_vals r build_key with
+             | None -> pull ()  (* NULL join key: matches nothing *)
+             | Some k -> Some (k, r))
+        in
+        pull ()
+      end
+  in
+  (* current build group: all build rows sharing [group_key], in order *)
+  let group_key = ref None in
+  let group = ref [] in
+  (* Advance the build cursor until its key is >= [k]; collect the group
+     at [k] (possibly empty). Build keys are nondecreasing (certified), so
+     skipped groups can never match a later probe key either: probe keys
+     are nondecreasing too. *)
+  let load_group k =
+    let rec skip () =
+      match next_build () with
+      | None -> []
+      | Some (bk, r) ->
+        let c = compare_keys bk k in
+        if c < 0 then skip ()
+        else if c = 0 then collect [ r ]
+        else begin
+          build_ahead := Some (bk, r);
+          []
+        end
+    and collect acc =
+      match next_build () with
+      | None -> List.rev acc
+      | Some (bk, r) ->
+        if compare_keys bk k = 0 then collect (r :: acc)
+        else begin
+          build_ahead := Some (bk, r);
+          List.rev acc
+        end
+    in
+    group_key := Some k;
+    group := skip ()
+  in
+  let current = ref None in
+  let pending = ref [] in
+  let rec pull () =
+    match !pending with
+    | y :: rest ->
+      pending := rest;
+      (match !current with
+       | Some x ->
+         tick ();
+         Some (Array.append x y)
+       | None -> assert false)
+    | [] ->
+      (match probe.next () with
+       | None -> None
+       | Some x ->
+         stats.Stats.join_probe_rows <- stats.Stats.join_probe_rows + 1;
+         (match key_vals x probe_key with
+          | None -> pull ()
+          | Some k ->
+            let same =
+              match !group_key with
+              | Some gk -> compare_keys gk k = 0
+              | None -> false
+            in
+            if not same then load_group k;
+            (match !group with
+             | [] -> pull ()
+             | rows ->
+               current := Some x;
+               pending := rows;
+               pull ())))
+  in
+  {
+    schema;
+    order = probe.order;
+    next = pull;
+    rewind =
+      (fun () ->
+        probe.rewind ();
+        build.rewind ();
+        build_ahead := None;
+        build_done := false;
+        group_key := None;
+        group := [];
+        current := None;
+        pending := []);
+    close =
+      (fun () ->
+        probe.close ();
+        build.close ();
+        build_ahead := None;
+        build_done := true;
+        group_key := None;
+        group := [];
+        current := None;
+        pending := []);
+  }
+
 let order_covers schema order =
   let target = Schema.Relschema.attr_set schema in
   let rec go covered = function

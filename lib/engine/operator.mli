@@ -131,6 +131,38 @@ val semi_join :
   t ->
   t
 
+(** {1 Ordering} *)
+
+(** Materializing ORDER BY — the ablation baseline the planner elides when
+    order provenance already proves the stream sorted. Drains the input on
+    the first pull (construction stays pure) and stable-sorts it on the
+    key columns under {!Sqlval.Value.compare_total}, so NULLs sort first
+    and the result agrees byte-for-byte with {!Database.load_sorted}
+    verification and {!merge_join}. Stability makes it the identity on an
+    input already sorted on the keys — which is exactly what makes the
+    certified elided strategy list-equal to this baseline. Output order
+    provenance is the key list. Counts {!Stats.t.sorts},
+    {!Stats.t.sorted_rows} and {!Stats.t.comparisons}. *)
+val sort : stats:Stats.t -> Schema.Attr.t list -> t -> t
+
+(** Streaming sort-merge equi-join [probe ⋈ build]: both inputs must be
+    verifiably sorted on their join keys (in the order the key index lists
+    are given) — a certificate the caller provides (see
+    [Optimizer.Order_plan]), not this module's to check. Semantics match
+    {!hash_join} exactly: NULL join keys match nothing and are dropped
+    from both sides, output is probe-major with build rows in build order
+    within a key group, so the output is list-equal to a hash join over
+    the same inputs. Holds one build key group as its only buffered state.
+    Counts {!Stats.t.merge_joins} plus the shared join row counters. *)
+val merge_join :
+  ?tick:(unit -> unit) ->
+  stats:Stats.t ->
+  probe_key:int list ->
+  build_key:int list ->
+  t ->
+  t ->
+  t
+
 (** {1 Duplicate elimination} *)
 
 (** Does the stream order guarantee that equal rows are adjacent? True when

@@ -27,6 +27,13 @@ type t = {
   mutable sorted_fallbacks : int;
       (** Sorted_unique requests degraded to hash because the input order
           did not cover the projection *)
+  mutable sort_elisions : int;
+      (** ORDER BY sorts elided under an [Optimizer.Order_plan]
+          certificate: the stream's verified order already implied the
+          requested one, so the materializing sort became a pass-through *)
+  mutable merge_joins : int;
+      (** joins run as streaming sort-merge joins (a planner certificate
+          that both inputs' verified orders cover the join keys) *)
   mutable join_build_rows : int;    (** rows drained into join build tables *)
   mutable join_probe_rows : int;    (** rows streamed through join probes *)
   mutable unique_builds : int;

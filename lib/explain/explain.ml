@@ -140,8 +140,21 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache ?latency cat
       query
   in
   let join_trace = Trace.make () in
-  let _ =
+  let join_choice =
     Optimizer.Join_plan.choose ?cache ~trace:join_trace ?database ~stats cat
+      query
+  in
+  let order_trace = Trace.make () in
+  let _ =
+    (* feed the planned join order in: merge certification upgrades it,
+       and the probed stream order must match the plan that will run *)
+    let config =
+      {
+        (Engine.Exec.default_config ()) with
+        Engine.Exec.join_impl = join_choice.Optimizer.Join_plan.impl;
+      }
+    in
+    Optimizer.Order_plan.choose ~trace:order_trace ?database ~config ~stats cat
       query
   in
   let executions =
@@ -164,7 +177,8 @@ let explain ?(stats = fun _ -> 1000) ?database ?(hosts = []) ?cache ?latency cat
         { title = "rewrites"; nodes = Trace.nodes rewrite_trace };
         { title = "planner"; nodes = Trace.nodes planner_trace };
         { title = "distinct-strategy"; nodes = Trace.nodes distinct_trace };
-        { title = "join-strategy"; nodes = Trace.nodes join_trace } ]
+        { title = "join-strategy"; nodes = Trace.nodes join_trace };
+        { title = "order-strategy"; nodes = Trace.nodes order_trace } ]
       @ cache_section cache
       @ (match latency with
         | None -> []

@@ -50,28 +50,26 @@ let closure_direct ~trace t xs =
   done;
   !cur
 
+(* The interned-bitset fixpoint is the generic engine: an FD is exactly
+   one saturation pair. *)
+module Closure = Cache.Dependency_closure.Make (struct
+  type dep = fd
+
+  let tag = 'F'
+
+  let encode f =
+    [ (Cache.Interner.bits_of_set f.lhs, Cache.Interner.bits_of_set f.rhs) ]
+end)
+
 let closure ?(trace = Trace.disabled) t xs =
   Cache.Counters.record_call ();
   (* Tracing needs the per-step provenance only the direct loop produces,
      so a live trace always takes it — which also keeps the snapshot-tested
      default trace output independent of the cache. Untraced closures run
      the counter-based linear engine over interned bitsets, through the
-     memo table when it is enabled. *)
+     memo table when it is enabled — both via {!Cache.Dependency_closure}. *)
   if Trace.enabled trace then closure_direct ~trace t xs
-  else
-    let seed = Cache.Interner.bits_of_set xs in
-    let pairs =
-      List.map
-        (fun f ->
-          (Cache.Interner.bits_of_set f.lhs, Cache.Interner.bits_of_set f.rhs))
-        t
-    in
-    let bits =
-      if Cache.Runtime.enabled () then
-        Cache.Runtime.memo_closure ~tag:'F' ~seed pairs
-      else Cache.Runtime.saturate pairs seed
-    in
-    Cache.Interner.set_of_bits bits
+  else Closure.closure t xs
 
 let implies t f = Attr.Set.subset f.rhs (closure t f.lhs)
 

@@ -123,28 +123,29 @@ let closure_uf seed eqs =
   in
   Attr.Set.union seed (Cache.Interner.set_of_bits bits)
 
+(* Encode the equality semantics as saturation pairs: a Type-1 condition
+   binds its column unconditionally (empty lhs always fires), a Type-2
+   condition propagates bound-ness both ways. *)
+module Closure = Cache.Dependency_closure.Make (struct
+  type dep = t
+
+  let tag = 'E'
+
+  let encode eq =
+    let module B = Cache.Bitset in
+    let id a = Cache.Interner.id a in
+    match eq with
+    | Type1 (a, _) -> [ (B.empty, B.singleton (id a)) ]
+    | Type2 (a, b) ->
+      [ (B.singleton (id a), B.singleton (id b));
+        (B.singleton (id b), B.singleton (id a)) ]
+end)
+
 let closure ?(trace = Trace.disabled) seed eqs =
   Cache.Counters.record_call ();
   if Trace.enabled trace then closure_direct ~trace seed eqs
   else if not (Cache.Runtime.enabled ()) then closure_uf seed eqs
-  else
-    (* Encode the equality semantics as saturation pairs: a Type-1 condition
-       binds its column unconditionally (empty lhs always fires), a Type-2
-       condition propagates bound-ness both ways. *)
-    let module B = Cache.Bitset in
-    let id a = Cache.Interner.id a in
-    let pairs =
-      List.concat_map
-        (function
-          | Type1 (a, _) -> [ (B.empty, B.singleton (id a)) ]
-          | Type2 (a, b) ->
-            [ (B.singleton (id a), B.singleton (id b));
-              (B.singleton (id b), B.singleton (id a)) ])
-        eqs
-    in
-    let seed_bits = Cache.Interner.bits_of_set seed in
-    Cache.Interner.set_of_bits
-      (Cache.Runtime.memo_closure ~tag:'E' ~seed:seed_bits pairs)
+  else Closure.closure eqs seed
 
 module Classes = struct
   (* Union-find over attributes, with a constant binding per class. *)

@@ -1,0 +1,124 @@
+module Attr = Schema.Attr
+
+type od = {
+  lhs : Attr.t list;
+  rhs : Attr.t list;
+}
+
+type t = od list
+
+let empty = []
+let attrs_equal = List.equal Attr.equal
+let od_equal a b = attrs_equal a.lhs b.lhs && attrs_equal a.rhs b.rhs
+let mem t od = List.exists (od_equal od) t
+let add t od = if mem t od then t else od :: t
+let of_list ods = List.fold_left add empty ods
+let to_list t = List.rev t
+let union a b = List.fold_left add a (to_list b)
+let make_od lhs rhs = { lhs; rhs }
+
+let pp_attrs ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Attr.pp)
+    l
+
+let pp_od ppf od = Format.fprintf ppf "%a |-> %a" pp_attrs od.lhs pp_attrs od.rhs
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_od)
+    (to_list t)
+
+(* The set projection of an OD: [X |-> Y] contributes the saturation pair
+   [set(X) -> set(Y)]. The resulting closure is {e order-reachability} — a
+   sound over-approximation of which attributes can appear in any order
+   list derivable from a stream sorted on the seed. It cannot decide an OD
+   (sets forget the prefix structure) but it can refute one, and the memo
+   table in [Cache.Runtime] makes the refutation O(1) on repeats. *)
+module Closure = Cache.Dependency_closure.Make (struct
+  type dep = od
+
+  let tag = 'O'
+
+  let encode od =
+    [ ( Cache.Interner.bits_of_set (Attr.set_of_list od.lhs),
+        Cache.Interner.bits_of_set (Attr.set_of_list od.rhs) ) ]
+end)
+
+let od_of_fd (f : Fd.Fdset.fd) =
+  { lhs = Attr.Set.elements f.Fd.Fdset.lhs; rhs = Attr.Set.elements f.Fd.Fdset.rhs }
+
+let reach ?(fds = Fd.Fdset.empty) t seed =
+  Closure.closure (to_list t @ List.map od_of_fd (Fd.Fdset.to_list fds)) seed
+
+(* The elision walk. [stream] is the verified lexicographic order of the
+   input; [keys] is the requested order. Walking both lists front to back
+   with [consumed] = the attributes fixed so far:
+
+   - a requested key inside the FD closure of [consumed] is constant
+     within every tie group the walk has narrowed to, so any arrival
+     order satisfies it — skip the key;
+   - matching heads consume both;
+   - a stream head determined by [consumed] is constant within the same
+     tie groups, so it refines nothing — skip it and keep looking;
+   - anything else refuses.
+
+   FD semantics are the null-equal [≐] of the paper, matching
+   [Sqlval.Value.compare_total] adjacency, so "constant within a tie
+   group" is sound in the presence of NULLs. The FD closure of the empty
+   set already contains the columns pinned by [v = const] conjuncts, so
+   constants skip for free. *)
+let walk ~fds ~canon ~stream keys =
+  let stream = List.map canon stream and keys = List.map canon keys in
+  let rec go consumed stream keys =
+    match keys with
+    | [] -> true
+    | k :: krest ->
+      if Attr.Set.mem k (Fd.Fdset.closure fds consumed) then
+        go (Attr.Set.add k consumed) stream krest
+      else (
+        match stream with
+        | [] -> false
+        | o :: orest ->
+          if Attr.equal o k then go (Attr.Set.add k consumed) orest krest
+          else if Attr.Set.mem o (Fd.Fdset.closure fds consumed) then
+            go (Attr.Set.add o consumed) orest keys
+          else false)
+  in
+  go Attr.Set.empty stream keys
+
+let covers ?(fds = Fd.Fdset.empty) ?(equiv = fun a -> a) t ~stream keys =
+  (* Fast refutation through the interned set projection before any exact
+     walk: every requested attribute must at least be order-reachable. *)
+  let seed = Attr.set_of_list (List.map equiv stream) in
+  let want = Attr.set_of_list (List.map equiv keys) in
+  Attr.Set.subset want (reach ~fds (of_list (List.map (fun od ->
+      { lhs = List.map equiv od.lhs; rhs = List.map equiv od.rhs }) (to_list t))) seed)
+  &&
+  (* Exact decision: saturate the set of order lists known to hold
+     (transitivity through the stored ODs), checking the requested order
+     against each. Terminates: [known] only ever grows by stored
+     right-hand sides. *)
+  let walk = walk ~fds ~canon:equiv in
+  let rec saturate known =
+    if List.exists (fun s -> walk ~stream:s keys) known then true
+    else
+      let fresh =
+        List.filter_map
+          (fun od ->
+            if List.exists (fun s -> attrs_equal (List.map equiv od.rhs) s) known
+            then None
+            else if List.exists (fun s -> walk ~stream:s od.lhs) known then
+              Some (List.map equiv od.rhs)
+            else None)
+          (to_list t)
+      in
+      match fresh with [] -> false | _ -> saturate (fresh @ known)
+  in
+  saturate [ List.map equiv stream ]
+
+let implies ?fds ?equiv t od = covers ?fds ?equiv t ~stream:od.lhs od.rhs

@@ -1,0 +1,71 @@
+(** Order dependencies over qualified attributes (prefix orders).
+
+    An OD [X |-> Y] (after Szlichta, Godfrey & Gryz, "Fundamentals of
+    Order Dependencies", VLDB 2012) states that any stream
+    lexicographically nondecreasing on the attribute list [X] is also
+    nondecreasing on the list [Y] — order matters on both sides, unlike a
+    functional dependency. All reasoning here is with respect to the
+    engine's single total order {!Sqlval.Value.compare_total} (ascending,
+    NULLS FIRST), the same comparator used by [ORDER BY], merge joins and
+    sorted-load verification, so a derived OD is a certificate the
+    executor can act on byte-for-byte.
+
+    The derivation machinery is three layers, cheapest first:
+
+    - {!reach}, the {e set projection}: interning each OD as a
+      [set(lhs) -> set(rhs)] saturation pair in the shared
+      {!Cache.Dependency_closure} engine (tag ['O']) gives a memoized
+      over-approximation used to refute hopeless requests in O(1);
+    - the {e walk}, deciding [stream |-> keys] directly with FD
+      reasoning: a requested key functionally determined by the
+      attributes consumed so far is constant within every remaining tie
+      group and may be skipped, as may a determined stream head — the
+      FD→OD interaction (a candidate-key prefix order determines any
+      order of the full schema falls out: once the key is consumed the
+      closure holds everything);
+    - {e transitivity} through the stored ODs: saturate the set of order
+      lists known to hold and re-run the walk from each. *)
+
+type od = {
+  lhs : Schema.Attr.t list;
+  rhs : Schema.Attr.t list;
+}
+
+type t
+
+val empty : t
+val of_list : od list -> t
+val to_list : t -> od list
+val add : t -> od -> t
+val union : t -> t -> t
+val make_od : Schema.Attr.t list -> Schema.Attr.t list -> od
+
+(** The memoized set projection: attributes order-reachable from [seed]
+    under the stored ODs plus [fds] (an FD [X -> Y] is also a reach pair —
+    determined attributes can always be appended to an order). A sound
+    {e necessary} condition for {!covers}, never sufficient. *)
+val reach : ?fds:Fd.Fdset.t -> t -> Schema.Attr.Set.t -> Schema.Attr.Set.t
+
+(** [covers ~fds ~equiv t ~stream keys] — does a stream verifiably sorted
+    on [stream] satisfy [ORDER BY keys]? [fds] powers the
+    constant-within-tie-group skips of the walk; [equiv] canonicalizes
+    attributes into equality classes first (columns equated by the WHERE
+    clause carry identical values in every qualifying row, so they are
+    interchangeable in any order list — mutual FD determination alone
+    would NOT justify this, since a value bijection need not be
+    monotone). Complete for the axioms listed above, sound always. *)
+val covers :
+  ?fds:Fd.Fdset.t ->
+  ?equiv:(Schema.Attr.t -> Schema.Attr.t) ->
+  t ->
+  stream:Schema.Attr.t list ->
+  Schema.Attr.t list ->
+  bool
+
+(** Does [t] (with [fds], under [equiv]) imply the OD?
+    [implies t od = covers t ~stream:od.lhs od.rhs]. *)
+val implies :
+  ?fds:Fd.Fdset.t -> ?equiv:(Schema.Attr.t -> Schema.Attr.t) -> t -> od -> bool
+
+val pp_od : Format.formatter -> od -> unit
+val pp : Format.formatter -> t -> unit

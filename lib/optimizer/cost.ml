@@ -85,6 +85,23 @@ let join_step ~outer ~inner ~equis ~unique_build =
   in
   { cost; card = max card 0.0 }
 
+(* A materializing ORDER BY sort on [card] rows: n log2 n comparisons —
+   the cost a certified sort elision removes. *)
+let sort ~card = card *. log2 card
+
+(* One streaming merge-join step over order-covered inputs: both sides
+   stream through a single comparison sweep, so no hash table is built
+   and no per-row hashing is paid — the step replaces [join_step]'s
+   [inner.card + outer.card] hashing charge with plain comparisons and
+   buffers only one build key group. Cardinality matches the generic
+   hash estimate (order says nothing about match counts). *)
+let merge_step ~outer ~inner ~equis =
+  let h = join_step ~outer ~inner ~equis ~unique_build:false in
+  {
+    cost = outer.cost +. inner.cost +. (0.5 *. (outer.card +. inner.card)) +. h.card;
+    card = h.card;
+  }
+
 let rec query_spec cat stats (q : Sql.Ast.query_spec) =
   (* separate EXISTS conjuncts (correlated probes) from the flat predicate *)
   let conjs = Sql.Ast.conjuncts q.Sql.Ast.where in
@@ -169,7 +186,16 @@ let rec query_spec cat stats (q : Sql.Ast.query_spec) =
     | Sql.Ast.All -> 0.0
     | Sql.Ast.Distinct -> out_card *. log2 out_card
   in
-  { cost = access_cost +. exists_cost +. distinct_cost; card = max out_card 0.0 }
+  (* ORDER BY pays a materializing sort of the output unless
+     [Optimizer.Order_plan] certifies an elision; constant across the
+     rewrite candidates (rewrites preserve the ORDER BY clause) *)
+  let order_cost =
+    match q.Sql.Ast.order_by with [] -> 0.0 | _ -> sort ~card:out_card
+  in
+  {
+    cost = access_cost +. exists_cost +. distinct_cost +. order_cost;
+    card = max out_card 0.0;
+  }
 
 and query cat stats = function
   | Sql.Ast.Spec q -> query_spec cat stats q

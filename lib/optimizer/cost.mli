@@ -49,3 +49,14 @@ val restrict :
     otherwise. *)
 val join_step :
   outer:estimate -> inner:estimate -> equis:int -> unique_build:bool -> estimate
+
+(** Comparisons a materializing [ORDER BY] sort pays on [card] rows
+    ([n log2 n]) — the cost a certified sort elision removes. *)
+val sort : card:float -> float
+
+(** One streaming merge-join step over order-covered inputs, mirroring
+    [Engine.Operator.merge_join]: a single comparison sweep replaces
+    {!join_step}'s hash build and per-row probe hashing, with one build
+    key group as the only buffered state. Cardinality matches the
+    generic (non-unique) hash estimate. *)
+val merge_step : outer:estimate -> inner:estimate -> equis:int -> estimate

@@ -104,6 +104,7 @@ let plan ?cache cat stats (spec : Sql.Ast.query_spec) =
       from = [ leaves.(i) ];
       where = pushed.(i);
       group_by = [];
+      order_by = [];
     }
   in
   let cert_memo = Hashtbl.create 8 in
@@ -214,6 +215,7 @@ let plan ?cache cat stats (spec : Sql.Ast.query_spec) =
                 {
                   Engine.Exec.js_leaf = st.leaf;
                   js_unique_build = st.unique_build;
+                  js_merge = false;
                 })
               steps;
         };

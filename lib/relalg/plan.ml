@@ -29,6 +29,9 @@ type t =
       output : out_col list;
       input : t;
     }
+  | Sort of Schema.Attr.t list * t
+      (** [ORDER BY]: ascending, NULLS FIRST — the engine's one total
+          order. Schema-preserving; only the row sequence changes. *)
 
 let aggregate_schema input_schema output =
   Schema.Relschema.make
@@ -116,8 +119,34 @@ let rec schema cat = function
   | Product (a, b) -> Schema.Relschema.product (schema cat a) (schema cat b)
   | Intersect (_, a, _) | Except (_, a, _) -> schema cat a
   | Aggregate { output; input; _ } -> aggregate_schema (schema cat input) output
+  | Sort (_, p) -> schema cat p
 
-let of_query_spec cat (q : Sql.Ast.query_spec) =
+let rec of_query_spec cat (q : Sql.Ast.query_spec) =
+  let unsorted = of_query_spec_unsorted cat q in
+  match q.order_by with
+  | [] -> unsorted
+  | cols ->
+    let resolve = Fd.Derive.resolver cat q.from in
+    let keys =
+      List.map
+        (function
+          | Sql.Ast.Col a -> resolve a
+          | Sql.Ast.Const _ | Sql.Ast.Host _ | Sql.Ast.Agg _ ->
+            invalid_arg "Plan: ORDER BY expects column references")
+        cols
+    in
+    let out = schema cat unsorted in
+    List.iter
+      (fun a ->
+        if not (List.exists (Schema.Attr.equal a) (Schema.Relschema.attrs out))
+        then
+          failwith
+            (Printf.sprintf "ORDER BY column %s is not in the select list"
+               (Schema.Attr.to_string a)))
+      keys;
+    Sort (keys, unsorted)
+
+and of_query_spec_unsorted cat (q : Sql.Ast.query_spec) =
   let scans =
     List.map
       (fun (f : Sql.Ast.from_item) ->
@@ -247,6 +276,10 @@ let rec pp ppf = function
     Format.fprintf ppf "@[<hv 2>(%a@ except_%s %a)@]" pp a
       (match d with Sql.Ast.All -> "all" | Sql.Ast.Distinct -> "dist")
       pp b
+  | Sort (keys, x) ->
+    Format.fprintf ppf "@[<hv 2>sort[%s](@,%a)@]"
+      (String.concat ", " (List.map Schema.Attr.to_string keys))
+      pp x
   | Aggregate { group_by; output; input } ->
     Format.fprintf ppf "@[<hv 2>aggregate[%s | %s](@,%a)@]"
       (String.concat ", " (List.map Schema.Attr.to_string group_by))

@@ -40,11 +40,15 @@ type t =
       (** GROUP BY / aggregation — the extension of paper section 8;
           grouping equates NULL keys (null-comparison semantics), and
           aggregates other than the star count ignore NULL operands *)
+  | Sort of Schema.Attr.t list * t
+      (** [ORDER BY]: ascending, NULLS FIRST (the engine's total order
+          [Sqlval.Value.compare_total]); schema-preserving *)
 
 (** Translate a query to a plan: left-deep product of the FROM list, then
     selection, then projection. Column references are resolved (qualified)
     against the catalog.
-    @raise Fd.Derive.Unknown_table / [Unknown_column] on resolution errors. *)
+    @raise Fd.Derive.Unknown_table / [Unknown_column] on resolution errors.
+    @raise Failure when an [ORDER BY] column is not in the select list. *)
 val of_query : Catalog.t -> Sql.Ast.query -> t
 
 (** The leaves of a left-deep product tree in FROM-clause order; [[p]]

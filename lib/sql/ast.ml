@@ -53,10 +53,13 @@ and query_spec = {
   group_by : scalar list;
       (** grouping columns; [[]] = no grouping (a select list containing
           only aggregates then forms a single global group) *)
+  order_by : scalar list;
+      (** [ORDER BY] columns, ascending with NULLS FIRST (the engine's
+          total order); [[]] = no required output order *)
 }
 
-let plain_spec ?(distinct = All) ~select ~from ~where () =
-  { distinct; select; from; where; group_by = [] }
+let plain_spec ?(distinct = All) ?(order_by = []) ~select ~from ~where () =
+  { distinct; select; from; where; group_by = []; order_by }
 
 type setop = Intersect | Except
 

@@ -37,7 +37,7 @@ let reserved =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "EXISTS"; "BETWEEN"; "IN";
     "IS"; "NULL"; "DISTINCT"; "ALL"; "INTERSECT"; "EXCEPT"; "TRUE"; "FALSE";
     "CREATE"; "TABLE"; "VIEW"; "PRIMARY"; "UNIQUE"; "CHECK"; "KEY"; "AS";
-    "GROUP"; "BY"; "FOREIGN"; "REFERENCES" ]
+    "GROUP"; "BY"; "FOREIGN"; "REFERENCES"; "ORDER" ]
 
 let is_reserved s = List.mem s reserved
 
@@ -231,7 +231,30 @@ and parse_query_spec_st st : query_spec =
     end
     else []
   in
-  { distinct; select; from; where; group_by }
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      (* Ascending with NULLS FIRST is the engine's one total order;
+         [ASC] and [NULLS FIRST] are accepted as explicit no-ops, the
+         unsupported directions fail loudly rather than silently
+         reordering. *)
+      let rec cols acc =
+        let s = parse_scalar st in
+        if accept_kw st "DESC" then fail "ORDER BY ... DESC is not supported";
+        ignore (accept_kw st "ASC");
+        if accept_kw st "NULLS" then begin
+          if accept_kw st "LAST" then
+            fail "ORDER BY ... NULLS LAST is not supported";
+          expect_kw st "FIRST"
+        end;
+        if peek st = Lexer.COMMA then begin advance st; cols (s :: acc) end
+        else List.rev (s :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  { distinct; select; from; where; group_by; order_by }
 
 let rec parse_query_st st : query =
   let left = Spec (parse_query_spec_st st) in

@@ -68,6 +68,11 @@ and query_spec q =
    | cols ->
      Buffer.add_string buf " GROUP BY ";
      Buffer.add_string buf (String.concat ", " (List.map scalar cols)));
+  (match q.order_by with
+   | [] -> ()
+   | cols ->
+     Buffer.add_string buf " ORDER BY ";
+     Buffer.add_string buf (String.concat ", " (List.map scalar cols)));
   Buffer.contents buf
 
 let rec query = function

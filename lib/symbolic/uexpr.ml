@@ -451,6 +451,9 @@ let rec partial cat (plan : Relalg.Plan.t) : partial =
       p_where = A.And (pa.p_where, pb.p_where);
       p_out = pa.p_out @ pb.p_out;
     }
+  | Relalg.Plan.Sort (_, sub) ->
+    (* bag semantics: an ORDER BY changes the row sequence, never the bag *)
+    partial cat sub
   | Relalg.Plan.Intersect _ | Relalg.Plan.Except _ ->
     raise (Unsupported "set operation below a select/project")
   | Relalg.Plan.Aggregate _ -> raise (Unsupported "aggregation")

@@ -266,6 +266,11 @@ let rec expand_spec cat ~used (q : query_spec) : query_spec =
         (fun s -> match subst_scalar s with `Many l -> l | `One s -> [ s ])
         q.group_by
     in
+    let order_by =
+      List.concat_map
+        (fun s -> match subst_scalar s with `Many l -> l | `One s -> [ s ])
+        q.order_by
+    in
     let merged =
       {
         distinct = q.distinct;
@@ -273,6 +278,7 @@ let rec expand_spec cat ~used (q : query_spec) : query_spec =
         from = List.filter (fun f -> f != v) q.from @ vfrom;
         where = conj (conjuncts where @ conjuncts vwhere);
         group_by;
+        order_by;
       }
     in
     expand_spec cat ~used merged

@@ -85,3 +85,28 @@ let star_db ?(seed = default.seed) ~rows () =
 let star_query =
   "SELECT F.ID, D1.ATTR, D2.ATTR FROM DIM1 D1, DIM2 D2, FACT F WHERE F.FK1 \
    = D1.K AND F.FK2 = D2.K"
+
+(* ---- sorted pair (ORDER BY / merge-join experiments) ---- *)
+
+let pair_ddl =
+  [ "CREATE TABLE LHS (K INT NOT NULL, V INT, PRIMARY KEY (K))";
+    "CREATE TABLE RHS (K INT NOT NULL, W INT, PRIMARY KEY (K))" ]
+
+let pair_catalog = List.fold_left Catalog.add_ddl Catalog.empty pair_ddl
+
+let pair_db ?(seed = default.seed) ~rows () =
+  let rng = Random.State.make [| 0x50414952; seed |] in
+  let mk () =
+    List.init rows (fun i ->
+        [| Value.Int (i + 1); Value.Int (Random.State.int rng 1_000_000) |])
+  in
+  let db = Engine.Database.create pair_catalog in
+  Engine.Database.load_sorted db "LHS" (mk ()) ~order:[ "K" ];
+  Engine.Database.load_sorted db "RHS" (mk ()) ~order:[ "K" ];
+  db
+
+let pair_query =
+  "SELECT L.K, L.V, R.W FROM LHS L, RHS R WHERE L.K = R.K ORDER BY L.K"
+
+let order_key_query = "SELECT B.K, B.GRP FROM BULK B ORDER BY B.K"
+let order_group_query = "SELECT B.K, B.GRP FROM BULK B ORDER BY B.GRP"

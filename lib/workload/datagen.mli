@@ -81,3 +81,32 @@ val star_db : ?seed:int -> rows:int -> unit -> Engine.Database.t
     F.FK1 = D1.K AND F.FK2 = D2.K] — FROM order forces a dimension
     product first; join-key columns cover each dimension's key. *)
 val star_query : string
+
+(** {1 Sorted pair}
+
+    Order-dependency experiment instances: [LHS (K pk, V)] and
+    [RHS (K pk, W)], both [rows] rows with the same dense key domain
+    (every probe matches), both loaded through
+    {!Engine.Database.load_sorted} on [K] so the physical order is
+    verified and visible to order provenance. {!pair_query} joins them
+    on the shared key and asks for [ORDER BY] on it — the regime where
+    [Optimizer.Order_plan] certifies a merge join {e and} elides the
+    sort. Deterministic in [seed]. *)
+
+val pair_ddl : string list
+
+val pair_catalog : Catalog.t
+
+val pair_db : ?seed:int -> rows:int -> unit -> Engine.Database.t
+
+(** [SELECT L.K, L.V, R.W FROM LHS L, RHS R WHERE L.K = R.K ORDER BY
+    L.K] — both inputs sorted on the join key. *)
+val pair_query : string
+
+(** [SELECT B.K, B.GRP FROM BULK B ORDER BY B.K] — covered by the
+    physical order under {!Key_order}: the sort is elidable. *)
+val order_key_query : string
+
+(** [SELECT B.K, B.GRP FROM BULK B ORDER BY B.GRP] — uncovered under
+    {!Key_order}: the materializing sort must run. *)
+val order_group_query : string

@@ -64,7 +64,7 @@ let generate cfg =
         [| Value.Int sno; Value.String sname; Value.String scity;
            Value.Float budget; Value.String status |])
   in
-  Engine.Database.load db "SUPPLIER" suppliers;
+  Engine.Database.load_sorted db "SUPPLIER" suppliers ~order:[ "SNO" ];
   let oem_counter = ref 0 in
   let parts =
     List.concat
@@ -88,7 +88,7 @@ let generate cfg =
                   Value.String (Printf.sprintf "PART-%d" pno);
                   oem; Value.String color |])))
   in
-  Engine.Database.load db "PARTS" parts;
+  Engine.Database.load_sorted db "PARTS" parts ~order:[ "SNO"; "PNO" ];
   let agents =
     List.concat
       (List.init cfg.suppliers (fun i ->
@@ -99,7 +99,7 @@ let generate cfg =
                   Value.String (Printf.sprintf "AGENT-%d-%d" sno ano);
                   Value.String (pick agent_cities) |])))
   in
-  Engine.Database.load db "AGENTS" agents;
+  Engine.Database.load_sorted db "AGENTS" agents ~order:[ "SNO"; "ANO" ];
   db
 
 let supplier_db ?(seed = 42) ~suppliers ~parts_per_supplier

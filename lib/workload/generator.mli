@@ -5,7 +5,14 @@
     The paper's CHECK pins [SNO BETWEEN 1 AND 499]; to scale beyond 499
     suppliers the generated catalog widens that range to the requested
     supplier count (documented substitution — the constraint's {e shape} is
-    preserved). *)
+    preserved).
+
+    Rows are emitted in primary-key order and loaded through
+    {!Engine.Database.load_sorted} ([SUPPLIER] on [SNO], [PARTS] on
+    [SNO, PNO], [AGENTS] on [SNO, ANO]), so the executor's order
+    provenance — and with it sorted deduplication, merge joins and
+    [ORDER BY] elision — sees a verified physical order on the default
+    instance. *)
 
 type config = {
   seed : int;

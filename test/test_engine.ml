@@ -540,7 +540,7 @@ let test_planned_join_orders_agree () =
             Exec.jo_first = List.hd perm;
             jo_steps =
               List.map
-                (fun l -> { Exec.js_leaf = l; js_unique_build = false })
+                (fun l -> { Exec.js_leaf = l; js_unique_build = false; js_merge = false })
                 (List.tl perm);
           }
       in
@@ -558,7 +558,7 @@ let test_planned_join_orders_agree () =
     Exec.Planned_join
       {
         Exec.jo_first = 0;
-        jo_steps = [ { Exec.js_leaf = 0; js_unique_build = true } ];
+        jo_steps = [ { Exec.js_leaf = 0; js_unique_build = true; js_merge = false } ];
       }
   in
   let cfg = { (Exec.default_config ()) with Exec.join_impl = bogus } in
@@ -579,8 +579,8 @@ let test_planned_unique_build_execution () =
       {
         Exec.jo_first = 2;
         jo_steps =
-          [ { Exec.js_leaf = 0; js_unique_build = true };
-            { Exec.js_leaf = 1; js_unique_build = true } ];
+          [ { Exec.js_leaf = 0; js_unique_build = true; js_merge = false };
+            { Exec.js_leaf = 1; js_unique_build = true; js_merge = false } ];
       }
   in
   let cfg = { (Exec.default_config ()) with Exec.join_impl = impl } in
